@@ -1,0 +1,66 @@
+//! The reproduction harness CLI.
+//!
+//! ```text
+//! repro [--quick] [--seed N] [--out DIR] [EXPERIMENT...]
+//! ```
+//!
+//! With no experiment arguments, runs everything in paper order.
+//! Experiments: table1 fig1 fig4 fig5 fig6 fig7 fig8 fig9 fits mdata.
+
+use std::process::ExitCode;
+
+use skyferry_bench::experiments;
+use skyferry_bench::report::ReproConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--quick] [--seed N] [--out DIR] [EXPERIMENT...]\n\
+         experiments: {} (default: all)",
+        experiments::ALL.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ReproConfig::default();
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg.quick = true,
+            "--seed" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
+                    usage();
+                };
+                cfg.seed = v;
+            }
+            "--out" => {
+                let Some(dir) = args.next() else { usage() };
+                cfg.out_dir = Some(dir.into());
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted = experiments::ALL.iter().map(|s| s.to_string()).collect();
+    }
+
+    for id in &wanted {
+        match experiments::run(id, &cfg) {
+            Some(report) => {
+                println!("{}", report.render());
+                if let Err(e) = report.write_csv(&cfg) {
+                    eprintln!("warning: could not write CSV for {id}: {e}");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment: {id}");
+                usage();
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

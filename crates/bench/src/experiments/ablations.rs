@@ -1,0 +1,418 @@
+//! Ablation studies over the reproduction's design choices.
+//!
+//! Not a paper artefact — these tables justify the model pieces by
+//! switching them off one at a time:
+//!
+//! 1. **A-MPDU aggregation size** — why the paper enables aggregation;
+//! 2. **STBC vs plain single-stream** — why MCS 1–3 carry STBC;
+//! 3. **Host fill rate** — the Gumstix bottleneck's reach;
+//! 4. **Rate controllers** — ARF vs Minstrel-HT vs genie-fixed;
+//! 5. **Channel harshness** — calibrated aerial fading vs a calm
+//!    "genie" channel (what the 802.11n datasheet would promise);
+//! 6. **Optimizer grid** — dopt stability vs grid resolution;
+//! 7. **Failure law** — exponential vs Weibull wear-out;
+//! 8. **Mixed vs pure strategies** — the §7 extension's payoff.
+
+use skyferry_core::failure::{FailureSpec, WeibullFailure};
+use skyferry_core::mixed::{optimize_mixed, MixedConfig};
+use skyferry_core::optimizer::optimize;
+use skyferry_core::scenario::Scenario;
+use skyferry_core::utility::utility;
+use skyferry_mac::link::{LinkConfig, LinkState};
+use skyferry_mac::queue::TxQueue;
+use skyferry_mac::rate::FixedMcs;
+use skyferry_net::campaign::{measure_throughput_replicated, CampaignConfig, ControllerKind};
+use skyferry_net::profile::MotionProfile;
+use skyferry_phy::mcs::Mcs;
+use skyferry_phy::presets::ChannelPreset;
+use skyferry_sim::prelude::*;
+use skyferry_stats::quantile::median;
+use skyferry_stats::table::TextTable;
+
+use crate::report::{ExperimentReport, ReproConfig};
+
+/// Run a saturated link with a custom `LinkConfig` and return goodput.
+fn goodput_with(
+    config: LinkConfig,
+    controller: Box<dyn skyferry_mac::rate::RateController>,
+    d_m: f64,
+    v_mps: f64,
+    secs: f64,
+    seed: u64,
+) -> f64 {
+    let seeds = SeedStream::new(seed);
+    let mut link = LinkState::new(config, controller, seeds.rng("fading"), seeds.rng("link"));
+    let mut queue = TxQueue::saturated(config.preset.host_fill_rate_bps, 1 << 17);
+    let mut now = SimTime::ZERO;
+    let horizon = SimTime::from_secs_f64(secs);
+    let mut bytes = 0u64;
+    while now < horizon {
+        let out = link.execute_txop(now, d_m, v_mps, &mut queue);
+        bytes += out.delivered_bytes as u64;
+        now += out.airtime;
+    }
+    bytes as f64 * 8.0 / secs / 1e6
+}
+
+/// Ablation 1: aggregation size.
+pub fn ampdu_table(cfg: &ReproConfig) -> TextTable {
+    let mut t = TextTable::new(&["max A-MPDU subframes", "goodput @20 m (Mb/s)"]);
+    let preset = ChannelPreset::quadrocopter(0.0);
+    for n in [1usize, 2, 4, 8, 14, 32, 64] {
+        let link_cfg = LinkConfig {
+            max_ampdu_subframes: n,
+            ..LinkConfig::paper_default(preset)
+        };
+        let g = goodput_with(
+            link_cfg,
+            Box::new(FixedMcs(Mcs::new(2))),
+            20.0,
+            0.0,
+            cfg.secs(10) as f64,
+            cfg.seed,
+        );
+        t.row_f64(&format!("{n}"), &[g], 1);
+    }
+    t
+}
+
+/// Ablation 2: STBC on/off across distances.
+pub fn stbc_table(cfg: &ReproConfig) -> TextTable {
+    let mut t = TextTable::new(&["d (m)", "STBC on (Mb/s)", "STBC off (Mb/s)"]);
+    let preset = ChannelPreset::airplane(20.0);
+    for d in [60.0, 120.0, 180.0] {
+        let mut row = Vec::new();
+        for stbc in [true, false] {
+            let link_cfg = LinkConfig {
+                use_stbc: stbc,
+                ..LinkConfig::paper_default(preset)
+            };
+            row.push(goodput_with(
+                link_cfg,
+                Box::new(FixedMcs(Mcs::new(1))),
+                d,
+                20.0,
+                cfg.secs(12) as f64,
+                cfg.seed + 1,
+            ));
+        }
+        t.row_f64(&format!("{d:.0}"), &row, 1);
+    }
+    t
+}
+
+/// Ablation 3: host fill rate.
+pub fn host_rate_table(cfg: &ReproConfig) -> TextTable {
+    let mut t = TextTable::new(&["host rate (Mb/s)", "goodput @15 m (Mb/s)"]);
+    for rate in [8.0, 16.0, 32.0, 48.0, 100.0, 400.0] {
+        let mut preset = ChannelPreset::quadrocopter(0.0);
+        preset.host_fill_rate_bps = rate * 1e6;
+        let c = CampaignConfig {
+            preset,
+            controller: ControllerKind::Arf,
+            duration: SimDuration::from_secs(cfg.secs(12)),
+            seed: cfg.seed + 2,
+        };
+        let s = measure_throughput_replicated(&c, MotionProfile::hover(15.0), cfg.reps(4));
+        t.row_f64(&format!("{rate:.0}"), &[median(&s).expect("non-empty")], 1);
+    }
+    t
+}
+
+/// Ablation 4: rate controllers at three distances.
+pub fn controller_table(cfg: &ReproConfig) -> TextTable {
+    let mut t = TextTable::new(&["d (m)", "arf", "minstrel", "best fixed"]);
+    let preset = ChannelPreset::airplane(20.0);
+    for d in [40.0, 120.0, 220.0] {
+        let mut cells = Vec::new();
+        for kind in [ControllerKind::Arf, ControllerKind::MinstrelHt] {
+            let c = CampaignConfig {
+                preset,
+                controller: kind,
+                duration: SimDuration::from_secs(cfg.secs(16)),
+                seed: cfg.seed + 3,
+            };
+            let s = measure_throughput_replicated(&c, MotionProfile::hover(d), cfg.reps(4));
+            cells.push(median(&s).expect("non-empty"));
+        }
+        let best = [1u8, 2, 8]
+            .iter()
+            .map(|&m| {
+                let c = CampaignConfig {
+                    preset,
+                    controller: ControllerKind::Fixed(Mcs::new(m)),
+                    duration: SimDuration::from_secs(cfg.secs(16)),
+                    seed: cfg.seed + 3,
+                };
+                let s = measure_throughput_replicated(&c, MotionProfile::hover(d), cfg.reps(4));
+                median(&s).expect("non-empty")
+            })
+            .fold(0.0f64, f64::max);
+        cells.push(best);
+        t.row_f64(&format!("{d:.0}"), &cells, 1);
+    }
+    t
+}
+
+/// Ablation 5: calibrated aerial channel vs a calm "genie" channel.
+pub fn channel_harshness_table(cfg: &ReproConfig) -> TextTable {
+    let mut t = TextTable::new(&["d (m)", "calibrated aerial", "calm genie channel"]);
+    let aerial = ChannelPreset::airplane(20.0);
+    let mut genie = aerial;
+    genie.fading.k_factor_db = 30.0;
+    genie.fading.k_min_db = 30.0;
+    genie.fading.shadowing_sigma_db = 0.1;
+    genie.fading.shadowing_speed_slope_db_per_mps = 0.0;
+    genie.fading.k_speed_slope_db_per_mps = 0.0;
+    for d in [40.0, 100.0, 200.0] {
+        let mut cells = Vec::new();
+        for preset in [aerial, genie] {
+            let c = CampaignConfig {
+                preset,
+                controller: ControllerKind::Arf,
+                duration: SimDuration::from_secs(cfg.secs(12)),
+                seed: cfg.seed + 4,
+            };
+            let s = measure_throughput_replicated(&c, MotionProfile::hover(d), cfg.reps(4));
+            cells.push(median(&s).expect("non-empty"));
+        }
+        t.row_f64(&format!("{d:.0}"), &cells, 1);
+    }
+    t
+}
+
+/// Ablation 6: optimizer grid resolution (via a coarse manual scan).
+pub fn optimizer_grid_table() -> TextTable {
+    let mut t = TextTable::new(&["grid points", "dopt (m)", "U(dopt)"]);
+    let s = Scenario::quadrocopter_baseline().with_mdata_mb(10.0);
+    for points in [8usize, 32, 128, 1024] {
+        // Manual grid at the given resolution.
+        let (mut best_d, mut best_u) = (s.d_min_m, f64::NEG_INFINITY);
+        for i in 0..points {
+            let d = s.d_min_m + (s.d0_m - s.d_min_m) * i as f64 / (points - 1) as f64;
+            let u = utility(&s, d);
+            if u > best_u {
+                best_u = u;
+                best_d = d;
+            }
+        }
+        t.row(&[
+            &format!("{points}"),
+            &format!("{best_d:.1}"),
+            &format!("{best_u:.5}"),
+        ]);
+    }
+    let refined = optimize(&s);
+    t.row(&[
+        "2048+golden (default)",
+        &format!("{:.1}", refined.d_opt),
+        &format!("{:.5}", refined.utility),
+    ]);
+    t
+}
+
+/// Ablation 7: failure law — exponential vs Weibull wear-out.
+pub fn failure_law_table() -> TextTable {
+    let mut t = TextTable::new(&["failure law", "dopt (m)", "U(dopt)"]);
+    let base = Scenario::quadrocopter_baseline().with_mdata_mb(10.0);
+    let exp = optimize(&base.clone().with_rho(2.0e-3));
+    t.row(&[
+        "exponential rho=2e-3",
+        &format!("{:.1}", exp.d_opt),
+        &format!("{:.5}", exp.utility),
+    ]);
+    // Weibull with the same mean failure distance (Γ(1.5)·λ = 1/ρ) but
+    // wear-out shape k = 2 and half the mission already flown.
+    let lambda = 1.0 / 2.0e-3 / 0.886;
+    for flown in [0.0, lambda / 2.0] {
+        let mut s = base.clone();
+        s.failure = FailureSpec::Weibull(WeibullFailure::new(lambda, 2.0, flown));
+        let o = optimize(&s);
+        t.row(&[
+            &format!("weibull k=2, flown {:.0} m", flown),
+            &format!("{:.1}", o.d_opt),
+            &format!("{:.5}", o.utility),
+        ]);
+    }
+    t
+}
+
+/// Ablation 8: the §7 mixed-strategy extension's payoff.
+pub fn mixed_strategy_table() -> TextTable {
+    let mut t = TextTable::new(&["Mdata (MB)", "pure U", "mixed U", "gain"]);
+    for mb in [5.0, 15.0, 56.2] {
+        let s = Scenario::quadrocopter_baseline().with_mdata_mb(mb);
+        let pure = optimize(&s);
+        let mixed = optimize_mixed(&s, &MixedConfig::for_speed(4.5));
+        t.row(&[
+            &format!("{mb:.1}"),
+            &format!("{:.5}", pure.utility),
+            &format!("{:.5}", mixed.utility),
+            &format!("{:.3}x", mixed.utility / pure.utility),
+        ]);
+    }
+    t
+}
+
+/// Run all ablations.
+pub fn run(cfg: &ReproConfig) -> ExperimentReport {
+    let mut r = ExperimentReport::new("ablations", "Design-choice ablation studies");
+    r.table("1. A-MPDU aggregation size", ampdu_table(cfg));
+    r.table("2. STBC vs plain single stream", stbc_table(cfg));
+    r.table(
+        "3. Host fill rate (Gumstix bottleneck)",
+        host_rate_table(cfg),
+    );
+    r.table("4. Rate controllers", controller_table(cfg));
+    r.table("5. Channel harshness", channel_harshness_table(cfg));
+    r.table("6. Optimizer grid resolution", optimizer_grid_table());
+    r.table("7. Failure law", failure_law_table());
+    r.table("8. Mixed vs pure strategies", mixed_strategy_table());
+    r.note("aggregation and the host cap dominate close-range goodput");
+    r.note(
+        "STBC wins where the mean SNR clears the MCS threshold; below it, \
+         fade variance is the only source of up-crossings and diversity inverts",
+    );
+    r.note("the calm-channel column is what a datasheet promises and the sky takes away");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn first_col_values(t: &TextTable) -> Vec<f64> {
+        // Parse the rendered table's second column back out for checks.
+        t.render()
+            .lines()
+            .skip(2)
+            .filter_map(|l| {
+                l.split_whitespace()
+                    .nth(1)
+                    .and_then(|v| v.parse::<f64>().ok())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn aggregation_monotone_gain() {
+        let t = ampdu_table(&ReproConfig::quick());
+        let g = first_col_values(&t);
+        assert_eq!(g.len(), 7);
+        assert!(
+            g[4] > 1.6 * g[0],
+            "14-frame A-MPDU must far outperform no aggregation: {g:?}"
+        );
+        // Diminishing returns beyond the default.
+        assert!(g[6] < 1.5 * g[4], "{g:?}");
+    }
+
+    #[test]
+    fn stbc_wins_above_threshold_loses_below() {
+        let t = stbc_table(&ReproConfig::quick());
+        let text = t.render();
+        let rows: Vec<Vec<f64>> = text
+            .lines()
+            .skip(2)
+            .map(|l| {
+                l.split_whitespace()
+                    .filter_map(|v| v.parse().ok())
+                    .collect()
+            })
+            .collect();
+        // Where the mean SNR clears the MCS threshold, diversity prunes
+        // the fade dips: STBC wins big at 60 m.
+        let near = &rows[0];
+        assert!(
+            near[1] > 1.3 * near[2],
+            "STBC should dominate above threshold: {near:?}"
+        );
+        // Below the threshold (180 m) the relationship inverts: with the
+        // mean under the waterfall, fade *variance* provides the only
+        // up-crossings, so the un-diversified branch delivers more.
+        let far = &rows[2];
+        assert!(
+            far[2] >= far[1] * 0.9,
+            "expected the below-threshold inversion: {far:?}"
+        );
+    }
+
+    #[test]
+    fn host_rate_saturates() {
+        let t = host_rate_table(&ReproConfig::quick());
+        let g = first_col_values(&t);
+        // Goodput grows with the host rate then saturates at the radio's
+        // own limit.
+        assert!(g[1] > g[0], "{g:?}");
+        assert!((g[5] - g[4]).abs() < 0.35 * g[4].max(1.0), "{g:?}");
+    }
+
+    #[test]
+    fn genie_channel_embarrasses_the_sky() {
+        let t = channel_harshness_table(&ReproConfig::quick());
+        let text = t.render();
+        let rows: Vec<Vec<f64>> = text
+            .lines()
+            .skip(2)
+            .map(|l| {
+                l.split_whitespace()
+                    .filter_map(|v| v.parse().ok())
+                    .collect()
+            })
+            .collect();
+        for r in &rows {
+            assert!(r[2] >= r[1] * 0.95, "genie lost at d={}: {r:?}", r[0]);
+        }
+        // And at close range the gap is large (the Section 3.1 story).
+        assert!(rows[0][2] > 1.2 * rows[0][1], "{rows:?}");
+    }
+
+    #[test]
+    fn optimizer_grid_converges() {
+        let t = optimizer_grid_table();
+        let text = t.render();
+        let dopts: Vec<f64> = text
+            .lines()
+            .skip(2)
+            .filter_map(|l| {
+                let cols: Vec<&str> = l.split_whitespace().collect();
+                cols[cols.len() - 2].parse().ok()
+            })
+            .collect();
+        let finest = dopts[dopts.len() - 1];
+        assert!((dopts[3] - finest).abs() < 1.0, "{dopts:?}");
+    }
+
+    #[test]
+    fn weibull_wearout_transmits_sooner() {
+        let t = failure_law_table();
+        let text = t.render();
+        let dopts: Vec<f64> = text
+            .lines()
+            .skip(2)
+            .filter_map(|l| {
+                let cols: Vec<&str> = l.split_whitespace().collect();
+                cols[cols.len() - 2].parse().ok()
+            })
+            .collect();
+        // Mid-mission wear-out (row 3) must not command a deeper
+        // reposition than the fresh airframe (row 2).
+        assert!(dopts[2] >= dopts[1] - 1.0, "{dopts:?}");
+    }
+
+    #[test]
+    fn mixed_gain_is_at_least_one() {
+        let t = mixed_strategy_table();
+        let text = t.render();
+        for line in text.lines().skip(2) {
+            let gain: f64 = line
+                .split_whitespace()
+                .last()
+                .unwrap()
+                .trim_end_matches('x')
+                .parse()
+                .unwrap();
+            assert!(gain >= 0.999, "mixed lost: {line}");
+        }
+    }
+}

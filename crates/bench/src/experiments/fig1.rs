@@ -1,0 +1,227 @@
+//! Figure 1 — experimental measurements of transmitted data vs time.
+//!
+//! "One UAV is originally 80 m away from another hovering UAV. It may
+//! either immediately send 20 MB of data (case 'd = 80 m'), or transmit
+//! while moving closer ('moving'), or move closer to the hovering UAV and
+//! transmit only after reaching the new position (d). Here, waiting to
+//! transmit at a distance of d = 60 m outperforms other strategies."
+//!
+//! The reproduction runs the full PHY/MAC/rate-control stack for the five
+//! strategies and reports (a) cumulative megabytes at one-second marks
+//! (the plotted curves), (b) completion times, and (c) the crossover data
+//! volume between the d = 80 m and d = 60 m strategies (≈ 15 MB in the
+//! paper).
+
+use skyferry_net::campaign::{run_transfer, CampaignConfig, ControllerKind};
+use skyferry_net::profile::MotionProfile;
+use skyferry_net::transfer::TransferRecord;
+use skyferry_phy::presets::ChannelPreset;
+use skyferry_sim::time::{SimDuration, SimTime};
+use skyferry_stats::table::TextTable;
+
+use crate::report::{ExperimentReport, ReproConfig};
+
+/// Batch size of the experiment, bytes.
+pub const MDATA_BYTES: u64 = 20_000_000;
+/// Encounter distance, metres.
+pub const D0_M: f64 = 80.0;
+/// Cruise speed of the approaching quadrocopter, m/s.
+pub const APPROACH_SPEED_MPS: f64 = 4.5;
+/// Post-arrival stabilization/recovery window of the move-and-transmit
+/// strategy, seconds: deceleration + attitude settling + the rate
+/// controller recovering from its in-motion statistics. Matches the
+/// analytic layer's `EvalConfig::post_motion_recovery_s`.
+pub const MOVING_STABILIZATION_S: f64 = 5.0;
+
+/// One strategy's simulated outcome.
+#[derive(Debug, Clone)]
+pub struct Fig1Strategy {
+    /// Legend label ("d=60", "moving", …).
+    pub label: String,
+    /// Cumulative delivery record (median replication).
+    pub record: TransferRecord,
+    /// Completion time, seconds (if completed within the horizon).
+    pub completion_s: Option<f64>,
+}
+
+/// Run the five Figure 1 strategies and return their records.
+pub fn simulate(cfg: &ReproConfig) -> Vec<Fig1Strategy> {
+    let campaign = CampaignConfig {
+        preset: ChannelPreset::quadrocopter(0.0),
+        controller: ControllerKind::Arf,
+        duration: SimDuration::from_secs(cfg.secs(240)),
+        seed: cfg.seed,
+    };
+    let mut out = Vec::new();
+    for &d in &[20.0, 40.0, 60.0, 80.0] {
+        let label = format!("d={d:.0}");
+        let (profile, hold) = if (d - D0_M).abs() < 1e-9 {
+            (MotionProfile::hover(D0_M), false)
+        } else {
+            (MotionProfile::approach(D0_M, APPROACH_SPEED_MPS, d), true)
+        };
+        let res = run_transfer(&campaign, profile, MDATA_BYTES, hold, label.clone(), 0);
+        out.push(Fig1Strategy {
+            label,
+            completion_s: res.completion.map(|t| t.as_secs_f64()),
+            record: res.record,
+        });
+    }
+    // The moving strategy: transmit from t = 0 while approaching to the
+    // 20 m safety minimum.
+    let res = run_transfer(
+        &campaign,
+        MotionProfile::approach(D0_M, APPROACH_SPEED_MPS, 20.0)
+            .with_stabilization(MOVING_STABILIZATION_S),
+        MDATA_BYTES,
+        false,
+        "moving",
+        0,
+    );
+    out.push(Fig1Strategy {
+        label: "moving".into(),
+        completion_s: res.completion.map(|t| t.as_secs_f64()),
+        record: res.record,
+    });
+    out
+}
+
+/// Regenerate Figure 1.
+pub fn run(cfg: &ReproConfig) -> ExperimentReport {
+    let strategies = simulate(cfg);
+
+    // Curve table: MB delivered at 1 s marks up to the slowest completion.
+    let horizon = strategies
+        .iter()
+        .filter_map(|s| s.completion_s)
+        .fold(10.0_f64, f64::max)
+        .ceil() as u64;
+    let mut headers: Vec<String> = vec!["t (s)".into()];
+    headers.extend(strategies.iter().map(|s| format!("{} (MB)", s.label)));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut curve = TextTable::new(&header_refs);
+    for t in 0..=horizon.min(120) {
+        let mut cells = vec![format!("{t}")];
+        for s in &strategies {
+            let mb = s.record.bytes_at(SimTime::from_secs(t)) as f64 / 1e6;
+            cells.push(format!("{mb:.1}"));
+        }
+        let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+        curve.row(&refs);
+    }
+
+    let mut completion = TextTable::new(&["strategy", "completion (s)", "delivered (MB)"]);
+    for s in &strategies {
+        completion.row(&[
+            &s.label,
+            &s.completion_s
+                .map(|c| format!("{c:.1}"))
+                .unwrap_or_else(|| "dnf".into()),
+            &format!("{:.1}", s.record.total_bytes() as f64 / 1e6),
+        ]);
+    }
+
+    let mut r = ExperimentReport::new(
+        "fig1",
+        "Transmitted data vs time for the five delivery strategies (20 MB from 80 m)",
+    );
+
+    // Crossover between "move to 60 m first" and "transmit at 80 m now".
+    let d60 = strategies.iter().find(|s| s.label == "d=60").expect("d=60");
+    let d80 = strategies.iter().find(|s| s.label == "d=80").expect("d=80");
+    if let Some(cross) = d60.record.crossover_bytes(&d80.record, 500_000) {
+        r.note(format!(
+            "crossover: moving to 60 m beats transmitting at 80 m for batches > {:.1} MB (paper: ≈15 MB)",
+            cross as f64 / 1e6
+        ));
+    } else {
+        r.note("no d=60 vs d=80 crossover within the batch (paper: ≈15 MB)".to_string());
+    }
+
+    // Ranking notes.
+    let best = strategies
+        .iter()
+        .filter(|s| s.completion_s.is_some())
+        .min_by(|a, b| a.completion_s.partial_cmp(&b.completion_s).expect("finite"));
+    if let Some(best) = best {
+        r.note(format!(
+            "fastest strategy for 20 MB: {} ({:.1} s) — paper: d=60 m",
+            best.label,
+            best.completion_s.expect("filtered"),
+        ));
+    }
+    let moving = strategies
+        .iter()
+        .find(|s| s.label == "moving")
+        .expect("moving");
+    // The paper's dominance claim: hover-and-transmit (at a sensibly
+    // chosen distance) beats transmitting on the move. Compare against
+    // the repositioning strategies d ≤ 60 m; at our calibrated *median*
+    // rates the d = 80 m case is bandwidth-starved and slower than
+    // everything (the paper's Figure 1 run enjoyed an unusually good
+    // channel at 80 m — see EXPERIMENTS.md).
+    let moving_beaten = strategies
+        .iter()
+        .filter(|s| matches!(s.label.as_str(), "d=20" | "d=40" | "d=60"))
+        .all(|s| match (s.completion_s, moving.completion_s) {
+            (Some(a), Some(b)) => a <= b,
+            (Some(_), None) => true,
+            _ => false,
+        });
+    r.note(format!(
+        "move-and-transmit dominated by the repositioning hover strategies: {} (paper: yes)",
+        if moving_beaten { "yes" } else { "no" }
+    ));
+
+    r.table("Cumulative delivered data (Figure 1 curves)", curve);
+    r.table("Completion times", completion);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_strategies_present() {
+        let r = run(&ReproConfig::quick());
+        let text = r.render();
+        for label in ["d=20", "d=40", "d=60", "d=80", "moving"] {
+            assert!(text.contains(label), "missing {label}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn full_batch_delivered_by_hover_strategies() {
+        let strategies = simulate(&ReproConfig::quick());
+        for s in strategies.iter().filter(|s| s.label.starts_with("d=")) {
+            assert!(s.completion_s.is_some(), "{} did not complete", s.label);
+            assert_eq!(s.record.total_bytes(), MDATA_BYTES, "{}", s.label);
+        }
+    }
+
+    #[test]
+    fn held_strategies_stay_silent_while_shipping() {
+        let strategies = simulate(&ReproConfig::quick());
+        let d40 = strategies.iter().find(|s| s.label == "d=40").unwrap();
+        let ship = (80.0 - 40.0) / APPROACH_SPEED_MPS;
+        let before = d40.record.bytes_at(SimTime::from_secs_f64(ship * 0.95));
+        assert_eq!(before, 0, "d=40 transmitted during shipping");
+    }
+
+    #[test]
+    fn moving_transmits_early_but_finishes_late() {
+        let strategies = simulate(&ReproConfig::quick());
+        let moving = strategies.iter().find(|s| s.label == "moving").unwrap();
+        let d60 = strategies.iter().find(|s| s.label == "d=60").unwrap();
+        // moving delivers something before d=60's shipping completes…
+        let early = moving.record.bytes_at(SimTime::from_secs(4));
+        assert!(early > 0, "moving strategy should start immediately");
+        // …but completes no sooner than d=60 (Figure 1's dominance).
+        match (moving.completion_s, d60.completion_s) {
+            (Some(m), Some(h)) => assert!(m >= h * 0.95, "moving={m:.1}s d60={h:.1}s"),
+            (None, Some(_)) => {} // moving didn't even finish: dominated
+            other => panic!("unexpected completions: {other:?}"),
+        }
+    }
+}

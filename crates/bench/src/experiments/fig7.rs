@@ -1,0 +1,186 @@
+//! Figure 7 — quadrocopter tests.
+//!
+//! Left: hover throughput vs distance (20–80 m) — higher and tighter than
+//! the airplanes. Centre: throughput vs distance while approaching at
+//! ≈ 8 m/s — a clear drop. Right: throughput vs cruise speed at ≈ 60 m —
+//! "the throughput varies and drops significantly with the speed".
+
+use skyferry_net::campaign::{measure_throughput_replicated, CampaignConfig, ControllerKind};
+use skyferry_net::profile::MotionProfile;
+use skyferry_phy::presets::ChannelPreset;
+use skyferry_sim::time::SimDuration;
+use skyferry_stats::boxplot::BoxplotSummary;
+use skyferry_stats::quantile::median;
+use skyferry_stats::table::TextTable;
+
+use crate::report::{ExperimentReport, ReproConfig};
+
+/// The approach speed of the centre panel, m/s.
+pub const MOVING_SPEED_MPS: f64 = 8.0;
+/// The hover/moving panel distances.
+pub const DISTANCES: [f64; 4] = [20.0, 40.0, 60.0, 80.0];
+/// The right-panel speed sweep at 60 m.
+pub const SPEEDS: [f64; 5] = [0.0, 2.0, 4.5, 8.0, 12.0];
+
+fn campaign(cfg: &ReproConfig, speed: f64) -> CampaignConfig {
+    CampaignConfig {
+        preset: ChannelPreset::quadrocopter(speed),
+        controller: ControllerKind::Arf,
+        duration: SimDuration::from_secs(cfg.secs(20)),
+        seed: cfg.seed,
+    }
+}
+
+/// Hover samples per distance (left panel).
+pub fn hover_rows(cfg: &ReproConfig) -> Vec<(f64, Vec<f64>)> {
+    let c = campaign(cfg, 0.0);
+    DISTANCES
+        .iter()
+        .map(|&d| {
+            (
+                d,
+                measure_throughput_replicated(&c, MotionProfile::hover(d), cfg.reps(6)),
+            )
+        })
+        .collect()
+}
+
+/// Moving samples per distance (centre panel): the platform flies at
+/// ≈ 8 m/s relative while the distance band is held (the paper flies
+/// repeated approach segments; we model the sustained-motion channel at
+/// the band's distance).
+pub fn moving_rows(cfg: &ReproConfig) -> Vec<(f64, Vec<f64>)> {
+    let c = campaign(cfg, MOVING_SPEED_MPS);
+    DISTANCES
+        .iter()
+        .map(|&d| {
+            (
+                d,
+                measure_throughput_replicated(&c, MotionProfile::hover(d), cfg.reps(6)),
+            )
+        })
+        .collect()
+}
+
+/// Speed sweep at 60 m (right panel).
+pub fn speed_rows(cfg: &ReproConfig) -> Vec<(f64, Vec<f64>)> {
+    SPEEDS
+        .iter()
+        .map(|&v| {
+            let c = campaign(cfg, v);
+            (
+                v,
+                measure_throughput_replicated(&c, MotionProfile::hover(60.0), cfg.reps(6)),
+            )
+        })
+        .collect()
+}
+
+fn panel_table(label: &str, rows: &[(f64, Vec<f64>)]) -> TextTable {
+    let mut t = TextTable::new(&[label, "q1", "median", "q3", "whisker spread"]);
+    for (x, samples) in rows {
+        let b = BoxplotSummary::of(samples).expect("non-empty");
+        t.row(&[
+            &format!("{x:.1}"),
+            &format!("{:.1}", b.q1),
+            &format!("{:.1}", b.median),
+            &format!("{:.1}", b.q3),
+            &format!("{:.1}", b.spread()),
+        ]);
+    }
+    t
+}
+
+/// Regenerate Figure 7.
+pub fn run(cfg: &ReproConfig) -> ExperimentReport {
+    let hover = hover_rows(cfg);
+    let moving = moving_rows(cfg);
+    let speeds = speed_rows(cfg);
+
+    let mut r = ExperimentReport::new(
+        "fig7",
+        "Quadrocopter tests: hover vs distance, moving vs distance, throughput vs speed",
+    );
+
+    let hover_med_40 = median(&hover[1].1).expect("non-empty");
+    let moving_med_40 = median(&moving[1].1).expect("non-empty");
+    r.note(format!(
+        "at 40 m: hover median {hover_med_40:.1} Mb/s vs moving {moving_med_40:.1} Mb/s (paper: clear drop when moving)"
+    ));
+    let v0 = median(&speeds[0].1).expect("non-empty");
+    let v_max = median(&speeds[SPEEDS.len() - 1].1).expect("non-empty");
+    r.note(format!(
+        "at 60 m: {v0:.1} Mb/s hovering vs {v_max:.1} Mb/s at {} m/s (paper: drops significantly with speed)",
+        SPEEDS[SPEEDS.len() - 1]
+    ));
+
+    r.table(
+        "Hover throughput vs distance (left)",
+        panel_table("d (m)", &hover),
+    );
+    r.table(
+        "Moving (≈8 m/s) throughput vs distance (centre)",
+        panel_table("d (m)", &moving),
+    );
+    r.table(
+        "Throughput vs speed at 60 m (right)",
+        panel_table("v (m/s)", &speeds),
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hover_beats_moving_at_every_distance() {
+        let cfg = ReproConfig::quick();
+        let hover = hover_rows(&cfg);
+        let moving = moving_rows(&cfg);
+        let mut wins = 0;
+        for (h, m) in hover.iter().zip(&moving) {
+            let hm = median(&h.1).unwrap();
+            let mm = median(&m.1).unwrap();
+            if hm >= mm {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 3, "hover won only {wins}/4 distances");
+    }
+
+    #[test]
+    fn throughput_drops_with_speed_at_60m() {
+        let rows = speed_rows(&ReproConfig::quick());
+        let hover = median(&rows[0].1).unwrap();
+        let fast = median(&rows[4].1).unwrap();
+        assert!(
+            fast < hover * 0.8,
+            "no speed drop: hover={hover:.1}, 12 m/s={fast:.1}"
+        );
+    }
+
+    #[test]
+    fn quad_hover_tighter_than_airplanes() {
+        // "higher throughput and smaller variability than in the
+        // airplanes tests" — compare whisker spreads at the shared
+        // distances, normalised by the median.
+        let cfg = ReproConfig::quick();
+        let quad = hover_rows(&cfg);
+        let air = super::super::fig5::simulate(&cfg);
+        let rel_spread = |samples: &[f64]| {
+            let b = BoxplotSummary::of(samples).unwrap();
+            b.spread() / b.median.max(1.0)
+        };
+        // 40 m is index 1 in both campaigns.
+        let q = rel_spread(&quad[1].1);
+        let a = rel_spread(&air[1].1);
+        assert!(q < a, "quad spread {q:.2} not tighter than airplane {a:.2}");
+    }
+
+    #[test]
+    fn report_has_three_panels() {
+        let r = run(&ReproConfig::quick());
+        assert_eq!(r.tables.len(), 3);
+    }
+}

@@ -1,0 +1,158 @@
+//! Section 4's logarithmic fits, re-derived from our own campaigns.
+//!
+//! The paper: "We fit a logarithmic function to the empirical median
+//! throughput (auto PHY rate) for different distances:
+//! s_airplane(d) = 1e6×(−5.56×log2(d)+49) and
+//! s_quadrocopter(d) = 1e6×(−10.5×log2(d)+73), with coefficient of
+//! determination R² = 0.9 for the airplane scenario and 0.96 for the
+//! quadrocopter one."
+//!
+//! This experiment runs the Figure 5 and Figure 7 campaigns, fits the
+//! same model family to the simulated medians, and reports coefficients
+//! and R² side by side with the paper's.
+
+use skyferry_stats::quantile::median;
+use skyferry_stats::regression::Log2Fit;
+use skyferry_stats::table::TextTable;
+
+use crate::report::{ExperimentReport, ReproConfig};
+
+/// One platform's fit comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct FitComparison {
+    /// Fit over the simulated medians.
+    pub ours: Log2Fit,
+    /// The paper's coefficient of `log2(d)`, Mb/s.
+    pub paper_a: f64,
+    /// The paper's intercept, Mb/s.
+    pub paper_b: f64,
+    /// The paper's R².
+    pub paper_r2: f64,
+}
+
+/// Fit both platforms.
+pub fn simulate(cfg: &ReproConfig) -> (FitComparison, FitComparison) {
+    let air_rows = super::fig5::simulate(cfg);
+    let air_pts: Vec<(f64, f64)> = air_rows
+        .iter()
+        .map(|(d, s)| (*d, median(s).expect("non-empty")))
+        .collect();
+    let air = FitComparison {
+        ours: Log2Fit::fit(&air_pts).expect("enough points"),
+        paper_a: -5.56,
+        paper_b: 49.0,
+        paper_r2: 0.90,
+    };
+
+    let quad_rows = super::fig7::hover_rows(cfg);
+    let quad_pts: Vec<(f64, f64)> = quad_rows
+        .iter()
+        .map(|(d, s)| (*d, median(s).expect("non-empty")))
+        .collect();
+    let quad = FitComparison {
+        ours: Log2Fit::fit(&quad_pts).expect("enough points"),
+        paper_a: -10.5,
+        paper_b: 73.0,
+        paper_r2: 0.96,
+    };
+    (air, quad)
+}
+
+/// Regenerate the Section 4 fit table.
+pub fn run(cfg: &ReproConfig) -> ExperimentReport {
+    let (air, quad) = simulate(cfg);
+    let mut t = TextTable::new(&[
+        "platform",
+        "a (ours)",
+        "a (paper)",
+        "b (ours)",
+        "b (paper)",
+        "R2 (ours)",
+        "R2 (paper)",
+    ]);
+    for (name, f) in [("airplane", &air), ("quadrocopter", &quad)] {
+        t.row(&[
+            name,
+            &format!("{:.2}", f.ours.a),
+            &format!("{:.2}", f.paper_a),
+            &format!("{:.1}", f.ours.b),
+            &format!("{:.1}", f.paper_b),
+            &format!("{:.2}", f.ours.r_squared),
+            &format!("{:.2}", f.paper_r2),
+        ]);
+    }
+    let mut r = ExperimentReport::new(
+        "fits",
+        "Section 4 logarithmic fits of median throughput vs distance",
+    );
+    r.note(format!(
+        "airplane: s(d) = {:.2}·log2(d) + {:.1} Mb/s, R²={:.2} (paper: −5.56, 49, 0.90)",
+        air.ours.a, air.ours.b, air.ours.r_squared
+    ));
+    r.note(format!(
+        "quadrocopter: s(d) = {:.2}·log2(d) + {:.1} Mb/s, R²={:.2} (paper: −10.5, 73, 0.96)",
+        quad.ours.a, quad.ours.b, quad.ours.r_squared
+    ));
+    r.table("Fit comparison", t);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_fits_are_decreasing_and_log_linear() {
+        let (air, quad) = simulate(&ReproConfig::quick());
+        assert!(air.ours.a < 0.0, "airplane slope {:.2}", air.ours.a);
+        assert!(quad.ours.a < 0.0, "quad slope {:.2}", quad.ours.a);
+        assert!(
+            air.ours.r_squared > 0.7,
+            "airplane R² {:.2} — medians not log-linear",
+            air.ours.r_squared
+        );
+        assert!(
+            quad.ours.r_squared > 0.7,
+            "quad R² {:.2}",
+            quad.ours.r_squared
+        );
+    }
+
+    #[test]
+    fn coefficients_in_paper_ballpark() {
+        let (air, quad) = simulate(&ReproConfig::quick());
+        // Shape reproduction: slopes within a factor band, intercepts in
+        // tens of Mb/s.
+        assert!(
+            (-10.0..=-2.5).contains(&air.ours.a),
+            "airplane a={:.2} (paper −5.56)",
+            air.ours.a
+        );
+        assert!(
+            (25.0..=70.0).contains(&air.ours.b),
+            "airplane b={:.1} (paper 49)",
+            air.ours.b
+        );
+        assert!(
+            (-16.0..=-5.0).contains(&quad.ours.a),
+            "quad a={:.2} (paper −10.5)",
+            quad.ours.a
+        );
+        assert!(
+            (45.0..=95.0).contains(&quad.ours.b),
+            "quad b={:.1} (paper 73)",
+            quad.ours.b
+        );
+    }
+
+    #[test]
+    fn quad_slope_steeper_than_airplane() {
+        let (air, quad) = simulate(&ReproConfig::quick());
+        assert!(
+            quad.ours.a < air.ours.a,
+            "quad {:.2} vs airplane {:.2}",
+            quad.ours.a,
+            air.ours.a
+        );
+    }
+}

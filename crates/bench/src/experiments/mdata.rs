@@ -1,0 +1,107 @@
+//! Section 2.2 / footnotes 3–4 — the camera-geometry derivation of Mdata.
+//!
+//! Airplane: 1280×720 (k = 16/9), 70 m altitude, 65° lens → FOV = 90 m,
+//! Aimage = 3432 m²; with Asector = 0.25 km² and Mimage = 0.39 MB:
+//! Mdata = 28 MB. Quadrocopter: 10 m altitude → FOV = 12.7 m,
+//! Aimage = 69.4 m²; Asector = 0.01 km² → Mdata = 56.2 MB.
+
+use skyferry_geo::camera::{CameraModel, BYTES_PER_MB};
+use skyferry_stats::table::TextTable;
+
+use crate::report::{ExperimentReport, ReproConfig};
+
+/// One derivation row.
+#[derive(Debug, Clone, Copy)]
+pub struct MdataRow {
+    /// Scan altitude, metres.
+    pub altitude_m: f64,
+    /// Sector area, m².
+    pub sector_m2: f64,
+    /// Our computed FOV, metres.
+    pub fov_m: f64,
+    /// Our computed image footprint, m².
+    pub aimage_m2: f64,
+    /// Our computed Mdata, MB.
+    pub mdata_mb: f64,
+    /// The paper's quoted Mdata, MB.
+    pub paper_mdata_mb: f64,
+}
+
+/// Compute both derivations.
+pub fn simulate() -> (MdataRow, MdataRow) {
+    let cam = CameraModel::paper_default();
+    let air = MdataRow {
+        altitude_m: 70.0,
+        sector_m2: 500.0 * 500.0,
+        fov_m: cam.fov_m(70.0),
+        aimage_m2: cam.image_area_m2(70.0),
+        mdata_mb: cam.mdata_bytes(500.0 * 500.0, 70.0) / BYTES_PER_MB,
+        paper_mdata_mb: 28.0,
+    };
+    let quad = MdataRow {
+        altitude_m: 10.0,
+        sector_m2: 100.0 * 100.0,
+        fov_m: cam.fov_m(10.0),
+        aimage_m2: cam.image_area_m2(10.0),
+        mdata_mb: cam.mdata_bytes(100.0 * 100.0, 10.0) / BYTES_PER_MB,
+        paper_mdata_mb: 56.2,
+    };
+    (air, quad)
+}
+
+/// Regenerate the Mdata derivation table.
+pub fn run(_cfg: &ReproConfig) -> ExperimentReport {
+    let (air, quad) = simulate();
+    let mut t = TextTable::new(&[
+        "scenario",
+        "altitude (m)",
+        "FOV (m)",
+        "Aimage (m2)",
+        "Asector (m2)",
+        "Mdata (MB)",
+        "paper (MB)",
+    ]);
+    for (name, row) in [("airplane", air), ("quadrocopter", quad)] {
+        t.row(&[
+            name,
+            &format!("{:.0}", row.altitude_m),
+            &format!("{:.1}", row.fov_m),
+            &format!("{:.0}", row.aimage_m2),
+            &format!("{:.0}", row.sector_m2),
+            &format!("{:.1}", row.mdata_mb),
+            &format!("{:.1}", row.paper_mdata_mb),
+        ]);
+    }
+    let mut r = ExperimentReport::new("mdata", "Camera-geometry derivation of Mdata (fn. 3–4)");
+    r.note(format!(
+        "airplane Mdata {:.1} MB vs paper 28 MB; quadrocopter {:.1} MB vs paper 56.2 MB",
+        air.mdata_mb, quad.mdata_mb
+    ));
+    r.table("Derivation", t);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_numbers() {
+        let (air, quad) = simulate();
+        assert!((air.fov_m - 90.0).abs() < 2.0, "fov={}", air.fov_m);
+        assert!((air.aimage_m2 - 3432.0).abs() < 120.0);
+        assert!((air.mdata_mb - 28.0).abs() < 1.0);
+        assert!((quad.fov_m - 12.7).abs() < 0.2);
+        assert!((quad.aimage_m2 - 69.4).abs() < 2.0);
+        assert!((quad.mdata_mb - 56.2).abs() < 1.5);
+    }
+
+    #[test]
+    fn report_renders_both_rows() {
+        let r = run(&ReproConfig::quick());
+        let text = r.render();
+        assert!(text.contains("airplane"));
+        assert!(text.contains("quadrocopter"));
+        assert!(text.contains("56."));
+    }
+}

@@ -1,0 +1,52 @@
+//! One module per reproduced table/figure.
+
+pub mod ablations;
+pub mod extensions;
+pub mod fig1;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod fits;
+pub mod mdata;
+pub mod table1;
+
+use crate::report::{ExperimentReport, ReproConfig};
+
+/// All experiment ids in paper order.
+pub const ALL: [&str; 12] = [
+    "table1",
+    "fig1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fits",
+    "mdata",
+    "ablations",
+    "extensions",
+];
+
+/// Run one experiment by id.
+pub fn run(id: &str, cfg: &ReproConfig) -> Option<ExperimentReport> {
+    let report = match id {
+        "table1" => table1::run(cfg),
+        "fig1" => fig1::run(cfg),
+        "fig4" => fig4::run(cfg),
+        "fig5" => fig5::run(cfg),
+        "fig6" => fig6::run(cfg),
+        "fig7" => fig7::run(cfg),
+        "fig8" => fig8::run(cfg),
+        "fig9" => fig9::run(cfg),
+        "fits" => fits::run(cfg),
+        "mdata" => mdata::run(cfg),
+        "ablations" => ablations::run(cfg),
+        "extensions" => extensions::run(cfg),
+        _ => return None,
+    };
+    Some(report)
+}

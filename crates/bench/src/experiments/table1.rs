@@ -1,0 +1,107 @@
+//! Table 1 — "Main features of our flying platforms".
+
+use skyferry_stats::table::TextTable;
+use skyferry_uav::platform::PlatformSpec;
+
+use crate::report::{ExperimentReport, ReproConfig};
+
+/// Regenerate Table 1 from the platform specifications.
+pub fn run(_cfg: &ReproConfig) -> ExperimentReport {
+    let a = PlatformSpec::airplane();
+    let q = PlatformSpec::quadrocopter();
+
+    let mut t = TextTable::new(&["Feature", "Airplane", "Quadrocopter"]);
+    t.row(&[
+        "Hovering",
+        if a.can_hover { "Yes" } else { "No" },
+        if q.can_hover { "Yes" } else { "No" },
+    ]);
+    t.row(&[
+        "Size",
+        &format!("Wingspan: {:.0} cm", a.size_m * 100.0),
+        &format!(
+            "Frame: {:.0} cm by {:.0} cm",
+            q.size_m * 100.0,
+            q.size_m * 100.0
+        ),
+    ]);
+    t.row(&[
+        "Weight",
+        &format!("{:.0} g", a.weight_kg * 1000.0),
+        &format!("{:.1} kg", q.weight_kg),
+    ]);
+    t.row(&[
+        "Battery autonomy",
+        &format!("{:.0} minutes", a.battery_autonomy_s / 60.0),
+        &format!("{:.0} minutes", q.battery_autonomy_s / 60.0),
+    ]);
+    t.row(&[
+        "Cruise speed",
+        &format!("{:.0} m/s", a.cruise_speed_mps),
+        &format!("{:.1} m/s in auto mode", q.cruise_speed_mps),
+    ]);
+    t.row(&[
+        "Maximum safe altitude",
+        &format!("{:.0} m", a.max_altitude_m),
+        &format!("{:.0} m", q.max_altitude_m),
+    ]);
+
+    let mut derived = TextTable::new(&["Derived quantity", "Airplane", "Quadrocopter"]);
+    derived.row(&[
+        "Range on battery (km)",
+        &format!("{:.1}", a.range_on_battery_m() / 1000.0),
+        &format!("{:.1}", q.range_on_battery_m() / 1000.0),
+    ]);
+    derived.row(&[
+        "Paper failure rate rho (1/m)",
+        &format!("{:.2e}", a.paper_failure_rate_per_m),
+        &format!("{:.2e}", q.paper_failure_rate_per_m),
+    ]);
+
+    let mut r = ExperimentReport::new("table1", "Main features of the flying platforms");
+    r.table("Table 1", t);
+    r.table("Section 4 derivations", derived);
+    r.note("rho is the inverse of the distance flyable before battery depletion (Section 4)");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_all_six_rows() {
+        let r = run(&ReproConfig::quick());
+        let (_, t) = &r.tables[0];
+        assert_eq!(t.num_rows(), 6);
+        let text = t.render();
+        for expect in [
+            "Wingspan: 80 cm",
+            "Frame: 64 cm by 64 cm",
+            "500 g",
+            "1.7 kg",
+            "30 minutes",
+            "20 minutes",
+            "10 m/s",
+            "4.5 m/s in auto mode",
+            "300 m",
+            "100 m",
+        ] {
+            assert!(text.contains(expect), "missing {expect:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn derived_rho_present() {
+        let r = run(&ReproConfig::quick());
+        let text = r.render();
+        assert!(
+            text.contains("1.11e-4") || text.contains("1.11e-04"),
+            "{text}"
+        );
+        assert!(
+            text.contains("2.46e-4") || text.contains("2.46e-04"),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Experiment report plumbing shared by all repro modules.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use skyferry_stats::table::TextTable;
+
+/// Harness-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ReproConfig {
+    /// Master seed for every campaign.
+    pub seed: u64,
+    /// Reduced replication/duration for smoke tests and CI.
+    pub quick: bool,
+    /// When set, every table is also written as CSV under this directory.
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for ReproConfig {
+    fn default() -> Self {
+        ReproConfig {
+            seed: 0x5AFE_5EED,
+            quick: false,
+            out_dir: None,
+        }
+    }
+}
+
+impl ReproConfig {
+    /// Quick-mode constructor used by tests.
+    pub fn quick() -> Self {
+        ReproConfig {
+            quick: true,
+            ..Default::default()
+        }
+    }
+
+    /// Scale a replication count down in quick mode.
+    pub fn reps(&self, full: u64) -> u64 {
+        if self.quick {
+            (full / 2).max(2)
+        } else {
+            full
+        }
+    }
+
+    /// Scale a duration (seconds) down in quick mode.
+    pub fn secs(&self, full: i64) -> i64 {
+        if self.quick {
+            (full / 2).max(5)
+        } else {
+            full
+        }
+    }
+}
+
+/// One experiment's rendered output.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Short id, e.g. "fig5".
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// Named tables (name → table).
+    pub tables: Vec<(String, TextTable)>,
+    /// Free-form findings: paper claim vs measured value.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Create an empty report.
+    pub fn new(id: &'static str, title: impl Into<String>) -> Self {
+        ExperimentReport {
+            id,
+            title: title.into(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attach a table.
+    pub fn table(&mut self, name: impl Into<String>, table: TextTable) -> &mut Self {
+        self.tables.push((name.into(), table));
+        self
+    }
+
+    /// Attach a finding note.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Render the whole report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        for (name, table) in &self.tables {
+            let _ = writeln!(out, "\n-- {name} --");
+            out.push_str(&table.render());
+        }
+        if !self.notes.is_empty() {
+            let _ = writeln!(out, "\nFindings:");
+            for n in &self.notes {
+                let _ = writeln!(out, "  * {n}");
+            }
+        }
+        out
+    }
+
+    /// Write every table as `<out_dir>/<id>_<table>.csv` when configured.
+    pub fn write_csv(&self, cfg: &ReproConfig) -> std::io::Result<()> {
+        let Some(dir) = &cfg.out_dir else {
+            return Ok(());
+        };
+        fs::create_dir_all(dir)?;
+        for (name, table) in &self.tables {
+            let slug: String = name
+                .chars()
+                .map(|c| {
+                    if c.is_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            let path = dir.join(format!("{}_{}.csv", self.id, slug));
+            fs::write(path, table.render_csv())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scaling() {
+        let q = ReproConfig::quick();
+        assert_eq!(q.reps(6), 3);
+        assert_eq!(q.reps(1), 2);
+        assert_eq!(q.secs(40), 20);
+        assert_eq!(q.secs(4), 5);
+        let f = ReproConfig::default();
+        assert_eq!(f.reps(6), 6);
+        assert_eq!(f.secs(40), 40);
+    }
+
+    #[test]
+    fn render_includes_tables_and_notes() {
+        let mut r = ExperimentReport::new("figx", "Test");
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["1", "2"]);
+        r.table("main", t).note("claim holds");
+        let s = r.render();
+        assert!(s.contains("figx"));
+        assert!(s.contains("-- main --"));
+        assert!(s.contains("claim holds"));
+    }
+
+    #[test]
+    fn csv_written_when_dir_set() {
+        let dir = std::env::temp_dir().join(format!("skyferry-repro-{}", std::process::id()));
+        let cfg = ReproConfig {
+            out_dir: Some(dir.clone()),
+            ..ReproConfig::quick()
+        };
+        let mut r = ExperimentReport::new("figy", "Test");
+        let mut t = TextTable::new(&["a"]);
+        t.row(&["1"]);
+        r.table("Main Table", t);
+        r.write_csv(&cfg).unwrap();
+        let written = dir.join("figy_main_table.csv");
+        assert!(written.exists());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

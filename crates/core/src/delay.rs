@@ -1,0 +1,111 @@
+//! Communication delay arithmetic (Section 2.2).
+//!
+//! `Cdelay(d) = Tship + Ttx` with `Tship = (d0 − d)/v` (repositioning at
+//! cruise speed) and `Ttx = Mdata / s(d)` (transmission at the
+//! hover-and-transmit rate). The paper restricts itself to the
+//! hover-and-transmit strategy after showing move-and-transmit is
+//! dominated (Figure 1 / Section 3.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::scenario::Scenario;
+use crate::throughput::ThroughputModel;
+
+/// The components of the communication delay at one candidate distance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommunicationDelay {
+    /// Candidate transmission distance, metres.
+    pub d_m: f64,
+    /// Time to fly from `d0` to `d`, seconds.
+    pub ship_s: f64,
+    /// Time to transmit the batch at `s(d)`, seconds.
+    pub tx_s: f64,
+}
+
+impl CommunicationDelay {
+    /// Evaluate `Cdelay` for `scenario` at distance `d_m ∈ [d_min, d0]`.
+    ///
+    /// # Panics
+    /// Panics if `d_m` is outside the feasible interval.
+    pub fn at(scenario: &Scenario, d_m: f64) -> Self {
+        assert!(
+            d_m >= scenario.d_min_m - 1e-9 && d_m <= scenario.d0_m + 1e-9,
+            "d={d_m} outside [{}, {}]",
+            scenario.d_min_m,
+            scenario.d0_m
+        );
+        let ship_s = (scenario.d0_m - d_m).max(0.0) / scenario.v_mps;
+        let rate = scenario.throughput.rate_bps(d_m);
+        let tx_s = scenario.mdata_bytes * 8.0 / rate;
+        CommunicationDelay { d_m, ship_s, tx_s }
+    }
+
+    /// Total delay `Tship + Ttx`, seconds.
+    pub fn total_s(&self) -> f64 {
+        self.ship_s + self.tx_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn transmit_immediately_has_no_shipping() {
+        let s = Scenario::airplane_baseline();
+        let c = CommunicationDelay::at(&s, s.d0_m);
+        assert_eq!(c.ship_s, 0.0);
+        assert!(c.tx_s > 0.0);
+        assert_eq!(c.total_s(), c.tx_s);
+    }
+
+    #[test]
+    fn shipping_time_is_distance_over_speed() {
+        let s = Scenario::airplane_baseline();
+        let c = CommunicationDelay::at(&s, 100.0);
+        assert!((c.ship_s - 200.0 / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_magnitudes_airplane_at_100m() {
+        // s(100) = −5.56·log2(100)+49 ≈ 12.06 Mb/s;
+        // Ttx = 28 MB·8 / 12.06 Mb/s ≈ 18.6 s; Tship = 20 s.
+        let s = Scenario::airplane_baseline();
+        let c = CommunicationDelay::at(&s, 100.0);
+        assert!((c.tx_s - 18.6).abs() < 0.2, "tx={}", c.tx_s);
+        assert!((c.total_s() - 38.6).abs() < 0.3);
+    }
+
+    #[test]
+    fn moving_closer_trades_ship_for_tx() {
+        let s = Scenario::quadrocopter_baseline();
+        let far = CommunicationDelay::at(&s, 90.0);
+        let near = CommunicationDelay::at(&s, 40.0);
+        assert!(near.ship_s > far.ship_s);
+        assert!(near.tx_s < far.tx_s);
+    }
+
+    #[test]
+    fn total_is_sum() {
+        let s = Scenario::quadrocopter_baseline();
+        let c = CommunicationDelay::at(&s, 50.0);
+        assert_eq!(c.total_s(), c.ship_s + c.tx_s);
+    }
+
+    #[test]
+    #[should_panic]
+    fn below_dmin_rejected() {
+        let s = Scenario::quadrocopter_baseline();
+        let _ = CommunicationDelay::at(&s, 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn beyond_d0_rejected() {
+        // "It is never convenient for a UAV to move further away"
+        // (footnote 2) — the API forbids it outright.
+        let s = Scenario::quadrocopter_baseline();
+        let _ = CommunicationDelay::at(&s, 150.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! # skyferry-core
+//!
+//! The paper's primary contribution: the **delayed gratification** model
+//! for deciding *when and where* a UAV should transmit a collected batch
+//! of data to a peer it has just come into radio range with.
+//!
+//! ## The model (Section 2 of the paper)
+//!
+//! A UAV carrying `Mdata` bytes meets a hovering receiver at distance
+//! `d0`. Transmitting at distance `d ≤ d0` costs
+//!
+//! ```text
+//! Cdelay(d) = Tship + Ttx = (d0 − d)/v + Mdata/s(d)
+//! ```
+//!
+//! where `v` is the cruise speed and `s(d)` the throughput at distance
+//! `d`. Waiting is risky — the UAV may fail (weather, collision, battery)
+//! while repositioning — so the instantaneous utility `u(d) = 1/Cdelay(d)`
+//! is discounted by the survival probability of the extra flight:
+//!
+//! ```text
+//! U(d) = δ(d) · u(d) = exp(−ρ·(d0 − d)) / Cdelay(d)        (Eq. 1)
+//! ```
+//!
+//! The optimal rendezvous distance maximises `U` subject to
+//! `dmin ≤ d ≤ d0` (Eq. 2; `dmin = 20 m` for collision safety).
+//!
+//! ## Modules
+//!
+//! * [`throughput`] — throughput-vs-distance models: the paper's fitted
+//!   `s(d) = 10⁶(a·log2(d) + b)` and empirical interpolation tables;
+//! * [`failure`] — survival/discount models (exponential in distance);
+//! * [`scenario`] — the full parameter set plus the paper's airplane and
+//!   quadrocopter baseline scenarios;
+//! * [`delay`] — shipping/transmission/total delay arithmetic;
+//! * [`utility`] — Eq. (1);
+//! * [`optimizer`] — Eq. (2): grid search with golden-section refinement;
+//! * [`strategy`] — the strategy space of Figures 1–2 (transmit now /
+//!   move-then-transmit / move-and-transmit) with analytic delivery
+//!   curves and crossover analysis;
+//! * [`mixed`] — the Section 3.2/7 extension: 2-D optimisation over
+//!   (distance, approach speed) with a speed-penalised rate surface;
+//! * [`sensitivity`] — local derivatives of `(dopt, U)` with respect to
+//!   every scenario parameter (which uncertainty matters to a planner);
+//! * [`sweep`] — the parameter studies behind Figures 8 and 9;
+//! * [`decision`] — an online decision engine for mission planners.
+
+pub mod decision;
+pub mod delay;
+pub mod failure;
+pub mod mixed;
+pub mod optimizer;
+pub mod scenario;
+pub mod sensitivity;
+pub mod strategy;
+pub mod sweep;
+pub mod throughput;
+pub mod utility;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::decision::{DecisionEngine, TransferDecision};
+    pub use crate::delay::CommunicationDelay;
+    pub use crate::failure::{ExponentialFailure, FailureModel};
+    pub use crate::mixed::{optimize_mixed, MixedConfig, MixedOutcome};
+    pub use crate::optimizer::{optimize, OptimalTransfer};
+    pub use crate::scenario::Scenario;
+    pub use crate::sensitivity::{analyze as analyze_sensitivity, SensitivityReport};
+    pub use crate::strategy::{Strategy, StrategyEvaluation};
+    pub use crate::throughput::{EmpiricalThroughput, LogFitThroughput, ThroughputModel};
+    pub use crate::utility::utility;
+}

@@ -1,0 +1,287 @@
+//! Solving Eq. (2): `max_d U(d)` subject to `d_min ≤ d ≤ d0`.
+//!
+//! The paper notes that `U(d)` is approximately concave for `ρ ≪ 1` but
+//! *not* in general ("this result does not hold for higher ρ and may not
+//! hold for other s(d) functions"), so a pure golden-section search is
+//! unsafe. The solver therefore runs a dense grid scan to locate the
+//! global basin and then refines the best bracket with golden-section
+//! search — robust to multimodality at grid resolution, with ~1e-6 m
+//! final precision.
+
+use serde::{Deserialize, Serialize};
+
+use crate::delay::CommunicationDelay;
+use crate::scenario::Scenario;
+use crate::utility::{utility, utility_breakdown};
+
+/// Number of initial grid points.
+const GRID_POINTS: usize = 2048;
+/// Golden-section iterations (interval shrinks by 0.618 each).
+const GOLDEN_ITERS: usize = 80;
+
+/// The solved optimum of Eq. (2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimalTransfer {
+    /// The optimal transmission distance `dopt`, metres.
+    pub d_opt: f64,
+    /// `U(dopt)`.
+    pub utility: f64,
+    /// Survival probability of the repositioning leg, `δ(dopt)`.
+    pub survival: f64,
+    /// Shipping time at the optimum, seconds.
+    pub ship_s: f64,
+    /// Transmission time at the optimum, seconds.
+    pub tx_s: f64,
+}
+
+impl OptimalTransfer {
+    /// Total communication delay at the optimum, seconds.
+    pub fn cdelay_s(&self) -> f64 {
+        self.ship_s + self.tx_s
+    }
+
+    /// `true` when the optimum is to transmit immediately (no shipping).
+    pub fn transmit_now(&self, scenario: &Scenario) -> bool {
+        (scenario.d0_m - self.d_opt).abs() < 1e-3
+    }
+}
+
+/// Solve Eq. (2) for `scenario`.
+pub fn optimize(scenario: &Scenario) -> OptimalTransfer {
+    scenario.validate();
+    let lo = scenario.d_min_m;
+    let hi = scenario.d0_m;
+
+    let (mut best_i, mut best_u) = (0usize, f64::NEG_INFINITY);
+    let at = |i: usize| lo + (hi - lo) * i as f64 / (GRID_POINTS - 1) as f64;
+    if hi - lo < 1e-9 {
+        // Degenerate interval: the only choice is d0.
+        let b = utility_breakdown(scenario, hi);
+        return OptimalTransfer {
+            d_opt: hi,
+            utility: b.utility,
+            survival: b.survival,
+            ship_s: b.delay.ship_s,
+            tx_s: b.delay.tx_s,
+        };
+    }
+    for i in 0..GRID_POINTS {
+        let u = utility(scenario, at(i));
+        if u > best_u {
+            best_u = u;
+            best_i = i;
+        }
+    }
+
+    // Refine inside the bracket around the best grid point.
+    let mut a = at(best_i.saturating_sub(1));
+    let mut b = at((best_i + 1).min(GRID_POINTS - 1));
+    let inv_phi = (5f64.sqrt() - 1.0) / 2.0;
+    let mut c = b - inv_phi * (b - a);
+    let mut d = a + inv_phi * (b - a);
+    let mut fc = utility(scenario, c);
+    let mut fd = utility(scenario, d);
+    for _ in 0..GOLDEN_ITERS {
+        if fc > fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = utility(scenario, c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = utility(scenario, d);
+        }
+    }
+    let d_opt = 0.5 * (a + b);
+    // Compare against the refined point *and* the raw grid best, and the
+    // interval endpoints (the optimum may sit on a constraint).
+    let candidates = [d_opt, at(best_i), lo, hi];
+    let best = candidates
+        .iter()
+        .copied()
+        .max_by(|&x, &y| {
+            utility(scenario, x)
+                .partial_cmp(&utility(scenario, y))
+                .expect("utility is finite")
+        })
+        .expect("non-empty candidates");
+
+    let bd = utility_breakdown(scenario, best);
+    OptimalTransfer {
+        d_opt: best,
+        utility: bd.utility,
+        survival: bd.survival,
+        ship_s: bd.delay.ship_s,
+        tx_s: bd.delay.tx_s,
+    }
+}
+
+/// Evaluate `U` on a uniform grid (for plotting Figure 8 curves).
+pub fn utility_curve(scenario: &Scenario, points: usize) -> Vec<(f64, f64)> {
+    assert!(points >= 2);
+    let lo = scenario.d_min_m;
+    let hi = scenario.d0_m;
+    (0..points)
+        .map(|i| {
+            let d = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+            (d, utility(scenario, d))
+        })
+        .collect()
+}
+
+/// Closed-form optimality check for the ρ = 0 case: the optimum balances
+/// marginal transmit-time increase against marginal shipping-time
+/// decrease, `T'tx(d) = 1/v` (interior optima only). Used by tests.
+pub fn marginal_balance_residual(scenario: &Scenario, d_m: f64) -> f64 {
+    let eps = 1e-3;
+    let t = |d: f64| CommunicationDelay::at(scenario, d).tx_s;
+    let dtx = (t(d_m + eps) - t(d_m - eps)) / (2.0 * eps);
+    dtx - 1.0 / scenario.v_mps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn baseline_optima_pin_at_dmin() {
+        // For the paper's large baseline batches (28 / 56.2 MB) the
+        // marginal transmit-time saving of closing in exceeds 1/v all the
+        // way down, so the optimum sits on the 20 m safety constraint.
+        for s in [
+            Scenario::airplane_baseline(),
+            Scenario::quadrocopter_baseline(),
+        ] {
+            let o = optimize(&s);
+            assert!(
+                (o.d_opt - s.d_min_m).abs() < 0.5,
+                "{}: dopt={}",
+                s.name,
+                o.d_opt
+            );
+            assert!(o.utility > 0.0);
+        }
+    }
+
+    #[test]
+    fn moderate_batch_gives_interior_optimum() {
+        // A 10 MB quadrocopter batch balances shipping against
+        // transmission strictly inside (d_min, d0).
+        let s = Scenario::quadrocopter_baseline().with_mdata_mb(10.0);
+        let o = optimize(&s);
+        assert!(
+            o.d_opt > s.d_min_m + 5.0 && o.d_opt < s.d0_m - 5.0,
+            "dopt={}",
+            o.d_opt
+        );
+    }
+
+    #[test]
+    fn optimum_beats_dense_grid() {
+        let s = Scenario::airplane_baseline();
+        let o = optimize(&s);
+        for (_, u) in utility_curve(&s, 10_000) {
+            assert!(o.utility >= u - 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_rho_satisfies_marginal_balance() {
+        // With no failure risk an *interior* optimum solves T'tx = 1/v.
+        let s = Scenario::quadrocopter_baseline()
+            .with_mdata_mb(10.0)
+            .with_rho(0.0);
+        let o = optimize(&s);
+        assert!(o.d_opt > s.d_min_m + 2.0 && o.d_opt < s.d0_m - 2.0);
+        let r = marginal_balance_residual(&s, o.d_opt);
+        assert!(r.abs() < 1e-3, "residual={r}");
+    }
+
+    #[test]
+    fn dopt_increases_with_rho() {
+        // Figure 8: "the optimal distance dopt increases with the failure
+        // rate ρ" — risk pushes the UAV to transmit sooner (further out).
+        let mut prev = 0.0;
+        for rho in [1.11e-4, 1e-3, 2e-3, 5e-3, 1e-2] {
+            let s = Scenario::airplane_baseline().with_rho(rho);
+            let o = optimize(&s);
+            assert!(
+                o.d_opt >= prev - 1e-6,
+                "rho={rho}: dopt={} < prev={prev}",
+                o.d_opt
+            );
+            prev = o.d_opt;
+        }
+    }
+
+    #[test]
+    fn huge_rho_transmits_immediately() {
+        let s = Scenario::quadrocopter_baseline().with_rho(1.0);
+        let o = optimize(&s);
+        assert!(o.transmit_now(&s), "dopt={}", o.d_opt);
+        assert_eq!(o.ship_s, 0.0);
+    }
+
+    #[test]
+    fn dopt_invariant_to_d0_until_it_binds() {
+        // Section 4: "dopt does not change having smaller d0 … as long as
+        // d0 does not reach dopt. Once d0 = dopt, it becomes beneficial
+        // to transmit immediately." (Near-invariance: ρ ≪ 1.) Use a
+        // moderate batch so the optimum is interior.
+        let base = Scenario::quadrocopter_baseline().with_mdata_mb(10.0);
+        let d_opt_100 = optimize(&base).d_opt;
+        assert!(d_opt_100 > 40.0 && d_opt_100 < 95.0, "dopt={d_opt_100}");
+        let d_opt_90 = optimize(&base.clone().with_d0(90.0)).d_opt;
+        assert!(
+            (d_opt_100 - d_opt_90).abs() < 3.0,
+            "{d_opt_100} vs {d_opt_90}"
+        );
+        // Once d0 < dopt, the optimum pins to d0 (transmit now).
+        let tight = base.with_d0(d_opt_100 - 20.0);
+        let o = optimize(&tight);
+        assert!(o.transmit_now(&tight), "dopt={}", o.d_opt);
+    }
+
+    #[test]
+    fn degenerate_interval() {
+        let mut s = Scenario::quadrocopter_baseline();
+        s.d0_m = s.d_min_m;
+        let o = optimize(&s);
+        assert_eq!(o.d_opt, s.d_min_m);
+        assert_eq!(o.ship_s, 0.0);
+    }
+
+    #[test]
+    fn curve_has_requested_resolution_and_bounds() {
+        let s = Scenario::quadrocopter_baseline();
+        let curve = utility_curve(&s, 101);
+        assert_eq!(curve.len(), 101);
+        assert_eq!(curve[0].0, s.d_min_m);
+        assert_eq!(curve[100].0, s.d0_m);
+        assert!(curve.iter().all(|&(_, u)| u > 0.0));
+    }
+
+    #[test]
+    fn larger_mdata_moves_optimum_closer() {
+        // Figure 9: "having larger Mdata makes it more advantageous for a
+        // UAV to move closer … at the cost of reduced U(d)".
+        let small = optimize(&Scenario::airplane_baseline().with_mdata_mb(5.0));
+        let large = optimize(&Scenario::airplane_baseline().with_mdata_mb(45.0));
+        assert!(large.d_opt < small.d_opt);
+        assert!(large.utility < small.utility);
+    }
+
+    #[test]
+    fn higher_speed_moves_optimum_closer() {
+        // Figure 9: "by increasing the speed it is better to move closer
+        // and closer for a given Mdata".
+        let slow = optimize(&Scenario::airplane_baseline().with_speed(5.0));
+        let fast = optimize(&Scenario::airplane_baseline().with_speed(20.0));
+        assert!(fast.d_opt <= slow.d_opt + 1e-6);
+    }
+}

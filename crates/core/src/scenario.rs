@@ -1,0 +1,173 @@
+//! The full parameter set of one delayed-gratification decision.
+//!
+//! Section 4 defines two baseline scenarios, reproduced here verbatim:
+//!
+//! * **Airplane**: `Mdata = 28 MB` (footnote 3: 0.25 km² sector scanned
+//!   at 70 m altitude), `v = 10 m/s`, `ρ = 1.11e-4 /m`, `d0 = 300 m`;
+//! * **Quadrocopter**: `Mdata = 56.2 MB` (footnote 4: 0.01 km² sector at
+//!   10 m altitude), `v = 4.5 m/s`, `ρ = 2.46e-4 /m`, `d0 = 100 m`;
+//!
+//! both with the fitted throughput model of their platform and a minimum
+//! separation of 20 m "to avoid physical collisions".
+
+use serde::{Deserialize, Serialize};
+
+use crate::failure::{ExponentialFailure, FailureSpec};
+use crate::optimizer::{optimize, OptimalTransfer};
+use crate::throughput::{LogFitThroughput, ThroughputSpec};
+
+/// Bytes per megabyte (decimal, as the paper uses).
+pub const BYTES_PER_MB: f64 = 1e6;
+
+/// One decision instance: who, where, how much, how risky.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Label for reports.
+    pub name: String,
+    /// Distance at which the link came up and data is ready, metres.
+    pub d0_m: f64,
+    /// Minimum allowed separation (collision safety), metres.
+    pub d_min_m: f64,
+    /// Cruise speed used for repositioning, m/s.
+    pub v_mps: f64,
+    /// Batch size to deliver, bytes.
+    pub mdata_bytes: f64,
+    /// Throughput-vs-distance model.
+    pub throughput: ThroughputSpec,
+    /// Failure / discount model.
+    pub failure: FailureSpec,
+}
+
+impl Scenario {
+    /// The paper's airplane baseline scenario (Section 4).
+    pub fn airplane_baseline() -> Self {
+        Scenario {
+            name: "airplane-baseline".into(),
+            d0_m: 300.0,
+            d_min_m: 20.0,
+            v_mps: 10.0,
+            mdata_bytes: 28.0 * BYTES_PER_MB,
+            throughput: ThroughputSpec::LogFit(LogFitThroughput::AIRPLANE),
+            failure: FailureSpec::Exponential(ExponentialFailure::new(1.11e-4)),
+        }
+    }
+
+    /// The paper's quadrocopter baseline scenario (Section 4).
+    pub fn quadrocopter_baseline() -> Self {
+        Scenario {
+            name: "quadrocopter-baseline".into(),
+            d0_m: 100.0,
+            d_min_m: 20.0,
+            v_mps: 4.5,
+            mdata_bytes: 56.2 * BYTES_PER_MB,
+            throughput: ThroughputSpec::LogFit(LogFitThroughput::QUADROCOPTER),
+            failure: FailureSpec::Exponential(ExponentialFailure::new(2.46e-4)),
+        }
+    }
+
+    /// Copy with a different failure rate ρ (Figure 8 sweeps this).
+    pub fn with_rho(mut self, rho_per_m: f64) -> Self {
+        self.failure = FailureSpec::Exponential(ExponentialFailure::new(rho_per_m));
+        self
+    }
+
+    /// Copy with a different batch size in MB (Figure 9 sweeps this).
+    pub fn with_mdata_mb(mut self, mdata_mb: f64) -> Self {
+        assert!(mdata_mb > 0.0);
+        self.mdata_bytes = mdata_mb * BYTES_PER_MB;
+        self
+    }
+
+    /// Copy with a different cruise speed (Figure 9 sweeps this).
+    pub fn with_speed(mut self, v_mps: f64) -> Self {
+        assert!(v_mps > 0.0);
+        self.v_mps = v_mps;
+        self
+    }
+
+    /// Copy with a different initial separation.
+    pub fn with_d0(mut self, d0_m: f64) -> Self {
+        assert!(d0_m >= self.d_min_m);
+        self.d0_m = d0_m;
+        self
+    }
+
+    /// Validate the constraint set of Eq. (2).
+    pub fn validate(&self) {
+        assert!(self.d_min_m > 0.0, "d_min must be positive");
+        assert!(self.d0_m >= self.d_min_m, "d0 must be ≥ d_min");
+        assert!(self.v_mps > 0.0, "v must be positive (Eq. 2)");
+        assert!(self.mdata_bytes > 0.0, "Mdata must be positive (Eq. 2)");
+    }
+
+    /// Solve Eq. (2) for this scenario (convenience wrapper around
+    /// [`optimize`]).
+    pub fn optimize(&self) -> OptimalTransfer {
+        optimize(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throughput::ThroughputModel;
+
+    #[test]
+    fn baselines_match_paper_parameters() {
+        let a = Scenario::airplane_baseline();
+        assert_eq!(a.d0_m, 300.0);
+        assert_eq!(a.v_mps, 10.0);
+        assert_eq!(a.mdata_bytes, 28e6);
+        assert_eq!(a.d_min_m, 20.0);
+
+        let q = Scenario::quadrocopter_baseline();
+        assert_eq!(q.d0_m, 100.0);
+        assert_eq!(q.v_mps, 4.5);
+        assert_eq!(q.mdata_bytes, 56.2e6);
+    }
+
+    #[test]
+    fn baseline_throughput_models_attached() {
+        let a = Scenario::airplane_baseline();
+        assert!((a.throughput.rate_bps(20.0) / 1e6 - 24.97).abs() < 0.05);
+        let q = Scenario::quadrocopter_baseline();
+        assert!((q.throughput.rate_bps(20.0) / 1e6 - 27.63).abs() < 0.05);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let s = Scenario::airplane_baseline()
+            .with_rho(1e-3)
+            .with_mdata_mb(10.0)
+            .with_speed(15.0)
+            .with_d0(250.0);
+        assert_eq!(s.mdata_bytes, 10e6);
+        assert_eq!(s.v_mps, 15.0);
+        assert_eq!(s.d0_m, 250.0);
+        match s.failure {
+            FailureSpec::Exponential(e) => assert_eq!(e.rho_per_m, 1e-3),
+            _ => panic!("expected exponential"),
+        }
+    }
+
+    #[test]
+    fn validate_accepts_baselines() {
+        Scenario::airplane_baseline().validate();
+        Scenario::quadrocopter_baseline().validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn validate_rejects_d0_below_dmin() {
+        let mut s = Scenario::airplane_baseline();
+        s.d0_m = 5.0;
+        s.validate();
+    }
+
+    #[test]
+    fn scenario_is_serialisable() {
+        // Compile-time check that the serde derives cover the whole tree.
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<Scenario>();
+    }
+}

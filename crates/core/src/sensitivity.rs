@@ -1,0 +1,149 @@
+//! Local sensitivity analysis of the optimum.
+//!
+//! The paper's conclusion calls its model "significant insights and
+//! directions for investigations"; a planner integrating it wants to
+//! know *which* parameter uncertainty matters. This module differentiates
+//! the solved optimum numerically with respect to each scenario
+//! parameter: batch size, speed, failure rate and encounter distance —
+//! central differences over re-solved optima, which correctly accounts
+//! for constraint pinning (where the derivative of `dopt` is zero and
+//! only the utility moves).
+
+use serde::{Deserialize, Serialize};
+
+use crate::failure::FailureSpec;
+use crate::optimizer::optimize;
+use crate::scenario::Scenario;
+
+/// Sensitivities of `(dopt, U)` to one parameter (per unit of it).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParameterSensitivity {
+    /// `∂dopt/∂p` (metres per parameter unit).
+    pub d_opt_per_unit: f64,
+    /// `∂U/∂p` (utility per parameter unit).
+    pub utility_per_unit: f64,
+}
+
+/// The full local sensitivity picture around a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityReport {
+    /// Per megabyte of batch size.
+    pub per_mdata_mb: ParameterSensitivity,
+    /// Per m/s of cruise speed.
+    pub per_speed_mps: ParameterSensitivity,
+    /// Per 1e-4/m of failure rate.
+    pub per_rho_1e4: ParameterSensitivity,
+    /// Per metre of encounter distance.
+    pub per_d0_m: ParameterSensitivity,
+}
+
+fn rho_of(s: &Scenario) -> f64 {
+    match s.failure {
+        FailureSpec::Exponential(e) => e.rho_per_m,
+        // Sensitivity to rho is defined for the exponential law only.
+        FailureSpec::Weibull(_) => f64::NAN,
+    }
+}
+
+fn central<F: Fn(f64) -> Scenario>(p: f64, h: f64, build: F) -> ParameterSensitivity {
+    let hi = optimize(&build(p + h));
+    let lo = optimize(&build(p - h));
+    ParameterSensitivity {
+        d_opt_per_unit: (hi.d_opt - lo.d_opt) / (2.0 * h),
+        utility_per_unit: (hi.utility - lo.utility) / (2.0 * h),
+    }
+}
+
+/// Compute local sensitivities around `scenario`.
+///
+/// # Panics
+/// Panics when the scenario uses a non-exponential failure law (ρ is not
+/// a scalar parameter there) or when a perturbation would leave the
+/// valid domain (e.g. `d0 − h < d_min`).
+pub fn analyze(scenario: &Scenario) -> SensitivityReport {
+    scenario.validate();
+    let rho = rho_of(scenario);
+    assert!(
+        rho.is_finite(),
+        "sensitivity needs an exponential failure law"
+    );
+    let mdata_mb = scenario.mdata_bytes / 1e6;
+
+    let per_mdata_mb = central(mdata_mb, (0.05 * mdata_mb).max(0.01), |m| {
+        scenario.clone().with_mdata_mb(m)
+    });
+    let per_speed_mps = central(scenario.v_mps, 0.05 * scenario.v_mps, |v| {
+        scenario.clone().with_speed(v)
+    });
+    let per_rho = central(rho, (0.1 * rho).max(1e-6), |r| scenario.clone().with_rho(r));
+    let h_d0 = 1.0_f64.min((scenario.d0_m - scenario.d_min_m) / 4.0);
+    assert!(h_d0 > 0.0, "d0 too close to d_min for a finite difference");
+    let per_d0_m = central(scenario.d0_m, h_d0, |d0| scenario.clone().with_d0(d0));
+
+    SensitivityReport {
+        per_mdata_mb,
+        per_speed_mps,
+        per_rho_1e4: ParameterSensitivity {
+            d_opt_per_unit: per_rho.d_opt_per_unit * 1e-4,
+            utility_per_unit: per_rho.utility_per_unit * 1e-4,
+        },
+        per_d0_m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interior_scenario() -> Scenario {
+        // 10 MB quad batch: interior optimum, smooth neighbourhood.
+        Scenario::quadrocopter_baseline().with_mdata_mb(10.0)
+    }
+
+    #[test]
+    fn signs_match_figure9_claims() {
+        let r = analyze(&interior_scenario());
+        // Larger batches → closer rendezvous, lower utility.
+        assert!(r.per_mdata_mb.d_opt_per_unit < 0.0, "{r:?}");
+        assert!(r.per_mdata_mb.utility_per_unit < 0.0, "{r:?}");
+        // Faster platforms → closer rendezvous, higher utility.
+        assert!(r.per_speed_mps.d_opt_per_unit < 0.0, "{r:?}");
+        assert!(r.per_speed_mps.utility_per_unit > 0.0, "{r:?}");
+        // Riskier skies → transmit further out, lower utility.
+        assert!(r.per_rho_1e4.d_opt_per_unit >= 0.0, "{r:?}");
+        assert!(r.per_rho_1e4.utility_per_unit < 0.0, "{r:?}");
+        // A farther encounter → longer trip → lower utility.
+        assert!(r.per_d0_m.utility_per_unit < 0.0, "{r:?}");
+    }
+
+    #[test]
+    fn dopt_insensitive_to_d0_at_interior_optimum() {
+        // The §4 observation, differentially: with ρ ≪ 1 and an interior
+        // optimum, ∂dopt/∂d0 ≈ 0.
+        let r = analyze(&interior_scenario());
+        assert!(
+            r.per_d0_m.d_opt_per_unit.abs() < 0.2,
+            "∂dopt/∂d0 = {}",
+            r.per_d0_m.d_opt_per_unit
+        );
+    }
+
+    #[test]
+    fn pinned_optimum_has_zero_dopt_derivatives() {
+        // The 56.2 MB baseline pins at d_min: small parameter wiggles
+        // leave dopt glued to the constraint.
+        let r = analyze(&Scenario::quadrocopter_baseline());
+        assert!(r.per_mdata_mb.d_opt_per_unit.abs() < 1e-9, "{r:?}");
+        // …but utility still responds.
+        assert!(r.per_mdata_mb.utility_per_unit < 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn weibull_rejected() {
+        use crate::failure::{FailureSpec, WeibullFailure};
+        let mut s = interior_scenario();
+        s.failure = FailureSpec::Weibull(WeibullFailure::new(5_000.0, 2.0, 0.0));
+        let _ = analyze(&s);
+    }
+}

@@ -1,0 +1,248 @@
+//! Throughput-vs-distance models `s(d)`.
+//!
+//! Section 4 of the paper fits a logarithmic function to the empirical
+//! median throughput (auto PHY rate):
+//!
+//! * airplanes:     `s(d) = 10⁶ · (−5.56·log2(d) + 49)` b/s (R² = 0.90)
+//! * quadrocopters: `s(d) = 10⁶ · (−10.5·log2(d) + 73)` b/s (R² = 0.96)
+//!
+//! [`LogFitThroughput`] is exactly that family; [`EmpiricalThroughput`]
+//! interpolates a measured `(distance, rate)` table, so a campaign run in
+//! `skyferry-net` can be plugged straight into the optimizer.
+
+use serde::{Deserialize, Serialize};
+
+/// Anything that maps a separation to an achievable rate.
+pub trait ThroughputModel {
+    /// Expected application-layer throughput at distance `d_m`, bit/s.
+    /// Must be strictly positive for all valid distances.
+    fn rate_bps(&self, d_m: f64) -> f64;
+}
+
+/// Floor applied so that rates never reach zero (which would make the
+/// communication delay infinite and the utility undefined rather than
+/// just terrible).
+pub const MIN_RATE_BPS: f64 = 1e3;
+
+/// The paper's logarithmic fit `s(d) = 1e6 · (a·log2(d) + b)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogFitThroughput {
+    /// Coefficient of `log2(d)` in Mb/s (negative: rate falls with d).
+    pub a_mbps: f64,
+    /// Intercept in Mb/s.
+    pub b_mbps: f64,
+}
+
+impl LogFitThroughput {
+    /// The paper's airplane fit (R² = 0.90).
+    pub const AIRPLANE: LogFitThroughput = LogFitThroughput {
+        a_mbps: -5.56,
+        b_mbps: 49.0,
+    };
+
+    /// The paper's quadrocopter fit (R² = 0.96).
+    pub const QUADROCOPTER: LogFitThroughput = LogFitThroughput {
+        a_mbps: -10.5,
+        b_mbps: 73.0,
+    };
+
+    /// Distance at which the fit reaches zero rate (validity horizon).
+    pub fn zero_crossing_m(&self) -> f64 {
+        assert!(self.a_mbps < 0.0, "fit must be decreasing");
+        2.0_f64.powf(-self.b_mbps / self.a_mbps)
+    }
+}
+
+impl ThroughputModel for LogFitThroughput {
+    fn rate_bps(&self, d_m: f64) -> f64 {
+        assert!(d_m > 0.0, "distance must be positive");
+        (1e6 * (self.a_mbps * d_m.log2() + self.b_mbps)).max(MIN_RATE_BPS)
+    }
+}
+
+/// Piecewise-linear interpolation over a measured `(d, rate)` table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmpiricalThroughput {
+    /// `(distance_m, rate_bps)` points, strictly ascending in distance.
+    points: Vec<(f64, f64)>,
+}
+
+impl EmpiricalThroughput {
+    /// Build from measured points (any order); rates floored at
+    /// [`MIN_RATE_BPS`].
+    ///
+    /// # Panics
+    /// Panics on fewer than two points, non-finite values, non-positive
+    /// distances, or duplicate distances.
+    pub fn new(mut points: Vec<(f64, f64)>) -> Self {
+        assert!(points.len() >= 2, "need at least two points");
+        assert!(
+            points
+                .iter()
+                .all(|&(d, r)| d.is_finite() && r.is_finite() && d > 0.0),
+            "invalid empirical point"
+        );
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        assert!(
+            points.windows(2).all(|w| w[0].0 < w[1].0),
+            "duplicate distances"
+        );
+        for p in &mut points {
+            p.1 = p.1.max(MIN_RATE_BPS);
+        }
+        EmpiricalThroughput { points }
+    }
+
+    /// The interpolation table.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Build a model from a measurement campaign: one `(distance,
+    /// samples)` row per measured distance (the output shape of
+    /// `skyferry-net`'s `throughput_vs_distance`), using each row's
+    /// median in Mb/s.
+    ///
+    /// # Panics
+    /// Panics if any row has no samples (see [`EmpiricalThroughput::new`]
+    /// for the other input requirements).
+    pub fn from_campaign_mbps(rows: &[(f64, Vec<f64>)]) -> Self {
+        let points: Vec<(f64, f64)> = rows
+            .iter()
+            .map(|(d, samples)| {
+                let med =
+                    skyferry_stats::quantile::median(samples).expect("non-empty campaign row");
+                (*d, med * 1e6)
+            })
+            .collect();
+        Self::new(points)
+    }
+}
+
+impl ThroughputModel for EmpiricalThroughput {
+    fn rate_bps(&self, d_m: f64) -> f64 {
+        assert!(d_m > 0.0);
+        let pts = &self.points;
+        if d_m <= pts[0].0 {
+            return pts[0].1;
+        }
+        if d_m >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        let i = pts.partition_point(|&(d, _)| d < d_m);
+        let (d0, r0) = pts[i - 1];
+        let (d1, r1) = pts[i];
+        let t = (d_m - d0) / (d1 - d0);
+        (r0 + t * (r1 - r0)).max(MIN_RATE_BPS)
+    }
+}
+
+/// A throughput model selector that is plain data (serialisable, no
+/// trait objects) — the form scenarios carry around.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ThroughputSpec {
+    /// Logarithmic fit.
+    LogFit(LogFitThroughput),
+    /// Empirical interpolation table.
+    Empirical(EmpiricalThroughput),
+}
+
+impl ThroughputModel for ThroughputSpec {
+    fn rate_bps(&self, d_m: f64) -> f64 {
+        match self {
+            ThroughputSpec::LogFit(m) => m.rate_bps(d_m),
+            ThroughputSpec::Empirical(m) => m.rate_bps(d_m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fit_values() {
+        // s(20) for the airplane fit: −5.56·log2(20)+49 = 24.97 Mb/s.
+        let r = LogFitThroughput::AIRPLANE.rate_bps(20.0) / 1e6;
+        assert!((r - 24.97).abs() < 0.05, "r={r}");
+        // s(80) for the quadrocopter fit: −10.5·log2(80)+73 = 6.62 Mb/s.
+        let r = LogFitThroughput::QUADROCOPTER.rate_bps(80.0) / 1e6;
+        assert!((r - 6.62).abs() < 0.05, "r={r}");
+    }
+
+    #[test]
+    fn fit_monotone_decreasing() {
+        let m = LogFitThroughput::AIRPLANE;
+        let mut prev = f64::INFINITY;
+        for i in 1..40 {
+            let r = m.rate_bps(10.0 * i as f64);
+            assert!(r <= prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn fit_floors_at_min_rate() {
+        let m = LogFitThroughput::QUADROCOPTER;
+        assert_eq!(m.rate_bps(10_000.0), MIN_RATE_BPS);
+    }
+
+    #[test]
+    fn zero_crossings() {
+        // Airplane fit crosses zero at 2^(49/5.56) ≈ 450 m;
+        // quadrocopter at 2^(73/10.5) ≈ 124 m.
+        let a = LogFitThroughput::AIRPLANE.zero_crossing_m();
+        assert!((a - 450.0).abs() < 10.0, "a={a}");
+        let q = LogFitThroughput::QUADROCOPTER.zero_crossing_m();
+        assert!((q - 124.0).abs() < 5.0, "q={q}");
+    }
+
+    #[test]
+    fn empirical_interpolates_and_clamps() {
+        let m = EmpiricalThroughput::new(vec![(20.0, 30e6), (40.0, 20e6), (80.0, 8e6)]);
+        assert_eq!(m.rate_bps(20.0), 30e6);
+        assert_eq!(m.rate_bps(30.0), 25e6);
+        assert_eq!(m.rate_bps(60.0), 14e6);
+        // Outside the table: clamp to the edge values.
+        assert_eq!(m.rate_bps(5.0), 30e6);
+        assert_eq!(m.rate_bps(500.0), 8e6);
+    }
+
+    #[test]
+    fn from_campaign_uses_medians() {
+        let rows = vec![
+            (20.0, vec![25.0, 30.0, 35.0]),
+            (40.0, vec![10.0, 20.0, 30.0]),
+        ];
+        let m = EmpiricalThroughput::from_campaign_mbps(&rows);
+        assert_eq!(m.rate_bps(20.0), 30e6);
+        assert_eq!(m.rate_bps(40.0), 20e6);
+    }
+
+    #[test]
+    fn empirical_sorts_input() {
+        let m = EmpiricalThroughput::new(vec![(80.0, 8e6), (20.0, 30e6)]);
+        assert_eq!(m.points()[0].0, 20.0);
+    }
+
+    #[test]
+    fn empirical_floors_rates() {
+        let m = EmpiricalThroughput::new(vec![(20.0, 1e6), (200.0, 0.0)]);
+        assert_eq!(m.rate_bps(200.0), MIN_RATE_BPS);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empirical_rejects_duplicates() {
+        let _ = EmpiricalThroughput::new(vec![(20.0, 1e6), (20.0, 2e6)]);
+    }
+
+    #[test]
+    fn spec_dispatches() {
+        let spec = ThroughputSpec::LogFit(LogFitThroughput::AIRPLANE);
+        assert_eq!(
+            spec.rate_bps(50.0),
+            LogFitThroughput::AIRPLANE.rate_bps(50.0)
+        );
+    }
+}

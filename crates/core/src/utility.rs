@@ -1,0 +1,101 @@
+//! The utility function of Eq. (1):
+//! `U(d) = δ(d)·u(d) = exp(−ρ(d0−d)) / Cdelay(d)`.
+
+use crate::delay::CommunicationDelay;
+use crate::failure::FailureModel;
+use crate::scenario::Scenario;
+
+/// Evaluate `U(d)` for a scenario at candidate distance `d_m`.
+///
+/// ```
+/// use skyferry_core::scenario::Scenario;
+/// use skyferry_core::utility::utility;
+/// let s = Scenario::quadrocopter_baseline();
+/// // Waiting to transmit at 50 m beats transmitting at the range edge.
+/// assert!(utility(&s, 50.0) > utility(&s, 99.0));
+/// ```
+pub fn utility(scenario: &Scenario, d_m: f64) -> f64 {
+    let delay = CommunicationDelay::at(scenario, d_m);
+    let survival = scenario.failure.survival(scenario.d0_m, d_m);
+    survival / delay.total_s()
+}
+
+/// Both factors of Eq. (1) separately, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilityBreakdown {
+    /// Candidate distance, metres.
+    pub d_m: f64,
+    /// Discount `δ(d)` (survival probability of the leg).
+    pub survival: f64,
+    /// Instantaneous utility `u(d) = 1/Cdelay(d)`, 1/s.
+    pub instantaneous: f64,
+    /// The product `U(d)`.
+    pub utility: f64,
+    /// The delay decomposition behind `u(d)`.
+    pub delay: CommunicationDelay,
+}
+
+/// Evaluate Eq. (1) with its full decomposition.
+pub fn utility_breakdown(scenario: &Scenario, d_m: f64) -> UtilityBreakdown {
+    let delay = CommunicationDelay::at(scenario, d_m);
+    let survival = scenario.failure.survival(scenario.d0_m, d_m);
+    let instantaneous = 1.0 / delay.total_s();
+    UtilityBreakdown {
+        d_m,
+        survival,
+        instantaneous,
+        utility: survival * instantaneous,
+        delay,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn utility_is_positive_and_bounded() {
+        let s = Scenario::airplane_baseline();
+        for i in 0..50 {
+            let d = 20.0 + i as f64 * (300.0 - 20.0) / 49.0;
+            let u = utility(&s, d);
+            assert!(u > 0.0 && u.is_finite());
+            // δ ≤ 1 so U ≤ u = 1/Cdelay ≤ 1/Ttx(d0-free case); loose
+            // upper bound: transmission alone takes > 4.5 s here.
+            assert!(u < 1.0);
+        }
+    }
+
+    #[test]
+    fn breakdown_consistent() {
+        let s = Scenario::quadrocopter_baseline();
+        let b = utility_breakdown(&s, 60.0);
+        assert!((b.utility - b.survival * b.instantaneous).abs() < 1e-15);
+        assert!((b.instantaneous - 1.0 / b.delay.total_s()).abs() < 1e-15);
+        assert_eq!(b.d_m, 60.0);
+        assert!((b.utility - utility(&s, 60.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_rho_reduces_to_pure_delay_minimisation() {
+        let s = Scenario::airplane_baseline().with_rho(0.0);
+        let b = utility_breakdown(&s, 150.0);
+        assert_eq!(b.survival, 1.0);
+        assert!((b.utility - b.instantaneous).abs() < 1e-15);
+    }
+
+    #[test]
+    fn discount_pulls_utility_down_when_moving() {
+        // With a huge failure rate, moving at all is bad: U(d0) must beat
+        // any significant repositioning.
+        let s = Scenario::quadrocopter_baseline().with_rho(0.05);
+        assert!(utility(&s, s.d0_m) > utility(&s, 40.0));
+    }
+
+    #[test]
+    fn doctest_scenario_holds() {
+        let s = Scenario::quadrocopter_baseline();
+        assert!(utility(&s, 50.0) > utility(&s, 99.0));
+    }
+}

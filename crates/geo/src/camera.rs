@@ -1,0 +1,176 @@
+//! Camera footprint geometry and data-volume derivation.
+//!
+//! The paper (footnotes 1, 3, 4) derives the batch size `Mdata` a UAV must
+//! deliver from camera geometry:
+//!
+//! * A picture is a rectangle with aspect ratio `k`; the field of view
+//!   (FOV) is the *diagonal* of that rectangle on the ground, so
+//!   `Aimage = (k·FOV/√(k²+1)) · (FOV/√(k²+1))`.
+//! * The FOV grows linearly with altitude through the lens angle:
+//!   at 70 m altitude with a 65° lens, FOV = 90 m; at 10 m, FOV = 12.7 m.
+//! * A sector of area `Asector` is scanned with `Asector / Aimage`
+//!   pictures of `Mimage` bytes each:
+//!   `Mdata = Asector / Aimage · Mimage`.
+//!
+//! With `Mimage = 0.39 MB` (1280×720 JPEG at 100 % quality) the paper gets
+//! `Mdata = 28 MB` for the airplane scenario (0.25 km² sector) and
+//! `Mdata = 56.2 MB` for the quadrocopter scenario (0.01 km² sector); the
+//! tests below reproduce both numbers.
+
+/// Bytes per megabyte as used by the paper (decimal MB).
+pub const BYTES_PER_MB: f64 = 1e6;
+
+/// The ground footprint of one photograph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImageFootprint {
+    /// Width of the ground rectangle (long side, `k·FOV/√(k²+1)`), metres.
+    pub width_m: f64,
+    /// Height of the ground rectangle (short side), metres.
+    pub height_m: f64,
+}
+
+impl ImageFootprint {
+    /// Footprint area `Aimage` in square metres.
+    pub fn area_m2(&self) -> f64 {
+        self.width_m * self.height_m
+    }
+}
+
+/// A downward-facing camera model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CameraModel {
+    /// Aspect ratio `k` of the sensor (e.g. 16/9).
+    pub aspect_ratio: f64,
+    /// Full diagonal lens angle, degrees (the paper uses 65°).
+    pub lens_angle_deg: f64,
+    /// Size of one compressed image in bytes (the paper: 0.39 MB JPEG100).
+    pub image_size_bytes: f64,
+}
+
+impl CameraModel {
+    /// The camera used in the paper's derivations: 1280×720 (k = 16/9),
+    /// 65° lens, 0.39 MB per JPEG100 image.
+    pub fn paper_default() -> Self {
+        CameraModel {
+            aspect_ratio: 16.0 / 9.0,
+            lens_angle_deg: 65.0,
+            image_size_bytes: 0.39 * BYTES_PER_MB,
+        }
+    }
+
+    /// Field of view (ground diagonal) at the given altitude, metres.
+    ///
+    /// `FOV = 2 · altitude · tan(lens_angle / 2)`.
+    ///
+    /// # Panics
+    /// Panics if altitude is not positive.
+    pub fn fov_m(&self, altitude_m: f64) -> f64 {
+        assert!(altitude_m > 0.0, "altitude must be positive");
+        2.0 * altitude_m * (self.lens_angle_deg.to_radians() / 2.0).tan()
+    }
+
+    /// Ground footprint of one image at the given altitude.
+    pub fn footprint(&self, altitude_m: f64) -> ImageFootprint {
+        let fov = self.fov_m(altitude_m);
+        let k = self.aspect_ratio;
+        let denom = (k * k + 1.0).sqrt();
+        ImageFootprint {
+            width_m: k * fov / denom,
+            height_m: fov / denom,
+        }
+    }
+
+    /// Footprint area `Aimage` at the given altitude, m².
+    pub fn image_area_m2(&self, altitude_m: f64) -> f64 {
+        self.footprint(altitude_m).area_m2()
+    }
+
+    /// Number of pictures needed to scan `sector_area_m2` at `altitude_m`
+    /// (the paper's `Asector / Aimage`, a real number by construction).
+    pub fn images_per_sector(&self, sector_area_m2: f64, altitude_m: f64) -> f64 {
+        assert!(sector_area_m2 > 0.0, "sector area must be positive");
+        sector_area_m2 / self.image_area_m2(altitude_m)
+    }
+
+    /// Total batch size `Mdata` in bytes for scanning a sector:
+    /// `Mdata = Asector / Aimage · Mimage`.
+    pub fn mdata_bytes(&self, sector_area_m2: f64, altitude_m: f64) -> f64 {
+        self.images_per_sector(sector_area_m2, altitude_m) * self.image_size_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_airplane_fov_and_area() {
+        // Footnote 3: altitude 70 m, 65° lens → FOV = 90 m, Aimage = 3432 m².
+        let cam = CameraModel::paper_default();
+        let fov = cam.fov_m(70.0);
+        assert!((fov - 89.2).abs() < 1.5, "fov={fov}");
+        let area = cam.image_area_m2(70.0);
+        assert!((area - 3432.0).abs() < 120.0, "area={area}");
+    }
+
+    #[test]
+    fn paper_airplane_mdata_28mb() {
+        // Footnote 3: Asector = 0.25 km², Mimage = 0.39 MB → Mdata = 28 MB.
+        let cam = CameraModel::paper_default();
+        let mdata_mb = cam.mdata_bytes(500.0 * 500.0, 70.0) / BYTES_PER_MB;
+        assert!((mdata_mb - 28.0).abs() < 1.0, "mdata={mdata_mb} MB");
+    }
+
+    #[test]
+    fn paper_quadrocopter_fov_and_area() {
+        // Footnote 4: altitude 10 m → FOV = 12.7 m, Aimage = 69.4 m².
+        let cam = CameraModel::paper_default();
+        let fov = cam.fov_m(10.0);
+        assert!((fov - 12.7).abs() < 0.1, "fov={fov}");
+        let area = cam.image_area_m2(10.0);
+        assert!((area - 69.4).abs() < 1.0, "area={area}");
+    }
+
+    #[test]
+    fn paper_quadrocopter_mdata_56mb() {
+        // Footnote 4: Asector = 0.01 km² → Mdata = 56.2 MB.
+        let cam = CameraModel::paper_default();
+        let mdata_mb = cam.mdata_bytes(100.0 * 100.0, 10.0) / BYTES_PER_MB;
+        assert!((mdata_mb - 56.2).abs() < 1.0, "mdata={mdata_mb} MB");
+    }
+
+    #[test]
+    fn footprint_diagonal_equals_fov() {
+        let cam = CameraModel::paper_default();
+        let fp = cam.footprint(50.0);
+        let diag = (fp.width_m.powi(2) + fp.height_m.powi(2)).sqrt();
+        assert!((diag - cam.fov_m(50.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn footprint_aspect_ratio_respected() {
+        let cam = CameraModel::paper_default();
+        let fp = cam.footprint(25.0);
+        assert!((fp.width_m / fp.height_m - 16.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mdata_scales_linearly_with_sector_area() {
+        let cam = CameraModel::paper_default();
+        let one = cam.mdata_bytes(10_000.0, 20.0);
+        let four = cam.mdata_bytes(40_000.0, 20.0);
+        assert!((four / one - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_altitude_means_less_data() {
+        let cam = CameraModel::paper_default();
+        assert!(cam.mdata_bytes(250_000.0, 70.0) < cam.mdata_bytes(250_000.0, 10.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_altitude_rejected() {
+        let _ = CameraModel::paper_default().fov_m(0.0);
+    }
+}

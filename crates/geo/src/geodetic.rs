@@ -1,0 +1,210 @@
+//! Geodetic coordinates and the Haversine formula.
+//!
+//! The paper computes inter-UAV distance by "applying the Haversine formula
+//! to GPS coordinates" (Section 3.1). This module implements that formula
+//! plus the small-area ENU (East-North-Up) projection the simulator uses to
+//! run flight dynamics in a flat local frame and convert back to GPS fixes
+//! for trace output (Figure 4).
+
+use crate::vector::Vec3;
+
+/// Mean Earth radius in metres (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A geodetic position: WGS-84-style latitude/longitude in degrees and
+/// altitude above ground reference in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north. Must be in `[-90, 90]`.
+    pub lat_deg: f64,
+    /// Longitude in degrees, positive east. Must be in `[-180, 180]`.
+    pub lon_deg: f64,
+    /// Altitude in metres above the mission ground reference.
+    pub alt_m: f64,
+}
+
+impl GeoPoint {
+    /// Construct a point, validating ranges.
+    ///
+    /// # Panics
+    /// Panics if latitude/longitude are outside their valid ranges or any
+    /// component is not finite.
+    pub fn new(lat_deg: f64, lon_deg: f64, alt_m: f64) -> Self {
+        assert!(
+            lat_deg.is_finite() && (-90.0..=90.0).contains(&lat_deg),
+            "invalid latitude {lat_deg}"
+        );
+        assert!(
+            lon_deg.is_finite() && (-180.0..=180.0).contains(&lon_deg),
+            "invalid longitude {lon_deg}"
+        );
+        assert!(alt_m.is_finite(), "invalid altitude {alt_m}");
+        GeoPoint {
+            lat_deg,
+            lon_deg,
+            alt_m,
+        }
+    }
+
+    /// Great-circle ground distance to `other` (ignores altitude).
+    pub fn haversine_distance_m(&self, other: &GeoPoint) -> f64 {
+        haversine_distance_m(self, other)
+    }
+
+    /// Slant distance to `other`: Haversine ground distance combined with
+    /// the altitude difference. This is the "distance `d`" between two UAVs
+    /// flying at different altitudes (the paper separates airplanes by
+    /// 20 m of altitude for collision avoidance).
+    pub fn slant_distance_m(&self, other: &GeoPoint) -> f64 {
+        let ground = self.haversine_distance_m(other);
+        let dz = self.alt_m - other.alt_m;
+        (ground * ground + dz * dz).sqrt()
+    }
+}
+
+/// Great-circle distance between two points via the Haversine formula.
+///
+/// ```
+/// use skyferry_geo::geodetic::{haversine_distance_m, GeoPoint};
+/// // ETH Zurich main building to Zurich HB is roughly 1.1 km.
+/// let eth = GeoPoint::new(47.3763, 8.5477, 0.0);
+/// let hb = GeoPoint::new(47.3779, 8.5403, 0.0);
+/// let d = haversine_distance_m(&eth, &hb);
+/// assert!((500.0..1500.0).contains(&d));
+/// ```
+pub fn haversine_distance_m(a: &GeoPoint, b: &GeoPoint) -> f64 {
+    let lat1 = a.lat_deg.to_radians();
+    let lat2 = b.lat_deg.to_radians();
+    let dlat = (b.lat_deg - a.lat_deg).to_radians();
+    let dlon = (b.lon_deg - a.lon_deg).to_radians();
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_M * h.sqrt().min(1.0).asin()
+}
+
+/// A local tangent-plane frame anchored at an origin, mapping between
+/// geodetic coordinates and flat ENU metres.
+///
+/// The equirectangular approximation used here is accurate to millimetres
+/// over the ≤ 1.5 km scales of the paper's missions (XBee control range).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnuFrame {
+    origin: GeoPoint,
+    cos_lat: f64,
+}
+
+impl EnuFrame {
+    /// Create a frame anchored at `origin` (ENU `(0, 0, origin.alt_m)`).
+    pub fn new(origin: GeoPoint) -> Self {
+        EnuFrame {
+            origin,
+            cos_lat: origin.lat_deg.to_radians().cos(),
+        }
+    }
+
+    /// The anchoring origin.
+    pub fn origin(&self) -> GeoPoint {
+        self.origin
+    }
+
+    /// Geodetic → local ENU metres.
+    pub fn to_enu(&self, p: &GeoPoint) -> Vec3 {
+        let dlat = (p.lat_deg - self.origin.lat_deg).to_radians();
+        let dlon = (p.lon_deg - self.origin.lon_deg).to_radians();
+        Vec3::new(
+            EARTH_RADIUS_M * dlon * self.cos_lat,
+            EARTH_RADIUS_M * dlat,
+            p.alt_m,
+        )
+    }
+
+    /// Local ENU metres → geodetic.
+    pub fn to_geodetic(&self, v: Vec3) -> GeoPoint {
+        let dlat = v.y / EARTH_RADIUS_M;
+        let dlon = v.x / (EARTH_RADIUS_M * self.cos_lat);
+        GeoPoint {
+            lat_deg: self.origin.lat_deg + dlat.to_degrees(),
+            lon_deg: self.origin.lon_deg + dlon.to_degrees(),
+            alt_m: v.z,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A mission origin near the paper's test field (Zurich area).
+    fn origin() -> GeoPoint {
+        GeoPoint::new(47.40, 8.50, 0.0)
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = origin();
+        assert_eq!(haversine_distance_m(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn one_degree_latitude_is_about_111km() {
+        let a = GeoPoint::new(47.0, 8.5, 0.0);
+        let b = GeoPoint::new(48.0, 8.5, 0.0);
+        let d = haversine_distance_m(&a, &b);
+        assert!((d - 111_195.0).abs() < 100.0, "d={d}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = GeoPoint::new(47.40, 8.50, 0.0);
+        let b = GeoPoint::new(47.41, 8.52, 0.0);
+        assert_eq!(haversine_distance_m(&a, &b), haversine_distance_m(&b, &a));
+    }
+
+    #[test]
+    fn slant_distance_includes_altitude() {
+        // Same ground position, 20 m altitude separation (the paper's
+        // airplane collision-avoidance setup at 80 m / 100 m).
+        let a = GeoPoint::new(47.40, 8.50, 80.0);
+        let b = GeoPoint::new(47.40, 8.50, 100.0);
+        assert!((a.slant_distance_m(&b) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn enu_roundtrip_mission_scale() {
+        let frame = EnuFrame::new(origin());
+        for &(x, y, z) in &[
+            (0.0, 0.0, 0.0),
+            (100.0, -200.0, 80.0),
+            (1500.0, 1500.0, 100.0),
+            (-300.0, 42.0, 10.0),
+        ] {
+            let v = Vec3::new(x, y, z);
+            let p = frame.to_geodetic(v);
+            let back = frame.to_enu(&p);
+            assert!(back.distance(v) < 1e-6, "roundtrip error at {v:?}");
+        }
+    }
+
+    #[test]
+    fn enu_distance_matches_haversine_at_mission_scale() {
+        let frame = EnuFrame::new(origin());
+        let v = Vec3::new(300.0, 400.0, 0.0); // 500 m away
+        let p = frame.to_geodetic(v);
+        let hav = haversine_distance_m(&frame.origin(), &p);
+        assert!((hav - 500.0).abs() < 0.05, "haversine {hav} vs enu 500 m");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_latitude_rejected() {
+        let _ = GeoPoint::new(91.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn antipodal_is_half_circumference() {
+        let a = GeoPoint::new(0.0, 0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0, 0.0);
+        let d = haversine_distance_m(&a, &b);
+        let half = std::f64::consts::PI * EARTH_RADIUS_M;
+        assert!((d - half).abs() < 1.0);
+    }
+}

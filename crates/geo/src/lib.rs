@@ -1,0 +1,33 @@
+//! # skyferry-geo
+//!
+//! Geometry and geodesy for aerial communication experiments.
+//!
+//! The paper needs three geometric ingredients, all implemented here:
+//!
+//! 1. **Distance from GPS fixes.** "…the distance is calculated applying
+//!    the Haversine formula to GPS coordinates" (Section 3.1). See
+//!    [`geodetic::haversine_distance_m`] and the [`geodetic::GeoPoint`]
+//!    type, plus local East-North-Up (ENU) frames for simulation.
+//! 2. **Waypoint navigation.** UAVs "navigate through waypoints"
+//!    (Section 3); the [`waypoint`] module defines waypoints and flight
+//!    plans the `skyferry-uav` autopilot consumes.
+//! 3. **Camera footprint geometry.** Footnotes 1, 3 and 4 derive the data
+//!    volume `Mdata` from the camera field of view (FOV), aspect ratio,
+//!    altitude and sector area; the [`camera`] module reproduces those
+//!    formulas exactly (e.g. FOV = 90 m at 70 m altitude with a 65° lens,
+//!    `Aimage = 3432 m²`, `Mdata = 28 MB` for a 500 m × 500 m sector).
+//!
+//! Coordinates are `f64` metres in a local ENU frame unless a type says
+//! otherwise; geodetic coordinates are degrees (+altitude in metres).
+
+pub mod camera;
+pub mod geodetic;
+pub mod sector;
+pub mod vector;
+pub mod waypoint;
+
+pub use camera::{CameraModel, ImageFootprint};
+pub use geodetic::{haversine_distance_m, GeoPoint, EARTH_RADIUS_M};
+pub use sector::Sector;
+pub use vector::Vec3;
+pub use waypoint::{FlightPlan, Waypoint};

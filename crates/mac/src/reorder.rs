@@ -1,0 +1,262 @@
+//! Receiver-side block-ACK reorder buffer.
+//!
+//! An 802.11n block-ACK session delivers MPDUs out of order within a
+//! 64-frame window; the receiver buffers them, releases in-order runs to
+//! the upper layer, and silently discards duplicates (which arise
+//! whenever a block ACK is lost and the transmitter retries frames the
+//! receiver already holds). Semantics per 802.11-2012 §9.21.7:
+//!
+//! * window `[head, head + 63]` in 12-bit sequence space (mod 4096);
+//! * an in-window frame is buffered (or flagged duplicate);
+//! * a frame *beyond* the window slides the window forward, releasing
+//!   everything that falls off the left edge;
+//! * a frame *behind* the window is an old duplicate.
+
+/// Sequence-number space size (12 bits).
+const SEQ_SPACE: u16 = 4096;
+/// Block-ACK window size.
+pub const WINDOW: u16 = 64;
+
+/// What happened to a received MPDU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceiveOutcome {
+    /// New in-window frame, buffered (and possibly released in order).
+    Accepted,
+    /// Already held or already released — dropped.
+    Duplicate,
+    /// Ahead of the window: the window slid forward to cover it.
+    WindowSlide {
+        /// Frames that fell off the left edge *without* being received
+        /// (holes the upper layer will never get).
+        skipped: u16,
+    },
+}
+
+/// The reorder state of one receive session.
+#[derive(Debug, Clone)]
+pub struct ReorderBuffer {
+    /// Next sequence number expected by the upper layer (window start).
+    head: u16,
+    /// `present[i]` = frame `head + i` is buffered.
+    present: [bool; WINDOW as usize],
+    /// Frames released in order to the upper layer.
+    released: u64,
+    /// Duplicates discarded.
+    duplicates: u64,
+    /// Holes abandoned by window slides.
+    holes: u64,
+}
+
+/// Distance from `a` forward to `b` in mod-4096 sequence space.
+fn seq_distance(a: u16, b: u16) -> u16 {
+    (b.wrapping_sub(a)) & (SEQ_SPACE - 1)
+}
+
+impl ReorderBuffer {
+    /// A session whose first expected sequence number is `start_seq`.
+    pub fn new(start_seq: u16) -> Self {
+        ReorderBuffer {
+            head: start_seq & (SEQ_SPACE - 1),
+            present: [false; WINDOW as usize],
+            released: 0,
+            duplicates: 0,
+            holes: 0,
+        }
+    }
+
+    /// Next sequence number the upper layer is waiting for.
+    pub fn head(&self) -> u16 {
+        self.head
+    }
+
+    /// Frames released in order so far.
+    pub fn released(&self) -> u64 {
+        self.released
+    }
+
+    /// Duplicates discarded so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Holes abandoned by forward window slides.
+    pub fn holes(&self) -> u64 {
+        self.holes
+    }
+
+    /// Frames currently buffered out of order.
+    pub fn buffered(&self) -> usize {
+        self.present.iter().filter(|&&p| p).count()
+    }
+
+    fn advance_head(&mut self) {
+        while self.present[0] {
+            self.present.rotate_left(1);
+            self.present[WINDOW as usize - 1] = false;
+            self.head = (self.head + 1) & (SEQ_SPACE - 1);
+            self.released += 1;
+        }
+    }
+
+    /// Process one received MPDU with sequence number `seq`.
+    pub fn receive(&mut self, seq: u16) -> ReceiveOutcome {
+        let seq = seq & (SEQ_SPACE - 1);
+        let dist = seq_distance(self.head, seq);
+        if dist < WINDOW {
+            // In window.
+            let idx = dist as usize;
+            if self.present[idx] {
+                self.duplicates += 1;
+                return ReceiveOutcome::Duplicate;
+            }
+            self.present[idx] = true;
+            self.advance_head();
+            ReceiveOutcome::Accepted
+        } else if dist < SEQ_SPACE / 2 {
+            // Ahead of the window: slide so that `seq` becomes the last
+            // slot, releasing/abandoning what falls off.
+            let shift = dist - (WINDOW - 1);
+            let mut skipped = 0;
+            for _ in 0..shift.min(WINDOW) {
+                if self.present[0] {
+                    self.released += 1;
+                } else {
+                    skipped += 1;
+                }
+                self.present.rotate_left(1);
+                self.present[WINDOW as usize - 1] = false;
+            }
+            if shift > WINDOW {
+                skipped += shift - WINDOW;
+            }
+            self.head = (self.head + shift) & (SEQ_SPACE - 1);
+            self.holes += skipped as u64;
+            // Now `seq` is in window; buffer it.
+            let idx = seq_distance(self.head, seq) as usize;
+            debug_assert!(idx < WINDOW as usize);
+            self.present[idx] = true;
+            self.advance_head();
+            ReceiveOutcome::WindowSlide { skipped }
+        } else {
+            // Behind the window: stale duplicate.
+            self.duplicates += 1;
+            ReceiveOutcome::Duplicate
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_stream_releases_immediately() {
+        let mut rb = ReorderBuffer::new(0);
+        for seq in 0..200u16 {
+            assert_eq!(rb.receive(seq), ReceiveOutcome::Accepted);
+        }
+        assert_eq!(rb.released(), 200);
+        assert_eq!(rb.buffered(), 0);
+        assert_eq!(rb.head(), 200);
+        assert_eq!(rb.duplicates(), 0);
+    }
+
+    #[test]
+    fn out_of_order_within_window_reorders() {
+        let mut rb = ReorderBuffer::new(0);
+        // 2 arrives first: buffered, nothing released.
+        assert_eq!(rb.receive(2), ReceiveOutcome::Accepted);
+        assert_eq!(rb.released(), 0);
+        assert_eq!(rb.buffered(), 1);
+        // 0 releases itself; 1 then releases 1 and the buffered 2.
+        rb.receive(0);
+        assert_eq!(rb.released(), 1);
+        rb.receive(1);
+        assert_eq!(rb.released(), 3);
+        assert_eq!(rb.buffered(), 0);
+    }
+
+    #[test]
+    fn duplicates_detected_in_and_behind_window() {
+        let mut rb = ReorderBuffer::new(0);
+        rb.receive(5);
+        assert_eq!(rb.receive(5), ReceiveOutcome::Duplicate);
+        for seq in 0..5 {
+            rb.receive(seq);
+        }
+        // All of 0..=5 now released; a stale 3 is behind the window.
+        assert_eq!(rb.receive(3), ReceiveOutcome::Duplicate);
+        assert_eq!(rb.duplicates(), 2);
+    }
+
+    #[test]
+    fn window_slide_abandons_holes() {
+        let mut rb = ReorderBuffer::new(0);
+        rb.receive(0);
+        // Jump far ahead: head must slide to seq−63.
+        match rb.receive(100) {
+            ReceiveOutcome::WindowSlide { skipped } => {
+                // Frames 1..=36 fell off unreceived (shift = 37).
+                assert_eq!(skipped, 36);
+            }
+            other => panic!("expected slide, got {other:?}"),
+        }
+        assert_eq!(rb.head(), 37);
+        assert_eq!(rb.holes(), 36);
+        assert_eq!(rb.released(), 1);
+        assert_eq!(rb.buffered(), 1); // frame 100 waiting at slot 63
+    }
+
+    #[test]
+    fn sequence_space_wraps() {
+        let mut rb = ReorderBuffer::new(4090);
+        for seq in [4090u16, 4091, 4092, 4093, 4094, 4095, 0, 1, 2] {
+            assert_eq!(rb.receive(seq), ReceiveOutcome::Accepted, "seq {seq}");
+        }
+        assert_eq!(rb.released(), 9);
+        assert_eq!(rb.head(), 3);
+    }
+
+    #[test]
+    fn retry_after_lost_block_ack_is_pure_duplicate() {
+        // The link-model scenario: a 14-frame A-MPDU all received, BA
+        // lost, transmitter retries the same 14 frames.
+        let mut rb = ReorderBuffer::new(0);
+        for seq in 0..14 {
+            rb.receive(seq);
+        }
+        assert_eq!(rb.released(), 14);
+        for seq in 0..14 {
+            assert_eq!(rb.receive(seq), ReceiveOutcome::Duplicate, "seq {seq}");
+        }
+        assert_eq!(rb.released(), 14, "no double delivery");
+        assert_eq!(rb.duplicates(), 14);
+    }
+
+    #[test]
+    fn giant_jump_beyond_window() {
+        let mut rb = ReorderBuffer::new(0);
+        match rb.receive(1000) {
+            ReceiveOutcome::WindowSlide { skipped } => {
+                assert_eq!(skipped, 1000 - 63);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(rb.head(), 1000 - 63);
+    }
+
+    #[test]
+    fn conservation_released_plus_holes_accounts_for_head() {
+        // Random-ish pattern: every sequence number below head is either
+        // released or an abandoned hole.
+        let mut rb = ReorderBuffer::new(0);
+        let pattern = [0u16, 3, 1, 2, 8, 70, 69, 71, 120, 119, 118, 200];
+        for &s in &pattern {
+            rb.receive(s);
+        }
+        assert_eq!(
+            rb.released() + rb.holes(),
+            seq_distance(0, rb.head()) as u64
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Calibration maintenance tool.
+//!
+//! ```text
+//! cargo run --release -p skyferry-net --example calibration_fit
+//! ```
+//!
+//! Whenever the PHY/MAC models change, the channel presets must be
+//! re-fitted so the simulated auto-rate medians keep landing on the
+//! paper's published log-fits. This tool measures the current
+//! goodput-vs-SNR staircase of each preset, inverts the paper's target
+//! medians through it, regresses the implied SNR-vs-distance line, and
+//! prints the `implementation_loss_db` / `exponent` pair to paste into
+//! `skyferry_phy::presets`.
+use skyferry_net::campaign::*;
+use skyferry_net::profile::MotionProfile;
+use skyferry_phy::presets::ChannelPreset;
+use skyferry_sim::time::SimDuration;
+use skyferry_stats::quantile::median;
+
+fn tput_curve(preset: ChannelPreset, label: &str) -> Vec<(f64, f64)> {
+    let cfg = CampaignConfig {
+        preset,
+        controller: ControllerKind::Arf,
+        duration: SimDuration::from_secs(20),
+        seed: 11,
+    };
+    let mut pts = Vec::new();
+    for i in 0..22 {
+        let snr = 16.0 - 0.75 * i as f64;
+        if let Some(d) = preset.budget.range_for_snr_db(snr) {
+            let s = measure_throughput_replicated(&cfg, MotionProfile::hover(d), 4);
+            let m = median(&s).unwrap();
+            pts.push((snr, m));
+        }
+    }
+    println!(
+        "{label} tput(SNR): {:?}",
+        pts.iter()
+            .map(|(a, b)| (a.round(), (b * 10.0).round() / 10.0))
+            .collect::<Vec<_>>()
+    );
+    pts
+}
+
+fn invert(curve: &[(f64, f64)], target: f64) -> Option<f64> {
+    // curve is descending in snr ordering? we built descending snr; find bracket
+    for w in curve.windows(2) {
+        let (s1, t1) = w[0];
+        let (s0, t0) = w[1]; // s1 > s0, t1 >= t0 roughly
+        if (t0 <= target && target <= t1) || (t1 <= target && target <= t0) {
+            if (t1 - t0).abs() < 1e-9 {
+                return Some(s0);
+            }
+            return Some(s0 + (s1 - s0) * (target - t0) / (t1 - t0));
+        }
+    }
+    None
+}
+
+fn main() {
+    let cases: Vec<(&str, ChannelPreset, f64, f64, Vec<f64>)> = vec![
+        (
+            "quad",
+            ChannelPreset::quadrocopter(0.0),
+            -10.5,
+            73.0,
+            vec![20.0, 40.0, 60.0, 80.0],
+        ),
+        (
+            "air",
+            ChannelPreset::airplane(20.0),
+            -5.56,
+            49.0,
+            vec![20.0, 40.0, 80.0, 160.0, 240.0, 320.0],
+        ),
+    ];
+    for (label, preset, fit_a, fit_b, dists) in cases {
+        let curve = tput_curve(preset, label);
+        let mut pts = Vec::new();
+        for &d in &dists {
+            let target = fit_a * d.log2() + fit_b;
+            if let Some(snr) = invert(&curve, target) {
+                pts.push((d, snr, target));
+            } else {
+                println!("  {label} d={d}: target {target:.1} uninvertible");
+            }
+        }
+        // regress snr = B - 10 n log10(d/10)
+        let xs: Vec<(f64, f64)> = pts
+            .iter()
+            .map(|&(d, s, _)| ((d / 10.0).log10(), s))
+            .collect();
+        let n = xs.len() as f64;
+        let mx = xs.iter().map(|p| p.0).sum::<f64>() / n;
+        let my = xs.iter().map(|p| p.1).sum::<f64>() / n;
+        let sxx = xs.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>();
+        let sxy = xs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>();
+        let slope = sxy / sxx;
+        let b = my - slope * mx;
+        println!(
+            "{label}: required SNR points {:?}",
+            pts.iter()
+                .map(|&(d, s, t)| (d, (s * 10.0).round() / 10.0, (t * 10.0).round() / 10.0))
+                .collect::<Vec<_>>()
+        );
+        println!("{label}: B(10m)={b:.2} dB, exponent n={:.2}", -slope / 10.0);
+        // translate to IL given tx 16, gain -2, NF 7, friis(10m)@5.2GHz=66.77, floor -91.98
+        let il = 16.0 - 2.0 - b - 66.77 + 91.98;
+        println!("{label}: implementation_loss_db = {il:.1}");
+    }
+}

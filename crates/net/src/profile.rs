@@ -1,0 +1,192 @@
+//! Distance/speed profiles over time.
+//!
+//! Figure 1 of the paper compares delivery strategies that differ only in
+//! the *geometry over time* between the sender and the hovering receiver:
+//! transmit immediately at `d0`, fly to a closer `d` first and then
+//! transmit, or transmit continuously while approaching. [`MotionProfile`]
+//! captures exactly that 1-D geometry so the link campaign driver can run
+//! any strategy through the same code path.
+
+use skyferry_sim::time::SimTime;
+
+/// The sender→receiver geometry as a function of time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MotionProfile {
+    /// Constant separation (hover-and-transmit at distance `d_m`).
+    Static {
+        /// Separation, metres.
+        d_m: f64,
+    },
+    /// Start at `d0_m`, close at `v_mps` until `d_target_m`, then hold.
+    ///
+    /// `stabilization_s` keeps the *channel* in its in-motion state for
+    /// that long after arrival: the platform decelerates, settles its
+    /// attitude, and — when it transmitted during the approach — its rate
+    /// controller still carries statistics poisoned by the in-motion
+    /// channel. Strategies that ship silently and start transmission
+    /// fresh after settling use `stabilization_s = 0`.
+    Approach {
+        /// Initial separation, metres.
+        d0_m: f64,
+        /// Closing speed, m/s.
+        v_mps: f64,
+        /// Final separation, metres.
+        d_target_m: f64,
+        /// Post-arrival window during which the channel keeps the
+        /// in-motion dynamics, seconds.
+        stabilization_s: f64,
+    },
+}
+
+impl MotionProfile {
+    /// A hover at `d` metres.
+    pub fn hover(d_m: f64) -> Self {
+        assert!(d_m > 0.0, "distance must be positive");
+        MotionProfile::Static { d_m }
+    }
+
+    /// Close from `d0` to `d_target` at speed `v`, then hover.
+    ///
+    /// # Panics
+    /// Panics unless `d0 ≥ d_target > 0` and `v > 0`.
+    pub fn approach(d0_m: f64, v_mps: f64, d_target_m: f64) -> Self {
+        assert!(d0_m >= d_target_m && d_target_m > 0.0 && v_mps > 0.0);
+        MotionProfile::Approach {
+            d0_m,
+            v_mps,
+            d_target_m,
+            stabilization_s: 0.0,
+        }
+    }
+
+    /// Copy of an approach profile with a post-arrival stabilization
+    /// window (see [`MotionProfile::Approach`]).
+    ///
+    /// # Panics
+    /// Panics on non-approach profiles or negative windows.
+    pub fn with_stabilization(self, stabilization_s: f64) -> Self {
+        assert!(stabilization_s >= 0.0);
+        match self {
+            MotionProfile::Approach {
+                d0_m,
+                v_mps,
+                d_target_m,
+                ..
+            } => MotionProfile::Approach {
+                d0_m,
+                v_mps,
+                d_target_m,
+                stabilization_s,
+            },
+            other => panic!("with_stabilization on {other:?}"),
+        }
+    }
+
+    /// Separation at time `t`.
+    pub fn distance_at(&self, t: SimTime) -> f64 {
+        match *self {
+            MotionProfile::Static { d_m } => d_m,
+            MotionProfile::Approach {
+                d0_m,
+                v_mps,
+                d_target_m,
+                ..
+            } => (d0_m - v_mps * t.as_secs_f64()).max(d_target_m),
+        }
+    }
+
+    /// Closing speed at time `t` (0 when hovering or arrived).
+    pub fn speed_at(&self, t: SimTime) -> f64 {
+        match *self {
+            MotionProfile::Static { .. } => 0.0,
+            MotionProfile::Approach {
+                d0_m,
+                v_mps,
+                d_target_m,
+                stabilization_s,
+            } => {
+                let arrival_s = (d0_m - d_target_m) / v_mps;
+                if t.as_secs_f64() < arrival_s + stabilization_s {
+                    v_mps
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Time at which the profile reaches its final separation.
+    pub fn settling_time(&self) -> SimTime {
+        match *self {
+            MotionProfile::Static { .. } => SimTime::ZERO,
+            MotionProfile::Approach {
+                d0_m,
+                v_mps,
+                d_target_m,
+                ..
+            } => SimTime::from_secs_f64((d0_m - d_target_m) / v_mps),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hover_is_constant() {
+        let p = MotionProfile::hover(60.0);
+        assert_eq!(p.distance_at(SimTime::ZERO), 60.0);
+        assert_eq!(p.distance_at(SimTime::from_secs(100)), 60.0);
+        assert_eq!(p.speed_at(SimTime::from_secs(5)), 0.0);
+        assert_eq!(p.settling_time(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn approach_closes_then_holds() {
+        // The paper's Figure 1 case: from 80 m to 60 m at 4.5 m/s.
+        let p = MotionProfile::approach(80.0, 4.5, 60.0);
+        assert_eq!(p.distance_at(SimTime::ZERO), 80.0);
+        let settle = p.settling_time();
+        assert!((settle.as_secs_f64() - 20.0 / 4.5).abs() < 1e-9);
+        assert_eq!(
+            p.distance_at(settle + skyferry_sim::time::SimDuration::from_secs(1)),
+            60.0
+        );
+        assert_eq!(p.speed_at(SimTime::ZERO), 4.5);
+        assert_eq!(
+            p.speed_at(settle + skyferry_sim::time::SimDuration::from_secs(1)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn approach_mid_point() {
+        let p = MotionProfile::approach(100.0, 10.0, 20.0);
+        assert!((p.distance_at(SimTime::from_secs(4)) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stabilization_extends_motion_window() {
+        let p = MotionProfile::approach(80.0, 4.5, 20.0).with_stabilization(5.0);
+        let settle = p.settling_time();
+        let just_after = settle + skyferry_sim::time::SimDuration::from_secs(1);
+        assert_eq!(p.distance_at(just_after), 20.0, "position settled");
+        assert_eq!(p.speed_at(just_after), 4.5, "channel still in motion");
+        let recovered = settle + skyferry_sim::time::SimDuration::from_secs(6);
+        assert_eq!(p.speed_at(recovered), 0.0);
+    }
+
+    #[test]
+    fn degenerate_approach_is_hover() {
+        let p = MotionProfile::approach(50.0, 5.0, 50.0);
+        assert_eq!(p.distance_at(SimTime::from_secs(3)), 50.0);
+        assert_eq!(p.speed_at(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn target_beyond_start_rejected() {
+        let _ = MotionProfile::approach(50.0, 5.0, 60.0);
+    }
+}

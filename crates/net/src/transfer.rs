@@ -1,0 +1,185 @@
+//! Cumulative delivered-data-vs-time records.
+//!
+//! Figure 1 of the paper plots "transmitted data (MB)" against time for
+//! several strategies and reads off (a) the completion time of a 20 MB
+//! batch and (b) the crossover point between two strategies (≈15 MB for
+//! d = 80 m vs d = 60 m). [`TransferRecord`] captures one such curve and
+//! provides both readings.
+
+use skyferry_sim::time::SimTime;
+
+/// One strategy's cumulative delivery curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferRecord {
+    /// Strategy label for reports ("d=60", "moving", …).
+    pub label: String,
+    points: Vec<(SimTime, u64)>, // (time, cumulative bytes), both non-decreasing
+}
+
+impl TransferRecord {
+    /// An empty record starting at (t=0, 0 bytes).
+    pub fn new(label: impl Into<String>) -> Self {
+        TransferRecord {
+            label: label.into(),
+            points: vec![(SimTime::ZERO, 0)],
+        }
+    }
+
+    /// Append a delivery event: `bytes` more delivered, observed at `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` precedes the previous event.
+    pub fn deliver(&mut self, at: SimTime, bytes: u64) {
+        let &(last_t, last_b) = self.points.last().expect("never empty");
+        assert!(at >= last_t, "delivery recorded out of order");
+        self.points.push((at, last_b + bytes));
+    }
+
+    /// The recorded curve.
+    pub fn points(&self) -> &[(SimTime, u64)] {
+        &self.points
+    }
+
+    /// Total bytes delivered.
+    pub fn total_bytes(&self) -> u64 {
+        self.points.last().expect("never empty").1
+    }
+
+    /// Cumulative bytes delivered by time `t` (step interpolation).
+    pub fn bytes_at(&self, t: SimTime) -> u64 {
+        match self.points.binary_search_by(|&(pt, _)| pt.cmp(&t)) {
+            Ok(mut i) => {
+                // Several events may share a timestamp; take the last.
+                while i + 1 < self.points.len() && self.points[i + 1].0 == t {
+                    i += 1;
+                }
+                self.points[i].1
+            }
+            Err(0) => 0,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// The first time at which `bytes` had been delivered; `None` if the
+    /// transfer never got that far.
+    pub fn time_to_deliver(&self, bytes: u64) -> Option<SimTime> {
+        if bytes == 0 {
+            return Some(SimTime::ZERO);
+        }
+        self.points
+            .iter()
+            .find(|&&(_, b)| b >= bytes)
+            .map(|&(t, _)| t)
+    }
+
+    /// The data volume above which `self` completes *sooner* than
+    /// `other` — the paper's "crossover" (Figure 1: waiting at 60 m beats
+    /// transmitting at 80 m for batches larger than ≈15 MB).
+    ///
+    /// Scans delivery volumes at `step_bytes` granularity up to the common
+    /// total; returns the smallest volume from which `self` stays ahead
+    /// (faster) through the end, or `None` if it never does.
+    pub fn crossover_bytes(&self, other: &TransferRecord, step_bytes: u64) -> Option<u64> {
+        assert!(step_bytes > 0);
+        let limit = self.total_bytes().min(other.total_bytes());
+        if limit == 0 {
+            return None;
+        }
+        let mut candidate: Option<u64> = None;
+        let mut volume = step_bytes;
+        while volume <= limit {
+            let mine = self.time_to_deliver(volume)?;
+            let theirs = other.time_to_deliver(volume)?;
+            if mine < theirs {
+                candidate.get_or_insert(volume);
+            } else {
+                candidate = None;
+            }
+            volume += step_bytes;
+        }
+        candidate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyferry_sim::time::SimDuration;
+
+    fn linear(label: &str, start_s: f64, rate_bytes_per_s: f64, total: u64) -> TransferRecord {
+        // Delivery starts after `start_s` (shipping time) then proceeds
+        // linearly — an idealised strategy curve.
+        let mut r = TransferRecord::new(label);
+        let mut delivered = 0u64;
+        let chunk = 100_000u64;
+        while delivered < total {
+            let next = (delivered + chunk).min(total);
+            let t = start_s + next as f64 / rate_bytes_per_s;
+            r.deliver(SimTime::from_secs_f64(t), next - delivered);
+            delivered = next;
+        }
+        r
+    }
+
+    #[test]
+    fn totals_and_time_to_deliver() {
+        let r = linear("a", 0.0, 1e6, 5_000_000);
+        assert_eq!(r.total_bytes(), 5_000_000);
+        let t = r.time_to_deliver(1_000_000).unwrap();
+        assert!((t.as_secs_f64() - 1.0).abs() < 0.11);
+        assert!(r.time_to_deliver(6_000_000).is_none());
+        assert_eq!(r.time_to_deliver(0), Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn bytes_at_steps() {
+        let mut r = TransferRecord::new("x");
+        r.deliver(SimTime::from_secs(1), 100);
+        r.deliver(SimTime::from_secs(3), 200);
+        assert_eq!(r.bytes_at(SimTime::from_millis(500)), 0);
+        assert_eq!(r.bytes_at(SimTime::from_secs(1)), 100);
+        assert_eq!(r.bytes_at(SimTime::from_secs(2)), 100);
+        assert_eq!(r.bytes_at(SimTime::from_secs(3)), 300);
+        assert_eq!(r.bytes_at(SimTime::from_secs(9)), 300);
+    }
+
+    #[test]
+    fn simultaneous_events_take_last() {
+        let mut r = TransferRecord::new("x");
+        let t = SimTime::from_secs(1);
+        r.deliver(t, 100);
+        r.deliver(t, 50);
+        assert_eq!(r.bytes_at(t), 150);
+    }
+
+    #[test]
+    fn crossover_between_slow_early_and_fast_late() {
+        // "d=80": starts immediately, 1 MB/s. "d=60": starts after 4.4 s
+        // (shipping), then 2 MB/s. Crossover at v/1e6 = 4.4 + v/2e6 →
+        // v = 8.8 MB.
+        let now_strategy = linear("d=80", 0.0, 1e6, 20_000_000);
+        let later_strategy = linear("d=60", 4.4, 2e6, 20_000_000);
+        let cross = later_strategy
+            .crossover_bytes(&now_strategy, 100_000)
+            .expect("must cross");
+        let mb = cross as f64 / 1e6;
+        assert!((mb - 8.9).abs() < 0.3, "crossover at {mb} MB");
+        // And the reverse direction never wins from some point on.
+        assert_eq!(now_strategy.crossover_bytes(&later_strategy, 100_000), None);
+    }
+
+    #[test]
+    fn crossover_none_when_always_worse() {
+        let fast = linear("fast", 0.0, 2e6, 1_000_000);
+        let slow = linear("slow", 1.0, 1e6, 1_000_000);
+        assert_eq!(slow.crossover_bytes(&fast, 50_000), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_delivery_rejected() {
+        let mut r = TransferRecord::new("x");
+        r.deliver(SimTime::from_secs(2), 1);
+        r.deliver(SimTime::from_secs(2) - SimDuration::from_nanos(1), 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! # skyferry-sim
+//!
+//! A small, deterministic discrete-event simulation (DES) engine.
+//!
+//! Everything in the skyferry workspace that has a notion of "time passing"
+//! — MAC frame exchanges, UAV motion, telemetry, battery drain — runs on top
+//! of this crate. The design goals mirror the ones of event-driven network
+//! stacks such as smoltcp:
+//!
+//! * **Determinism.** Given the same seed and the same sequence of scheduled
+//!   events, a simulation produces bit-identical results on every run and
+//!   every platform. Ties in event time are broken by insertion order.
+//! * **Simplicity.** The engine is a time-ordered priority queue plus a
+//!   seeded random-number generator; there are no threads, no interior
+//!   mutability and no global state.
+//! * **Observability.** A lightweight [`trace`] module records structured
+//!   events that tests and the reproduction harness can assert on.
+//!
+//! ## Architecture
+//!
+//! The engine is generic over a user-defined event type `E`:
+//!
+//! * [`time::SimTime`] / [`time::SimDuration`] — nanosecond-resolution
+//!   simulated clock (u64/i64 wrappers, no floating point drift).
+//! * [`queue::EventQueue`] — the pending-event set with cancellation.
+//! * [`engine::Simulation`] — a run loop that pops events and hands them to
+//!   a handler together with a scheduling context.
+//! * [`rng`] — seeded, splittable random streams so that independent model
+//!   components draw from independent substreams.
+//!
+//! ## Example
+//!
+//! ```
+//! use skyferry_sim::prelude::*;
+//!
+//! #[derive(Debug)]
+//! enum Ev { Ping, Pong }
+//!
+//! let mut sim = Simulation::new();
+//! sim.schedule_in(SimDuration::from_millis(1), Ev::Ping);
+//! let mut log = Vec::new();
+//! sim.run(|ctx, ev| {
+//!     match ev {
+//!         Ev::Ping => {
+//!             ctx.schedule_in(SimDuration::from_millis(2), Ev::Pong);
+//!         }
+//!         Ev::Pong => {}
+//!     }
+//!     log.push(ctx.now());
+//! });
+//! assert_eq!(log, vec![SimTime::from_millis(1), SimTime::from_millis(3)]);
+//! ```
+
+pub mod engine;
+pub mod queue;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+/// Convenient glob-import surface: `use skyferry_sim::prelude::*`.
+pub mod prelude {
+    pub use crate::engine::{Context, RunOutcome, Simulation};
+    pub use crate::queue::{EventId, EventQueue};
+    pub use crate::rng::{DetRng, SeedStream};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::trace::{TraceBuffer, TraceEvent, TraceLevel};
+}

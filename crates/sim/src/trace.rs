@@ -1,0 +1,173 @@
+//! Structured simulation tracing.
+//!
+//! Models emit [`TraceEvent`]s into a [`TraceBuffer`]; tests and the
+//! reproduction harness read them back to assert on *what happened inside*
+//! a run (e.g. "the rate controller switched MCS at t=3.2 s") without
+//! string-scraping stdout. Tracing is pay-as-you-go: a buffer with a level
+//! of [`TraceLevel::Off`] drops events at the door.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Severity / verbosity class of a trace event.
+///
+/// Mirrors the smoltcp convention: routine state changes are `Trace`,
+/// exceptional-but-handled conditions (losses, retries, drops) are `Debug`,
+/// and campaign-level milestones are `Info`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum TraceLevel {
+    /// Record nothing.
+    #[default]
+    Off,
+    /// Campaign milestones only.
+    Info,
+    /// Plus exceptional events (losses, retries, failures).
+    Debug,
+    /// Plus routine per-frame/per-step events.
+    Trace,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// When the event happened on the simulated clock.
+    pub at: SimTime,
+    /// Severity class it was emitted at.
+    pub level: TraceLevel,
+    /// Subsystem tag, e.g. `"mac"`, `"autopilot"`, `"planner"`.
+    pub scope: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {}] {}", self.at, self.scope, self.message)
+    }
+}
+
+/// An append-only in-memory trace sink with level filtering.
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    level: TraceLevel,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceBuffer {
+    /// A buffer that records events at or below `level` verbosity.
+    pub fn new(level: TraceLevel) -> Self {
+        TraceBuffer {
+            level,
+            events: Vec::new(),
+        }
+    }
+
+    /// A buffer that records nothing (zero overhead beyond the call).
+    pub fn disabled() -> Self {
+        Self::new(TraceLevel::Off)
+    }
+
+    /// The active verbosity level.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Record an event if `level` is enabled.
+    pub fn emit(
+        &mut self,
+        at: SimTime,
+        level: TraceLevel,
+        scope: &'static str,
+        message: impl FnOnce() -> String,
+    ) {
+        if level <= self.level && level != TraceLevel::Off {
+            self.events.push(TraceEvent {
+                at,
+                level,
+                scope,
+                message: message(),
+            });
+        }
+    }
+
+    /// All recorded events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Recorded events from one subsystem.
+    pub fn scoped<'a>(&'a self, scope: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.scope == scope)
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drop all recorded events, keeping the level.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(buf: &mut TraceBuffer, level: TraceLevel, scope: &'static str, msg: &str) {
+        buf.emit(SimTime::from_secs(1), level, scope, || msg.to_string());
+    }
+
+    #[test]
+    fn level_filtering() {
+        let mut buf = TraceBuffer::new(TraceLevel::Debug);
+        ev(&mut buf, TraceLevel::Info, "mac", "i");
+        ev(&mut buf, TraceLevel::Debug, "mac", "d");
+        ev(&mut buf, TraceLevel::Trace, "mac", "t");
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut buf = TraceBuffer::disabled();
+        ev(&mut buf, TraceLevel::Info, "mac", "i");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn scoped_filters_by_subsystem() {
+        let mut buf = TraceBuffer::new(TraceLevel::Trace);
+        ev(&mut buf, TraceLevel::Info, "mac", "a");
+        ev(&mut buf, TraceLevel::Info, "phy", "b");
+        ev(&mut buf, TraceLevel::Info, "mac", "c");
+        let mac: Vec<_> = buf.scoped("mac").map(|e| e.message.as_str()).collect();
+        assert_eq!(mac, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn clear_keeps_level() {
+        let mut buf = TraceBuffer::new(TraceLevel::Info);
+        ev(&mut buf, TraceLevel::Info, "mac", "a");
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.level(), TraceLevel::Info);
+    }
+
+    #[test]
+    fn display_includes_scope_and_time() {
+        let e = TraceEvent {
+            at: SimTime::from_millis(1500),
+            level: TraceLevel::Info,
+            scope: "planner",
+            message: "rendezvous at 60 m".into(),
+        };
+        assert_eq!(e.to_string(), "[1.500000s planner] rendezvous at 60 m");
+    }
+}

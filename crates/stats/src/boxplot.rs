@@ -1,0 +1,148 @@
+//! Boxplot summaries (Tukey style), matching the presentation of the
+//! paper's Figures 5 and 7: box = quartiles, whiskers = furthest samples
+//! within 1.5·IQR of the box, everything beyond = outliers.
+
+use crate::quantile::{quantile_sorted, Quartiles};
+
+/// The five-number summary plus outliers for one sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxplotSummary {
+    /// Number of samples.
+    pub n: usize,
+    /// Smallest sample (including outliers).
+    pub min: f64,
+    /// Lower whisker end: smallest sample ≥ `q1 - 1.5·IQR`.
+    pub whisker_low: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Upper whisker end: largest sample ≤ `q3 + 1.5·IQR`.
+    pub whisker_high: f64,
+    /// Largest sample (including outliers).
+    pub max: f64,
+    /// Samples outside the whiskers, ascending.
+    pub outliers: Vec<f64>,
+}
+
+impl BoxplotSummary {
+    /// Summarise a sample; `None` if it is empty.
+    ///
+    /// # Panics
+    /// Panics if the sample contains NaN.
+    pub fn of(samples: &[f64]) -> Option<BoxplotSummary> {
+        if samples.is_empty() {
+            return None;
+        }
+        assert!(samples.iter().all(|x| !x.is_nan()), "NaN in boxplot input");
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+
+        let q = Quartiles {
+            q1: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q3: quantile_sorted(&sorted, 0.75),
+        };
+        let fence_low = q.q1 - 1.5 * q.iqr();
+        let fence_high = q.q3 + 1.5 * q.iqr();
+
+        let whisker_low = sorted
+            .iter()
+            .copied()
+            .find(|&x| x >= fence_low)
+            .expect("q1 itself is within the fence");
+        let whisker_high = sorted
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= fence_high)
+            .expect("q3 itself is within the fence");
+        let outliers: Vec<f64> = sorted
+            .iter()
+            .copied()
+            .filter(|&x| x < fence_low || x > fence_high)
+            .collect();
+
+        Some(BoxplotSummary {
+            n: sorted.len(),
+            min: sorted[0],
+            whisker_low,
+            q1: q.q1,
+            median: q.median,
+            q3: q.q3,
+            whisker_high,
+            max: *sorted.last().expect("non-empty"),
+            outliers,
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Total whisker-to-whisker spread — the "variability" the paper
+    /// compares between airplane and quadrocopter campaigns.
+    pub fn spread(&self) -> f64 {
+        self.whisker_high - self.whisker_low
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(BoxplotSummary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn no_outliers_whiskers_are_extremes() {
+        let xs: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        let b = BoxplotSummary::of(&xs).unwrap();
+        assert_eq!(b.whisker_low, 1.0);
+        assert_eq!(b.whisker_high, 9.0);
+        assert!(b.outliers.is_empty());
+        assert_eq!(b.median, 5.0);
+        assert_eq!(b.n, 9);
+    }
+
+    #[test]
+    fn detects_outliers() {
+        let mut xs: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        xs.push(100.0);
+        xs.push(-50.0);
+        let b = BoxplotSummary::of(&xs).unwrap();
+        assert_eq!(b.outliers, vec![-50.0, 100.0]);
+        assert_eq!(b.min, -50.0);
+        assert_eq!(b.max, 100.0);
+        // Whiskers exclude the outliers.
+        assert_eq!(b.whisker_low, 1.0);
+        assert_eq!(b.whisker_high, 9.0);
+    }
+
+    #[test]
+    fn invariant_ordering() {
+        let xs = [4.2, 1.0, 8.5, 2.2, 9.9, 0.5, 7.7, 3.1];
+        let b = BoxplotSummary::of(&xs).unwrap();
+        assert!(b.min <= b.whisker_low);
+        assert!(b.whisker_low <= b.q1);
+        assert!(b.q1 <= b.median);
+        assert!(b.median <= b.q3);
+        assert!(b.q3 <= b.whisker_high);
+        assert!(b.whisker_high <= b.max);
+    }
+
+    #[test]
+    fn constant_sample() {
+        let xs = [3.0; 10];
+        let b = BoxplotSummary::of(&xs).unwrap();
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.iqr(), 0.0);
+        assert_eq!(b.spread(), 0.0);
+        assert!(b.outliers.is_empty());
+    }
+}

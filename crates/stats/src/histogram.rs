@@ -1,0 +1,150 @@
+//! Fixed-width histograms, used by campaign reports and ablation studies.
+
+/// A histogram over `[lo, hi)` with equally wide bins.
+///
+/// Samples below `lo` or at/above `hi` are counted in saturating under/
+/// overflow buckets rather than dropped, so totals always reconcile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`, bounds are not finite, or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad bounds");
+        assert!(bins > 0, "need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Record a sample.
+    ///
+    /// # Panics
+    /// Panics on NaN.
+    pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN recorded in Histogram");
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            // Guard against floating rounding at the top edge.
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Count in bin `i`.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// `[start, end)` range of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at/above the top of the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total recorded samples including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Index of the fullest bin (first one on ties); `None` if all empty.
+    pub fn mode_bin(&self) -> Option<usize> {
+        let max = *self.bins.iter().max()?;
+        if max == 0 {
+            return None;
+        }
+        self.bins.iter().position(|&c| c == max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_range() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for i in 0..10 {
+            h.record(i as f64);
+        }
+        for b in 0..5 {
+            assert_eq!(h.bin_count(b), 2, "bin {b}");
+        }
+        assert_eq!(h.total(), 10);
+    }
+
+    #[test]
+    fn under_and_overflow_counted() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(-0.5);
+        h.record(1.0); // hi is exclusive
+        h.record(0.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn bin_range_is_consistent() {
+        let h = Histogram::new(10.0, 20.0, 4);
+        assert_eq!(h.bin_range(0), (10.0, 12.5));
+        assert_eq!(h.bin_range(3), (17.5, 20.0));
+    }
+
+    #[test]
+    fn mode_bin() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        h.record(1.5);
+        h.record(1.6);
+        h.record(0.5);
+        assert_eq!(h.mode_bin(), Some(1));
+        assert_eq!(Histogram::new(0.0, 1.0, 2).mode_bin(), None);
+    }
+
+    #[test]
+    fn top_edge_rounding_guard() {
+        let mut h = Histogram::new(0.0, 0.3, 3);
+        // 0.3 - epsilon should land in the last bin, not panic.
+        h.record(0.3 - 1e-16);
+        assert_eq!(h.bin_count(2) + h.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Quantiles and medians.
+//!
+//! Uses the "type 7" linear-interpolation estimator (the default of R,
+//! NumPy and Matlab's `quantile`), which is what the paper's Matlab boxplot
+//! pipeline would have used for its medians and quartiles.
+
+/// Compute the `q`-quantile (`0 ≤ q ≤ 1`) of a sample.
+///
+/// Returns `None` for an empty sample. NaN values are rejected with a panic
+/// because they would poison the sort order silently otherwise.
+///
+/// ```
+/// use skyferry_stats::quantile::quantile;
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&xs, 0.5), Some(2.5));
+/// assert_eq!(quantile(&xs, 0.0), Some(1.0));
+/// assert_eq!(quantile(&xs, 1.0), Some(4.0));
+/// ```
+pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile q out of range: {q}");
+    if samples.is_empty() {
+        return None;
+    }
+    assert!(samples.iter().all(|x| !x.is_nan()), "NaN in quantile input");
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Same as [`quantile`] but assumes `sorted` is already ascending.
+///
+/// # Panics
+/// Panics (debug builds) if the input is not sorted.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+    assert!(!sorted.is_empty());
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    // Type-7: h = (n-1)q, interpolate between floor(h) and ceil(h).
+    let h = (n - 1) as f64 * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Median of a sample (`None` if empty).
+pub fn median(samples: &[f64]) -> Option<f64> {
+    quantile(samples, 0.5)
+}
+
+/// First, second (median) and third quartiles of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quartiles {
+    /// 25th percentile.
+    pub q1: f64,
+    /// 50th percentile.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+}
+
+impl Quartiles {
+    /// Compute quartiles; `None` for an empty sample.
+    pub fn of(samples: &[f64]) -> Option<Quartiles> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        assert!(sorted.iter().all(|x| !x.is_nan()), "NaN in quartile input");
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+        Some(Quartiles {
+            q1: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q3: quantile_sorted(&sorted, 0.75),
+        })
+    }
+
+    /// Interquartile range `q3 - q1`.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(median(&[]), None);
+        assert!(Quartiles::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        assert_eq!(quantile(&[42.0], 0.0), Some(42.0));
+        assert_eq!(quantile(&[42.0], 0.37), Some(42.0));
+        assert_eq!(quantile(&[42.0], 1.0), Some(42.0));
+    }
+
+    #[test]
+    fn odd_length_median_is_middle() {
+        assert_eq!(median(&[5.0, 1.0, 3.0]), Some(3.0));
+    }
+
+    #[test]
+    fn even_length_median_interpolates() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 10.0]), Some(2.5));
+    }
+
+    #[test]
+    fn matches_numpy_type7() {
+        // numpy.percentile([15, 20, 35, 40, 50], 40) == 29.0
+        let xs = [15.0, 20.0, 35.0, 40.0, 50.0];
+        let got = quantile(&xs, 0.40).unwrap();
+        assert!((got - 29.0).abs() < 1e-12, "got {got}");
+    }
+
+    #[test]
+    fn quartiles_of_known_sample() {
+        // numpy.percentile(1..=8, [25, 50, 75]) = [2.75, 4.5, 6.25]
+        let xs: Vec<f64> = (1..=8).map(|i| i as f64).collect();
+        let q = Quartiles::of(&xs).unwrap();
+        assert!((q.q1 - 2.75).abs() < 1e-12);
+        assert!((q.median - 4.5).abs() < 1e-12);
+        assert!((q.q3 - 6.25).abs() < 1e-12);
+        assert!((q.iqr() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsorted_input_ok() {
+        let xs = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(median(&xs), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_rejected() {
+        let _ = quantile(&[1.0, f64::NAN], 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn q_out_of_range_rejected() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = quantile(&xs, q).unwrap();
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

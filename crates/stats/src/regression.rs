@@ -1,0 +1,192 @@
+//! Least-squares fits.
+//!
+//! The paper fits a logarithmic function to the empirical median throughput
+//! (Section 4): `s(d) = 1e6 · (a·log2(d) + b)` with reported
+//! `a = −5.56, b = 49` (airplanes, R² = 0.90) and `a = −10.5, b = 73`
+//! (quadrocopters, R² = 0.96). [`Log2Fit`] reproduces exactly that fit; it
+//! is ordinary least squares on the transformed abscissa `x = log2(d)`.
+
+/// An ordinary least-squares straight-line fit `y = slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R² (1 = perfect fit). Defined as 1 when
+    /// the dependent variable is constant and the fit is exact.
+    pub r_squared: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Fit `y = slope·x + intercept` through `(x, y)` pairs.
+    ///
+    /// Returns `None` when fewer than two points are given or when all `x`
+    /// coincide (vertical line — slope undefined).
+    ///
+    /// # Panics
+    /// Panics on NaN or infinite inputs.
+    pub fn fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+        if points.len() < 2 {
+            return None;
+        }
+        assert!(
+            points.iter().all(|(x, y)| x.is_finite() && y.is_finite()),
+            "non-finite input to LinearFit"
+        );
+        let n = points.len() as f64;
+        let mean_x = points.iter().map(|(x, _)| x).sum::<f64>() / n;
+        let mean_y = points.iter().map(|(_, y)| y).sum::<f64>() / n;
+        let sxx: f64 = points.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+        if sxx == 0.0 {
+            return None;
+        }
+        let sxy: f64 = points
+            .iter()
+            .map(|(x, y)| (x - mean_x) * (y - mean_y))
+            .sum();
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+
+        let ss_tot: f64 = points.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+        let ss_res: f64 = points
+            .iter()
+            .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
+            .sum();
+        let r_squared = if ss_tot == 0.0 {
+            // Constant y: the fit is exact (slope 0), define R² = 1.
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        Some(LinearFit {
+            slope,
+            intercept,
+            r_squared,
+            n: points.len(),
+        })
+    }
+
+    /// Evaluate the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// A logarithmic fit `y = a·log2(x) + b`, the model family the paper uses
+/// for median throughput vs distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Log2Fit {
+    /// Coefficient of `log2(x)` (the paper's `−5.56` / `−10.5`).
+    pub a: f64,
+    /// Constant term (the paper's `49` / `73`).
+    pub b: f64,
+    /// Coefficient of determination on the transformed problem.
+    pub r_squared: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl Log2Fit {
+    /// Fit `y = a·log2(x) + b` through `(x, y)` pairs with `x > 0`.
+    ///
+    /// Returns `None` with fewer than two distinct abscissae.
+    ///
+    /// # Panics
+    /// Panics if any `x ≤ 0` (log undefined) or any input is non-finite.
+    pub fn fit(points: &[(f64, f64)]) -> Option<Log2Fit> {
+        assert!(
+            points.iter().all(|&(x, _)| x > 0.0),
+            "Log2Fit requires positive x"
+        );
+        let transformed: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.log2(), y)).collect();
+        LinearFit::fit(&transformed).map(|lin| Log2Fit {
+            a: lin.slope,
+            b: lin.intercept,
+            r_squared: lin.r_squared,
+            n: lin.n,
+        })
+    }
+
+    /// Evaluate the fit at distance `x` (> 0).
+    pub fn predict(&self, x: f64) -> f64 {
+        assert!(x > 0.0, "Log2Fit::predict requires positive x");
+        self.a * x.log2() + self.b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 - 2.0)).collect();
+        let fit = LinearFit::fit(&pts).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_few_points_is_none() {
+        assert!(LinearFit::fit(&[]).is_none());
+        assert!(LinearFit::fit(&[(1.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn vertical_line_is_none() {
+        assert!(LinearFit::fit(&[(2.0, 1.0), (2.0, 5.0)]).is_none());
+    }
+
+    #[test]
+    fn constant_y_has_unit_r2() {
+        let fit = LinearFit::fit(&[(0.0, 4.0), (1.0, 4.0), (2.0, 4.0)]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 4.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let pts = [(0.0, 0.1), (1.0, 0.9), (2.0, 2.2), (3.0, 2.8)];
+        let fit = LinearFit::fit(&pts).unwrap();
+        assert!(fit.r_squared > 0.9 && fit.r_squared < 1.0);
+    }
+
+    #[test]
+    fn log2_fit_recovers_paper_style_model() {
+        // Generate exact data from the paper's airplane fit:
+        // s(d) = -5.56 log2(d) + 49 (in Mb/s).
+        let pts: Vec<(f64, f64)> = (1..=16)
+            .map(|i| {
+                let d = 20.0 * i as f64;
+                (d, -5.56 * d.log2() + 49.0)
+            })
+            .collect();
+        let fit = Log2Fit::fit(&pts).unwrap();
+        assert!((fit.a + 5.56).abs() < 1e-10, "a={}", fit.a);
+        assert!((fit.b - 49.0).abs() < 1e-9, "b={}", fit.b);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(80.0) - (-5.56 * 80f64.log2() + 49.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn log2_rejects_nonpositive_x() {
+        let _ = Log2Fit::fit(&[(0.0, 1.0), (2.0, 2.0)]);
+    }
+
+    #[test]
+    fn predict_linear() {
+        let fit = LinearFit {
+            slope: 2.0,
+            intercept: 1.0,
+            r_squared: 1.0,
+            n: 2,
+        };
+        assert_eq!(fit.predict(3.0), 7.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Plain-text table rendering for the reproduction harness.
+//!
+//! Every `repro` subcommand prints its figure/table as an aligned text
+//! table (the "same rows/series the paper reports"); this module is the one
+//! place that knows how to lay those out.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple aligned text table builder.
+///
+/// ```
+/// use skyferry_stats::table::TextTable;
+/// let mut t = TextTable::new(&["d (m)", "median (Mb/s)"]);
+/// t.row(&["20", "28.4"]);
+/// t.row(&["40", "23.1"]);
+/// let s = t.render();
+/// assert!(s.contains("d (m)"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    aligns: Vec<Align>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers. All columns default to
+    /// right alignment except the first, which is left-aligned.
+    pub fn new(headers: &[&str]) -> Self {
+        assert!(!headers.is_empty(), "table needs at least one column");
+        let mut aligns = vec![Align::Right; headers.len()];
+        aligns[0] = Align::Left;
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            aligns,
+        }
+    }
+
+    /// Override the alignment of a column.
+    pub fn align(&mut self, column: usize, align: Align) -> &mut Self {
+        self.aligns[column] = align;
+        self
+    }
+
+    /// Append a row of pre-formatted cells.
+    ///
+    /// # Panics
+    /// Panics if the number of cells differs from the number of headers.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header"
+        );
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Append a row of `f64` values formatted with `decimals` places, with
+    /// a string label in the first column.
+    pub fn row_f64(&mut self, label: &str, values: &[f64], decimals: usize) -> &mut Self {
+        let mut cells = vec![label.to_string()];
+        cells.extend(values.iter().map(|v| format!("{v:.decimals$}")));
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render the table with a header underline, columns two spaces apart.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for c in 0..cols {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                let w = widths[c];
+                match self.aligns[c] {
+                    Align::Left => {
+                        let _ = write!(out, "{:<w$}", cells[c]);
+                    }
+                    Align::Right => {
+                        let _ = write!(out, "{:>w$}", cells[c]);
+                    }
+                }
+            }
+            // Trim trailing spaces from left-aligned last columns.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as CSV. Cells containing commas, quotes or newlines are
+    /// quoted per RFC 4180 (embedded quotes doubled).
+    pub fn render_csv(&self) -> String {
+        fn push_cell(out: &mut String, c: &str) {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                out.push('"');
+                out.push_str(&c.replace('"', "\"\""));
+                out.push('"');
+            } else {
+                out.push_str(c);
+            }
+        }
+        let mut out = String::new();
+        let csv_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_cell(out, c);
+            }
+            out.push('\n');
+        };
+        csv_row(&mut out, &self.headers);
+        for row in &self.rows {
+            csv_row(&mut out, row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(&["a", "1"]);
+        t.row(&["long-name", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned numbers share their last column.
+        assert!(lines[2].ends_with('1'));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    fn row_f64_formats_decimals() {
+        let mut t = TextTable::new(&["d", "s"]);
+        t.row_f64("20", &[28.456], 2);
+        assert!(t.render().contains("28.46"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["1", "2"]);
+        assert_eq!(t.render_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_width_panics() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["x,y", "say \"hi\""]);
+        assert_eq!(t.render_csv(), "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn alignment_override() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.align(1, Align::Left);
+        t.row(&["x", "y"]);
+        assert_eq!(t.num_rows(), 1);
+        let s = t.render();
+        assert!(s.lines().nth(2).unwrap().starts_with("x  y"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Battery endurance bookkeeping.
+//!
+//! "The period during which UAVs remain in action is limited by battery
+//! capacity" (Section 1). The model is deliberately simple — a time-based
+//! reservoir at nominal consumption, which is how Table 1 quotes autonomy
+//! — with a hover/cruise weighting hook because rotorcraft drain slightly
+//! faster in forward flight.
+
+use skyferry_sim::time::SimDuration;
+
+use crate::platform::PlatformSpec;
+
+/// Remaining-endurance tracker for one UAV.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Battery {
+    autonomy_s: f64,
+    consumed_s: f64,
+    /// Relative drain multiplier while moving (1.0 = same as hover).
+    cruise_drain_factor: f64,
+}
+
+impl Battery {
+    /// A full battery for the given platform. Cruise drain factor is 1.1
+    /// for rotorcraft (forward flight costs a bit more than hover) and
+    /// 1.0 for fixed-wing (which is always cruising).
+    pub fn full(spec: &PlatformSpec) -> Self {
+        Battery {
+            autonomy_s: spec.battery_autonomy_s,
+            consumed_s: 0.0,
+            cruise_drain_factor: if spec.can_hover { 1.1 } else { 1.0 },
+        }
+    }
+
+    /// A partially charged battery (fraction in `(0, 1]`).
+    pub fn at_fraction(spec: &PlatformSpec, fraction: f64) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0);
+        let mut b = Self::full(spec);
+        b.consumed_s = b.autonomy_s * (1.0 - fraction);
+        b
+    }
+
+    /// Consume `dt` of flight; `moving` selects the drain factor.
+    pub fn drain(&mut self, dt: SimDuration, moving: bool) {
+        assert!(!dt.is_negative());
+        let factor = if moving {
+            self.cruise_drain_factor
+        } else {
+            1.0
+        };
+        self.consumed_s += dt.as_secs_f64() * factor;
+    }
+
+    /// Remaining endurance at hover drain, seconds (never negative).
+    pub fn remaining_s(&self) -> f64 {
+        (self.autonomy_s - self.consumed_s).max(0.0)
+    }
+
+    /// Remaining fraction in `[0, 1]`.
+    pub fn remaining_fraction(&self) -> f64 {
+        self.remaining_s() / self.autonomy_s
+    }
+
+    /// `true` once the battery is exhausted.
+    pub fn is_depleted(&self) -> bool {
+        self.remaining_s() <= 0.0
+    }
+
+    /// Distance still flyable at `speed_mps`, metres.
+    pub fn remaining_range_m(&self, speed_mps: f64) -> f64 {
+        assert!(speed_mps >= 0.0);
+        self.remaining_s() / self.cruise_drain_factor * speed_mps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_battery_matches_autonomy() {
+        let b = Battery::full(&PlatformSpec::airplane());
+        assert_eq!(b.remaining_s(), 1800.0);
+        assert_eq!(b.remaining_fraction(), 1.0);
+        assert!(!b.is_depleted());
+    }
+
+    #[test]
+    fn drain_depletes() {
+        let mut b = Battery::full(&PlatformSpec::quadrocopter());
+        b.drain(SimDuration::from_secs(600), false);
+        assert_eq!(b.remaining_s(), 600.0);
+        b.drain(SimDuration::from_secs(700), false);
+        assert!(b.is_depleted());
+        assert_eq!(b.remaining_s(), 0.0);
+    }
+
+    #[test]
+    fn cruise_costs_more_for_rotorcraft() {
+        let mut hover = Battery::full(&PlatformSpec::quadrocopter());
+        let mut cruise = Battery::full(&PlatformSpec::quadrocopter());
+        hover.drain(SimDuration::from_secs(100), false);
+        cruise.drain(SimDuration::from_secs(100), true);
+        assert!(cruise.remaining_s() < hover.remaining_s());
+    }
+
+    #[test]
+    fn fixed_wing_has_flat_drain() {
+        let mut a = Battery::full(&PlatformSpec::airplane());
+        let mut b = Battery::full(&PlatformSpec::airplane());
+        a.drain(SimDuration::from_secs(100), false);
+        b.drain(SimDuration::from_secs(100), true);
+        assert_eq!(a.remaining_s(), b.remaining_s());
+    }
+
+    #[test]
+    fn partial_battery() {
+        let b = Battery::at_fraction(&PlatformSpec::airplane(), 0.5);
+        assert_eq!(b.remaining_s(), 900.0);
+        assert!((b.remaining_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remaining_range() {
+        let b = Battery::full(&PlatformSpec::airplane());
+        assert_eq!(b.remaining_range_m(10.0), 18_000.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # skyferry-uav
+//!
+//! UAV platforms, flight dynamics, autopilot, sensing and failure
+//! processes — the simulation stand-in for the paper's Swinglet airplanes
+//! and Arducopter quadrocopters.
+//!
+//! * [`platform`] — the Table 1 platform constants (hover capability,
+//!   size, weight, battery autonomy, cruise speed, maximum safe altitude)
+//!   and the derived baseline failure rates `ρ` of Section 4;
+//! * [`kinematics`] — point-mass flight dynamics with per-platform
+//!   limits: quadrocopters fly straight to targets and can hover,
+//!   airplanes hold airspeed and turn with a bounded rate (≥ 20 m loiter
+//!   radius, matching "circle with a radius of at least 20 m");
+//! * [`autopilot`] — waypoint navigation, hover/loiter behaviour and
+//!   flight-plan sequencing ("the autopilot enables it to … navigate
+//!   through waypoints");
+//! * [`gps`] — a Gauss–Markov GPS error model producing the noisy fixes
+//!   from which inter-UAV distances are computed in the traces (Figure 4);
+//! * [`battery`] — endurance bookkeeping (30 min airplane, 20 min quad);
+//! * [`sensing`] — the camera capture process that accumulates `Mdata`
+//!   while scanning a sector;
+//! * [`failure`] — the exponential-in-distance failure process behind the
+//!   discount factor `δ(d) = exp(−ρ·Δd)` of Eq. (1);
+//! * [`wind`] — mean wind + Ornstein–Uhlenbeck gusts; fixed-wing ground
+//!   speed is airspeed plus wind, which is how the paper's 10 m/s
+//!   airplanes reach 26 m/s of relative closing speed.
+
+pub mod autopilot;
+pub mod battery;
+pub mod failure;
+pub mod gps;
+pub mod kinematics;
+pub mod platform;
+pub mod sensing;
+pub mod wind;
+
+pub use autopilot::{Autopilot, AutopilotMode};
+pub use battery::Battery;
+pub use failure::FailureProcess;
+pub use gps::GpsSensor;
+pub use kinematics::UavKinematics;
+pub use platform::{PlatformKind, PlatformSpec};
+pub use sensing::CameraProcess;
+pub use wind::{WindConfig, WindField};

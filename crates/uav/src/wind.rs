@@ -1,0 +1,170 @@
+//! Wind.
+//!
+//! Fixed-wing UAVs hold *airspeed*; their ground speed is airspeed plus
+//! the wind vector. This is how the paper's airplanes reach 26 m/s of
+//! relative closing speed even though each flies 10 m/s of airspeed:
+//! with a few m/s of wind, the downwind aircraft closes on the upwind
+//! one at up to `2·v_air + …` projected along the encounter axis.
+//!
+//! The model is a steady mean wind plus an Ornstein–Uhlenbeck gust
+//! process per horizontal axis (time constant ~10 s, the energy-carrying
+//! scale of low-altitude turbulence), sampled on demand.
+
+use skyferry_geo::vector::Vec3;
+use skyferry_sim::rng::DetRng;
+use skyferry_sim::time::SimTime;
+
+/// Wind field parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindConfig {
+    /// Mean wind vector (ENU, m/s); z is usually 0.
+    pub mean_mps: Vec3,
+    /// Standard deviation of each horizontal gust component, m/s.
+    pub gust_sigma_mps: f64,
+    /// Gust correlation time constant, seconds.
+    pub gust_tau_s: f64,
+}
+
+impl WindConfig {
+    /// Calm air.
+    pub fn calm() -> Self {
+        WindConfig {
+            mean_mps: Vec3::ZERO,
+            gust_sigma_mps: 0.0,
+            gust_tau_s: 10.0,
+        }
+    }
+
+    /// A steady wind from the given *source* bearing (degrees clockwise
+    /// from north — meteorological convention) at `speed_mps`, with
+    /// moderate gusting.
+    pub fn steady(from_bearing_deg: f64, speed_mps: f64) -> Self {
+        assert!(speed_mps >= 0.0);
+        let to_bearing = (from_bearing_deg + 180.0).to_radians();
+        WindConfig {
+            mean_mps: Vec3::new(
+                to_bearing.sin() * speed_mps,
+                to_bearing.cos() * speed_mps,
+                0.0,
+            ),
+            gust_sigma_mps: 0.15 * speed_mps,
+            gust_tau_s: 10.0,
+        }
+    }
+}
+
+/// A sampled wind process.
+#[derive(Debug, Clone)]
+pub struct WindField {
+    config: WindConfig,
+    rng: DetRng,
+    gust: Vec3,
+    last: Option<SimTime>,
+}
+
+impl WindField {
+    /// Create from a config and an RNG substream.
+    pub fn new(config: WindConfig, rng: DetRng) -> Self {
+        assert!(config.gust_tau_s > 0.0);
+        WindField {
+            config,
+            rng,
+            gust: Vec3::ZERO,
+            last: None,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &WindConfig {
+        &self.config
+    }
+
+    /// Wind vector at time `now` (times must be non-decreasing).
+    pub fn at(&mut self, now: SimTime) -> Vec3 {
+        let sigma = self.config.gust_sigma_mps;
+        if sigma > 0.0 {
+            match self.last {
+                None => {
+                    self.gust = Vec3::new(
+                        self.rng.normal(0.0, sigma),
+                        self.rng.normal(0.0, sigma),
+                        0.0,
+                    );
+                }
+                Some(prev) => {
+                    assert!(now >= prev, "wind queried out of order");
+                    let dt = (now - prev).as_secs_f64();
+                    if dt > 0.0 {
+                        let rho = (-dt / self.config.gust_tau_s).exp();
+                        let innov = sigma * (1.0 - rho * rho).sqrt();
+                        self.gust = Vec3::new(
+                            self.gust.x * rho + self.rng.normal(0.0, innov),
+                            self.gust.y * rho + self.rng.normal(0.0, innov),
+                            0.0,
+                        );
+                    }
+                }
+            }
+        }
+        self.last = Some(now);
+        self.config.mean_mps + self.gust
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyferry_sim::time::SimDuration;
+
+    #[test]
+    fn calm_air_is_zero() {
+        let mut w = WindField::new(WindConfig::calm(), DetRng::seed(1));
+        assert_eq!(w.at(SimTime::ZERO), Vec3::ZERO);
+        assert_eq!(w.at(SimTime::from_secs(100)), Vec3::ZERO);
+    }
+
+    #[test]
+    fn steady_wind_blows_downwind() {
+        // Wind *from* the north (0°) blows *towards* the south (-y).
+        let c = WindConfig::steady(0.0, 5.0);
+        assert!(c.mean_mps.y < -4.9, "{:?}", c.mean_mps);
+        assert!(c.mean_mps.x.abs() < 1e-9);
+        // From the west (270°) blows towards the east (+x).
+        let c = WindConfig::steady(270.0, 3.0);
+        assert!(c.mean_mps.x > 2.9, "{:?}", c.mean_mps);
+    }
+
+    #[test]
+    fn gusts_have_configured_statistics() {
+        let mut w = WindField::new(WindConfig::steady(0.0, 6.0), DetRng::seed(2));
+        // Sample far apart so gusts decorrelate.
+        let mut xs = Vec::new();
+        let mut now = SimTime::ZERO;
+        for _ in 0..4000 {
+            now += SimDuration::from_secs(60);
+            xs.push(w.at(now).x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let std = (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64).sqrt();
+        assert!(mean.abs() < 0.1, "mean={mean}");
+        assert!((std - 0.9).abs() < 0.1, "std={std}"); // 0.15 × 6 m/s
+    }
+
+    #[test]
+    fn gusts_are_time_correlated() {
+        let mut w = WindField::new(WindConfig::steady(90.0, 8.0), DetRng::seed(3));
+        let a = w.at(SimTime::ZERO);
+        let b = w.at(SimTime::from_millis(100));
+        assert!((a - b).norm() < 0.5, "gust jumped: {:?} vs {:?}", a, b);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = WindField::new(WindConfig::steady(45.0, 4.0), DetRng::seed(7));
+        let mut b = WindField::new(WindConfig::steady(45.0, 4.0), DetRng::seed(7));
+        for i in 0..50 {
+            let t = SimTime::from_millis(i * 330);
+            assert_eq!(a.at(t), b.at(t));
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Sweep the strategy space: where is the sweet spot?
+//!
+//! ```text
+//! cargo run --example strategy_sweep [-- <Mdata-MB> <speed-mps>]
+//! ```
+//!
+//! Reproduces the reasoning behind Figures 8 and 9 interactively: prints
+//! the optimal rendezvous distance across batch sizes, speeds and failure
+//! rates for the airplane scenario, plus a side-by-side evaluation of the
+//! concrete strategies for one chosen parameter point.
+
+use skyferry::core::prelude::*;
+use skyferry::core::strategy::{evaluate_panel, EvalConfig};
+use skyferry::core::sweep::{gratification_sweep, paper_grid, paper_rhos, rho_sweep};
+use skyferry::stats::table::TextTable;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mdata_mb: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(15.0);
+    let speed: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10.0);
+
+    println!("skyferry strategy sweep (airplane scenario)\n");
+
+    // --- Figure 8: how risk moves the optimum. --------------------------
+    let base = Scenario::airplane_baseline()
+        .with_mdata_mb(mdata_mb)
+        .with_speed(speed);
+    let mut t = TextTable::new(&["rho (1/m)", "dopt (m)", "U(dopt)", "ship (s)", "tx (s)"]);
+    for c in rho_sweep(&base, &paper_rhos::AIRPLANE, 2) {
+        t.row(&[
+            &format!("{:.2e}", c.rho_per_m),
+            &format!("{:.1}", c.optimum.d_opt),
+            &format!("{:.4}", c.optimum.utility),
+            &format!("{:.1}", c.optimum.ship_s),
+            &format!("{:.1}", c.optimum.tx_s),
+        ]);
+    }
+    println!("risk sweep for Mdata = {mdata_mb} MB, v = {speed} m/s:");
+    println!("{}", t.render());
+
+    // --- Figure 9: the Mdata × v landscape. ------------------------------
+    let grid = gratification_sweep(
+        &Scenario::airplane_baseline(),
+        &paper_grid::MDATA_MB,
+        &paper_grid::SPEEDS_MPS,
+    );
+    let mut g = TextTable::new(&["Mdata \\ v", "3", "5", "10", "15", "20  (dopt in m)"]);
+    for row in &grid {
+        let cells: Vec<f64> = row.iter().map(|p| p.optimum.d_opt).collect();
+        g.row_f64(&format!("{:.0} MB", row[0].mdata_mb), &cells, 0);
+    }
+    println!("optimal rendezvous distance across the Figure 9 grid:");
+    println!("{}", g.render());
+
+    // --- Concrete strategies at the chosen point. ------------------------
+    let mut s = TextTable::new(&["strategy", "completion (s)", "survival", "utility"]);
+    for e in evaluate_panel(
+        &base,
+        &[20.0, 60.0, 120.0, base.d0_m],
+        &EvalConfig::default(),
+    ) {
+        s.row(&[
+            &e.label,
+            &format!("{:.1}", e.completion_s),
+            &format!("{:.4}", e.survival),
+            &format!("{:.5}", e.utility),
+        ]);
+    }
+    println!("strategy panel at Mdata = {mdata_mb} MB, v = {speed} m/s:");
+    println!("{}", s.render());
+
+    let opt = base.optimize();
+    println!(
+        "=> solve Eq. (2): wait until d = {:.1} m, expected delivery in {:.1} s",
+        opt.d_opt,
+        opt.cdelay_s()
+    );
+}

@@ -1,0 +1,158 @@
+//! Cross-crate integration tests: the PHY + MAC + rate-control + traffic
+//! stack driven end to end, plus determinism guarantees.
+
+use skyferry::mac::link::{LinkConfig, LinkState};
+use skyferry::mac::queue::TxQueue;
+use skyferry::mac::rate::FixedMcs;
+use skyferry::net::campaign::{measure_throughput, run_transfer, CampaignConfig, ControllerKind};
+use skyferry::net::profile::MotionProfile;
+use skyferry::phy::mcs::Mcs;
+use skyferry::phy::presets::ChannelPreset;
+use skyferry::sim::prelude::*;
+use skyferry::stats::quantile::median;
+
+fn quad_campaign(seed: u64, secs: i64) -> CampaignConfig {
+    CampaignConfig {
+        preset: ChannelPreset::quadrocopter(0.0),
+        controller: ControllerKind::Arf,
+        duration: SimDuration::from_secs(secs),
+        seed,
+    }
+}
+
+#[test]
+fn same_seed_same_world() {
+    // Bit-identical results across runs: the core promise of the engine.
+    let a = measure_throughput(&quad_campaign(42, 10), MotionProfile::hover(50.0), 3);
+    let b = measure_throughput(&quad_campaign(42, 10), MotionProfile::hover(50.0), 3);
+    assert_eq!(a, b);
+    let ta = run_transfer(
+        &quad_campaign(42, 120),
+        MotionProfile::approach(80.0, 4.5, 40.0),
+        5_000_000,
+        true,
+        "t",
+        1,
+    );
+    let tb = run_transfer(
+        &quad_campaign(42, 120),
+        MotionProfile::approach(80.0, 4.5, 40.0),
+        5_000_000,
+        true,
+        "t",
+        1,
+    );
+    assert_eq!(ta.completion, tb.completion);
+    assert_eq!(ta.record.points(), tb.record.points());
+}
+
+#[test]
+fn different_seeds_different_worlds() {
+    let a = measure_throughput(&quad_campaign(1, 10), MotionProfile::hover(50.0), 0);
+    let b = measure_throughput(&quad_campaign(2, 10), MotionProfile::hover(50.0), 0);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn transfer_conserves_every_byte_through_the_stack() {
+    // Queue → A-MPDU assembly → per-subframe channel draws → block ACK →
+    // retransmissions: whatever happens, exactly Mdata arrives.
+    for seed in [3, 4, 5] {
+        let out = run_transfer(
+            &quad_campaign(seed, 600),
+            MotionProfile::hover(45.0),
+            13_371_337, // deliberately not a multiple of the MPDU size
+            false,
+            "conserve",
+            0,
+        );
+        assert_eq!(out.record.total_bytes(), 13_371_337, "seed {seed}");
+        assert!(out.completion.is_some(), "seed {seed}");
+        // Delivery curve never exceeds the batch.
+        for &(_, b) in out.record.points() {
+            assert!(b <= 13_371_337);
+        }
+    }
+}
+
+#[test]
+fn indoor_preset_reaches_80211n_class_rates() {
+    // The authors' sanity anchor: "in indoor lab test using 802.11n, we
+    // could get ≈176 Mb/s". Minstrel on the indoor preset at bench
+    // distance must reach >120 Mb/s.
+    let cfg = CampaignConfig {
+        preset: ChannelPreset::indoor_lab(),
+        controller: ControllerKind::MinstrelHt,
+        duration: SimDuration::from_secs(20),
+        seed: 7,
+    };
+    let samples = measure_throughput(&cfg, MotionProfile::hover(3.0), 0);
+    let m = median(&samples).unwrap();
+    assert!(m > 120.0, "indoor median {m} Mb/s");
+}
+
+#[test]
+fn aerial_is_80211g_like_despite_80211n_hardware() {
+    // Section 3.1's headline: the same radio that does ≈176 Mb/s indoors
+    // yields ≈20 Mb/s in the air at short range.
+    let cfg = CampaignConfig {
+        preset: ChannelPreset::airplane(20.0),
+        controller: ControllerKind::Arf,
+        duration: SimDuration::from_secs(20),
+        seed: 8,
+    };
+    let samples = measure_throughput(&cfg, MotionProfile::hover(20.0), 0);
+    let m = median(&samples).unwrap();
+    assert!((10.0..45.0).contains(&m), "aerial median {m} Mb/s");
+}
+
+#[test]
+fn mac_engine_composes_with_manual_event_loop() {
+    // Drive LinkState directly inside a Simulation, bypassing the
+    // campaign helpers — the documented integration pattern.
+    #[derive(Debug)]
+    struct Txop;
+    let seeds = SeedStream::new(99);
+    let preset = ChannelPreset::quadrocopter(0.0);
+    let mut link = LinkState::new(
+        LinkConfig::paper_default(preset),
+        Box::new(FixedMcs(Mcs::new(1))),
+        seeds.rng("fading"),
+        seeds.rng("link"),
+    );
+    let mut queue = TxQueue::saturated(preset.host_fill_rate_bps, 1 << 16);
+    let mut sim: Simulation<Txop> = Simulation::new();
+    sim.schedule_at(SimTime::ZERO, Txop);
+    let mut delivered = 0u64;
+    let outcome = sim.run_until(SimTime::from_secs(5), |ctx, Txop| {
+        let out = link.execute_txop(ctx.now(), 30.0, 0.0, &mut queue);
+        delivered += out.delivered_bytes as u64;
+        ctx.schedule_in(out.airtime, Txop);
+    });
+    assert_eq!(outcome, RunOutcome::HorizonReached);
+    assert!(delivered > 1_000_000, "delivered={delivered}");
+    assert_eq!(link.total_delivered_bytes(), delivered);
+}
+
+#[test]
+fn motion_profile_strategies_order_consistently() {
+    // A compact Figure 1 sanity: for a large batch, moving to mid-range
+    // first beats transmitting at the 80 m encounter distance.
+    let cfg = quad_campaign(11, 600);
+    let batch = 20_000_000;
+    let now = run_transfer(&cfg, MotionProfile::hover(80.0), batch, false, "now", 0);
+    let later = run_transfer(
+        &cfg,
+        MotionProfile::approach(80.0, 4.5, 40.0),
+        batch,
+        true,
+        "later",
+        0,
+    );
+    let t_now = now.completion.expect("completes").as_secs_f64();
+    let t_later = later.completion.expect("completes").as_secs_f64();
+    assert!(
+        t_later < t_now,
+        "move-then-transmit {t_later:.1}s must beat transmit-now {t_now:.1}s for 20 MB"
+    );
+}

@@ -1,0 +1,165 @@
+//! Property tests of the 802.11n PHY invariants.
+
+use proptest::prelude::*;
+use skyferry::phy::airtime::ppdu_duration;
+use skyferry::phy::channel::{db_to_linear, LinkBudget, PathLossModel};
+use skyferry::phy::error::{ber, coded_per, effective_snr_linear};
+use skyferry::phy::fading::{ChannelState, FadingConfig, FadingProcess};
+use skyferry::phy::mcs::{ChannelWidth, GuardInterval, Mcs, Modulation};
+use skyferry::sim::prelude::*;
+
+fn arb_mcs() -> impl Strategy<Value = Mcs> {
+    (0u8..=15).prop_map(Mcs::new)
+}
+
+fn arb_width_gi() -> impl Strategy<Value = (ChannelWidth, GuardInterval)> {
+    (
+        prop_oneof![Just(ChannelWidth::Mhz20), Just(ChannelWidth::Mhz40)],
+        prop_oneof![Just(GuardInterval::Long), Just(GuardInterval::Short)],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn per_is_probability_and_monotone_in_snr(mcs in arb_mcs(), len in 1usize..4096) {
+        let mut prev = 1.1;
+        for i in 0..40 {
+            let snr = db_to_linear(-10.0 + i as f64);
+            let per = coded_per(mcs, snr, len);
+            prop_assert!((0.0..=1.0).contains(&per), "{mcs} PER {per}");
+            prop_assert!(per <= prev + 1e-12, "{mcs} PER rose with SNR");
+            prev = per;
+        }
+    }
+
+    #[test]
+    fn per_monotone_in_length(mcs in arb_mcs(), snr_db in -5.0f64..30.0) {
+        let snr = db_to_linear(snr_db);
+        let mut prev = 0.0;
+        for len in [1usize, 10, 100, 500, 1500, 4000] {
+            let per = coded_per(mcs, snr, len);
+            prop_assert!(per >= prev - 1e-12, "PER fell with length");
+            prev = per;
+        }
+    }
+
+    #[test]
+    fn ber_ordering_and_bounds(snr_db in -10.0f64..35.0) {
+        let snr = db_to_linear(snr_db);
+        let b = ber(Modulation::Bpsk, snr);
+        let q = ber(Modulation::Qpsk, snr);
+        let q16 = ber(Modulation::Qam16, snr);
+        let q64 = ber(Modulation::Qam64, snr);
+        for p in [b, q, q16, q64] {
+            prop_assert!((0.0..=0.5).contains(&p));
+        }
+        prop_assert!(b <= q + 1e-15, "BPSK vs QPSK is exactly ordered");
+        // The Gray-coding QAM approximations' prefactors (< 1) make the
+        // constellation curves cross below ≈2 dB where every curve is
+        // useless anyway; the density ordering is only claimed above.
+        if snr_db >= 2.0 {
+            prop_assert!(q <= q16 + 1e-15);
+            prop_assert!(q16 <= q64 + 1e-15);
+        }
+    }
+
+    #[test]
+    fn airtime_positive_and_monotone(mcs in arb_mcs(), (w, gi) in arb_width_gi(), len in 0usize..65000) {
+        let d = ppdu_duration(mcs, w, gi, len);
+        prop_assert!(d > SimDuration::ZERO);
+        let d2 = ppdu_duration(mcs, w, gi, len + 1000);
+        prop_assert!(d2 >= d);
+    }
+
+    #[test]
+    fn data_rate_consistent_with_bits_per_symbol(mcs in arb_mcs(), (w, gi) in arb_width_gi()) {
+        let rate = mcs.data_rate_bps(w, gi);
+        let per_symbol = mcs.data_bits_per_symbol(w);
+        let sym_rate = 1.0 / gi.symbol_duration_s();
+        prop_assert!((rate - per_symbol * sym_rate).abs() < 1e-6);
+        prop_assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn path_loss_monotone(d1 in 1.0f64..10_000.0, factor in 1.01f64..10.0, exp in 1.0f64..4.0) {
+        let model = PathLossModel::LogDistance {
+            freq_hz: 5.2e9,
+            ref_distance_m: 10.0,
+            exponent: exp,
+        };
+        prop_assert!(model.loss_db(d1 * factor) >= model.loss_db(d1));
+    }
+
+    #[test]
+    fn snr_decreases_with_distance(tx in 0.0f64..20.0, nf in 3.0f64..10.0, d in 2.0f64..5_000.0) {
+        let budget = LinkBudget {
+            tx_power_dbm: tx,
+            antenna_gain_dbi: 0.0,
+            noise_figure_db: nf,
+            implementation_loss_db: 5.0,
+            path_loss: PathLossModel::FreeSpace { freq_hz: 5.2e9 },
+            width: ChannelWidth::Mhz40,
+        };
+        prop_assert!(budget.mean_snr_db(d * 2.0) < budget.mean_snr_db(d));
+    }
+
+    #[test]
+    fn fading_states_are_positive_and_expire(k_db in 0.0f64..15.0, v in 0.0f64..30.0, seed in any::<u64>()) {
+        let config = FadingConfig {
+            k_factor_db: k_db,
+            k_speed_slope_db_per_mps: 0.0,
+            k_min_db: 0.0,
+            shadowing_sigma_db: 3.0,
+            shadowing_speed_slope_db_per_mps: 0.0,
+            motion_loss_db_per_mps: 0.0,
+            shadowing_coherence_s: 1.0,
+            freq_hz: 5.2e9,
+            relative_speed_mps: v,
+            sdm_sir_db: 12.0,
+        };
+        let mut p = FadingProcess::new(config, DetRng::seed(seed));
+        let mut t = SimTime::ZERO;
+        for _ in 0..50 {
+            let s = p.state_at(t);
+            prop_assert!(s.branch_gain[0] > 0.0 && s.branch_gain[1] > 0.0);
+            prop_assert!(s.shadowing > 0.0);
+            prop_assert!(s.valid_until > t);
+            t = s.valid_until;
+        }
+    }
+
+    #[test]
+    fn effective_snr_finite_positive(
+        mcs in arb_mcs(),
+        stbc in any::<bool>(),
+        snr_db in -20.0f64..40.0,
+        g0 in 0.001f64..10.0,
+        g1 in 0.001f64..10.0,
+        shadow in 0.01f64..10.0,
+    ) {
+        let state = ChannelState {
+            branch_gain: [g0, g1],
+            shadowing: shadow,
+            valid_until: SimTime::MAX,
+        };
+        let eff = effective_snr_linear(mcs, stbc, db_to_linear(snr_db), &state, 12.0);
+        prop_assert!(eff.is_finite() && eff > 0.0);
+        // SDM never exceeds its SIR cap.
+        if mcs.uses_sdm() {
+            prop_assert!(eff <= db_to_linear(12.0) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn stbc_gain_is_branch_average(g0 in 0.0f64..10.0, g1 in 0.0f64..10.0, shadow in 0.1f64..5.0) {
+        let state = ChannelState {
+            branch_gain: [g0, g1],
+            shadowing: shadow,
+            valid_until: SimTime::MAX,
+        };
+        prop_assert!((state.stbc_gain() - 0.5 * (g0 + g1) * shadow).abs() < 1e-12);
+        prop_assert!((state.siso_gain() - g0 * shadow).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests of the discrete-event engine against a reference model:
+//! arbitrary schedules, cancellations and reschedules must always deliver
+//! in (time, insertion) order with exact clock semantics.
+
+use proptest::prelude::*;
+use skyferry::sim::prelude::*;
+
+/// A scripted action against the queue.
+#[derive(Debug, Clone)]
+enum Action {
+    /// Schedule at now + offset_ns with payload = action index.
+    Schedule(u64),
+    /// Cancel the n-th *still-pending* event (modulo pending count).
+    Cancel(usize),
+    /// Pop one event.
+    Pop,
+}
+
+fn arb_actions() -> impl Strategy<Value = Vec<Action>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..1_000_000).prop_map(Action::Schedule),
+            (0usize..16).prop_map(Action::Cancel),
+            Just(Action::Pop),
+        ],
+        1..120,
+    )
+}
+
+/// Reference model: a plain Vec of (time, seq, id, cancelled).
+#[derive(Debug, Default)]
+struct Model {
+    items: Vec<(u64, u64, usize, bool)>,
+    now: u64,
+    seq: u64,
+}
+
+impl Model {
+    fn schedule(&mut self, at: u64, id: usize) {
+        self.items.push((at, self.seq, id, false));
+        self.seq += 1;
+    }
+
+    fn pending_ids(&self) -> Vec<usize> {
+        let mut live: Vec<&(u64, u64, usize, bool)> = self.items.iter().filter(|e| !e.3).collect();
+        live.sort_by_key(|e| (e.0, e.1));
+        live.iter().map(|e| e.2).collect()
+    }
+
+    fn cancel_nth(&mut self, n: usize) -> Option<usize> {
+        let ids = self.pending_ids();
+        if ids.is_empty() {
+            return None;
+        }
+        let id = ids[n % ids.len()];
+        for e in self.items.iter_mut() {
+            if e.2 == id && !e.3 {
+                e.3 = true;
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    fn pop(&mut self) -> Option<(u64, usize)> {
+        let mut best: Option<usize> = None;
+        for (i, e) in self.items.iter().enumerate() {
+            if e.3 {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    let (bt, bs, ..) = self.items[b];
+                    if (e.0, e.1) < (bt, bs) {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        let i = best?;
+        let (t, _, id, _) = self.items[i];
+        self.items[i].3 = true;
+        self.now = t;
+        Some((t, id))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn queue_matches_reference_model(actions in arb_actions()) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        let mut model = Model::default();
+        let mut handles: Vec<(usize, EventId)> = Vec::new();
+
+        for (idx, action) in actions.iter().enumerate() {
+            match *action {
+                Action::Schedule(offset) => {
+                    let at = SimTime::from_nanos(q.now().as_nanos() + offset);
+                    let h = q.schedule_at(at, idx);
+                    model.schedule(at.as_nanos(), idx);
+                    handles.push((idx, h));
+                }
+                Action::Cancel(n) => {
+                    let cancelled_id = model.cancel_nth(n);
+                    if let Some(id) = cancelled_id {
+                        let h = handles
+                            .iter()
+                            .find(|(i, _)| *i == id)
+                            .expect("handle recorded")
+                            .1;
+                        prop_assert!(q.cancel(h), "queue refused live cancel of {id}");
+                    }
+                }
+                Action::Pop => {
+                    let expect = model.pop();
+                    let got = q.pop().map(|(t, id)| (t.as_nanos(), id));
+                    prop_assert_eq!(got, expect);
+                    if let Some((t, _)) = expect {
+                        prop_assert_eq!(q.now().as_nanos(), t);
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), model.pending_ids().len());
+        }
+
+        // Drain both completely: residues must agree in full order.
+        loop {
+            let expect = model.pop();
+            let got = q.pop().map(|(t, id)| (t.as_nanos(), id));
+            prop_assert_eq!(got, expect);
+            if expect.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_visits_events_in_time_order(offsets in proptest::collection::vec(0u64..10_000_000, 1..64)) {
+        let mut sim: Simulation<usize> = Simulation::new();
+        for (i, &off) in offsets.iter().enumerate() {
+            sim.schedule_at(SimTime::from_nanos(off), i);
+        }
+        let mut seen: Vec<(u64, usize)> = Vec::new();
+        sim.run(|ctx, id| {
+            seen.push((ctx.now().as_nanos(), id));
+        });
+        prop_assert_eq!(seen.len(), offsets.len());
+        // Times non-decreasing; ties in insertion order.
+        for w in seen.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tiebreak violated");
+            }
+        }
+    }
+
+    #[test]
+    fn rng_substreams_do_not_collide(master in any::<u64>(), a in 0u64..1000, b in 0u64..1000) {
+        prop_assume!(a != b);
+        let s = SeedStream::new(master);
+        prop_assert_ne!(s.derive_indexed("x", a), s.derive_indexed("x", b));
+        prop_assert_ne!(s.derive("alpha"), s.derive("beta"));
+    }
+
+    #[test]
+    fn sim_time_arithmetic_roundtrips(base in 0u64..u64::MAX / 4, delta in 0i64..i64::MAX / 4) {
+        let t = SimTime::from_nanos(base);
+        let d = SimDuration::from_nanos(delta);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!(((t + d) - t).as_nanos(), delta);
+    }
+}
