@@ -1,15 +1,13 @@
-//! Criterion benchmarks: one benchmark per reproduced table/figure.
+//! Benchmarks: one per reproduced table/figure.
 //!
 //! Each bench regenerates its experiment end to end (quick-mode sizing,
 //! fixed seed), so `cargo bench` both times the harness and proves every
-//! figure's pipeline still runs. Sample counts are kept small because a
-//! single iteration of the campaign figures simulates tens of seconds of
-//! radio time.
+//! figure's pipeline still runs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use skyferry_bench::experiments;
+use skyferry_bench::microbench::Harness;
 use skyferry_bench::report::ReproConfig;
 
 fn cfg() -> ReproConfig {
@@ -20,38 +18,18 @@ fn cfg() -> ReproConfig {
     }
 }
 
-fn bench_experiment(c: &mut Criterion, id: &'static str) {
+fn main() {
+    let mut h = Harness::from_env();
     let config = cfg();
-    c.bench_function(&format!("repro/{id}"), |b| {
-        b.iter(|| {
+    // Analytic experiments first (fast), then the full-stack campaigns
+    // (seconds of simulated radio time per iteration).
+    for id in [
+        "table1", "mdata", "fig8", "fig9", "fig1", "fig4", "fig5", "fig6", "fig7", "fits",
+    ] {
+        h.bench(&format!("repro/{id}"), || {
             let report = experiments::run(id, &config).expect("known experiment");
             black_box(report.tables.len())
-        })
-    });
-}
-
-fn light_figures(c: &mut Criterion) {
-    // Analytic experiments: fast, benched at default precision.
-    for id in ["table1", "mdata", "fig8", "fig9"] {
-        bench_experiment(c, id);
-    }
-}
-
-fn campaign_figures(c: &mut Criterion) {
-    // Full-stack simulation campaigns: seconds per iteration.
-    let mut group = c.benchmark_group("repro-campaigns");
-    group.sample_size(10);
-    let config = cfg();
-    for id in ["fig1", "fig4", "fig5", "fig6", "fig7", "fits"] {
-        group.bench_function(id, |b| {
-            b.iter(|| {
-                let report = experiments::run(id, &config).expect("known experiment");
-                black_box(report.notes.len())
-            })
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(figures, light_figures, campaign_figures);
-criterion_main!(figures);

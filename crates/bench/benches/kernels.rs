@@ -1,10 +1,10 @@
-//! Criterion benchmarks of the computational kernels underneath the
-//! reproduction: the Eq. (2) optimizer, the PHY error chain, one MAC
-//! TXOP, and a second of simulated saturated traffic.
+//! Benchmarks of the computational kernels underneath the reproduction:
+//! the Eq. (2) optimizer, the PHY error chain, one MAC TXOP, and a
+//! second of simulated saturated traffic.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use skyferry_bench::microbench::Harness;
 use skyferry_control::mission::{run_mission, MissionConfig};
 use skyferry_core::mixed::{optimize_mixed, MixedConfig};
 use skyferry_core::optimizer::optimize;
@@ -13,7 +13,7 @@ use skyferry_core::sweep::{gratification_sweep, paper_grid};
 use skyferry_geo::vector::Vec3;
 use skyferry_mac::link::{LinkConfig, LinkState};
 use skyferry_mac::queue::TxQueue;
-use skyferry_mac::rate::{Arf, FixedMcs};
+use skyferry_mac::rate::{Arf, FixedMcs, RateController, TxFeedback};
 use skyferry_net::campaign::{measure_throughput, CampaignConfig, ControllerKind};
 use skyferry_net::profile::MotionProfile;
 use skyferry_phy::channel::db_to_linear;
@@ -23,121 +23,102 @@ use skyferry_phy::mcs::Mcs;
 use skyferry_phy::presets::ChannelPreset;
 use skyferry_sim::prelude::*;
 
-fn bench_optimizer(c: &mut Criterion) {
+fn bench_optimizer(h: &mut Harness) {
     let air = Scenario::airplane_baseline();
     let quad = Scenario::quadrocopter_baseline();
-    c.bench_function("optimizer/airplane-baseline", |b| {
-        b.iter(|| black_box(optimize(black_box(&air))))
+    h.bench("optimizer/airplane-baseline", || {
+        black_box(optimize(black_box(&air)))
     });
-    c.bench_function("optimizer/quadrocopter-baseline", |b| {
-        b.iter(|| black_box(optimize(black_box(&quad))))
+    h.bench("optimizer/quadrocopter-baseline", || {
+        black_box(optimize(black_box(&quad)))
     });
-    c.bench_function("optimizer/figure9-grid-30-cells", |b| {
-        b.iter(|| {
-            black_box(gratification_sweep(
-                &air,
-                &paper_grid::MDATA_MB,
-                &paper_grid::SPEEDS_MPS,
-            ))
-        })
+    h.bench("optimizer/figure9-grid-30-cells", || {
+        black_box(gratification_sweep(
+            &air,
+            &paper_grid::MDATA_MB,
+            &paper_grid::SPEEDS_MPS,
+        ))
     });
-    c.bench_function("optimizer/mixed-2d", |b| {
-        let s = Scenario::quadrocopter_baseline().with_mdata_mb(15.0);
-        let cfg = MixedConfig::for_speed(4.5);
-        b.iter(|| black_box(optimize_mixed(&s, &cfg)))
-    });
+    let s = Scenario::quadrocopter_baseline().with_mdata_mb(15.0);
+    let cfg = MixedConfig::for_speed(4.5);
+    h.bench("optimizer/mixed-2d", || black_box(optimize_mixed(&s, &cfg)));
 }
 
-fn bench_mission(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mission");
-    group.sample_size(10);
-    group.bench_function("single-uav-full-mission", |b| {
-        let mut cfg = MissionConfig::quadrocopter_fleet(1, 50.0, 5);
-        cfg.relay_position = Vec3::new(100.0, 25.0, 10.0);
-        cfg.horizon_s = 900.0;
-        b.iter(|| black_box(run_mission(&cfg).completions()))
-    });
-    group.finish();
-}
-
-fn bench_phy(c: &mut Criterion) {
+fn bench_phy(h: &mut Harness) {
     let preset = ChannelPreset::airplane(20.0);
     let mut fading = FadingProcess::new(preset.fading, DetRng::seed(1));
     let snr = db_to_linear(preset.mean_snr_db(100.0));
-    c.bench_function("phy/per-subframe-error-chain", |b| {
-        let mut t = SimTime::ZERO;
-        b.iter(|| {
-            t += SimDuration::from_micros(500);
-            let state = fading.state_at(t);
-            let eff = effective_snr_linear(Mcs::new(3), true, snr, &state, 12.0);
-            black_box(coded_per(Mcs::new(3), eff, 1500))
-        })
+    let mut t = SimTime::ZERO;
+    h.bench("phy/per-subframe-error-chain", || {
+        t += SimDuration::from_micros(500);
+        let state = fading.state_at(t);
+        let eff = effective_snr_linear(Mcs::new(3), true, snr, &state, 12.0);
+        black_box(coded_per(Mcs::new(3), eff, 1500))
     });
 }
 
-fn bench_mac(c: &mut Criterion) {
-    c.bench_function("mac/txop", |b| {
-        let seeds = SeedStream::new(5);
-        let preset = ChannelPreset::quadrocopter(0.0);
-        let mut link = LinkState::new(
-            LinkConfig::paper_default(preset),
-            Box::new(FixedMcs(Mcs::new(1))),
-            seeds.rng("fading"),
-            seeds.rng("link"),
-        );
-        let mut queue = TxQueue::saturated(1e9, 1 << 20);
-        let mut now = SimTime::ZERO;
-        b.iter(|| {
-            let out = link.execute_txop(now, 40.0, 0.0, &mut queue);
-            now += out.airtime;
-            black_box(out.delivered)
-        })
+fn bench_mac(h: &mut Harness) {
+    let seeds = SeedStream::new(5);
+    let preset = ChannelPreset::quadrocopter(0.0);
+    let mut link = LinkState::new(
+        LinkConfig::paper_default(preset),
+        Box::new(FixedMcs(Mcs::new(1))),
+        seeds.rng("fading"),
+        seeds.rng("link"),
+    );
+    let mut queue = TxQueue::saturated(1e9, 1 << 20);
+    let mut now = SimTime::ZERO;
+    h.bench("mac/txop", || {
+        let out = link.execute_txop(now, 40.0, 0.0, &mut queue);
+        now += out.airtime;
+        black_box(out.delivered)
     });
 
-    c.bench_function("mac/arf-full-ladder-feedback", |b| {
-        use skyferry_mac::rate::{RateController, TxFeedback};
-        let mut arf = Arf::new();
-        let mut rng = DetRng::seed(6);
-        let mut i = 0u64;
-        b.iter(|| {
-            let mcs = arf.select(SimTime::from_millis(i), &mut rng);
-            arf.feedback(&TxFeedback {
-                mcs,
-                attempted: 14,
-                delivered: (i % 15) as u32,
-                at: SimTime::from_millis(i),
-            });
-            i += 1;
-            black_box(mcs)
-        })
+    let mut arf = Arf::new();
+    let mut rng = DetRng::seed(6);
+    let mut i = 0u64;
+    h.bench("mac/arf-full-ladder-feedback", || {
+        let mcs = arf.select(SimTime::from_millis(i), &mut rng);
+        arf.feedback(&TxFeedback {
+            mcs,
+            attempted: 14,
+            delivered: (i % 15) as u32,
+            at: SimTime::from_millis(i),
+        });
+        i += 1;
+        black_box(mcs)
     });
 }
 
-fn bench_campaign_second(c: &mut Criterion) {
-    let mut group = c.benchmark_group("campaign");
-    group.sample_size(20);
-    group.bench_function("one-simulated-second-autorate", |b| {
-        let cfg = CampaignConfig {
-            preset: ChannelPreset::airplane(20.0),
-            controller: ControllerKind::Arf,
-            duration: SimDuration::from_secs(1),
-            seed: 3,
-        };
-        let mut rep = 0;
-        b.iter(|| {
-            rep += 1;
-            black_box(measure_throughput(&cfg, MotionProfile::hover(100.0), rep))
-        })
+fn bench_campaign_second(h: &mut Harness) {
+    let cfg = CampaignConfig {
+        preset: ChannelPreset::airplane(20.0),
+        controller: ControllerKind::Arf,
+        duration: SimDuration::from_secs(1),
+        seed: 3,
+    };
+    let mut rep = 0;
+    h.bench("campaign/one-simulated-second-autorate", || {
+        rep += 1;
+        black_box(measure_throughput(&cfg, MotionProfile::hover(100.0), rep))
     });
-    group.finish();
 }
 
-criterion_group!(
-    kernels,
-    bench_optimizer,
-    bench_phy,
-    bench_mac,
-    bench_campaign_second,
-    bench_mission
-);
-criterion_main!(kernels);
+fn bench_mission(h: &mut Harness) {
+    let mut cfg = MissionConfig::quadrocopter_fleet(1, 50.0, 5);
+    cfg.relay_position = Vec3::new(100.0, 25.0, 10.0);
+    cfg.horizon_s = 900.0;
+    h.bench("mission/single-uav-full-mission", || {
+        black_box(run_mission(&cfg).completions())
+    });
+}
+
+fn main() {
+    let mut h = Harness::from_env();
+    bench_optimizer(&mut h);
+    bench_phy(&mut h);
+    bench_mac(&mut h);
+    bench_campaign_second(&mut h);
+    bench_mission(&mut h);
+    h.finish();
+}

@@ -1,29 +1,84 @@
 //! The reproduction harness CLI.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--out DIR] [EXPERIMENT...]
+//! repro [--quick] [--seed N] [--threads N] [--out DIR] [EXPERIMENT...]
+//! repro --bench-parallel FILE [--quick] [--seed N] [--threads N]
 //! ```
 //!
-//! With no experiment arguments, runs everything in paper order.
-//! Experiments: table1 fig1 fig4 fig5 fig6 fig7 fig8 fig9 fits mdata.
+//! With no experiment arguments, runs everything in paper order and
+//! prints per-experiment wall-clock timing. `--threads N` caps the
+//! deterministic worker pool (`0` = one worker per hardware thread);
+//! output is bit-identical at any setting. `--bench-parallel FILE`
+//! times the campaign-heavy figures serially and at the configured
+//! thread count and writes the comparison as JSON.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use skyferry_bench::experiments;
 use skyferry_bench::report::ReproConfig;
+use skyferry_sim::parallel::{max_threads, set_max_threads};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--seed N] [--out DIR] [EXPERIMENT...]\n\
+        "usage: repro [--quick] [--seed N] [--threads N] [--out DIR] [EXPERIMENT...]\n\
+         \x20      repro --bench-parallel FILE [--quick] [--seed N] [--threads N]\n\
          experiments: {} (default: all)",
         experiments::ALL.join(" ")
     );
     std::process::exit(2);
 }
 
+/// The figures timed by `--bench-parallel`: the ones the issue calls
+/// out as replication- or sweep-dominated.
+const BENCH_FIGURES: [&str; 4] = ["fig1", "fig4", "fig8", "fig9"];
+
+/// Time one experiment end to end, returning seconds.
+fn time_experiment(id: &str, cfg: &ReproConfig) -> f64 {
+    let t = Instant::now();
+    let report = experiments::run(id, cfg).expect("known experiment");
+    let secs = t.elapsed().as_secs_f64();
+    std::hint::black_box(report.tables.len());
+    secs
+}
+
+/// Run the serial-vs-parallel comparison and render it as JSON.
+fn bench_parallel(cfg: &ReproConfig, threads: usize) -> String {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut rows = Vec::new();
+    for id in BENCH_FIGURES {
+        set_max_threads(1);
+        let serial = time_experiment(id, cfg);
+        set_max_threads(threads);
+        let parallel = time_experiment(id, cfg);
+        eprintln!(
+            "{id}: serial {serial:.3} s, parallel ({} workers) {parallel:.3} s, speedup {:.2}x",
+            max_threads(),
+            serial / parallel
+        );
+        rows.push(format!(
+            "    {{\"figure\": \"{id}\", \"serial_s\": {serial:.6}, \
+             \"parallel_s\": {parallel:.6}, \"speedup\": {:.4}}}",
+            serial / parallel
+        ));
+    }
+    set_max_threads(0);
+    format!(
+        "{{\n  \"bench\": \"repro --bench-parallel\",\n  \"quick\": {},\n  \
+         \"seed\": {},\n  \"threads\": {},\n  \"hardware_threads\": {hw},\n  \
+         \"figures\": [\n{}\n  ]\n}}\n",
+        cfg.quick,
+        cfg.seed,
+        if threads == 0 { hw } else { threads },
+        rows.join(",\n")
+    )
+}
+
 fn main() -> ExitCode {
     let mut cfg = ReproConfig::default();
     let mut wanted: Vec<String> = Vec::new();
+    let mut threads = 0usize;
+    let mut bench_out: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -35,23 +90,47 @@ fn main() -> ExitCode {
                 };
                 cfg.seed = v;
             }
+            "--threads" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
+                    usage();
+                };
+                threads = v;
+            }
             "--out" => {
                 let Some(dir) = args.next() else { usage() };
                 cfg.out_dir = Some(dir.into());
+            }
+            "--bench-parallel" => {
+                let Some(path) = args.next() else { usage() };
+                bench_out = Some(path);
             }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => wanted.push(other.to_string()),
         }
     }
+    set_max_threads(threads);
+
+    if let Some(path) = bench_out {
+        let json = bench_parallel(&cfg, threads);
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("error: could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+        return ExitCode::SUCCESS;
+    }
+
     if wanted.is_empty() {
         wanted = experiments::ALL.iter().map(|s| s.to_string()).collect();
     }
 
     for id in &wanted {
+        let t = Instant::now();
         match experiments::run(id, &cfg) {
             Some(report) => {
                 println!("{}", report.render());
+                eprintln!("[{id}: {:.3} s]", t.elapsed().as_secs_f64());
                 if let Err(e) = report.write_csv(&cfg) {
                     eprintln!("warning: could not write CSV for {id}: {e}");
                 }

@@ -16,6 +16,7 @@ use skyferry_net::campaign::{run_transfer, CampaignConfig, ControllerKind};
 use skyferry_net::profile::MotionProfile;
 use skyferry_net::transfer::TransferRecord;
 use skyferry_phy::presets::ChannelPreset;
+use skyferry_sim::parallel::par_map_indexed;
 use skyferry_sim::time::{SimDuration, SimTime};
 use skyferry_stats::table::TextTable;
 
@@ -38,13 +39,21 @@ pub const MOVING_STABILIZATION_S: f64 = 5.0;
 pub struct Fig1Strategy {
     /// Legend label ("d=60", "moving", …).
     pub label: String,
-    /// Cumulative delivery record (median replication).
+    /// Cumulative delivery record of the median replication.
     pub record: TransferRecord,
     /// Completion time, seconds (if completed within the horizon).
     pub completion_s: Option<f64>,
 }
 
 /// Run the five Figure 1 strategies and return their records.
+///
+/// The `strategies × replications` grid is one flat task pool on the
+/// deterministic workers: every replication derives its RNG substreams
+/// from `(campaign seed, rep)` alone, so output order and content are
+/// identical at any thread count. Each strategy then reports its
+/// *median* replication — the one with the median completion time
+/// (unfinished runs sort last) — so the plotted curve is a typical
+/// channel realisation rather than whatever replication 0 drew.
 pub fn simulate(cfg: &ReproConfig) -> Vec<Fig1Strategy> {
     let campaign = CampaignConfig {
         preset: ChannelPreset::quadrocopter(0.0),
@@ -52,38 +61,49 @@ pub fn simulate(cfg: &ReproConfig) -> Vec<Fig1Strategy> {
         duration: SimDuration::from_secs(cfg.secs(240)),
         seed: cfg.seed,
     };
-    let mut out = Vec::new();
-    for &d in &[20.0, 40.0, 60.0, 80.0] {
-        let label = format!("d={d:.0}");
-        let (profile, hold) = if (d - D0_M).abs() < 1e-9 {
-            (MotionProfile::hover(D0_M), false)
-        } else {
-            (MotionProfile::approach(D0_M, APPROACH_SPEED_MPS, d), true)
-        };
-        let res = run_transfer(&campaign, profile, MDATA_BYTES, hold, label.clone(), 0);
-        out.push(Fig1Strategy {
-            label,
-            completion_s: res.completion.map(|t| t.as_secs_f64()),
-            record: res.record,
-        });
-    }
-    // The moving strategy: transmit from t = 0 while approaching to the
-    // 20 m safety minimum.
-    let res = run_transfer(
-        &campaign,
+    // (label, profile, hold-fire-until-settled) per strategy; the last
+    // one is move-and-transmit to the 20 m safety minimum.
+    let mut strategies: Vec<(String, MotionProfile, bool)> = [20.0, 40.0, 60.0, 80.0]
+        .iter()
+        .map(|&d| {
+            let (profile, hold) = if (d - D0_M).abs() < 1e-9 {
+                (MotionProfile::hover(D0_M), false)
+            } else {
+                (MotionProfile::approach(D0_M, APPROACH_SPEED_MPS, d), true)
+            };
+            (format!("d={d:.0}"), profile, hold)
+        })
+        .collect();
+    strategies.push((
+        "moving".into(),
         MotionProfile::approach(D0_M, APPROACH_SPEED_MPS, 20.0)
             .with_stabilization(MOVING_STABILIZATION_S),
-        MDATA_BYTES,
         false,
-        "moving",
-        0,
-    );
-    out.push(Fig1Strategy {
-        label: "moving".into(),
-        completion_s: res.completion.map(|t| t.as_secs_f64()),
-        record: res.record,
+    ));
+    let reps = cfg.reps(6) as usize;
+    let outcomes = par_map_indexed(strategies.len() * reps, |k| {
+        let (label, profile, hold) = &strategies[k / reps];
+        let rep = (k % reps) as u64;
+        let res = run_transfer(&campaign, *profile, MDATA_BYTES, *hold, label.clone(), rep);
+        Fig1Strategy {
+            label: label.clone(),
+            completion_s: res.completion.map(|t| t.as_secs_f64()),
+            record: res.record,
+        }
     });
-    out
+    outcomes
+        .chunks(reps)
+        .map(|runs| {
+            let mut order: Vec<usize> = (0..runs.len()).collect();
+            // Unfinished replications sort after every finished one;
+            // ties break on replication index, keeping selection stable.
+            order.sort_by(|&a, &b| {
+                let key = |i: usize| runs[i].completion_s.unwrap_or(f64::INFINITY);
+                key(a).partial_cmp(&key(b)).expect("no NaN").then(a.cmp(&b))
+            });
+            runs[order[(runs.len() - 1) / 2]].clone()
+        })
+        .collect()
 }
 
 /// Regenerate Figure 1.
@@ -210,18 +230,32 @@ mod tests {
     }
 
     #[test]
-    fn moving_transmits_early_but_finishes_late() {
+    fn moving_transmits_early_but_loses_to_best_repositioning() {
         let strategies = simulate(&ReproConfig::quick());
         let moving = strategies.iter().find(|s| s.label == "moving").unwrap();
-        let d60 = strategies.iter().find(|s| s.label == "d=60").unwrap();
-        // moving delivers something before d=60's shipping completes…
+        // moving delivers something almost immediately…
         let early = moving.record.bytes_at(SimTime::from_secs(4));
         assert!(early > 0, "moving strategy should start immediately");
-        // …but completes no sooner than d=60 (Figure 1's dominance).
-        match (moving.completion_s, d60.completion_s) {
-            (Some(m), Some(h)) => assert!(m >= h * 0.95, "moving={m:.1}s d60={h:.1}s"),
-            (None, Some(_)) => {} // moving didn't even finish: dominated
-            other => panic!("unexpected completions: {other:?}"),
-        }
+        // …but the paper's qualitative claim holds: hover-and-transmit at
+        // a well-chosen distance still completes first. (Our calibrated
+        // median channel puts that distance at 40 m rather than the
+        // paper's 60 m — see the fig1 findings notes.)
+        let m = moving.completion_s.expect("moving completes");
+        let best_repositioning = strategies
+            .iter()
+            .filter(|s| matches!(s.label.as_str(), "d=20" | "d=40" | "d=60"))
+            .filter_map(|s| s.completion_s)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best_repositioning <= m * 1.02,
+            "best repositioning {best_repositioning:.1}s vs moving {m:.1}s"
+        );
+        // And transmitting immediately from 80 m is the slowest option.
+        let d80 = strategies.iter().find(|s| s.label == "d=80").unwrap();
+        let worst = d80.completion_s.expect("d=80 completes");
+        assert!(
+            worst >= m && worst >= best_repositioning,
+            "d=80 should be slowest: {worst:.1}s"
+        );
     }
 }

@@ -11,6 +11,7 @@
 
 use skyferry_geo::vector::Vec3;
 use skyferry_geo::waypoint::{FlightPlan, Waypoint};
+use skyferry_sim::parallel::par_map;
 use skyferry_sim::rng::SeedStream;
 use skyferry_sim::time::SimTime;
 use skyferry_stats::summary::Summary;
@@ -195,12 +196,18 @@ pub fn run(cfg: &ReproConfig) -> ExperimentReport {
         "mean fix separation (m)",
         "fix std (m)",
     ]);
-    for d in [20.0, 40.0, 60.0, 80.0] {
+    // The four hover separations are independent missions: fly them as
+    // parallel tasks (each seeds its sensors from cfg.seed alone) and
+    // emit the rows in separation order.
+    let quad_rows = par_map(&[20.0, 40.0, 60.0, 80.0], |&d| {
         let trace = quadrocopter_trace(cfg, d, cfg.secs(60) as f64);
         let mut s = Summary::new();
         for t in &trace {
             s.push(t.fix1.distance(t.fix2));
         }
+        (d, s)
+    });
+    for (d, s) in quad_rows {
         q.row_f64(
             &format!("{d:.0}"),
             &[s.mean().unwrap_or(0.0), s.sample_std_dev().unwrap_or(0.0)],

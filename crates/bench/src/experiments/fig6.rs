@@ -10,6 +10,7 @@ use skyferry_net::campaign::{measure_throughput_replicated, CampaignConfig, Cont
 use skyferry_net::profile::MotionProfile;
 use skyferry_phy::mcs::Mcs;
 use skyferry_phy::presets::ChannelPreset;
+use skyferry_sim::parallel::par_map;
 use skyferry_sim::time::SimDuration;
 use skyferry_stats::quantile::median;
 use skyferry_stats::table::TextTable;
@@ -61,37 +62,37 @@ pub fn simulate(cfg: &ReproConfig) -> Vec<Fig6Row> {
         seed: cfg.seed,
     };
     let reps = cfg.reps(6);
-    distances()
-        .into_iter()
-        .map(|d| {
-            let auto = median(&measure_throughput_replicated(
-                &base,
-                MotionProfile::hover(d),
-                reps,
-            ))
-            .expect("non-empty");
-            let fixed_mbps = FIXED_MCS
-                .iter()
-                .map(|&m| {
-                    let c = CampaignConfig {
-                        controller: ControllerKind::Fixed(Mcs::new(m)),
-                        ..base
-                    };
-                    median(&measure_throughput_replicated(
-                        &c,
-                        MotionProfile::hover(d),
-                        reps,
-                    ))
-                    .expect("non-empty")
-                })
-                .collect();
-            Fig6Row {
-                d_m: d,
-                auto_mbps: auto,
-                fixed_mbps,
-            }
-        })
-        .collect()
+    // One task per distance; the per-controller replications inside each
+    // task reuse the deterministic pool, so the row content does not
+    // depend on how tasks are scheduled.
+    par_map(&distances(), |&d| {
+        let auto = median(&measure_throughput_replicated(
+            &base,
+            MotionProfile::hover(d),
+            reps,
+        ))
+        .expect("non-empty");
+        let fixed_mbps = FIXED_MCS
+            .iter()
+            .map(|&m| {
+                let c = CampaignConfig {
+                    controller: ControllerKind::Fixed(Mcs::new(m)),
+                    ..base
+                };
+                median(&measure_throughput_replicated(
+                    &c,
+                    MotionProfile::hover(d),
+                    reps,
+                ))
+                .expect("non-empty")
+            })
+            .collect();
+        Fig6Row {
+            d_m: d,
+            auto_mbps: auto,
+            fixed_mbps,
+        }
+    })
 }
 
 /// Regenerate Figure 6.

@@ -8,6 +8,7 @@
 use skyferry_net::campaign::{measure_throughput_replicated, CampaignConfig, ControllerKind};
 use skyferry_net::profile::MotionProfile;
 use skyferry_phy::presets::ChannelPreset;
+use skyferry_sim::parallel::par_map;
 use skyferry_sim::time::SimDuration;
 use skyferry_stats::boxplot::BoxplotSummary;
 use skyferry_stats::quantile::median;
@@ -34,15 +35,12 @@ fn campaign(cfg: &ReproConfig, speed: f64) -> CampaignConfig {
 /// Hover samples per distance (left panel).
 pub fn hover_rows(cfg: &ReproConfig) -> Vec<(f64, Vec<f64>)> {
     let c = campaign(cfg, 0.0);
-    DISTANCES
-        .iter()
-        .map(|&d| {
-            (
-                d,
-                measure_throughput_replicated(&c, MotionProfile::hover(d), cfg.reps(6)),
-            )
-        })
-        .collect()
+    par_map(&DISTANCES, |&d| {
+        (
+            d,
+            measure_throughput_replicated(&c, MotionProfile::hover(d), cfg.reps(6)),
+        )
+    })
 }
 
 /// Moving samples per distance (centre panel): the platform flies at
@@ -51,29 +49,23 @@ pub fn hover_rows(cfg: &ReproConfig) -> Vec<(f64, Vec<f64>)> {
 /// the band's distance).
 pub fn moving_rows(cfg: &ReproConfig) -> Vec<(f64, Vec<f64>)> {
     let c = campaign(cfg, MOVING_SPEED_MPS);
-    DISTANCES
-        .iter()
-        .map(|&d| {
-            (
-                d,
-                measure_throughput_replicated(&c, MotionProfile::hover(d), cfg.reps(6)),
-            )
-        })
-        .collect()
+    par_map(&DISTANCES, |&d| {
+        (
+            d,
+            measure_throughput_replicated(&c, MotionProfile::hover(d), cfg.reps(6)),
+        )
+    })
 }
 
 /// Speed sweep at 60 m (right panel).
 pub fn speed_rows(cfg: &ReproConfig) -> Vec<(f64, Vec<f64>)> {
-    SPEEDS
-        .iter()
-        .map(|&v| {
-            let c = campaign(cfg, v);
-            (
-                v,
-                measure_throughput_replicated(&c, MotionProfile::hover(60.0), cfg.reps(6)),
-            )
-        })
-        .collect()
+    par_map(&SPEEDS, |&v| {
+        let c = campaign(cfg, v);
+        (
+            v,
+            measure_throughput_replicated(&c, MotionProfile::hover(60.0), cfg.reps(6)),
+        )
+    })
 }
 
 fn panel_table(label: &str, rows: &[(f64, Vec<f64>)]) -> TextTable {

@@ -3,7 +3,9 @@
 //! The reproduction harness: one module per table/figure of the paper,
 //! each regenerating the same rows/series the paper reports, from the
 //! skyferry simulation stack. The `repro` binary drives them; the
-//! Criterion benches in `benches/` time their compute kernels.
+//! benches in `benches/` time their compute kernels on the local
+//! [`microbench`] harness (the workspace builds fully offline, so no
+//! Criterion).
 //!
 //! | Experiment | Paper artefact | Module |
 //! |---|---|---|
@@ -19,6 +21,7 @@
 //! | `mdata` | §2.2 fn. 3/4 — camera-geometry Mdata derivation | [`experiments::mdata`] |
 
 pub mod experiments;
+pub mod microbench;
 pub mod report;
 
 pub use report::{ExperimentReport, ReproConfig};

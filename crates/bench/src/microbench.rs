@@ -1,0 +1,175 @@
+//! A dependency-free microbenchmark harness.
+//!
+//! The workspace builds fully offline, so the benches under `benches/`
+//! run on this small wall-clock harness instead of Criterion: warm up,
+//! then run batches of iterations until a time budget is spent, and
+//! report the per-iteration median over batches. That is robust enough
+//! to compare kernels and thread counts on the same machine; it does not
+//! attempt Criterion's statistical machinery.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name, e.g. `optimizer/airplane-baseline`.
+    pub name: String,
+    /// Median per-iteration time over batches.
+    pub median: Duration,
+    /// Mean per-iteration time over the whole run.
+    pub mean: Duration,
+    /// Total iterations executed (excluding warm-up).
+    pub iters: u64,
+}
+
+impl Measurement {
+    /// Render as `name  median  (mean, iters)`.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<44} {:>12}  (mean {}, n={})",
+            self.name,
+            fmt_duration(self.median),
+            fmt_duration(self.mean),
+            self.iters
+        )
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// The harness: collects measurements and prints them as they finish.
+pub struct Harness {
+    /// Substring filter from the command line (cargo bench passes the
+    /// filter argument through).
+    filter: Option<String>,
+    /// Time budget per benchmark.
+    budget: Duration,
+    /// Completed measurements.
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// Build from `std::env::args`: the first non-flag argument is a
+    /// substring filter; `--bench` (passed by cargo) is ignored.
+    pub fn from_env() -> Self {
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        let budget_ms = std::env::var("SKYFERRY_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Harness {
+            filter,
+            budget: Duration::from_millis(budget_ms),
+            results: Vec::new(),
+        }
+    }
+
+    /// Time `f`, printing the result immediately.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up and batch sizing: aim for ~20 batches in the budget.
+        let warm = Instant::now();
+        black_box(f());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let per_batch = self.budget.as_nanos() / 20;
+        let batch = (per_batch / once.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+
+        let mut batch_means: Vec<Duration> = Vec::new();
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let mut total = Duration::ZERO;
+        while start.elapsed() < self.budget || batch_means.is_empty() {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            total += el;
+            iters += batch;
+            batch_means.push(el / batch as u32);
+        }
+        batch_means.sort();
+        let m = Measurement {
+            name: name.to_string(),
+            median: batch_means[batch_means.len() / 2],
+            mean: total / iters.max(1) as u32,
+            iters,
+        };
+        println!("{}", m.render());
+        self.results.push(m);
+    }
+
+    /// All measurements so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Print a closing summary line.
+    pub fn finish(self) {
+        println!("\n{} benchmark(s) run.", self.results.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut h = Harness {
+            filter: None,
+            budget: Duration::from_millis(20),
+            results: Vec::new(),
+        };
+        let mut x = 0u64;
+        h.bench("spin", || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        assert_eq!(h.results().len(), 1);
+        assert!(h.results()[0].iters > 0);
+        assert!(h.results()[0].median > Duration::ZERO);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut h = Harness {
+            filter: Some("match-me".into()),
+            budget: Duration::from_millis(5),
+            results: Vec::new(),
+        };
+        h.bench("other", || 1);
+        assert!(h.results().is_empty());
+        h.bench("yes/match-me", || 1);
+        assert_eq!(h.results().len(), 1);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -7,14 +7,12 @@
 //! size, battery-derived failure rate) and it answers *transmit now* or
 //! *move to `dopt` first*, re-evaluating as conditions change.
 
-use serde::{Deserialize, Serialize};
-
 use crate::optimizer::{optimize, OptimalTransfer};
 use crate::scenario::Scenario;
 use crate::throughput::ThroughputSpec;
 
 /// What the carrier UAV should do right now.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TransferDecision {
     /// Start transmitting from the current position.
     TransmitNow {
@@ -50,7 +48,7 @@ impl TransferDecision {
 const MOVE_TOLERANCE_M: f64 = 1.0;
 
 /// The planner-side decision component.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecisionEngine {
     /// Throughput model for the platform pair in play.
     pub throughput: ThroughputSpec,

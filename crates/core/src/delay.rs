@@ -6,13 +6,11 @@
 //! hover-and-transmit strategy after showing move-and-transmit is
 //! dominated (Figure 1 / Section 3.2).
 
-use serde::{Deserialize, Serialize};
-
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, ScenarioView};
 use crate::throughput::ThroughputModel;
 
 /// The components of the communication delay at one candidate distance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CommunicationDelay {
     /// Candidate transmission distance, metres.
     pub d_m: f64,
@@ -28,6 +26,12 @@ impl CommunicationDelay {
     /// # Panics
     /// Panics if `d_m` is outside the feasible interval.
     pub fn at(scenario: &Scenario, d_m: f64) -> Self {
+        Self::at_view(scenario.view(), d_m)
+    }
+
+    /// [`CommunicationDelay::at`] on a borrowed [`ScenarioView`] — the
+    /// allocation-free form sweeps call per grid cell.
+    pub fn at_view(scenario: ScenarioView<'_>, d_m: f64) -> Self {
         assert!(
             d_m >= scenario.d_min_m - 1e-9 && d_m <= scenario.d0_m + 1e-9,
             "d={d_m} outside [{}, {}]",

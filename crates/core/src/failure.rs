@@ -7,8 +7,6 @@
 //! can be dropped in; [`WeibullFailure`] is one such extension with a
 //! distance-dependent hazard.
 
-use serde::{Deserialize, Serialize};
-
 /// A survival model over the repositioning leg.
 pub trait FailureModel {
     /// Probability of still being operational after moving from
@@ -17,7 +15,7 @@ pub trait FailureModel {
 }
 
 /// The paper's exponential law with constant hazard `ρ` per metre.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExponentialFailure {
     /// Failure rate, 1/m.
     pub rho_per_m: f64,
@@ -48,7 +46,7 @@ impl FailureModel for ExponentialFailure {
 /// The survival over the leg conditions on having already survived
 /// `flown_m` metres of mission: `S(flown+Δ)/S(flown)` with
 /// `S(x) = exp(−(x/λ)^k)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WeibullFailure {
     /// Characteristic distance λ, metres.
     pub scale_m: f64,
@@ -85,7 +83,7 @@ impl FailureModel for WeibullFailure {
 }
 
 /// Serialisable selector over the available failure models.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FailureSpec {
     /// Constant hazard (the paper's model).
     Exponential(ExponentialFailure),

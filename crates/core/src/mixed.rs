@@ -13,14 +13,13 @@
 //! delivery during the approach is the integral of the penalised rate
 //! along the closing path, and the remainder is sent hovering at `d`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::failure::FailureModel;
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, ScenarioView};
 use crate::throughput::ThroughputModel;
+use skyferry_sim::parallel::par_map_indexed;
 
 /// The speed dimension of the throughput surface.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpeedPenalty {
     /// Rate loss per m/s of platform speed, dB (Figure 7 right panel;
     /// the calibrated quadrocopter value is ≈ 0.7–1.0).
@@ -43,7 +42,7 @@ impl SpeedPenalty {
 }
 
 /// Configuration of the mixed-strategy solver.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MixedConfig {
     /// The speed penalty of the throughput surface.
     pub penalty: SpeedPenalty,
@@ -72,7 +71,7 @@ impl MixedConfig {
 }
 
 /// One evaluated mixed strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MixedOutcome {
     /// Rendezvous distance, metres.
     pub d_m: f64,
@@ -93,6 +92,18 @@ pub struct MixedOutcome {
 /// Evaluate one mixed strategy point.
 pub fn evaluate_mixed(
     scenario: &Scenario,
+    cfg: &MixedConfig,
+    d_m: f64,
+    v_mps: f64,
+    transmit_while_moving: bool,
+) -> MixedOutcome {
+    evaluate_mixed_view(scenario.view(), cfg, d_m, v_mps, transmit_while_moving)
+}
+
+/// [`evaluate_mixed`] on a borrowed [`ScenarioView`] — the form the 2-D
+/// solver calls per grid cell.
+pub fn evaluate_mixed_view(
+    scenario: ScenarioView<'_>,
     cfg: &MixedConfig,
     d_m: f64,
     v_mps: f64,
@@ -153,24 +164,36 @@ pub fn evaluate_mixed(
 }
 
 /// Solve the 2-D problem: the best `(d, v, transmit?)` triple.
+///
+/// The speed axis is the parallel dimension: each grid speed scans its
+/// `(d, transmit?)` plane independently (same inner order as the old
+/// serial triple loop), and the per-speed winners are folded
+/// sequentially in speed order with the same strictly-greater test —
+/// so the selected triple is bit-identical to the serial solver at any
+/// thread count, including when several cells tie on utility.
 pub fn optimize_mixed(scenario: &Scenario, cfg: &MixedConfig) -> MixedOutcome {
     scenario.validate();
     assert!(cfg.speed_grid >= 1 && cfg.distance_grid >= 2);
-    let mut best: Option<MixedOutcome> = None;
-    for si in 1..=cfg.speed_grid {
-        let v = cfg.v_max_mps * si as f64 / cfg.speed_grid as f64;
+    let view = scenario.view();
+    let per_speed = par_map_indexed(cfg.speed_grid, |i| {
+        let v = cfg.v_max_mps * (i + 1) as f64 / cfg.speed_grid as f64;
+        let mut best: Option<MixedOutcome> = None;
         for di in 0..cfg.distance_grid {
-            let d = scenario.d_min_m
-                + (scenario.d0_m - scenario.d_min_m) * di as f64 / (cfg.distance_grid - 1) as f64;
+            let d = view.d_min_m
+                + (view.d0_m - view.d_min_m) * di as f64 / (cfg.distance_grid - 1) as f64;
             for tx in [false, true] {
-                let o = evaluate_mixed(scenario, cfg, d, v, tx);
+                let o = evaluate_mixed_view(view, cfg, d, v, tx);
                 if best.is_none_or(|b| o.utility > b.utility) {
                     best = Some(o);
                 }
             }
         }
-    }
-    best.expect("non-empty grid")
+        best.expect("non-empty distance grid")
+    });
+    per_speed
+        .into_iter()
+        .reduce(|b, o| if o.utility > b.utility { o } else { b })
+        .expect("non-empty speed grid")
 }
 
 #[cfg(test)]

@@ -8,11 +8,9 @@
 //! search — robust to multimodality at grid resolution, with ~1e-6 m
 //! final precision.
 
-use serde::{Deserialize, Serialize};
-
 use crate::delay::CommunicationDelay;
-use crate::scenario::Scenario;
-use crate::utility::{utility, utility_breakdown};
+use crate::scenario::{Scenario, ScenarioView};
+use crate::utility::{utility_breakdown_view, utility_view};
 
 /// Number of initial grid points.
 const GRID_POINTS: usize = 2048;
@@ -20,7 +18,7 @@ const GRID_POINTS: usize = 2048;
 const GOLDEN_ITERS: usize = 80;
 
 /// The solved optimum of Eq. (2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OptimalTransfer {
     /// The optimal transmission distance `dopt`, metres.
     pub d_opt: f64,
@@ -48,6 +46,12 @@ impl OptimalTransfer {
 
 /// Solve Eq. (2) for `scenario`.
 pub fn optimize(scenario: &Scenario) -> OptimalTransfer {
+    optimize_view(scenario.view())
+}
+
+/// [`optimize`] on a borrowed [`ScenarioView`] — what parameter sweeps
+/// call per grid cell without cloning the base scenario.
+pub fn optimize_view(scenario: ScenarioView<'_>) -> OptimalTransfer {
     scenario.validate();
     let lo = scenario.d_min_m;
     let hi = scenario.d0_m;
@@ -56,7 +60,7 @@ pub fn optimize(scenario: &Scenario) -> OptimalTransfer {
     let at = |i: usize| lo + (hi - lo) * i as f64 / (GRID_POINTS - 1) as f64;
     if hi - lo < 1e-9 {
         // Degenerate interval: the only choice is d0.
-        let b = utility_breakdown(scenario, hi);
+        let b = utility_breakdown_view(scenario, hi);
         return OptimalTransfer {
             d_opt: hi,
             utility: b.utility,
@@ -66,7 +70,7 @@ pub fn optimize(scenario: &Scenario) -> OptimalTransfer {
         };
     }
     for i in 0..GRID_POINTS {
-        let u = utility(scenario, at(i));
+        let u = utility_view(scenario, at(i));
         if u > best_u {
             best_u = u;
             best_i = i;
@@ -79,21 +83,21 @@ pub fn optimize(scenario: &Scenario) -> OptimalTransfer {
     let inv_phi = (5f64.sqrt() - 1.0) / 2.0;
     let mut c = b - inv_phi * (b - a);
     let mut d = a + inv_phi * (b - a);
-    let mut fc = utility(scenario, c);
-    let mut fd = utility(scenario, d);
+    let mut fc = utility_view(scenario, c);
+    let mut fd = utility_view(scenario, d);
     for _ in 0..GOLDEN_ITERS {
         if fc > fd {
             b = d;
             d = c;
             fd = fc;
             c = b - inv_phi * (b - a);
-            fc = utility(scenario, c);
+            fc = utility_view(scenario, c);
         } else {
             a = c;
             c = d;
             fc = fd;
             d = a + inv_phi * (b - a);
-            fd = utility(scenario, d);
+            fd = utility_view(scenario, d);
         }
     }
     let d_opt = 0.5 * (a + b);
@@ -104,13 +108,13 @@ pub fn optimize(scenario: &Scenario) -> OptimalTransfer {
         .iter()
         .copied()
         .max_by(|&x, &y| {
-            utility(scenario, x)
-                .partial_cmp(&utility(scenario, y))
+            utility_view(scenario, x)
+                .partial_cmp(&utility_view(scenario, y))
                 .expect("utility is finite")
         })
         .expect("non-empty candidates");
 
-    let bd = utility_breakdown(scenario, best);
+    let bd = utility_breakdown_view(scenario, best);
     OptimalTransfer {
         d_opt: best,
         utility: bd.utility,
@@ -122,13 +126,18 @@ pub fn optimize(scenario: &Scenario) -> OptimalTransfer {
 
 /// Evaluate `U` on a uniform grid (for plotting Figure 8 curves).
 pub fn utility_curve(scenario: &Scenario, points: usize) -> Vec<(f64, f64)> {
+    utility_curve_view(scenario.view(), points)
+}
+
+/// [`utility_curve`] on a borrowed [`ScenarioView`].
+pub fn utility_curve_view(scenario: ScenarioView<'_>, points: usize) -> Vec<(f64, f64)> {
     assert!(points >= 2);
     let lo = scenario.d_min_m;
     let hi = scenario.d0_m;
     (0..points)
         .map(|i| {
             let d = lo + (hi - lo) * i as f64 / (points - 1) as f64;
-            (d, utility(scenario, d))
+            (d, utility_view(scenario, d))
         })
         .collect()
 }

@@ -10,8 +10,6 @@
 //! both with the fitted throughput model of their platform and a minimum
 //! separation of 20 m "to avoid physical collisions".
 
-use serde::{Deserialize, Serialize};
-
 use crate::failure::{ExponentialFailure, FailureSpec};
 use crate::optimizer::{optimize, OptimalTransfer};
 use crate::throughput::{LogFitThroughput, ThroughputSpec};
@@ -20,7 +18,7 @@ use crate::throughput::{LogFitThroughput, ThroughputSpec};
 pub const BYTES_PER_MB: f64 = 1e6;
 
 /// One decision instance: who, where, how much, how risky.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Label for reports.
     pub name: String,
@@ -105,6 +103,84 @@ impl Scenario {
     pub fn optimize(&self) -> OptimalTransfer {
         optimize(self)
     }
+
+    /// A borrowed, `Copy` evaluation view of this scenario. All model
+    /// evaluation (utility, optimizer, sweeps) runs on views, so a
+    /// parameter sweep overrides one field per grid cell without cloning
+    /// the name string or an empirical throughput table.
+    pub fn view(&self) -> ScenarioView<'_> {
+        ScenarioView {
+            d0_m: self.d0_m,
+            d_min_m: self.d_min_m,
+            v_mps: self.v_mps,
+            mdata_bytes: self.mdata_bytes,
+            throughput: &self.throughput,
+            failure: self.failure,
+        }
+    }
+}
+
+/// A cheap (`Copy`) evaluation view of a [`Scenario`]: the numeric
+/// parameters by value, the throughput model by reference, the failure
+/// spec by value (it is two floats). This is what sweeps hand to the
+/// optimizer thousands of times — building one costs nothing, and the
+/// `with_*` overrides below replace a field without touching the base.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioView<'a> {
+    /// Distance at which the link came up and data is ready, metres.
+    pub d0_m: f64,
+    /// Minimum allowed separation (collision safety), metres.
+    pub d_min_m: f64,
+    /// Cruise speed used for repositioning, m/s.
+    pub v_mps: f64,
+    /// Batch size to deliver, bytes.
+    pub mdata_bytes: f64,
+    /// Throughput-vs-distance model (borrowed from the base scenario).
+    pub throughput: &'a ThroughputSpec,
+    /// Failure / discount model.
+    pub failure: FailureSpec,
+}
+
+impl<'a> ScenarioView<'a> {
+    /// Override the failure rate ρ (Figure 8 sweeps this).
+    pub fn with_rho(mut self, rho_per_m: f64) -> Self {
+        self.failure = FailureSpec::Exponential(ExponentialFailure::new(rho_per_m));
+        self
+    }
+
+    /// Override the batch size in MB (Figure 9 sweeps this).
+    pub fn with_mdata_mb(mut self, mdata_mb: f64) -> Self {
+        assert!(mdata_mb > 0.0);
+        self.mdata_bytes = mdata_mb * BYTES_PER_MB;
+        self
+    }
+
+    /// Override the cruise speed (Figure 9 sweeps this).
+    pub fn with_speed(mut self, v_mps: f64) -> Self {
+        assert!(v_mps > 0.0);
+        self.v_mps = v_mps;
+        self
+    }
+
+    /// Override the initial separation.
+    pub fn with_d0(mut self, d0_m: f64) -> Self {
+        assert!(d0_m >= self.d_min_m);
+        self.d0_m = d0_m;
+        self
+    }
+
+    /// Validate the constraint set of Eq. (2).
+    pub fn validate(&self) {
+        assert!(self.d_min_m > 0.0, "d_min must be positive");
+        assert!(self.d0_m >= self.d_min_m, "d0 must be ≥ d_min");
+        assert!(self.v_mps > 0.0, "v must be positive (Eq. 2)");
+        assert!(self.mdata_bytes > 0.0, "Mdata must be positive (Eq. 2)");
+    }
+
+    /// Solve Eq. (2) for this view.
+    pub fn optimize(&self) -> OptimalTransfer {
+        crate::optimizer::optimize_view(*self)
+    }
 }
 
 #[cfg(test)]
@@ -165,9 +241,31 @@ mod tests {
     }
 
     #[test]
-    fn scenario_is_serialisable() {
-        // Compile-time check that the serde derives cover the whole tree.
-        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
-        assert_serde::<Scenario>();
+    fn view_is_copy_and_matches_owner() {
+        let s = Scenario::airplane_baseline();
+        let v = s.view();
+        let w = v; // Copy — no clone of the name or throughput table
+        assert_eq!(w.d0_m, s.d0_m);
+        assert_eq!(w.mdata_bytes, s.mdata_bytes);
+        assert_eq!(
+            w.throughput.rate_bps(40.0),
+            s.throughput.rate_bps(40.0)
+        );
+    }
+
+    #[test]
+    fn view_overrides_do_not_touch_base() {
+        let s = Scenario::airplane_baseline();
+        let v = s.view().with_rho(5e-3).with_speed(20.0).with_mdata_mb(7.0);
+        assert_eq!(s.v_mps, 10.0);
+        assert_eq!(v.v_mps, 20.0);
+        assert_eq!(v.mdata_bytes, 7e6);
+        match v.failure {
+            FailureSpec::Exponential(e) => assert_eq!(e.rho_per_m, 5e-3),
+            _ => panic!("expected exponential"),
+        }
+        // The builder path and the view path describe the same scenario.
+        let owned = s.clone().with_rho(5e-3).with_speed(20.0).with_mdata_mb(7.0);
+        assert_eq!(crate::optimizer::optimize(&owned), v.optimize());
     }
 }

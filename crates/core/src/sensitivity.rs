@@ -9,14 +9,12 @@
 //! for constraint pinning (where the derivative of `dopt` is zero and
 //! only the utility moves).
 
-use serde::{Deserialize, Serialize};
-
 use crate::failure::FailureSpec;
 use crate::optimizer::optimize;
 use crate::scenario::Scenario;
 
 /// Sensitivities of `(dopt, U)` to one parameter (per unit of it).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParameterSensitivity {
     /// `∂dopt/∂p` (metres per parameter unit).
     pub d_opt_per_unit: f64,
@@ -25,7 +23,7 @@ pub struct ParameterSensitivity {
 }
 
 /// The full local sensitivity picture around a scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SensitivityReport {
     /// Per megabyte of batch size.
     pub per_mdata_mb: ParameterSensitivity,

@@ -15,8 +15,6 @@
 //! delivered-data-vs-time curves the paper measured, plus the scalar
 //! utility of Eq. (1) extended with an in-motion term.
 
-use serde::{Deserialize, Serialize};
-
 use crate::delay::CommunicationDelay;
 use crate::failure::FailureModel;
 use crate::optimizer::optimize;
@@ -24,7 +22,7 @@ use crate::scenario::Scenario;
 use crate::throughput::ThroughputModel;
 
 /// How to deliver the batch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Strategy {
     /// Hover-and-transmit at the encounter distance `d0`.
     TransmitNow,
@@ -52,7 +50,7 @@ impl Strategy {
 }
 
 /// Evaluation knobs beyond the scenario itself.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalConfig {
     /// Multiplier on `s(d)` while the platform is in motion. Figure 7
     /// (centre) shows ≈ 8 m/s motion cutting the quadrocopter rate to a
@@ -81,7 +79,7 @@ impl Default for EvalConfig {
 }
 
 /// The outcome of evaluating one strategy on one scenario.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StrategyEvaluation {
     /// The evaluated strategy.
     pub strategy: Strategy,

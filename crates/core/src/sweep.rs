@@ -5,13 +5,12 @@
 //! * [`gratification_sweep`] — `(dopt, U(dopt))` across a grid of batch
 //!   sizes and speeds (Figure 9: each `Mdata` draws a curve over `v`).
 
-use serde::{Deserialize, Serialize};
-
-use crate::optimizer::{optimize, utility_curve, OptimalTransfer};
+use crate::optimizer::{optimize_view, utility_curve_view, OptimalTransfer};
 use crate::scenario::Scenario;
+use skyferry_sim::parallel::{par_map, par_map_grid};
 
 /// One ρ's worth of Figure 8 output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RhoCurve {
     /// Failure rate, 1/m.
     pub rho_per_m: f64,
@@ -22,21 +21,26 @@ pub struct RhoCurve {
 }
 
 /// Evaluate Figure 8 for a baseline scenario and a set of failure rates.
+///
+/// Each ρ is an independent task: the base scenario is borrowed once as a
+/// [`ScenarioView`](crate::scenario::ScenarioView) and every cell is a
+/// `Copy` of that view with one field overridden — no `Scenario` clone,
+/// no allocation per cell. Runs on the deterministic thread pool
+/// ([`par_map`]); output is identical at any thread count.
 pub fn rho_sweep(base: &Scenario, rhos: &[f64], curve_points: usize) -> Vec<RhoCurve> {
-    rhos.iter()
-        .map(|&rho| {
-            let s = base.clone().with_rho(rho);
-            RhoCurve {
-                rho_per_m: rho,
-                curve: utility_curve(&s, curve_points),
-                optimum: optimize(&s),
-            }
-        })
-        .collect()
+    let base = base.view();
+    par_map(rhos, |&rho| {
+        let s = base.with_rho(rho);
+        RhoCurve {
+            rho_per_m: rho,
+            curve: utility_curve_view(s, curve_points),
+            optimum: optimize_view(s),
+        }
+    })
 }
 
 /// One (Mdata, v) cell of Figure 9.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GratificationPoint {
     /// Batch size, MB.
     pub mdata_mb: f64,
@@ -47,27 +51,24 @@ pub struct GratificationPoint {
 }
 
 /// Evaluate Figure 9: for every batch size, a curve over speeds.
+///
+/// The full `|Mdata| × |v|` grid is flattened into one task pool
+/// ([`par_map_grid`]) so load balances across cells, and each cell is a
+/// field override on a borrowed view rather than a `Scenario` clone.
 pub fn gratification_sweep(
     base: &Scenario,
     mdata_mb: &[f64],
     speeds_mps: &[f64],
 ) -> Vec<Vec<GratificationPoint>> {
-    mdata_mb
-        .iter()
-        .map(|&m| {
-            speeds_mps
-                .iter()
-                .map(|&v| {
-                    let s = base.clone().with_mdata_mb(m).with_speed(v);
-                    GratificationPoint {
-                        mdata_mb: m,
-                        v_mps: v,
-                        optimum: optimize(&s),
-                    }
-                })
-                .collect()
-        })
-        .collect()
+    let base = base.view();
+    par_map_grid(mdata_mb, speeds_mps, |&m, &v| {
+        let s = base.with_mdata_mb(m).with_speed(v);
+        GratificationPoint {
+            mdata_mb: m,
+            v_mps: v,
+            optimum: optimize_view(s),
+        }
+    })
 }
 
 /// The paper's Figure 8 rate lists.

@@ -10,8 +10,6 @@
 //! interpolates a measured `(distance, rate)` table, so a campaign run in
 //! `skyferry-net` can be plugged straight into the optimizer.
 
-use serde::{Deserialize, Serialize};
-
 /// Anything that maps a separation to an achievable rate.
 pub trait ThroughputModel {
     /// Expected application-layer throughput at distance `d_m`, bit/s.
@@ -25,7 +23,7 @@ pub trait ThroughputModel {
 pub const MIN_RATE_BPS: f64 = 1e3;
 
 /// The paper's logarithmic fit `s(d) = 1e6 · (a·log2(d) + b)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogFitThroughput {
     /// Coefficient of `log2(d)` in Mb/s (negative: rate falls with d).
     pub a_mbps: f64,
@@ -61,7 +59,7 @@ impl ThroughputModel for LogFitThroughput {
 }
 
 /// Piecewise-linear interpolation over a measured `(d, rate)` table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EmpiricalThroughput {
     /// `(distance_m, rate_bps)` points, strictly ascending in distance.
     points: Vec<(f64, f64)>,
@@ -139,7 +137,7 @@ impl ThroughputModel for EmpiricalThroughput {
 
 /// A throughput model selector that is plain data (serialisable, no
 /// trait objects) — the form scenarios carry around.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ThroughputSpec {
     /// Logarithmic fit.
     LogFit(LogFitThroughput),

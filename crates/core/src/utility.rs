@@ -3,7 +3,7 @@
 
 use crate::delay::CommunicationDelay;
 use crate::failure::FailureModel;
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, ScenarioView};
 
 /// Evaluate `U(d)` for a scenario at candidate distance `d_m`.
 ///
@@ -15,7 +15,13 @@ use crate::scenario::Scenario;
 /// assert!(utility(&s, 50.0) > utility(&s, 99.0));
 /// ```
 pub fn utility(scenario: &Scenario, d_m: f64) -> f64 {
-    let delay = CommunicationDelay::at(scenario, d_m);
+    utility_view(scenario.view(), d_m)
+}
+
+/// [`utility`] on a borrowed [`ScenarioView`] — the allocation-free form
+/// the optimizer and sweeps evaluate thousands of times per cell.
+pub fn utility_view(scenario: ScenarioView<'_>, d_m: f64) -> f64 {
+    let delay = CommunicationDelay::at_view(scenario, d_m);
     let survival = scenario.failure.survival(scenario.d0_m, d_m);
     survival / delay.total_s()
 }
@@ -37,7 +43,12 @@ pub struct UtilityBreakdown {
 
 /// Evaluate Eq. (1) with its full decomposition.
 pub fn utility_breakdown(scenario: &Scenario, d_m: f64) -> UtilityBreakdown {
-    let delay = CommunicationDelay::at(scenario, d_m);
+    utility_breakdown_view(scenario.view(), d_m)
+}
+
+/// [`utility_breakdown`] on a borrowed [`ScenarioView`].
+pub fn utility_breakdown_view(scenario: ScenarioView<'_>, d_m: f64) -> UtilityBreakdown {
+    let delay = CommunicationDelay::at_view(scenario, d_m);
     let survival = scenario.failure.survival(scenario.d0_m, d_m);
     let instantaneous = 1.0 / delay.total_s();
     UtilityBreakdown {

@@ -11,6 +11,7 @@ use skyferry_mac::queue::TxQueue;
 use skyferry_mac::rate::{Arf, FixedMcs, MinstrelHt, RateController};
 use skyferry_phy::mcs::Mcs;
 use skyferry_phy::presets::ChannelPreset;
+use skyferry_sim::parallel::par_map_indexed;
 use skyferry_sim::prelude::*;
 
 use crate::meter::ThroughputMeter;
@@ -107,14 +108,23 @@ pub fn measure_throughput(cfg: &CampaignConfig, profile: MotionProfile, rep: u64
 }
 
 /// Pool the samples of `reps` replications.
+///
+/// Replications run on the deterministic thread pool
+/// ([`par_map_indexed`]): each replication's RNG substreams are derived
+/// from `(cfg.seed, rep)` alone and results are concatenated in
+/// replication order, so the pooled sample vector is bit-identical at
+/// any thread count.
 pub fn measure_throughput_replicated(
     cfg: &CampaignConfig,
     profile: MotionProfile,
     reps: u64,
 ) -> Vec<f64> {
-    let mut all = Vec::new();
-    for rep in 0..reps {
-        all.extend(measure_throughput(cfg, profile, rep));
+    let per_rep = par_map_indexed(reps as usize, |rep| {
+        measure_throughput(cfg, profile, rep as u64)
+    });
+    let mut all = Vec::with_capacity(per_rep.iter().map(Vec::len).sum());
+    for samples in per_rep {
+        all.extend(samples);
     }
     all
 }
@@ -123,49 +133,33 @@ pub fn measure_throughput_replicated(
 /// hover replications and return `(distance, samples)` rows. This is the
 /// raw material of the paper's Figures 5 and 7 boxplots.
 ///
-/// Distances run in parallel on scoped OS threads. Determinism is
-/// unaffected: every `(distance, replication)` pair derives its RNG
-/// substreams from the campaign seed alone, so the result is identical
-/// to a sequential run.
+/// The `|distances| × reps` grid is flattened into one task pool
+/// ([`par_map_indexed`]) so a handful of distances with many
+/// replications each still load-balances across every worker.
+/// Determinism is unaffected: every `(distance, replication)` pair
+/// derives its RNG substreams from the campaign seed alone and rows are
+/// reassembled in distance order, so the result is bit-identical to a
+/// sequential run at any thread count.
 pub fn throughput_vs_distance(
     cfg: &CampaignConfig,
     distances_m: &[f64],
     reps: u64,
 ) -> Vec<(f64, Vec<f64>)> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(distances_m.len().max(1));
-    if threads <= 1 || distances_m.len() <= 1 {
-        return distances_m
-            .iter()
-            .map(|&d| {
-                (
-                    d,
-                    measure_throughput_replicated(cfg, MotionProfile::hover(d), reps),
-                )
-            })
-            .collect();
-    }
-    let mut rows: Vec<Option<(f64, Vec<f64>)>> = vec![None; distances_m.len()];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let rows_mutex = std::sync::Mutex::new(&mut rows);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= distances_m.len() {
-                    break;
-                }
-                let d = distances_m[i];
-                let samples = measure_throughput_replicated(cfg, MotionProfile::hover(d), reps);
-                rows_mutex.lock().expect("no panics hold the lock")[i] = Some((d, samples));
-            });
-        }
+    let reps_usize = reps as usize;
+    let cells = par_map_indexed(distances_m.len() * reps_usize, |k| {
+        let d = distances_m[k / reps_usize.max(1)];
+        let rep = (k % reps_usize.max(1)) as u64;
+        measure_throughput(cfg, MotionProfile::hover(d), rep)
     });
-    rows.into_iter()
-        .map(|r| r.expect("every index filled"))
-        .collect()
+    let mut rows = Vec::with_capacity(distances_m.len());
+    for (i, &d) in distances_m.iter().enumerate() {
+        let mut samples = Vec::new();
+        for rep_samples in &cells[i * reps_usize..(i + 1) * reps_usize] {
+            samples.extend_from_slice(rep_samples);
+        }
+        rows.push((d, samples));
+    }
+    rows
 }
 
 /// Outcome of a finite batch transfer run.

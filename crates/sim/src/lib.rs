@@ -27,6 +27,10 @@
 //!   a handler together with a scheduling context.
 //! * [`rng`] — seeded, splittable random streams so that independent model
 //!   components draw from independent substreams.
+//! * [`parallel`] — deterministic fan-out of independent simulations
+//!   (campaign replications, parameter sweeps) over OS threads, with
+//!   order-preserving collection and per-task seed derivation so results
+//!   are identical at any thread count.
 //!
 //! ## Example
 //!
@@ -52,6 +56,7 @@
 //! ```
 
 pub mod engine;
+pub mod parallel;
 pub mod queue;
 pub mod rng;
 pub mod time;
@@ -60,6 +65,9 @@ pub mod trace;
 /// Convenient glob-import surface: `use skyferry_sim::prelude::*`.
 pub mod prelude {
     pub use crate::engine::{Context, RunOutcome, Simulation};
+    pub use crate::parallel::{
+        max_threads, par_map, par_map_grid, par_map_indexed, run_replications, set_max_threads,
+    };
     pub use crate::queue::{EventId, EventQueue};
     pub use crate::rng::{DetRng, SeedStream};
     pub use crate::time::{SimDuration, SimTime};

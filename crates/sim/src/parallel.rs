@@ -1,0 +1,246 @@
+//! Deterministic parallel execution primitives.
+//!
+//! Every expensive computation in the workspace — campaign replications,
+//! the Figure 8/9 parameter sweeps, the mixed-strategy grid — is
+//! embarrassingly parallel: a set of independent tasks whose results are
+//! collected in task order. This module provides that pattern once, with
+//! two hard guarantees:
+//!
+//! 1. **Bit-identical output at any thread count.** Tasks are identified
+//!    by index; results land in index order no matter which worker ran
+//!    them, and per-task randomness is derived from a root seed and the
+//!    task index (SplitMix64, see [`crate::rng`]), never from a shared
+//!    stream. Running with 1, 2 or 64 threads — or twice with the same
+//!    seed — produces the same bytes.
+//! 2. **No external dependencies.** Workers are `std::thread::scope`
+//!    threads pulling indices from an atomic counter (dynamic scheduling,
+//!    so uneven task costs still balance), which keeps the simulator
+//!    dependency-free and the scheduling easy to reason about.
+//!
+//! The worker count defaults to the machine's available parallelism and
+//! can be overridden globally with [`set_max_threads`] (the `repro`
+//! binary's `--threads` flag) or per call with the `*_with_threads`
+//! variants.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::rng::{DetRng, SeedStream};
+
+/// Global worker-count override: 0 = auto (available parallelism).
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Limit every subsequent parallel region to `n` workers (`0` restores
+/// the default of one worker per available core). Thread count never
+/// affects results, only wall-clock time.
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The current worker-count ceiling (resolving `auto` to the machine's
+/// available parallelism).
+pub fn max_threads() -> usize {
+    match MAX_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Workers actually worth spawning for `tasks` independent tasks.
+fn effective_threads(tasks: usize, cap: usize) -> usize {
+    cap.min(tasks).max(1)
+}
+
+/// Map `f` over `0..n` with up to `threads` workers; results are returned
+/// in index order. `threads <= 1` (or `n <= 1`) runs inline with zero
+/// scheduling overhead — the serial path *is* the parallel path at one
+/// worker, so there is nothing to keep in sync.
+///
+/// # Panics
+/// Propagates the first worker panic after all workers have stopped.
+pub fn par_map_indexed_with_threads<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = effective_threads(n, threads);
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    // Each worker buffers (index, result) pairs locally;
+                    // the atomic counter is the only shared state.
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(local) => {
+                    for (i, r) in local {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// [`par_map_indexed_with_threads`] at the global thread ceiling.
+pub fn par_map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_map_indexed_with_threads(n, max_threads(), f)
+}
+
+/// Map `f` over a slice in parallel, preserving input order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// Map `f` over the cartesian grid `xs × ys` in parallel, returning
+/// row-major rows (`result[i][j] = f(&xs[i], &ys[j])`). The grid is
+/// flattened into one task pool, so small rows still spread over all
+/// workers.
+pub fn par_map_grid<X, Y, R, F>(xs: &[X], ys: &[Y], f: F) -> Vec<Vec<R>>
+where
+    X: Sync,
+    Y: Sync,
+    R: Send,
+    F: Fn(&X, &Y) -> R + Sync,
+{
+    let cols = ys.len();
+    let mut flat = par_map_indexed(xs.len() * cols, |k| f(&xs[k / cols], &ys[k % cols]));
+    let mut rows = Vec::with_capacity(xs.len());
+    for _ in 0..xs.len() {
+        let rest = flat.split_off(cols.min(flat.len()));
+        rows.push(std::mem::replace(&mut flat, rest));
+    }
+    rows
+}
+
+/// Run `reps` independent replications of a seeded experiment in
+/// parallel. Replication `rep` receives a [`DetRng`] derived from
+/// `(root_seed, label, rep)` alone — the same substream a serial loop
+/// would hand it — so the pooled results are bit-identical at any thread
+/// count.
+pub fn run_replications<R, F>(root_seed: u64, label: &str, reps: u64, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64, DetRng) -> R + Sync,
+{
+    let seeds = SeedStream::new(root_seed);
+    par_map_indexed(reps as usize, |rep| {
+        let rep = rep as u64;
+        f(rep, seeds.rng_indexed(label, rep))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_at_any_thread_count() {
+        let serial: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let out = par_map_indexed_with_threads(97, threads, |i| i * i);
+            assert_eq!(out, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_over_slice_borrows() {
+        let items = vec![1.0f64, 2.0, 3.0];
+        let out = par_map(&items, |x| x * 10.0);
+        assert_eq!(out, vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn empty_and_single_task_degenerate() {
+        let out: Vec<u32> = par_map_indexed(0, |_| unreachable!());
+        assert!(out.is_empty());
+        assert_eq!(par_map_indexed(1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn grid_is_row_major() {
+        let xs = [10usize, 20];
+        let ys = [1usize, 2, 3];
+        let grid = par_map_grid(&xs, &ys, |x, y| x + y);
+        assert_eq!(grid, vec![vec![11, 12, 13], vec![21, 22, 23]]);
+    }
+
+    #[test]
+    fn grid_handles_empty_axes() {
+        let grid = par_map_grid(&[1], &[] as &[usize], |_, _| 0usize);
+        assert_eq!(grid, vec![Vec::<usize>::new()]);
+        let grid = par_map_grid(&[] as &[usize], &[1], |_, _| 0usize);
+        assert!(grid.is_empty());
+    }
+
+    // The global ceiling is process-wide, so everything touching it lives
+    // in ONE test — the harness runs separate #[test] fns concurrently.
+    #[test]
+    fn global_ceiling_and_replication_invariance() {
+        let draw = |_rep: u64, mut rng: DetRng| -> Vec<u64> {
+            (0..16).map(|_| rng.next_u64()).collect()
+        };
+        set_max_threads(7);
+        assert_eq!(max_threads(), 7);
+        set_max_threads(1);
+        let one = run_replications(42, "test", 12, draw);
+        set_max_threads(5);
+        let five = run_replications(42, "test", 12, draw);
+        set_max_threads(0);
+        assert!(max_threads() >= 1);
+        let auto = run_replications(42, "test", 12, draw);
+        assert_eq!(one, five);
+        assert_eq!(one, auto);
+        // Distinct replications must see distinct streams.
+        assert_ne!(one[0], one[1]);
+    }
+
+    #[test]
+    fn uneven_task_costs_still_ordered() {
+        // Later indices finish first; order must be unaffected.
+        let out = par_map_indexed_with_threads(32, 8, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+            }
+            i
+        });
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+}

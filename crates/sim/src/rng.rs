@@ -7,15 +7,17 @@
 //!
 //! [`SeedStream`] derives independent 64-bit seeds from a master seed and a
 //! string label using the SplitMix64 finalizer over a simple label hash;
-//! [`DetRng`] is a seeded ChaCha-free `StdRng` wrapper with the small set of
-//! sampling helpers the models need (uniform, normal, exponential) so that
-//! no extra distribution crate is required.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! [`DetRng`] is a self-contained xoshiro256++ generator with the small set
+//! of sampling helpers the models need (uniform, normal, exponential) so
+//! that no external random or distribution crate is required.
 
 /// SplitMix64 finalizer: a high-quality 64-bit mixing function.
-fn splitmix64(mut z: u64) -> u64 {
+///
+/// This is also the seed-derivation primitive of the parallel execution
+/// layer (`crate::parallel`): per-task seeds are splitmix64 mixes of the
+/// root seed and the task index, so results are independent of how tasks
+/// are distributed over threads.
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -81,9 +83,15 @@ impl SeedStream {
 }
 
 /// A deterministic RNG with the sampling helpers the skyferry models use.
+///
+/// The core generator is xoshiro256++ (Blackman & Vigna), seeded by
+/// expanding a 64-bit seed through SplitMix64 — the reference seeding
+/// procedure. It is fast, has a 2^256 − 1 period, and its output is
+/// identical on every platform, which is what campaign determinism rests
+/// on.
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: StdRng,
+    state: [u64; 4],
     /// Cached second output of the Box-Muller transform.
     gauss_spare: Option<f64>,
 }
@@ -91,15 +99,38 @@ pub struct DetRng {
 impl DetRng {
     /// Seed from a 64-bit value.
     pub fn seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut state = [0u64; 4];
+        for s in &mut state {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            *s = splitmix64(sm);
+        }
         DetRng {
-            inner: StdRng::seed_from_u64(seed),
+            state,
             gauss_spare: None,
         }
     }
 
-    /// Uniform sample in `[0, 1)`.
+    /// Next raw 64-bit output (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform sample in `[0, 1)` with full 53-bit mantissa resolution.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -111,10 +142,20 @@ impl DetRng {
         lo + self.uniform() * (hi - lo)
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)` (Lemire's unbiased multiply-shift
+    /// rejection method).
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.inner.random_range(0..n)
+        let n = n as u64;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            let low = m as u64;
+            if low >= n.wrapping_neg() % n {
+                return (m >> 64) as usize;
+            }
+            // Rejected: retry keeps the distribution exactly uniform.
+        }
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
@@ -163,10 +204,12 @@ impl DetRng {
         sigma * (-2.0 * u.ln()).sqrt()
     }
 
-    /// Raw access to the underlying RNG for callers that need other
-    /// `rand::Rng` methods (e.g. shuffles).
-    pub fn raw(&mut self) -> &mut StdRng {
-        &mut self.inner
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
     }
 }
 
@@ -246,5 +289,49 @@ mod tests {
             seen[rng.index(5)] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn index_is_roughly_uniform() {
+        let mut rng = DetRng::seed(7);
+        let n = 7usize;
+        let draws = 70_000;
+        let mut counts = vec![0u32; n];
+        for _ in 0..draws {
+            counts[rng.index(n)] += 1;
+        }
+        let expected = draws as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < 0.05 * expected,
+                "bucket {i}: {c} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b = a.clone();
+        DetRng::seed(8).shuffle(&mut a);
+        DetRng::seed(8).shuffle(&mut b);
+        assert_eq!(a, b, "same seed, same permutation");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(a, sorted, "50 elements virtually never stay in order");
+    }
+
+    #[test]
+    fn distinct_seeds_decorrelate() {
+        let a: Vec<u64> = {
+            let mut r = DetRng::seed(1);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = DetRng::seed(2);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        assert!(a.iter().zip(&b).filter(|(x, y)| x == y).count() == 0);
     }
 }

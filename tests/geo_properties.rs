@@ -1,118 +1,173 @@
-//! Property tests of the geometry/geodesy layer.
+//! Randomised property tests of the geometry/geodesy layer, on a
+//! fixed-seed [`DetRng`] loop (256 cases per property, matching the old
+//! proptest configuration).
 
-use proptest::prelude::*;
 use skyferry::geo::camera::CameraModel;
 use skyferry::geo::geodetic::{haversine_distance_m, EnuFrame, GeoPoint};
 use skyferry::geo::sector::Sector;
 use skyferry::geo::vector::Vec3;
+use skyferry::sim::rng::DetRng;
 
-fn arb_geopoint() -> impl Strategy<Value = GeoPoint> {
-    (-80.0f64..80.0, -179.0f64..179.0, 0.0f64..300.0)
-        .prop_map(|(lat, lon, alt)| GeoPoint::new(lat, lon, alt))
+const CASES: usize = 256;
+
+fn rng(salt: u64) -> DetRng {
+    DetRng::seed(0x6E0 ^ salt)
 }
 
-fn arb_vec3() -> impl Strategy<Value = Vec3> {
-    (-2_000.0f64..2_000.0, -2_000.0f64..2_000.0, 0.0f64..300.0)
-        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+fn arb_geopoint(rng: &mut DetRng) -> GeoPoint {
+    GeoPoint::new(
+        rng.uniform_range(-80.0, 80.0),
+        rng.uniform_range(-179.0, 179.0),
+        rng.uniform_range(0.0, 300.0),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn arb_vec3(rng: &mut DetRng) -> Vec3 {
+    Vec3::new(
+        rng.uniform_range(-2_000.0, 2_000.0),
+        rng.uniform_range(-2_000.0, 2_000.0),
+        rng.uniform_range(0.0, 300.0),
+    )
+}
 
-    #[test]
-    fn haversine_symmetric_nonnegative(a in arb_geopoint(), b in arb_geopoint()) {
+#[test]
+fn haversine_symmetric_nonnegative() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let (a, b) = (arb_geopoint(&mut rng), arb_geopoint(&mut rng));
         let d1 = haversine_distance_m(&a, &b);
         let d2 = haversine_distance_m(&b, &a);
-        prop_assert!(d1 >= 0.0);
-        prop_assert!((d1 - d2).abs() < 1e-6);
-        prop_assert!((haversine_distance_m(&a, &a)).abs() < 1e-9);
+        assert!(d1 >= 0.0);
+        assert!((d1 - d2).abs() < 1e-6);
+        assert!((haversine_distance_m(&a, &a)).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn haversine_triangle_inequality(a in arb_geopoint(), b in arb_geopoint(), c in arb_geopoint()) {
+#[test]
+fn haversine_triangle_inequality() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let a = arb_geopoint(&mut rng);
+        let b = arb_geopoint(&mut rng);
+        let c = arb_geopoint(&mut rng);
         let ab = haversine_distance_m(&a, &b);
         let bc = haversine_distance_m(&b, &c);
         let ac = haversine_distance_m(&a, &c);
-        prop_assert!(ac <= ab + bc + 1e-6);
+        assert!(ac <= ab + bc + 1e-6);
     }
+}
 
-    #[test]
-    fn slant_at_least_ground(a in arb_geopoint(), b in arb_geopoint()) {
-        prop_assert!(a.slant_distance_m(&b) >= a.haversine_distance_m(&b) - 1e-9);
+#[test]
+fn slant_at_least_ground() {
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let (a, b) = (arb_geopoint(&mut rng), arb_geopoint(&mut rng));
+        assert!(a.slant_distance_m(&b) >= a.haversine_distance_m(&b) - 1e-9);
     }
+}
 
-    #[test]
-    fn enu_roundtrip_mission_scale(origin in arb_geopoint(), v in arb_vec3()) {
+#[test]
+fn enu_roundtrip_mission_scale() {
+    let mut rng = rng(4);
+    for _ in 0..CASES {
+        let origin = arb_geopoint(&mut rng);
+        let v = arb_vec3(&mut rng);
         let frame = EnuFrame::new(origin);
         let p = frame.to_geodetic(v);
         let back = frame.to_enu(&p);
-        prop_assert!(back.distance(v) < 1e-4, "roundtrip error {}", back.distance(v));
+        assert!(back.distance(v) < 1e-4, "roundtrip error {}", back.distance(v));
     }
+}
 
-    #[test]
-    fn enu_matches_haversine_locally(v in arb_vec3()) {
-        // At mission scale (≤ ~3 km) the flat frame and the sphere agree
-        // to well under a metre at mid latitudes.
+#[test]
+fn enu_matches_haversine_locally() {
+    // At mission scale (≤ ~3 km) the flat frame and the sphere agree
+    // to well under a metre at mid latitudes.
+    let mut rng = rng(5);
+    for _ in 0..CASES {
+        let v = arb_vec3(&mut rng);
         let origin = GeoPoint::new(47.4, 8.5, 0.0);
         let frame = EnuFrame::new(origin);
         let ground = Vec3::new(v.x, v.y, 0.0);
         let p = frame.to_geodetic(ground);
         let hav = haversine_distance_m(&origin, &p);
         let flat = ground.norm();
-        prop_assert!((hav - flat).abs() < 1.0, "hav {hav} vs flat {flat}");
+        assert!((hav - flat).abs() < 1.0, "hav {hav} vs flat {flat}");
     }
+}
 
-    #[test]
-    fn vector_norm_properties(a in arb_vec3(), b in arb_vec3(), s in -10.0f64..10.0) {
-        prop_assert!(a.norm() >= 0.0);
-        prop_assert!(((a * s).norm() - a.norm() * s.abs()).abs() < 1e-6);
-        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
-        prop_assert!((a.norm_squared() - a.norm() * a.norm()).abs() < 1e-6);
+#[test]
+fn vector_norm_properties() {
+    let mut rng = rng(6);
+    for _ in 0..CASES {
+        let a = arb_vec3(&mut rng);
+        let b = arb_vec3(&mut rng);
+        let s = rng.uniform_range(-10.0, 10.0);
+        assert!(a.norm() >= 0.0);
+        assert!(((a * s).norm() - a.norm() * s.abs()).abs() < 1e-6);
+        assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+        assert!((a.norm_squared() - a.norm() * a.norm()).abs() < 1e-6);
         // Cross product orthogonality.
         let c = a.cross(b);
-        prop_assert!(c.dot(a).abs() < 1e-4 * (1.0 + c.norm() * a.norm()));
-        prop_assert!(c.dot(b).abs() < 1e-4 * (1.0 + c.norm() * b.norm()));
+        assert!(c.dot(a).abs() < 1e-4 * (1.0 + c.norm() * a.norm()));
+        assert!(c.dot(b).abs() < 1e-4 * (1.0 + c.norm() * b.norm()));
     }
+}
 
-    #[test]
-    fn camera_mdata_scales(alt in 5.0f64..150.0, side in 50.0f64..1_000.0) {
+#[test]
+fn camera_mdata_scales() {
+    let mut rng = rng(7);
+    for _ in 0..CASES {
+        let alt = rng.uniform_range(5.0, 150.0);
+        let side = rng.uniform_range(50.0, 1_000.0);
         let cam = CameraModel::paper_default();
         let area = side * side;
         let mdata = cam.mdata_bytes(area, alt);
-        prop_assert!(mdata > 0.0);
+        assert!(mdata > 0.0);
         // Doubling the sector doubles the data.
-        prop_assert!((cam.mdata_bytes(2.0 * area, alt) / mdata - 2.0).abs() < 1e-9);
+        assert!((cam.mdata_bytes(2.0 * area, alt) / mdata - 2.0).abs() < 1e-9);
         // Footprint diagonal equals FOV.
         let fp = cam.footprint(alt);
         let diag = (fp.width_m.powi(2) + fp.height_m.powi(2)).sqrt();
-        prop_assert!((diag - cam.fov_m(alt)).abs() < 1e-6);
+        assert!((diag - cam.fov_m(alt)).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn sector_grid_partitions(nx in 1usize..5, ny in 1usize..5, side in 50.0f64..500.0) {
+#[test]
+fn sector_grid_partitions() {
+    let mut rng = rng(8);
+    for _ in 0..CASES {
+        let nx = 1 + rng.index(4);
+        let ny = 1 + rng.index(4);
+        let side = rng.uniform_range(50.0, 500.0);
         let s = Sector::new(Vec3::ZERO, side, side);
         let cells = s.grid(nx, ny);
-        prop_assert_eq!(cells.len(), nx * ny);
+        assert_eq!(cells.len(), nx * ny);
         let total: f64 = cells.iter().map(|c| c.area_m2()).sum();
-        prop_assert!((total - s.area_m2()).abs() < 1e-6);
+        assert!((total - s.area_m2()).abs() < 1e-6);
         for c in &cells {
-            prop_assert!(s.contains_ground(c.corner));
+            assert!(s.contains_ground(c.corner));
         }
     }
+}
 
-    #[test]
-    fn lawnmower_stays_inside_and_covers(side in 30.0f64..300.0, alt in 5.0f64..50.0) {
+#[test]
+fn lawnmower_stays_inside_and_covers() {
+    let mut rng = rng(9);
+    for _ in 0..CASES {
+        let side = rng.uniform_range(30.0, 300.0);
+        let alt = rng.uniform_range(5.0, 50.0);
         let s = Sector::new(Vec3::ZERO, side, side);
         let cam = CameraModel::paper_default();
         let plan = s.lawnmower_plan(&cam, alt);
-        prop_assert!(!plan.is_empty());
+        assert!(!plan.is_empty());
         for wp in plan.waypoints() {
-            prop_assert!(s.contains_ground(wp.position));
-            prop_assert!((wp.position.z - alt).abs() < 1e-9);
+            assert!(s.contains_ground(wp.position));
+            assert!((wp.position.z - alt).abs() < 1e-9);
         }
         // Track spacing ≤ footprint height guarantees coverage.
         let fp = cam.footprint(alt);
         let strips = plan.len() / 2;
-        prop_assert!(side / strips as f64 <= fp.height_m + 1e-9);
+        assert!(side / strips as f64 <= fp.height_m + 1e-9);
     }
 }

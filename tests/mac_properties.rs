@@ -1,9 +1,11 @@
-//! Property tests of the MAC layer: byte conservation through the
+//! Randomised tests of the MAC layer: byte conservation through the
 //! host-fed queue under arbitrary drain/retry schedules, reorder-buffer
 //! equivalence with a reference model, and end-to-end transfer
 //! conservation through the full TXOP engine.
+//!
+//! The generators run on a fixed-seed [`DetRng`] loop (128 cases per
+//! property, matching the old proptest configuration).
 
-use proptest::prelude::*;
 use skyferry::mac::link::{LinkConfig, LinkState};
 use skyferry::mac::queue::TxQueue;
 use skyferry::mac::rate::FixedMcs;
@@ -11,6 +13,13 @@ use skyferry::mac::reorder::{ReceiveOutcome, ReorderBuffer};
 use skyferry::phy::mcs::Mcs;
 use skyferry::phy::presets::ChannelPreset;
 use skyferry::sim::prelude::*;
+use skyferry::sim::rng::DetRng;
+
+const CASES: usize = 128;
+
+fn rng(salt: u64) -> DetRng {
+    DetRng::seed(0x3AC ^ salt)
+}
 
 /// One scripted queue action.
 #[derive(Debug, Clone, Copy)]
@@ -21,26 +30,31 @@ enum QueueAction {
     Unget,
 }
 
-fn arb_queue_actions() -> impl Strategy<Value = Vec<QueueAction>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u32..50_000, 0u16..30_000).prop_map(|(dt, n)| QueueAction::Take(dt, n)),
-            Just(QueueAction::Unget),
-        ],
-        1..200,
-    )
+fn arb_queue_actions(rng: &mut DetRng) -> Vec<QueueAction> {
+    let len = 1 + rng.index(199);
+    (0..len)
+        .map(|_| {
+            if rng.chance(0.5) {
+                QueueAction::Take(
+                    (rng.next_u64() % 50_000) as u32,
+                    (rng.next_u64() % 30_000) as u16,
+                )
+            } else {
+                QueueAction::Unget
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn finite_queue_conserves_bytes() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let total = 1 + rng.next_u64() % 2_000_000;
+        let fill_mbps = rng.uniform_range(1.0, 100.0);
+        let capacity = 1_024 + rng.index(200_000 - 1_024);
+        let actions = arb_queue_actions(&mut rng);
 
-    #[test]
-    fn finite_queue_conserves_bytes(
-        total in 1u64..2_000_000,
-        fill_mbps in 1.0f64..100.0,
-        capacity in 1_024usize..200_000,
-        actions in arb_queue_actions(),
-    ) {
         let mut q = TxQueue::finite(total, fill_mbps * 1e6, capacity);
         let mut now = SimTime::ZERO;
         let mut consumed: u64 = 0; // bytes taken and never returned
@@ -50,7 +64,7 @@ proptest! {
                 QueueAction::Take(dt_us, n) => {
                     now += SimDuration::from_micros(dt_us as i64);
                     let got = q.take(now, n as usize);
-                    prop_assert!(got <= n as usize);
+                    assert!(got <= n as usize);
                     consumed += got as u64;
                     last_take = got;
                 }
@@ -60,7 +74,7 @@ proptest! {
                     last_take = 0;
                 }
             }
-            prop_assert!(consumed <= total, "queue fabricated bytes");
+            assert!(consumed <= total, "queue fabricated bytes");
         }
         // Drain to the end: everything the source ever held must come out.
         for _ in 0..10_000 {
@@ -70,12 +84,17 @@ proptest! {
                 break;
             }
         }
-        prop_assert!(q.is_exhausted(now), "queue never exhausted");
-        prop_assert_eq!(consumed, total, "bytes lost or created");
+        assert!(q.is_exhausted(now), "queue never exhausted");
+        assert_eq!(consumed, total, "bytes lost or created");
     }
+}
 
-    #[test]
-    fn reorder_buffer_matches_set_model(seqs in proptest::collection::vec(0u16..256, 1..300)) {
+#[test]
+fn reorder_buffer_matches_set_model() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let len = 1 + rng.index(299);
+        let seqs: Vec<u16> = (0..len).map(|_| rng.index(256) as u16).collect();
         // Reference: the set of sequence numbers ever accepted; a second
         // arrival of a member must never be double-released. (Window is
         // 64, generated sequences span 256, so slides occur too.)
@@ -89,22 +108,25 @@ proptest! {
                 // Either flagged duplicate, or the window moved past it
                 // long ago and it came back as... still a duplicate
                 // (behind the window) — both count.
-                prop_assert_eq!(outcome, ReceiveOutcome::Duplicate, "seq {} re-accepted", s);
+                assert_eq!(outcome, ReceiveOutcome::Duplicate, "seq {} re-accepted", s);
                 expected_duplicates += 1;
             }
         }
-        prop_assert!(rb.duplicates() >= expected_duplicates);
+        assert!(rb.duplicates() >= expected_duplicates);
         // Total accounting: released + holes never exceeds the head
         // advance, and released never exceeds distinct sequences.
-        prop_assert!(rb.released() <= seen.len() as u64);
+        assert!(rb.released() <= seen.len() as u64);
     }
+}
 
-    #[test]
-    fn transfer_conserves_bytes_through_txop_engine(
-        total in 10_000u64..800_000,
-        d_m in 15.0f64..60.0,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn transfer_conserves_bytes_through_txop_engine() {
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let total = 10_000 + rng.next_u64() % 790_000;
+        let d_m = rng.uniform_range(15.0, 60.0);
+        let seed = rng.next_u64();
+
         let seeds = SeedStream::new(seed);
         let preset = ChannelPreset::quadrocopter(0.0);
         let mut link = LinkState::new(
@@ -123,7 +145,7 @@ proptest! {
             // delivery count matches them except when the block ACK died
             // (everything counts as undelivered and is retried).
             if !out.block_ack_lost {
-                prop_assert_eq!(
+                assert_eq!(
                     out.received.iter().filter(|&&b| b).count() as u32,
                     out.delivered,
                     "per-frame flags inconsistent with the delivery count"
@@ -134,6 +156,6 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(delivered, total, "transfer lost or duplicated bytes");
+        assert_eq!(delivered, total, "transfer lost or duplicated bytes");
     }
 }

@@ -1,106 +1,140 @@
-//! Property-based tests of the delayed-gratification model invariants,
+//! Randomised tests of the delayed-gratification model invariants,
 //! spanning the `skyferry-core` public API through the facade crate.
+//!
+//! The generators run on a fixed-seed [`DetRng`] loop (128 cases per
+//! property, matching the old proptest configuration).
 
-use proptest::prelude::*;
 use skyferry::core::failure::{ExponentialFailure, FailureSpec};
 use skyferry::core::optimizer::{optimize, utility_curve};
 use skyferry::core::scenario::Scenario;
 use skyferry::core::strategy::{evaluate, EvalConfig, Strategy as DeliveryStrategy};
 use skyferry::core::throughput::{LogFitThroughput, ThroughputModel, ThroughputSpec};
 use skyferry::core::utility::utility;
+use skyferry::sim::rng::DetRng;
 
-/// A randomised but well-formed scenario.
-fn arb_scenario() -> impl proptest::strategy::Strategy<Value = Scenario> {
-    (
-        20.0f64..=120.0, // d_min..d0 span start (d_min fixed at 20)
-        1.0f64..=50.0,   // Mdata MB
-        1.0f64..=25.0,   // v
-        0.0f64..=0.01,   // rho
-        -15.0f64..=-2.0, // fit a
-        30.0f64..=90.0,  // fit b
-    )
-        .prop_map(|(span, mdata_mb, v, rho, a, b)| Scenario {
-            name: "prop".into(),
-            d0_m: 20.0 + span,
-            d_min_m: 20.0,
-            v_mps: v,
-            mdata_bytes: mdata_mb * 1e6,
-            throughput: ThroughputSpec::LogFit(LogFitThroughput {
-                a_mbps: a,
-                b_mbps: b,
-            }),
-            failure: FailureSpec::Exponential(ExponentialFailure::new(rho)),
-        })
+const CASES: usize = 128;
+
+fn rng(salt: u64) -> DetRng {
+    DetRng::seed(0x40DE1 ^ salt)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn optimum_within_constraints(s in arb_scenario()) {
-        let o = optimize(&s);
-        prop_assert!(o.d_opt >= s.d_min_m - 1e-9);
-        prop_assert!(o.d_opt <= s.d0_m + 1e-9);
-        prop_assert!(o.utility > 0.0 && o.utility.is_finite());
-        prop_assert!(o.ship_s >= 0.0 && o.tx_s > 0.0);
+/// A randomised but well-formed scenario.
+fn arb_scenario(rng: &mut DetRng) -> Scenario {
+    Scenario {
+        name: "prop".into(),
+        d0_m: 20.0 + rng.uniform_range(20.0, 120.0),
+        d_min_m: 20.0,
+        v_mps: rng.uniform_range(1.0, 25.0),
+        mdata_bytes: rng.uniform_range(1.0, 50.0) * 1e6,
+        throughput: ThroughputSpec::LogFit(LogFitThroughput {
+            a_mbps: rng.uniform_range(-15.0, -2.0),
+            b_mbps: rng.uniform_range(30.0, 90.0),
+        }),
+        failure: FailureSpec::Exponential(ExponentialFailure::new(rng.uniform_range(0.0, 0.01))),
     }
+}
 
-    #[test]
-    fn optimum_dominates_random_feasible_points(s in arb_scenario(), frac in 0.0f64..=1.0) {
+#[test]
+fn optimum_within_constraints() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let s = arb_scenario(&mut rng);
+        let o = optimize(&s);
+        assert!(o.d_opt >= s.d_min_m - 1e-9);
+        assert!(o.d_opt <= s.d0_m + 1e-9);
+        assert!(o.utility > 0.0 && o.utility.is_finite());
+        assert!(o.ship_s >= 0.0 && o.tx_s > 0.0);
+    }
+}
+
+#[test]
+fn optimum_dominates_random_feasible_points() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let s = arb_scenario(&mut rng);
+        let frac = rng.uniform();
         let o = optimize(&s);
         let d = s.d_min_m + frac * (s.d0_m - s.d_min_m);
-        prop_assert!(o.utility >= utility(&s, d) - 1e-9);
+        assert!(o.utility >= utility(&s, d) - 1e-9);
     }
+}
 
-    #[test]
-    fn utility_is_survival_over_delay(s in arb_scenario(), frac in 0.0f64..=1.0) {
-        use skyferry::core::delay::CommunicationDelay;
-        use skyferry::core::failure::FailureModel;
+#[test]
+fn utility_is_survival_over_delay() {
+    use skyferry::core::delay::CommunicationDelay;
+    use skyferry::core::failure::FailureModel;
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let s = arb_scenario(&mut rng);
+        let frac = rng.uniform();
         let d = s.d_min_m + frac * (s.d0_m - s.d_min_m);
         let u = utility(&s, d);
         let c = CommunicationDelay::at(&s, d);
         let surv = s.failure.survival(s.d0_m, d);
-        prop_assert!((u - surv / c.total_s()).abs() < 1e-12);
-        prop_assert!(surv <= 1.0 + 1e-12);
-        prop_assert!(c.total_s() > 0.0);
+        assert!((u - surv / c.total_s()).abs() < 1e-12);
+        assert!(surv <= 1.0 + 1e-12);
+        assert!(c.total_s() > 0.0);
     }
+}
 
-    #[test]
-    fn utility_curve_is_positive_and_bounded(s in arb_scenario()) {
+#[test]
+fn utility_curve_is_positive_and_bounded() {
+    let mut rng = rng(4);
+    for _ in 0..CASES {
+        let s = arb_scenario(&mut rng);
         for (d, u) in utility_curve(&s, 64) {
-            prop_assert!(u > 0.0 && u.is_finite(), "U({d}) = {u}");
+            assert!(u > 0.0 && u.is_finite(), "U({d}) = {u}");
         }
     }
+}
 
-    #[test]
-    fn rho_zero_upper_bounds_all_rho(s in arb_scenario(), frac in 0.0f64..=1.0) {
+#[test]
+fn rho_zero_upper_bounds_all_rho() {
+    let mut rng = rng(5);
+    for _ in 0..CASES {
+        let s = arb_scenario(&mut rng);
+        let frac = rng.uniform();
         // Removing risk can only increase utility pointwise.
         let risk_free = s.clone().with_rho(0.0);
         let d = s.d_min_m + frac * (s.d0_m - s.d_min_m);
-        prop_assert!(utility(&risk_free, d) >= utility(&s, d) - 1e-12);
+        assert!(utility(&risk_free, d) >= utility(&s, d) - 1e-12);
     }
+}
 
-    #[test]
-    fn dopt_monotone_in_rho(s in arb_scenario()) {
+#[test]
+fn dopt_monotone_in_rho() {
+    let mut rng = rng(6);
+    for _ in 0..CASES {
+        let s = arb_scenario(&mut rng);
         let lo = optimize(&s.clone().with_rho(1e-4)).d_opt;
         let hi = optimize(&s.clone().with_rho(5e-3)).d_opt;
-        prop_assert!(hi >= lo - 1e-6, "dopt fell with rho: {lo} -> {hi}");
+        assert!(hi >= lo - 1e-6, "dopt fell with rho: {lo} -> {hi}");
     }
+}
 
-    #[test]
-    fn throughput_model_positive_and_decreasing(a in -15.0f64..=-2.0, b in 30.0f64..=90.0) {
-        let m = LogFitThroughput { a_mbps: a, b_mbps: b };
+#[test]
+fn throughput_model_positive_and_decreasing() {
+    let mut rng = rng(7);
+    for _ in 0..CASES {
+        let m = LogFitThroughput {
+            a_mbps: rng.uniform_range(-15.0, -2.0),
+            b_mbps: rng.uniform_range(30.0, 90.0),
+        };
         let mut prev = f64::INFINITY;
         for i in 1..=40 {
             let r = m.rate_bps(10.0 * i as f64);
-            prop_assert!(r > 0.0);
-            prop_assert!(r <= prev + 1e-9);
+            assert!(r > 0.0);
+            assert!(r <= prev + 1e-9);
             prev = r;
         }
     }
+}
 
-    #[test]
-    fn strategy_curves_conserve_data(s in arb_scenario()) {
+#[test]
+fn strategy_curves_conserve_data() {
+    let mut rng = rng(8);
+    for _ in 0..CASES {
+        let s = arb_scenario(&mut rng);
         let cfg = EvalConfig::default();
         for strat in [
             DeliveryStrategy::TransmitNow,
@@ -109,23 +143,28 @@ proptest! {
         ] {
             let e = evaluate(&s, strat, &cfg);
             let total = e.curve.last().unwrap().1;
-            prop_assert!((total - s.mdata_bytes).abs() < 1.0, "{}", e.label);
+            assert!((total - s.mdata_bytes).abs() < 1.0, "{}", e.label);
             // Monotone in both axes.
             for w in e.curve.windows(2) {
-                prop_assert!(w[1].0 >= w[0].0 - 1e-12);
-                prop_assert!(w[1].1 >= w[0].1 - 1e-9);
+                assert!(w[1].0 >= w[0].0 - 1e-12);
+                assert!(w[1].1 >= w[0].1 - 1e-9);
             }
-            prop_assert!(e.survival > 0.0 && e.survival <= 1.0);
-            prop_assert!((e.utility - e.survival / e.completion_s).abs() < 1e-12);
+            assert!(e.survival > 0.0 && e.survival <= 1.0);
+            assert!((e.utility - e.survival / e.completion_s).abs() < 1e-12);
         }
     }
+}
 
-    #[test]
-    fn optimal_strategy_never_loses_to_fixed_choices(s in arb_scenario(), frac in 0.0f64..=1.0) {
+#[test]
+fn optimal_strategy_never_loses_to_fixed_choices() {
+    let mut rng = rng(9);
+    for _ in 0..CASES {
+        let s = arb_scenario(&mut rng);
+        let frac = rng.uniform();
         let cfg = EvalConfig::default();
         let best = evaluate(&s, DeliveryStrategy::Optimal, &cfg);
         let d = s.d_min_m + frac * (s.d0_m - s.d_min_m);
         let other = evaluate(&s, DeliveryStrategy::MoveThenTransmit { d_m: d }, &cfg);
-        prop_assert!(best.utility >= other.utility - 1e-9);
+        assert!(best.utility >= other.utility - 1e-9);
     }
 }

@@ -1,99 +1,148 @@
-//! Property tests of the 802.11n PHY invariants.
+//! Randomised tests of the 802.11n PHY invariants.
+//!
+//! The generators run on a fixed-seed [`DetRng`] loop (256 cases per
+//! property, matching the old proptest configuration).
 
-use proptest::prelude::*;
 use skyferry::phy::airtime::ppdu_duration;
 use skyferry::phy::channel::{db_to_linear, LinkBudget, PathLossModel};
 use skyferry::phy::error::{ber, coded_per, effective_snr_linear};
 use skyferry::phy::fading::{ChannelState, FadingConfig, FadingProcess};
 use skyferry::phy::mcs::{ChannelWidth, GuardInterval, Mcs, Modulation};
 use skyferry::sim::prelude::*;
+use skyferry::sim::rng::DetRng;
 
-fn arb_mcs() -> impl Strategy<Value = Mcs> {
-    (0u8..=15).prop_map(Mcs::new)
+const CASES: usize = 256;
+
+fn rng(salt: u64) -> DetRng {
+    DetRng::seed(0x9117 ^ salt)
 }
 
-fn arb_width_gi() -> impl Strategy<Value = (ChannelWidth, GuardInterval)> {
+fn arb_mcs(rng: &mut DetRng) -> Mcs {
+    Mcs::new(rng.index(16) as u8)
+}
+
+fn arb_width_gi(rng: &mut DetRng) -> (ChannelWidth, GuardInterval) {
     (
-        prop_oneof![Just(ChannelWidth::Mhz20), Just(ChannelWidth::Mhz40)],
-        prop_oneof![Just(GuardInterval::Long), Just(GuardInterval::Short)],
+        if rng.chance(0.5) {
+            ChannelWidth::Mhz20
+        } else {
+            ChannelWidth::Mhz40
+        },
+        if rng.chance(0.5) {
+            GuardInterval::Long
+        } else {
+            GuardInterval::Short
+        },
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn per_is_probability_and_monotone_in_snr(mcs in arb_mcs(), len in 1usize..4096) {
+#[test]
+fn per_is_probability_and_monotone_in_snr() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let mcs = arb_mcs(&mut rng);
+        let len = 1 + rng.index(4095);
         let mut prev = 1.1;
         for i in 0..40 {
             let snr = db_to_linear(-10.0 + i as f64);
             let per = coded_per(mcs, snr, len);
-            prop_assert!((0.0..=1.0).contains(&per), "{mcs} PER {per}");
-            prop_assert!(per <= prev + 1e-12, "{mcs} PER rose with SNR");
+            assert!((0.0..=1.0).contains(&per), "{mcs} PER {per}");
+            assert!(per <= prev + 1e-12, "{mcs} PER rose with SNR");
             prev = per;
         }
     }
+}
 
-    #[test]
-    fn per_monotone_in_length(mcs in arb_mcs(), snr_db in -5.0f64..30.0) {
-        let snr = db_to_linear(snr_db);
+#[test]
+fn per_monotone_in_length() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let mcs = arb_mcs(&mut rng);
+        let snr = db_to_linear(rng.uniform_range(-5.0, 30.0));
         let mut prev = 0.0;
         for len in [1usize, 10, 100, 500, 1500, 4000] {
             let per = coded_per(mcs, snr, len);
-            prop_assert!(per >= prev - 1e-12, "PER fell with length");
+            assert!(per >= prev - 1e-12, "PER fell with length");
             prev = per;
         }
     }
+}
 
-    #[test]
-    fn ber_ordering_and_bounds(snr_db in -10.0f64..35.0) {
+#[test]
+fn ber_ordering_and_bounds() {
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let snr_db = rng.uniform_range(-10.0, 35.0);
         let snr = db_to_linear(snr_db);
         let b = ber(Modulation::Bpsk, snr);
         let q = ber(Modulation::Qpsk, snr);
         let q16 = ber(Modulation::Qam16, snr);
         let q64 = ber(Modulation::Qam64, snr);
         for p in [b, q, q16, q64] {
-            prop_assert!((0.0..=0.5).contains(&p));
+            assert!((0.0..=0.5).contains(&p));
         }
-        prop_assert!(b <= q + 1e-15, "BPSK vs QPSK is exactly ordered");
+        assert!(b <= q + 1e-15, "BPSK vs QPSK is exactly ordered");
         // The Gray-coding QAM approximations' prefactors (< 1) make the
         // constellation curves cross below ≈2 dB where every curve is
         // useless anyway; the density ordering is only claimed above.
         if snr_db >= 2.0 {
-            prop_assert!(q <= q16 + 1e-15);
-            prop_assert!(q16 <= q64 + 1e-15);
+            assert!(q <= q16 + 1e-15);
+            assert!(q16 <= q64 + 1e-15);
         }
     }
+}
 
-    #[test]
-    fn airtime_positive_and_monotone(mcs in arb_mcs(), (w, gi) in arb_width_gi(), len in 0usize..65000) {
+#[test]
+fn airtime_positive_and_monotone() {
+    let mut rng = rng(4);
+    for _ in 0..CASES {
+        let mcs = arb_mcs(&mut rng);
+        let (w, gi) = arb_width_gi(&mut rng);
+        let len = rng.index(65000);
         let d = ppdu_duration(mcs, w, gi, len);
-        prop_assert!(d > SimDuration::ZERO);
+        assert!(d > SimDuration::ZERO);
         let d2 = ppdu_duration(mcs, w, gi, len + 1000);
-        prop_assert!(d2 >= d);
+        assert!(d2 >= d);
     }
+}
 
-    #[test]
-    fn data_rate_consistent_with_bits_per_symbol(mcs in arb_mcs(), (w, gi) in arb_width_gi()) {
+#[test]
+fn data_rate_consistent_with_bits_per_symbol() {
+    let mut rng = rng(5);
+    for _ in 0..CASES {
+        let mcs = arb_mcs(&mut rng);
+        let (w, gi) = arb_width_gi(&mut rng);
         let rate = mcs.data_rate_bps(w, gi);
         let per_symbol = mcs.data_bits_per_symbol(w);
         let sym_rate = 1.0 / gi.symbol_duration_s();
-        prop_assert!((rate - per_symbol * sym_rate).abs() < 1e-6);
-        prop_assert!(rate > 0.0);
+        assert!((rate - per_symbol * sym_rate).abs() < 1e-6);
+        assert!(rate > 0.0);
     }
+}
 
-    #[test]
-    fn path_loss_monotone(d1 in 1.0f64..10_000.0, factor in 1.01f64..10.0, exp in 1.0f64..4.0) {
+#[test]
+fn path_loss_monotone() {
+    let mut rng = rng(6);
+    for _ in 0..CASES {
+        let d1 = rng.uniform_range(1.0, 10_000.0);
+        let factor = rng.uniform_range(1.01, 10.0);
+        let exp = rng.uniform_range(1.0, 4.0);
         let model = PathLossModel::LogDistance {
             freq_hz: 5.2e9,
             ref_distance_m: 10.0,
             exponent: exp,
         };
-        prop_assert!(model.loss_db(d1 * factor) >= model.loss_db(d1));
+        assert!(model.loss_db(d1 * factor) >= model.loss_db(d1));
     }
+}
 
-    #[test]
-    fn snr_decreases_with_distance(tx in 0.0f64..20.0, nf in 3.0f64..10.0, d in 2.0f64..5_000.0) {
+#[test]
+fn snr_decreases_with_distance() {
+    let mut rng = rng(7);
+    for _ in 0..CASES {
+        let tx = rng.uniform_range(0.0, 20.0);
+        let nf = rng.uniform_range(3.0, 10.0);
+        let d = rng.uniform_range(2.0, 5_000.0);
         let budget = LinkBudget {
             tx_power_dbm: tx,
             antenna_gain_dbi: 0.0,
@@ -102,11 +151,17 @@ proptest! {
             path_loss: PathLossModel::FreeSpace { freq_hz: 5.2e9 },
             width: ChannelWidth::Mhz40,
         };
-        prop_assert!(budget.mean_snr_db(d * 2.0) < budget.mean_snr_db(d));
+        assert!(budget.mean_snr_db(d * 2.0) < budget.mean_snr_db(d));
     }
+}
 
-    #[test]
-    fn fading_states_are_positive_and_expire(k_db in 0.0f64..15.0, v in 0.0f64..30.0, seed in any::<u64>()) {
+#[test]
+fn fading_states_are_positive_and_expire() {
+    let mut rng = rng(8);
+    for _ in 0..CASES {
+        let k_db = rng.uniform_range(0.0, 15.0);
+        let v = rng.uniform_range(0.0, 30.0);
+        let seed = rng.next_u64();
         let config = FadingConfig {
             k_factor_db: k_db,
             k_speed_slope_db_per_mps: 0.0,
@@ -123,43 +178,51 @@ proptest! {
         let mut t = SimTime::ZERO;
         for _ in 0..50 {
             let s = p.state_at(t);
-            prop_assert!(s.branch_gain[0] > 0.0 && s.branch_gain[1] > 0.0);
-            prop_assert!(s.shadowing > 0.0);
-            prop_assert!(s.valid_until > t);
+            assert!(s.branch_gain[0] > 0.0 && s.branch_gain[1] > 0.0);
+            assert!(s.shadowing > 0.0);
+            assert!(s.valid_until > t);
             t = s.valid_until;
         }
     }
+}
 
-    #[test]
-    fn effective_snr_finite_positive(
-        mcs in arb_mcs(),
-        stbc in any::<bool>(),
-        snr_db in -20.0f64..40.0,
-        g0 in 0.001f64..10.0,
-        g1 in 0.001f64..10.0,
-        shadow in 0.01f64..10.0,
-    ) {
+#[test]
+fn effective_snr_finite_positive() {
+    let mut rng = rng(9);
+    for _ in 0..CASES {
+        let mcs = arb_mcs(&mut rng);
+        let stbc = rng.chance(0.5);
+        let snr_db = rng.uniform_range(-20.0, 40.0);
+        let g0 = rng.uniform_range(0.001, 10.0);
+        let g1 = rng.uniform_range(0.001, 10.0);
+        let shadow = rng.uniform_range(0.01, 10.0);
         let state = ChannelState {
             branch_gain: [g0, g1],
             shadowing: shadow,
             valid_until: SimTime::MAX,
         };
         let eff = effective_snr_linear(mcs, stbc, db_to_linear(snr_db), &state, 12.0);
-        prop_assert!(eff.is_finite() && eff > 0.0);
+        assert!(eff.is_finite() && eff > 0.0);
         // SDM never exceeds its SIR cap.
         if mcs.uses_sdm() {
-            prop_assert!(eff <= db_to_linear(12.0) + 1e-9);
+            assert!(eff <= db_to_linear(12.0) + 1e-9);
         }
     }
+}
 
-    #[test]
-    fn stbc_gain_is_branch_average(g0 in 0.0f64..10.0, g1 in 0.0f64..10.0, shadow in 0.1f64..5.0) {
+#[test]
+fn stbc_gain_is_branch_average() {
+    let mut rng = rng(10);
+    for _ in 0..CASES {
+        let g0 = rng.uniform_range(0.0, 10.0);
+        let g1 = rng.uniform_range(0.0, 10.0);
+        let shadow = rng.uniform_range(0.1, 5.0);
         let state = ChannelState {
             branch_gain: [g0, g1],
             shadowing: shadow,
             valid_until: SimTime::MAX,
         };
-        prop_assert!((state.stbc_gain() - 0.5 * (g0 + g1) * shadow).abs() < 1e-12);
-        prop_assert!((state.siso_gain() - g0 * shadow).abs() < 1e-12);
+        assert!((state.stbc_gain() - 0.5 * (g0 + g1) * shadow).abs() < 1e-12);
+        assert!((state.siso_gain() - g0 * shadow).abs() < 1e-12);
     }
 }

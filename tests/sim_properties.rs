@@ -1,9 +1,18 @@
-//! Property tests of the discrete-event engine against a reference model:
-//! arbitrary schedules, cancellations and reschedules must always deliver
-//! in (time, insertion) order with exact clock semantics.
+//! Randomised tests of the discrete-event engine against a reference
+//! model: arbitrary schedules, cancellations and reschedules must always
+//! deliver in (time, insertion) order with exact clock semantics.
+//!
+//! The generators run on a fixed-seed [`DetRng`] loop (256 cases per
+//! property, matching the old proptest configuration).
 
-use proptest::prelude::*;
 use skyferry::sim::prelude::*;
+use skyferry::sim::rng::DetRng;
+
+const CASES: usize = 256;
+
+fn rng(salt: u64) -> DetRng {
+    DetRng::seed(0x51E4 ^ salt)
+}
 
 /// A scripted action against the queue.
 #[derive(Debug, Clone)]
@@ -16,15 +25,15 @@ enum Action {
     Pop,
 }
 
-fn arb_actions() -> impl Strategy<Value = Vec<Action>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u64..1_000_000).prop_map(Action::Schedule),
-            (0usize..16).prop_map(Action::Cancel),
-            Just(Action::Pop),
-        ],
-        1..120,
-    )
+fn arb_actions(rng: &mut DetRng) -> Vec<Action> {
+    let len = 1 + rng.index(119);
+    (0..len)
+        .map(|_| match rng.index(3) {
+            0 => Action::Schedule(rng.next_u64() % 1_000_000),
+            1 => Action::Cancel(rng.index(16)),
+            _ => Action::Pop,
+        })
+        .collect()
 }
 
 /// Reference model: a plain Vec of (time, seq, id, cancelled).
@@ -86,11 +95,11 @@ impl Model {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn queue_matches_reference_model(actions in arb_actions()) {
+#[test]
+fn queue_matches_reference_model() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let actions = arb_actions(&mut rng);
         let mut q: EventQueue<usize> = EventQueue::new();
         let mut model = Model::default();
         let mut handles: Vec<(usize, EventId)> = Vec::new();
@@ -111,34 +120,39 @@ proptest! {
                             .find(|(i, _)| *i == id)
                             .expect("handle recorded")
                             .1;
-                        prop_assert!(q.cancel(h), "queue refused live cancel of {id}");
+                        assert!(q.cancel(h), "queue refused live cancel of {id}");
                     }
                 }
                 Action::Pop => {
                     let expect = model.pop();
                     let got = q.pop().map(|(t, id)| (t.as_nanos(), id));
-                    prop_assert_eq!(got, expect);
+                    assert_eq!(got, expect);
                     if let Some((t, _)) = expect {
-                        prop_assert_eq!(q.now().as_nanos(), t);
+                        assert_eq!(q.now().as_nanos(), t);
                     }
                 }
             }
-            prop_assert_eq!(q.len(), model.pending_ids().len());
+            assert_eq!(q.len(), model.pending_ids().len());
         }
 
         // Drain both completely: residues must agree in full order.
         loop {
             let expect = model.pop();
             let got = q.pop().map(|(t, id)| (t.as_nanos(), id));
-            prop_assert_eq!(got, expect);
+            assert_eq!(got, expect);
             if expect.is_none() {
                 break;
             }
         }
     }
+}
 
-    #[test]
-    fn simulation_visits_events_in_time_order(offsets in proptest::collection::vec(0u64..10_000_000, 1..64)) {
+#[test]
+fn simulation_visits_events_in_time_order() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let len = 1 + rng.index(63);
+        let offsets: Vec<u64> = (0..len).map(|_| rng.next_u64() % 10_000_000).collect();
         let mut sim: Simulation<usize> = Simulation::new();
         for (i, &off) in offsets.iter().enumerate() {
             sim.schedule_at(SimTime::from_nanos(off), i);
@@ -147,29 +161,42 @@ proptest! {
         sim.run(|ctx, id| {
             seen.push((ctx.now().as_nanos(), id));
         });
-        prop_assert_eq!(seen.len(), offsets.len());
+        assert_eq!(seen.len(), offsets.len());
         // Times non-decreasing; ties in insertion order.
         for w in seen.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0);
+            assert!(w[0].0 <= w[1].0);
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO tiebreak violated");
+                assert!(w[0].1 < w[1].1, "FIFO tiebreak violated");
             }
         }
     }
+}
 
-    #[test]
-    fn rng_substreams_do_not_collide(master in any::<u64>(), a in 0u64..1000, b in 0u64..1000) {
-        prop_assume!(a != b);
+#[test]
+fn rng_substreams_do_not_collide() {
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let master = rng.next_u64();
+        let a = rng.next_u64() % 1000;
+        let b = rng.next_u64() % 1000;
+        if a == b {
+            continue;
+        }
         let s = SeedStream::new(master);
-        prop_assert_ne!(s.derive_indexed("x", a), s.derive_indexed("x", b));
-        prop_assert_ne!(s.derive("alpha"), s.derive("beta"));
+        assert_ne!(s.derive_indexed("x", a), s.derive_indexed("x", b));
+        assert_ne!(s.derive("alpha"), s.derive("beta"));
     }
+}
 
-    #[test]
-    fn sim_time_arithmetic_roundtrips(base in 0u64..u64::MAX / 4, delta in 0i64..i64::MAX / 4) {
+#[test]
+fn sim_time_arithmetic_roundtrips() {
+    let mut rng = rng(4);
+    for _ in 0..CASES {
+        let base = rng.next_u64() % (u64::MAX / 4);
+        let delta = (rng.next_u64() % (i64::MAX as u64 / 4)) as i64;
         let t = SimTime::from_nanos(base);
         let d = SimDuration::from_nanos(delta);
-        prop_assert_eq!((t + d) - d, t);
-        prop_assert_eq!(((t + d) - t).as_nanos(), delta);
+        assert_eq!((t + d) - d, t);
+        assert_eq!(((t + d) - t).as_nanos(), delta);
     }
 }
