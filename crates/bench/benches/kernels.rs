@@ -47,7 +47,7 @@ fn bench_optimizer(h: &mut Harness) {
 fn bench_phy(h: &mut Harness) {
     let preset = ChannelPreset::airplane(20.0);
     let mut fading = FadingProcess::new(preset.fading, DetRng::seed(1));
-    let snr = db_to_linear(preset.mean_snr_db(100.0));
+    let snr = db_to_linear(preset.mean_snr(skyferry_units::Meters::new(100.0)).get());
     let mut t = SimTime::ZERO;
     h.bench("phy/per-subframe-error-chain", || {
         t += SimDuration::from_micros(500);

@@ -58,6 +58,8 @@ fn goodput_with(
 /// Median goodput over `reps` replications of [`goodput_with`], run on
 /// the deterministic pool. Per-replication link seeds derive from
 /// `(seed, label, rep)`, so the result is independent of thread count.
+// allow: the ablation grid varies each knob independently; bundling them
+// into a struct would hide which axis a row sweeps.
 #[allow(clippy::too_many_arguments)]
 fn goodput_replicated(
     config: LinkConfig,
@@ -222,7 +224,7 @@ pub fn optimizer_grid_table() -> TextTable {
         let (mut best_d, mut best_u) = (s.d_min_m, f64::NEG_INFINITY);
         for i in 0..points {
             let d = s.d_min_m + (s.d0_m - s.d_min_m) * i as f64 / (points - 1) as f64;
-            let u = utility(&s, d);
+            let u = utility(&s, skyferry_units::Meters::new(d));
             if u > best_u {
                 best_u = u;
                 best_d = d;

@@ -95,6 +95,8 @@ pub fn quadrocopter_trace(
     )
 }
 
+// allow: the flight loop threads every mutable piece of per-UAV state;
+// a carrier struct would just re-expose the same eight fields.
 #[allow(clippy::too_many_arguments)]
 fn fly(
     duration_s: f64,

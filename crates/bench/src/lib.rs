@@ -20,6 +20,8 @@
 //! | `fits` | §4 — log-fit coefficients and R² | [`experiments::fits`] |
 //! | `mdata` | §2.2 fn. 3/4 — camera-geometry Mdata derivation | [`experiments::mdata`] |
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod microbench;
 pub mod report;

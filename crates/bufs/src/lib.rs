@@ -18,6 +18,8 @@
 //! short-lived, so the copy is irrelevant — and nothing here is ever
 //! shared across threads mid-parse.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::Deref;
 

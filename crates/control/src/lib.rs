@@ -21,6 +21,8 @@
 //!   sensing, telemetry, planning and 802.11n transfers in one
 //!   deterministic event loop.
 
+#![forbid(unsafe_code)]
+
 pub mod channel;
 pub mod message;
 pub mod mission;

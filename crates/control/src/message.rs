@@ -7,6 +7,9 @@
 //! little-endian records with a simple checksum, small enough to fit an
 //! 802.15.4 frame budget (≤ 102 payload bytes after MAC overhead).
 
+// lint:allow(float-narrowing): the wire codec quantises telemetry to
+// f32 on purpose — the message format fixes field widths, and decode
+// tolerances account for the rounding.
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use skyferry_geo::vector::Vec3;
 

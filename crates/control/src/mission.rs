@@ -282,7 +282,7 @@ pub fn run_mission(cfg: &MissionConfig) -> MissionReport {
                     let report = Telemetry {
                         uav: agent.id,
                         position: fix,
-                        speed_mps: agent.kinematics.ground_speed(),
+                        speed_mps: agent.kinematics.ground_speed().get(),
                         battery_fraction: agent.battery.remaining_fraction(),
                         data_ready_bytes: agent.camera.data_bytes() as u64
                             - agent.delivered_bytes.min(agent.camera.data_bytes() as u64),
@@ -347,7 +347,7 @@ pub fn run_mission(cfg: &MissionConfig) -> MissionReport {
                     return;
                 }
                 let d = agent.kinematics.position.distance(relay_pos).max(1.0);
-                let v = agent.kinematics.ground_speed();
+                let v = agent.kinematics.ground_speed().get();
                 let Some((link, queue)) = agent.link.as_mut() else {
                     return;
                 };

@@ -5,6 +5,22 @@
 //! hover-and-transmit rate). The paper restricts itself to the
 //! hover-and-transmit strategy after showing move-and-transmit is
 //! dominated (Figure 1 / Section 3.2).
+//!
+//! Both terms are computed with dimensional newtypes: `Tship` is
+//! literally `Meters / MetersPerSec` and `Ttx` is `Bytes / BitsPerSec`,
+//! so a unit mix-up (metres where seconds belong, Mb/s where bit/s
+//! belongs) is a compile error, not a corrupted figure table:
+//!
+//! ```compile_fail
+//! use skyferry_core::delay::CommunicationDelay;
+//! use skyferry_core::scenario::Scenario;
+//! use skyferry_units::Seconds;
+//! let s = Scenario::airplane_baseline();
+//! // A duration is not a candidate distance: rejected at compile time.
+//! let _ = CommunicationDelay::at(&s, Seconds::new(100.0));
+//! ```
+
+use skyferry_units::{Meters, Seconds};
 
 use crate::scenario::{Scenario, ScenarioView};
 use crate::throughput::ThroughputModel;
@@ -12,41 +28,61 @@ use crate::throughput::ThroughputModel;
 /// The components of the communication delay at one candidate distance.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CommunicationDelay {
-    /// Candidate transmission distance, metres.
-    pub d_m: f64,
-    /// Time to fly from `d0` to `d`, seconds.
-    pub ship_s: f64,
-    /// Time to transmit the batch at `s(d)`, seconds.
-    pub tx_s: f64,
+    /// Candidate transmission distance.
+    pub d: Meters,
+    /// Time to fly from `d0` to `d`.
+    pub ship: Seconds,
+    /// Time to transmit the batch at `s(d)`.
+    pub tx: Seconds,
 }
 
 impl CommunicationDelay {
-    /// Evaluate `Cdelay` for `scenario` at distance `d_m ∈ [d_min, d0]`.
+    /// Evaluate `Cdelay` for `scenario` at distance `d ∈ [d_min, d0]`.
     ///
     /// # Panics
-    /// Panics if `d_m` is outside the feasible interval.
-    pub fn at(scenario: &Scenario, d_m: f64) -> Self {
-        Self::at_view(scenario.view(), d_m)
+    /// Panics if `d` is outside the feasible interval.
+    pub fn at(scenario: &Scenario, d: Meters) -> Self {
+        Self::at_view(scenario.view(), d)
     }
 
     /// [`CommunicationDelay::at`] on a borrowed [`ScenarioView`] — the
     /// allocation-free form sweeps call per grid cell.
-    pub fn at_view(scenario: ScenarioView<'_>, d_m: f64) -> Self {
+    pub fn at_view(scenario: ScenarioView<'_>, d: Meters) -> Self {
         assert!(
-            d_m >= scenario.d_min_m - 1e-9 && d_m <= scenario.d0_m + 1e-9,
-            "d={d_m} outside [{}, {}]",
+            d.get() >= scenario.d_min_m - 1e-9 && d.get() <= scenario.d0_m + 1e-9,
+            "d={} outside [{}, {}]",
+            d.get(),
             scenario.d_min_m,
             scenario.d0_m
         );
-        let ship_s = (scenario.d0_m - d_m).max(0.0) / scenario.v_mps;
-        let rate = scenario.throughput.rate_bps(d_m);
-        let tx_s = scenario.mdata_bytes * 8.0 / rate;
-        CommunicationDelay { d_m, ship_s, tx_s }
+        let ship = (scenario.d0() - d).max(Meters::ZERO) / scenario.speed();
+        let tx = scenario.mdata() / scenario.throughput.rate_bps(d);
+        CommunicationDelay { d, ship, tx }
     }
 
-    /// Total delay `Tship + Ttx`, seconds.
+    /// Total delay `Tship + Ttx`.
+    pub fn total(&self) -> Seconds {
+        self.ship + self.tx
+    }
+
+    /// Candidate distance as a raw `f64` in metres (report layer).
+    pub fn d_m(&self) -> f64 {
+        self.d.get()
+    }
+
+    /// Shipping time as a raw `f64` in seconds (report layer).
+    pub fn ship_s(&self) -> f64 {
+        self.ship.get()
+    }
+
+    /// Transmission time as a raw `f64` in seconds (report layer).
+    pub fn tx_s(&self) -> f64 {
+        self.tx.get()
+    }
+
+    /// Total delay as a raw `f64` in seconds (report layer).
     pub fn total_s(&self) -> f64 {
-        self.ship_s + self.tx_s
+        self.total().get()
     }
 }
 
@@ -55,20 +91,24 @@ mod tests {
     use super::*;
     use crate::scenario::Scenario;
 
+    fn m(v: f64) -> Meters {
+        Meters::new(v)
+    }
+
     #[test]
     fn transmit_immediately_has_no_shipping() {
         let s = Scenario::airplane_baseline();
-        let c = CommunicationDelay::at(&s, s.d0_m);
-        assert_eq!(c.ship_s, 0.0);
-        assert!(c.tx_s > 0.0);
-        assert_eq!(c.total_s(), c.tx_s);
+        let c = CommunicationDelay::at(&s, s.d0());
+        assert_eq!(c.ship, Seconds::ZERO);
+        assert!(c.tx > Seconds::ZERO);
+        assert_eq!(c.total(), c.tx);
     }
 
     #[test]
     fn shipping_time_is_distance_over_speed() {
         let s = Scenario::airplane_baseline();
-        let c = CommunicationDelay::at(&s, 100.0);
-        assert!((c.ship_s - 200.0 / 10.0).abs() < 1e-12);
+        let c = CommunicationDelay::at(&s, m(100.0));
+        assert!((c.ship_s() - 200.0 / 10.0).abs() < 1e-12);
     }
 
     #[test]
@@ -76,32 +116,33 @@ mod tests {
         // s(100) = −5.56·log2(100)+49 ≈ 12.06 Mb/s;
         // Ttx = 28 MB·8 / 12.06 Mb/s ≈ 18.6 s; Tship = 20 s.
         let s = Scenario::airplane_baseline();
-        let c = CommunicationDelay::at(&s, 100.0);
-        assert!((c.tx_s - 18.6).abs() < 0.2, "tx={}", c.tx_s);
+        let c = CommunicationDelay::at(&s, m(100.0));
+        assert!((c.tx_s() - 18.6).abs() < 0.2, "tx={}", c.tx_s());
         assert!((c.total_s() - 38.6).abs() < 0.3);
     }
 
     #[test]
     fn moving_closer_trades_ship_for_tx() {
         let s = Scenario::quadrocopter_baseline();
-        let far = CommunicationDelay::at(&s, 90.0);
-        let near = CommunicationDelay::at(&s, 40.0);
-        assert!(near.ship_s > far.ship_s);
-        assert!(near.tx_s < far.tx_s);
+        let far = CommunicationDelay::at(&s, m(90.0));
+        let near = CommunicationDelay::at(&s, m(40.0));
+        assert!(near.ship > far.ship);
+        assert!(near.tx < far.tx);
     }
 
     #[test]
     fn total_is_sum() {
         let s = Scenario::quadrocopter_baseline();
-        let c = CommunicationDelay::at(&s, 50.0);
-        assert_eq!(c.total_s(), c.ship_s + c.tx_s);
+        let c = CommunicationDelay::at(&s, m(50.0));
+        assert_eq!(c.total(), c.ship + c.tx);
+        assert_eq!(c.total_s(), c.ship_s() + c.tx_s());
     }
 
     #[test]
     #[should_panic]
     fn below_dmin_rejected() {
         let s = Scenario::quadrocopter_baseline();
-        let _ = CommunicationDelay::at(&s, 5.0);
+        let _ = CommunicationDelay::at(&s, m(5.0));
     }
 
     #[test]
@@ -110,6 +151,6 @@ mod tests {
         // "It is never convenient for a UAV to move further away"
         // (footnote 2) — the API forbids it outright.
         let s = Scenario::quadrocopter_baseline();
-        let _ = CommunicationDelay::at(&s, 150.0);
+        let _ = CommunicationDelay::at(&s, m(150.0));
     }
 }

@@ -45,16 +45,29 @@
 //! * [`sweep`] — the parameter studies behind Figures 8 and 9;
 //! * [`decision`] — an online decision engine for mission planners.
 
+#![forbid(unsafe_code)]
+
+/// Online transmit-now-or-later decision engine for planners.
 pub mod decision;
+/// Communication delay `Cdelay = Tship + Ttx` (Section 2.2).
 pub mod delay;
+/// Failure / discount models `δ(d)` for the repositioning leg.
 pub mod failure;
+/// Move-and-transmit strategy mixing (Section 3.2 extension).
 pub mod mixed;
+/// The Eq. (2) solver: grid scan + golden-section refinement.
 pub mod optimizer;
+/// Scenario parameter sets, including the paper's baselines.
 pub mod scenario;
+/// Local sensitivity of the optimum to every parameter.
 pub mod sensitivity;
+/// Hover-vs-move transfer strategy comparison (Figure 1).
 pub mod strategy;
+/// Parameter sweeps behind Figures 8 and 9.
 pub mod sweep;
+/// Throughput-vs-distance models `s(d)` (Section 4 fits).
 pub mod throughput;
+/// The utility function `U(d)` of Eq. (1).
 pub mod utility;
 
 /// Convenient glob-import surface.

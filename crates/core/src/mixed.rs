@@ -13,6 +13,8 @@
 //! delivery during the approach is the integral of the penalised rate
 //! along the closing path, and the remainder is sent hovering at `d`.
 
+use skyferry_units::Meters;
+
 use crate::failure::FailureModel;
 use crate::scenario::{Scenario, ScenarioView};
 use crate::throughput::ThroughputModel;
@@ -120,7 +122,7 @@ pub fn evaluate_mixed_view(
         let mut d = scenario.d0_m;
         while d > d_m && delivered < scenario.mdata_bytes {
             let dt = cfg.dt_s.min((d - d_m) / v_mps).max(1e-9);
-            let rate = scenario.throughput.rate_bps(d) * factor;
+            let rate = scenario.throughput.rate_bps(Meters::new(d)).get() * factor;
             let step = rate * dt / 8.0;
             let remaining = scenario.mdata_bytes - delivered;
             if step >= remaining {
@@ -139,7 +141,7 @@ pub fn evaluate_mixed_view(
         t = (scenario.d0_m - d_m) / v_mps;
     }
     if delivered < scenario.mdata_bytes {
-        let rate = scenario.throughput.rate_bps(d_m);
+        let rate = scenario.throughput.rate_bps(Meters::new(d_m)).get();
         t += (scenario.mdata_bytes - delivered) * 8.0 / rate;
     }
     let final_d = if delivered >= scenario.mdata_bytes && transmit_while_moving {

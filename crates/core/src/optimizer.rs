@@ -2,11 +2,16 @@
 //!
 //! The paper notes that `U(d)` is approximately concave for `ρ ≪ 1` but
 //! *not* in general ("this result does not hold for higher ρ and may not
-//! hold for other s(d) functions"), so a pure golden-section search is
-//! unsafe. The solver therefore runs a dense grid scan to locate the
-//! global basin and then refines the best bracket with golden-section
-//! search — robust to multimodality at grid resolution, with ~1e-6 m
-//! final precision.
+//! hold for other s(d) functions"), so a pure golden-section search can
+//! converge to a local optimum. The solver therefore runs a dense grid
+//! scan to locate the global basin and then refines the best bracket
+//! with golden-section search — robust to multimodality at grid
+//! resolution, with ~1e-6 m final precision.
+//!
+//! This module contains no `unsafe` code (audited for the determinism
+//! pass; the crate is `#![forbid(unsafe_code)]`).
+
+use skyferry_units::Meters;
 
 use crate::delay::CommunicationDelay;
 use crate::scenario::{Scenario, ScenarioView};
@@ -18,6 +23,10 @@ const GRID_POINTS: usize = 2048;
 const GOLDEN_ITERS: usize = 80;
 
 /// The solved optimum of Eq. (2).
+///
+/// This is the report/serialisation layer, so fields are raw `f64` in
+/// the documented units; the evaluation pipeline behind it (utility,
+/// delay, throughput) is fully typed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OptimalTransfer {
     /// The optimal transmission distance `dopt`, metres.
@@ -60,17 +69,17 @@ pub fn optimize_view(scenario: ScenarioView<'_>) -> OptimalTransfer {
     let at = |i: usize| lo + (hi - lo) * i as f64 / (GRID_POINTS - 1) as f64;
     if hi - lo < 1e-9 {
         // Degenerate interval: the only choice is d0.
-        let b = utility_breakdown_view(scenario, hi);
+        let b = utility_breakdown_view(scenario, Meters::new(hi));
         return OptimalTransfer {
             d_opt: hi,
             utility: b.utility,
             survival: b.survival,
-            ship_s: b.delay.ship_s,
-            tx_s: b.delay.tx_s,
+            ship_s: b.delay.ship_s(),
+            tx_s: b.delay.tx_s(),
         };
     }
     for i in 0..GRID_POINTS {
-        let u = utility_view(scenario, at(i));
+        let u = utility_view(scenario, Meters::new(at(i)));
         if u > best_u {
             best_u = u;
             best_i = i;
@@ -83,21 +92,21 @@ pub fn optimize_view(scenario: ScenarioView<'_>) -> OptimalTransfer {
     let inv_phi = (5f64.sqrt() - 1.0) / 2.0;
     let mut c = b - inv_phi * (b - a);
     let mut d = a + inv_phi * (b - a);
-    let mut fc = utility_view(scenario, c);
-    let mut fd = utility_view(scenario, d);
+    let mut fc = utility_view(scenario, Meters::new(c));
+    let mut fd = utility_view(scenario, Meters::new(d));
     for _ in 0..GOLDEN_ITERS {
         if fc > fd {
             b = d;
             d = c;
             fd = fc;
             c = b - inv_phi * (b - a);
-            fc = utility_view(scenario, c);
+            fc = utility_view(scenario, Meters::new(c));
         } else {
             a = c;
             c = d;
             fc = fd;
             d = a + inv_phi * (b - a);
-            fd = utility_view(scenario, d);
+            fd = utility_view(scenario, Meters::new(d));
         }
     }
     let d_opt = 0.5 * (a + b);
@@ -108,19 +117,19 @@ pub fn optimize_view(scenario: ScenarioView<'_>) -> OptimalTransfer {
         .iter()
         .copied()
         .max_by(|&x, &y| {
-            utility_view(scenario, x)
-                .partial_cmp(&utility_view(scenario, y))
+            utility_view(scenario, Meters::new(x))
+                .partial_cmp(&utility_view(scenario, Meters::new(y)))
                 .expect("utility is finite")
         })
         .expect("non-empty candidates");
 
-    let bd = utility_breakdown_view(scenario, best);
+    let bd = utility_breakdown_view(scenario, Meters::new(best));
     OptimalTransfer {
         d_opt: best,
         utility: bd.utility,
         survival: bd.survival,
-        ship_s: bd.delay.ship_s,
-        tx_s: bd.delay.tx_s,
+        ship_s: bd.delay.ship_s(),
+        tx_s: bd.delay.tx_s(),
     }
 }
 
@@ -137,7 +146,7 @@ pub fn utility_curve_view(scenario: ScenarioView<'_>, points: usize) -> Vec<(f64
     (0..points)
         .map(|i| {
             let d = lo + (hi - lo) * i as f64 / (points - 1) as f64;
-            (d, utility_view(scenario, d))
+            (d, utility_view(scenario, Meters::new(d)))
         })
         .collect()
 }
@@ -147,7 +156,7 @@ pub fn utility_curve_view(scenario: ScenarioView<'_>, points: usize) -> Vec<(f64
 /// decrease, `T'tx(d) = 1/v` (interior optima only). Used by tests.
 pub fn marginal_balance_residual(scenario: &Scenario, d_m: f64) -> f64 {
     let eps = 1e-3;
-    let t = |d: f64| CommunicationDelay::at(scenario, d).tx_s;
+    let t = |d: f64| CommunicationDelay::at(scenario, Meters::new(d)).tx_s();
     let dtx = (t(d_m + eps) - t(d_m - eps)) / (2.0 * eps);
     dtx - 1.0 / scenario.v_mps
 }

@@ -10,6 +10,8 @@
 //! both with the fitted throughput model of their platform and a minimum
 //! separation of 20 m "to avoid physical collisions".
 
+use skyferry_units::{Bytes, Meters, MetersPerSec};
+
 use crate::failure::{ExponentialFailure, FailureSpec};
 use crate::optimizer::{optimize, OptimalTransfer};
 use crate::throughput::{LogFitThroughput, ThroughputSpec};
@@ -104,6 +106,26 @@ impl Scenario {
         optimize(self)
     }
 
+    /// The encounter separation `d0` as a typed distance.
+    pub fn d0(&self) -> Meters {
+        Meters::new(self.d0_m)
+    }
+
+    /// The minimum separation `d_min` as a typed distance.
+    pub fn d_min(&self) -> Meters {
+        Meters::new(self.d_min_m)
+    }
+
+    /// The cruise speed `v` as a typed speed.
+    pub fn speed(&self) -> MetersPerSec {
+        MetersPerSec::new(self.v_mps)
+    }
+
+    /// The batch size `Mdata` as a typed data quantity.
+    pub fn mdata(&self) -> Bytes {
+        Bytes::new(self.mdata_bytes)
+    }
+
     /// A borrowed, `Copy` evaluation view of this scenario. All model
     /// evaluation (utility, optimizer, sweeps) runs on views, so a
     /// parameter sweep overrides one field per grid cell without cloning
@@ -142,6 +164,26 @@ pub struct ScenarioView<'a> {
 }
 
 impl<'a> ScenarioView<'a> {
+    /// The encounter separation `d0` as a typed distance.
+    pub fn d0(&self) -> Meters {
+        Meters::new(self.d0_m)
+    }
+
+    /// The minimum separation `d_min` as a typed distance.
+    pub fn d_min(&self) -> Meters {
+        Meters::new(self.d_min_m)
+    }
+
+    /// The cruise speed `v` as a typed speed.
+    pub fn speed(&self) -> MetersPerSec {
+        MetersPerSec::new(self.v_mps)
+    }
+
+    /// The batch size `Mdata` as a typed data quantity.
+    pub fn mdata(&self) -> Bytes {
+        Bytes::new(self.mdata_bytes)
+    }
+
     /// Override the failure rate ρ (Figure 8 sweeps this).
     pub fn with_rho(mut self, rho_per_m: f64) -> Self {
         self.failure = FailureSpec::Exponential(ExponentialFailure::new(rho_per_m));
@@ -205,9 +247,9 @@ mod tests {
     #[test]
     fn baseline_throughput_models_attached() {
         let a = Scenario::airplane_baseline();
-        assert!((a.throughput.rate_bps(20.0) / 1e6 - 24.97).abs() < 0.05);
+        assert!((a.throughput.rate_bps(Meters::new(20.0)).mbps() - 24.97).abs() < 0.05);
         let q = Scenario::quadrocopter_baseline();
-        assert!((q.throughput.rate_bps(20.0) / 1e6 - 27.63).abs() < 0.05);
+        assert!((q.throughput.rate_bps(Meters::new(20.0)).mbps() - 27.63).abs() < 0.05);
     }
 
     #[test]
@@ -248,8 +290,8 @@ mod tests {
         assert_eq!(w.d0_m, s.d0_m);
         assert_eq!(w.mdata_bytes, s.mdata_bytes);
         assert_eq!(
-            w.throughput.rate_bps(40.0),
-            s.throughput.rate_bps(40.0)
+            w.throughput.rate_bps(Meters::new(40.0)),
+            s.throughput.rate_bps(Meters::new(40.0))
         );
     }
 

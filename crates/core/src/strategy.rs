@@ -15,6 +15,8 @@
 //! delivered-data-vs-time curves the paper measured, plus the scalar
 //! utility of Eq. (1) extended with an in-motion term.
 
+use skyferry_units::Meters;
+
 use crate::delay::CommunicationDelay;
 use crate::failure::FailureModel;
 use crate::optimizer::optimize;
@@ -169,13 +171,13 @@ pub fn evaluate_panel(
 }
 
 fn eval_hover(scenario: &Scenario, strategy: Strategy, d_m: f64) -> StrategyEvaluation {
-    let delay = CommunicationDelay::at(scenario, d_m);
+    let delay = CommunicationDelay::at(scenario, Meters::new(d_m));
     let survival = scenario.failure.survival(scenario.d0_m, d_m);
     let completion = delay.total_s();
     // Curve: nothing until shipping completes, then linear at s(d).
     let curve = vec![
         (0.0, 0.0),
-        (delay.ship_s, 0.0),
+        (delay.ship_s(), 0.0),
         (completion, scenario.mdata_bytes),
     ];
     StrategyEvaluation {
@@ -201,7 +203,7 @@ fn eval_moving(scenario: &Scenario, cfg: &EvalConfig) -> StrategyEvaluation {
         let dt = cfg
             .integration_dt_s
             .min((d - scenario.d_min_m) / scenario.v_mps);
-        let rate = scenario.throughput.rate_bps(d) * cfg.moving_rate_penalty;
+        let rate = scenario.throughput.rate_bps(Meters::new(d)).get() * cfg.moving_rate_penalty;
         let step_bytes = rate * dt / 8.0;
         let remaining = scenario.mdata_bytes - delivered;
         if step_bytes >= remaining {
@@ -218,7 +220,7 @@ fn eval_moving(scenario: &Scenario, cfg: &EvalConfig) -> StrategyEvaluation {
     // Phase 2: recovery — the poisoned rate controller keeps the link at
     // the penalised rate for a while after stopping.
     if delivered < scenario.mdata_bytes && cfg.post_motion_recovery_s > 0.0 {
-        let rate = scenario.throughput.rate_bps(scenario.d_min_m) * cfg.moving_rate_penalty;
+        let rate = scenario.throughput.rate_bps(scenario.d_min()).get() * cfg.moving_rate_penalty;
         let capacity = rate * cfg.post_motion_recovery_s / 8.0;
         let remaining = scenario.mdata_bytes - delivered;
         if capacity >= remaining {
@@ -232,7 +234,7 @@ fn eval_moving(scenario: &Scenario, cfg: &EvalConfig) -> StrategyEvaluation {
     }
     // Phase 3: hover at d_min for the remainder at the full rate.
     if delivered < scenario.mdata_bytes {
-        let rate = scenario.throughput.rate_bps(scenario.d_min_m);
+        let rate = scenario.throughput.rate_bps(scenario.d_min()).get();
         t += (scenario.mdata_bytes - delivered) * 8.0 / rate;
         delivered = scenario.mdata_bytes;
         curve.push((t, delivered));

@@ -9,18 +9,31 @@
 //! [`LogFitThroughput`] is exactly that family; [`EmpiricalThroughput`]
 //! interpolates a measured `(distance, rate)` table, so a campaign run in
 //! `skyferry-net` can be plugged straight into the optimizer.
+//!
+//! Distances and rates cross this API as [`Meters`] and [`BitsPerSec`]
+//! newtypes: feeding a Mb/s value where bit/s is expected — the classic
+//! way to corrupt a figure table silently — no longer compiles:
+//!
+//! ```compile_fail
+//! use skyferry_core::throughput::{LogFitThroughput, ThroughputModel};
+//! use skyferry_units::Seconds;
+//! // A duration is not a distance: rejected at compile time.
+//! let _ = LogFitThroughput::AIRPLANE.rate_bps(Seconds::new(20.0));
+//! ```
+
+use skyferry_units::{BitsPerSec, Meters};
 
 /// Anything that maps a separation to an achievable rate.
 pub trait ThroughputModel {
-    /// Expected application-layer throughput at distance `d_m`, bit/s.
+    /// Expected application-layer throughput at distance `d`.
     /// Must be strictly positive for all valid distances.
-    fn rate_bps(&self, d_m: f64) -> f64;
+    fn rate_bps(&self, d: Meters) -> BitsPerSec;
 }
 
 /// Floor applied so that rates never reach zero (which would make the
 /// communication delay infinite and the utility undefined rather than
 /// just terrible).
-pub const MIN_RATE_BPS: f64 = 1e3;
+pub const MIN_RATE_BPS: BitsPerSec = BitsPerSec::new(1e3);
 
 /// The paper's logarithmic fit `s(d) = 1e6 · (a·log2(d) + b)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,16 +58,16 @@ impl LogFitThroughput {
     };
 
     /// Distance at which the fit reaches zero rate (validity horizon).
-    pub fn zero_crossing_m(&self) -> f64 {
+    pub fn zero_crossing(&self) -> Meters {
         assert!(self.a_mbps < 0.0, "fit must be decreasing");
-        2.0_f64.powf(-self.b_mbps / self.a_mbps)
+        Meters::new(2.0_f64.powf(-self.b_mbps / self.a_mbps))
     }
 }
 
 impl ThroughputModel for LogFitThroughput {
-    fn rate_bps(&self, d_m: f64) -> f64 {
-        assert!(d_m > 0.0, "distance must be positive");
-        (1e6 * (self.a_mbps * d_m.log2() + self.b_mbps)).max(MIN_RATE_BPS)
+    fn rate_bps(&self, d: Meters) -> BitsPerSec {
+        assert!(d.get() > 0.0, "distance must be positive");
+        BitsPerSec::from_mbps(self.a_mbps * d.get().log2() + self.b_mbps).max(MIN_RATE_BPS)
     }
 }
 
@@ -62,12 +75,14 @@ impl ThroughputModel for LogFitThroughput {
 #[derive(Debug, Clone, PartialEq)]
 pub struct EmpiricalThroughput {
     /// `(distance_m, rate_bps)` points, strictly ascending in distance.
+    /// Kept as raw `f64` pairs: this is the serialisation/table layer,
+    /// and the typed API wraps it at the [`ThroughputModel`] boundary.
     points: Vec<(f64, f64)>,
 }
 
 impl EmpiricalThroughput {
-    /// Build from measured points (any order); rates floored at
-    /// [`MIN_RATE_BPS`].
+    /// Build from measured `(distance_m, rate_bps)` points (any order);
+    /// rates floored at [`MIN_RATE_BPS`].
     ///
     /// # Panics
     /// Panics on fewer than two points, non-finite values, non-positive
@@ -86,12 +101,12 @@ impl EmpiricalThroughput {
             "duplicate distances"
         );
         for p in &mut points {
-            p.1 = p.1.max(MIN_RATE_BPS);
+            p.1 = p.1.max(MIN_RATE_BPS.get());
         }
         EmpiricalThroughput { points }
     }
 
-    /// The interpolation table.
+    /// The interpolation table, `(distance_m, rate_bps)`.
     pub fn points(&self) -> &[(f64, f64)] {
         &self.points
     }
@@ -110,7 +125,7 @@ impl EmpiricalThroughput {
             .map(|(d, samples)| {
                 let med =
                     skyferry_stats::quantile::median(samples).expect("non-empty campaign row");
-                (*d, med * 1e6)
+                (*d, BitsPerSec::from_mbps(med).get())
             })
             .collect();
         Self::new(points)
@@ -118,20 +133,21 @@ impl EmpiricalThroughput {
 }
 
 impl ThroughputModel for EmpiricalThroughput {
-    fn rate_bps(&self, d_m: f64) -> f64 {
+    fn rate_bps(&self, d: Meters) -> BitsPerSec {
+        let d_m = d.get();
         assert!(d_m > 0.0);
         let pts = &self.points;
         if d_m <= pts[0].0 {
-            return pts[0].1;
+            return BitsPerSec::new(pts[0].1);
         }
         if d_m >= pts[pts.len() - 1].0 {
-            return pts[pts.len() - 1].1;
+            return BitsPerSec::new(pts[pts.len() - 1].1);
         }
         let i = pts.partition_point(|&(d, _)| d < d_m);
         let (d0, r0) = pts[i - 1];
         let (d1, r1) = pts[i];
         let t = (d_m - d0) / (d1 - d0);
-        (r0 + t * (r1 - r0)).max(MIN_RATE_BPS)
+        BitsPerSec::new(r0 + t * (r1 - r0)).max(MIN_RATE_BPS)
     }
 }
 
@@ -146,10 +162,10 @@ pub enum ThroughputSpec {
 }
 
 impl ThroughputModel for ThroughputSpec {
-    fn rate_bps(&self, d_m: f64) -> f64 {
+    fn rate_bps(&self, d: Meters) -> BitsPerSec {
         match self {
-            ThroughputSpec::LogFit(m) => m.rate_bps(d_m),
-            ThroughputSpec::Empirical(m) => m.rate_bps(d_m),
+            ThroughputSpec::LogFit(m) => m.rate_bps(d),
+            ThroughputSpec::Empirical(m) => m.rate_bps(d),
         }
     }
 }
@@ -158,22 +174,26 @@ impl ThroughputModel for ThroughputSpec {
 mod tests {
     use super::*;
 
+    fn m(v: f64) -> Meters {
+        Meters::new(v)
+    }
+
     #[test]
     fn paper_fit_values() {
         // s(20) for the airplane fit: −5.56·log2(20)+49 = 24.97 Mb/s.
-        let r = LogFitThroughput::AIRPLANE.rate_bps(20.0) / 1e6;
+        let r = LogFitThroughput::AIRPLANE.rate_bps(m(20.0)).mbps();
         assert!((r - 24.97).abs() < 0.05, "r={r}");
         // s(80) for the quadrocopter fit: −10.5·log2(80)+73 = 6.62 Mb/s.
-        let r = LogFitThroughput::QUADROCOPTER.rate_bps(80.0) / 1e6;
+        let r = LogFitThroughput::QUADROCOPTER.rate_bps(m(80.0)).mbps();
         assert!((r - 6.62).abs() < 0.05, "r={r}");
     }
 
     #[test]
     fn fit_monotone_decreasing() {
-        let m = LogFitThroughput::AIRPLANE;
-        let mut prev = f64::INFINITY;
+        let model = LogFitThroughput::AIRPLANE;
+        let mut prev = BitsPerSec::new(f64::INFINITY);
         for i in 1..40 {
-            let r = m.rate_bps(10.0 * i as f64);
+            let r = model.rate_bps(m(10.0 * i as f64));
             assert!(r <= prev);
             prev = r;
         }
@@ -181,29 +201,29 @@ mod tests {
 
     #[test]
     fn fit_floors_at_min_rate() {
-        let m = LogFitThroughput::QUADROCOPTER;
-        assert_eq!(m.rate_bps(10_000.0), MIN_RATE_BPS);
+        let model = LogFitThroughput::QUADROCOPTER;
+        assert_eq!(model.rate_bps(m(10_000.0)), MIN_RATE_BPS);
     }
 
     #[test]
     fn zero_crossings() {
         // Airplane fit crosses zero at 2^(49/5.56) ≈ 450 m;
         // quadrocopter at 2^(73/10.5) ≈ 124 m.
-        let a = LogFitThroughput::AIRPLANE.zero_crossing_m();
+        let a = LogFitThroughput::AIRPLANE.zero_crossing().get();
         assert!((a - 450.0).abs() < 10.0, "a={a}");
-        let q = LogFitThroughput::QUADROCOPTER.zero_crossing_m();
+        let q = LogFitThroughput::QUADROCOPTER.zero_crossing().get();
         assert!((q - 124.0).abs() < 5.0, "q={q}");
     }
 
     #[test]
     fn empirical_interpolates_and_clamps() {
-        let m = EmpiricalThroughput::new(vec![(20.0, 30e6), (40.0, 20e6), (80.0, 8e6)]);
-        assert_eq!(m.rate_bps(20.0), 30e6);
-        assert_eq!(m.rate_bps(30.0), 25e6);
-        assert_eq!(m.rate_bps(60.0), 14e6);
+        let model = EmpiricalThroughput::new(vec![(20.0, 30e6), (40.0, 20e6), (80.0, 8e6)]);
+        assert_eq!(model.rate_bps(m(20.0)), BitsPerSec::new(30e6));
+        assert_eq!(model.rate_bps(m(30.0)), BitsPerSec::new(25e6));
+        assert_eq!(model.rate_bps(m(60.0)), BitsPerSec::new(14e6));
         // Outside the table: clamp to the edge values.
-        assert_eq!(m.rate_bps(5.0), 30e6);
-        assert_eq!(m.rate_bps(500.0), 8e6);
+        assert_eq!(model.rate_bps(m(5.0)), BitsPerSec::new(30e6));
+        assert_eq!(model.rate_bps(m(500.0)), BitsPerSec::new(8e6));
     }
 
     #[test]
@@ -212,21 +232,21 @@ mod tests {
             (20.0, vec![25.0, 30.0, 35.0]),
             (40.0, vec![10.0, 20.0, 30.0]),
         ];
-        let m = EmpiricalThroughput::from_campaign_mbps(&rows);
-        assert_eq!(m.rate_bps(20.0), 30e6);
-        assert_eq!(m.rate_bps(40.0), 20e6);
+        let model = EmpiricalThroughput::from_campaign_mbps(&rows);
+        assert_eq!(model.rate_bps(m(20.0)), BitsPerSec::from_mbps(30.0));
+        assert_eq!(model.rate_bps(m(40.0)), BitsPerSec::from_mbps(20.0));
     }
 
     #[test]
     fn empirical_sorts_input() {
-        let m = EmpiricalThroughput::new(vec![(80.0, 8e6), (20.0, 30e6)]);
-        assert_eq!(m.points()[0].0, 20.0);
+        let model = EmpiricalThroughput::new(vec![(80.0, 8e6), (20.0, 30e6)]);
+        assert_eq!(model.points()[0].0, 20.0);
     }
 
     #[test]
     fn empirical_floors_rates() {
-        let m = EmpiricalThroughput::new(vec![(20.0, 1e6), (200.0, 0.0)]);
-        assert_eq!(m.rate_bps(200.0), MIN_RATE_BPS);
+        let model = EmpiricalThroughput::new(vec![(20.0, 1e6), (200.0, 0.0)]);
+        assert_eq!(model.rate_bps(m(200.0)), MIN_RATE_BPS);
     }
 
     #[test]
@@ -239,8 +259,8 @@ mod tests {
     fn spec_dispatches() {
         let spec = ThroughputSpec::LogFit(LogFitThroughput::AIRPLANE);
         assert_eq!(
-            spec.rate_bps(50.0),
-            LogFitThroughput::AIRPLANE.rate_bps(50.0)
+            spec.rate_bps(m(50.0)),
+            LogFitThroughput::AIRPLANE.rate_bps(m(50.0))
         );
     }
 }

@@ -1,36 +1,69 @@
 //! The utility function of Eq. (1):
 //! `U(d) = δ(d)·u(d) = exp(−ρ(d0−d)) / Cdelay(d)`.
+//!
+//! Candidate distances cross this API as [`Meters`], so handing the
+//! utility a duration or a data rate by mistake is a compile error:
+//!
+//! ```compile_fail
+//! use skyferry_core::scenario::Scenario;
+//! use skyferry_core::utility::utility;
+//! use skyferry_units::Seconds;
+//! let s = Scenario::quadrocopter_baseline();
+//! // Seconds where Meters belong: rejected at compile time.
+//! let _ = utility(&s, Seconds::new(50.0));
+//! ```
+
+use skyferry_units::Meters;
 
 use crate::delay::CommunicationDelay;
 use crate::failure::FailureModel;
 use crate::scenario::{Scenario, ScenarioView};
 
-/// Evaluate `U(d)` for a scenario at candidate distance `d_m`.
+/// Evaluate `U(d)` for a scenario at candidate distance `d`.
+///
+/// # Domain
+/// Eq. (1) is only defined on the feasible interval `d ∈ [d_min, d0]` of
+/// Eq. (2); outside it the survival factor would describe a leg the UAV
+/// never flies and the value would be meaningless. Out-of-range inputs
+/// are a caller bug: they are caught by a `debug_assert!` here and, in
+/// all build profiles, by the hard domain assert inside
+/// [`CommunicationDelay::at_view`] — the function never silently returns
+/// a value for an infeasible distance.
 ///
 /// ```
 /// use skyferry_core::scenario::Scenario;
 /// use skyferry_core::utility::utility;
+/// use skyferry_units::Meters;
 /// let s = Scenario::quadrocopter_baseline();
 /// // Waiting to transmit at 50 m beats transmitting at the range edge.
-/// assert!(utility(&s, 50.0) > utility(&s, 99.0));
+/// assert!(utility(&s, Meters::new(50.0)) > utility(&s, Meters::new(99.0)));
 /// ```
-pub fn utility(scenario: &Scenario, d_m: f64) -> f64 {
-    utility_view(scenario.view(), d_m)
+pub fn utility(scenario: &Scenario, d: Meters) -> f64 {
+    utility_view(scenario.view(), d)
 }
 
 /// [`utility`] on a borrowed [`ScenarioView`] — the allocation-free form
 /// the optimizer and sweeps evaluate thousands of times per cell.
-pub fn utility_view(scenario: ScenarioView<'_>, d_m: f64) -> f64 {
-    let delay = CommunicationDelay::at_view(scenario, d_m);
-    let survival = scenario.failure.survival(scenario.d0_m, d_m);
-    survival / delay.total_s()
+///
+/// The domain contract of [`utility`] applies unchanged.
+pub fn utility_view(scenario: ScenarioView<'_>, d: Meters) -> f64 {
+    debug_assert!(
+        d.get() >= scenario.d_min_m - 1e-9 && d.get() <= scenario.d0_m + 1e-9,
+        "utility evaluated outside the Eq. (2) domain: d={} not in [{}, {}]",
+        d.get(),
+        scenario.d_min_m,
+        scenario.d0_m
+    );
+    let delay = CommunicationDelay::at_view(scenario, d);
+    let survival = scenario.failure.survival(scenario.d0_m, d.get());
+    survival / delay.total().get()
 }
 
 /// Both factors of Eq. (1) separately, for reporting.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UtilityBreakdown {
-    /// Candidate distance, metres.
-    pub d_m: f64,
+    /// Candidate distance.
+    pub d: Meters,
     /// Discount `δ(d)` (survival probability of the leg).
     pub survival: f64,
     /// Instantaneous utility `u(d) = 1/Cdelay(d)`, 1/s.
@@ -42,17 +75,28 @@ pub struct UtilityBreakdown {
 }
 
 /// Evaluate Eq. (1) with its full decomposition.
-pub fn utility_breakdown(scenario: &Scenario, d_m: f64) -> UtilityBreakdown {
-    utility_breakdown_view(scenario.view(), d_m)
+///
+/// The domain contract of [`utility`] applies unchanged: `d` must lie in
+/// `[d_min, d0]`, enforced by `debug_assert!` here and by the hard
+/// assert in [`CommunicationDelay::at_view`].
+pub fn utility_breakdown(scenario: &Scenario, d: Meters) -> UtilityBreakdown {
+    utility_breakdown_view(scenario.view(), d)
 }
 
 /// [`utility_breakdown`] on a borrowed [`ScenarioView`].
-pub fn utility_breakdown_view(scenario: ScenarioView<'_>, d_m: f64) -> UtilityBreakdown {
-    let delay = CommunicationDelay::at_view(scenario, d_m);
-    let survival = scenario.failure.survival(scenario.d0_m, d_m);
-    let instantaneous = 1.0 / delay.total_s();
+pub fn utility_breakdown_view(scenario: ScenarioView<'_>, d: Meters) -> UtilityBreakdown {
+    debug_assert!(
+        d.get() >= scenario.d_min_m - 1e-9 && d.get() <= scenario.d0_m + 1e-9,
+        "utility_breakdown evaluated outside the Eq. (2) domain: d={} not in [{}, {}]",
+        d.get(),
+        scenario.d_min_m,
+        scenario.d0_m
+    );
+    let delay = CommunicationDelay::at_view(scenario, d);
+    let survival = scenario.failure.survival(scenario.d0_m, d.get());
+    let instantaneous = 1.0 / delay.total().get();
     UtilityBreakdown {
-        d_m,
+        d,
         survival,
         instantaneous,
         utility: survival * instantaneous,
@@ -65,12 +109,16 @@ mod tests {
     use super::*;
     use crate::scenario::Scenario;
 
+    fn m(v: f64) -> Meters {
+        Meters::new(v)
+    }
+
     #[test]
     fn utility_is_positive_and_bounded() {
         let s = Scenario::airplane_baseline();
         for i in 0..50 {
             let d = 20.0 + i as f64 * (300.0 - 20.0) / 49.0;
-            let u = utility(&s, d);
+            let u = utility(&s, m(d));
             assert!(u > 0.0 && u.is_finite());
             // δ ≤ 1 so U ≤ u = 1/Cdelay ≤ 1/Ttx(d0-free case); loose
             // upper bound: transmission alone takes > 4.5 s here.
@@ -81,17 +129,17 @@ mod tests {
     #[test]
     fn breakdown_consistent() {
         let s = Scenario::quadrocopter_baseline();
-        let b = utility_breakdown(&s, 60.0);
+        let b = utility_breakdown(&s, m(60.0));
         assert!((b.utility - b.survival * b.instantaneous).abs() < 1e-15);
         assert!((b.instantaneous - 1.0 / b.delay.total_s()).abs() < 1e-15);
-        assert_eq!(b.d_m, 60.0);
-        assert!((b.utility - utility(&s, 60.0)).abs() < 1e-15);
+        assert_eq!(b.d, m(60.0));
+        assert!((b.utility - utility(&s, m(60.0))).abs() < 1e-15);
     }
 
     #[test]
     fn zero_rho_reduces_to_pure_delay_minimisation() {
         let s = Scenario::airplane_baseline().with_rho(0.0);
-        let b = utility_breakdown(&s, 150.0);
+        let b = utility_breakdown(&s, m(150.0));
         assert_eq!(b.survival, 1.0);
         assert!((b.utility - b.instantaneous).abs() < 1e-15);
     }
@@ -101,12 +149,28 @@ mod tests {
         // With a huge failure rate, moving at all is bad: U(d0) must beat
         // any significant repositioning.
         let s = Scenario::quadrocopter_baseline().with_rho(0.05);
-        assert!(utility(&s, s.d0_m) > utility(&s, 40.0));
+        assert!(utility(&s, s.d0()) > utility(&s, m(40.0)));
     }
 
     #[test]
     fn doctest_scenario_holds() {
         let s = Scenario::quadrocopter_baseline();
-        assert!(utility(&s, 50.0) > utility(&s, 99.0));
+        assert!(utility(&s, m(50.0)) > utility(&s, m(99.0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_domain_panics_below_dmin() {
+        // Out-of-range candidates are a caller bug: debug_assert here,
+        // hard assert in the delay layer — never a silent bogus value.
+        let s = Scenario::quadrocopter_baseline();
+        let _ = utility(&s, m(5.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_domain_panics_beyond_d0() {
+        let s = Scenario::quadrocopter_baseline();
+        let _ = utility_breakdown(&s, m(150.0));
     }
 }

@@ -20,6 +20,8 @@
 //! Coordinates are `f64` metres in a local ENU frame unless a type says
 //! otherwise; geodetic coordinates are degrees (+altitude in metres).
 
+#![forbid(unsafe_code)]
+
 pub mod camera;
 pub mod geodetic;
 pub mod sector;

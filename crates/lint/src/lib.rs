@@ -1,0 +1,36 @@
+//! # skyferry-lint
+//!
+//! A dependency-free, source-level static analysis pass for the
+//! skyferry workspace, enforcing the determinism and hygiene invariants
+//! the replication engine depends on:
+//!
+//! * **Determinism** — no wall-clock time (`Instant`/`SystemTime`), no
+//!   ambient randomness (`thread_rng`, `rand::`), no iteration-order
+//!   dependent collections (`HashMap`/`HashSet`) in result-producing
+//!   paths, no silent `as f32` precision loss.
+//! * **Hygiene** — `unsafe` requires a `// SAFETY:` comment, public
+//!   items of the model crates (`core`, `phy`) must be documented,
+//!   `#[allow(...)]` requires a justification comment, no `dbg!` /
+//!   `todo!` / `unimplemented!`, no `env::var` reads outside the bench
+//!   harness.
+//!
+//! Run it as `cargo run -p skyferry-lint` (add `-- --check` for CI,
+//! `-- --json` for machine-readable output, `-- --rules` to list the
+//! registry). A file opts out of one rule with a justified escape:
+//!
+//! ```text
+//! // lint:allow(float-narrowing): wire codec quantises to f32 on purpose
+//! ```
+//!
+//! The scanner ([`scanner`]) is a hand-rolled lexer, not a parser: it
+//! separates code from comments and blanks string contents so rules
+//! match real syntax, not pattern names quoted in strings or docs.
+
+#![forbid(unsafe_code)]
+
+pub mod report;
+pub mod rules;
+pub mod scanner;
+pub mod walk;
+
+pub use rules::{lint_source, registry, Finding};

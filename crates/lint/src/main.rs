@@ -1,0 +1,114 @@
+//! The `skyferry-lint` binary: scan the workspace, print findings.
+//!
+//! ```text
+//! cargo run -p skyferry-lint              # human-readable findings
+//! cargo run -p skyferry-lint -- --check   # exit 1 on any finding (CI)
+//! cargo run -p skyferry-lint -- --json    # machine-readable report
+//! cargo run -p skyferry-lint -- --rules   # list the rule registry
+//! cargo run -p skyferry-lint -- PATH...   # restrict to given files/dirs
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use skyferry_lint::report::{render_json, render_text};
+use skyferry_lint::rules::{lint_source, registry, Finding};
+use skyferry_lint::walk::{rust_files, workspace_root};
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut json = false;
+    let mut list_rules = false;
+    let mut paths: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--json" => json = true,
+            "--rules" => list_rules = true,
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+
+    if list_rules {
+        for rule in registry() {
+            println!(
+                "{:<18} {:?}\n{:>18} {}",
+                rule.id, rule.scope, "", rule.rationale
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = workspace_root();
+    let files: Vec<PathBuf> = if paths.is_empty() {
+        rust_files(&root)
+    } else {
+        let mut out = Vec::new();
+        for p in &paths {
+            let full = root.join(p);
+            if full.is_dir() {
+                out.extend(
+                    rust_files(&full)
+                        .into_iter()
+                        .map(|rel| PathBuf::from(p).join(rel)),
+                );
+            } else {
+                out.push(PathBuf::from(p));
+            }
+        }
+        out.sort();
+        out
+    };
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut scanned = 0usize;
+    for rel in &files {
+        let full = root.join(rel);
+        let Ok(source) = fs::read_to_string(&full) else {
+            eprintln!("skyferry-lint: cannot read {}", full.display());
+            continue;
+        };
+        scanned += 1;
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        findings.extend(lint_source(&rel, &source));
+    }
+
+    if json {
+        print!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_text(&findings));
+        println!(
+            "skyferry-lint: {} finding(s) in {} file(s) ({} rules)",
+            findings.len(),
+            scanned,
+            registry().len()
+        );
+    }
+
+    if check && !findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage() -> String {
+    "usage: skyferry-lint [--check] [--json] [--rules] [PATH...]\n\
+     \n\
+     --check   exit with status 1 when any finding is reported\n\
+     --json    emit a machine-readable JSON report\n\
+     --rules   list the rule registry and exit\n\
+     PATH...   restrict the scan to the given files or directories\n"
+        .to_string()
+}

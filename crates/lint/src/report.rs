@@ -1,0 +1,88 @@
+//! Rendering findings for humans (`file:line: [rule] message`) and for
+//! machines (a small hand-rolled JSON emitter — the lint stays
+//! dependency-free so it can never be the thing that breaks the build).
+
+use crate::rules::Finding;
+
+/// Render findings as compiler-style text diagnostics.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.file, f.line, f.rule, f.message
+        ));
+    }
+    out
+}
+
+/// Render findings as a JSON document:
+/// `{"findings": [...], "count": N}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+            json_string(f.rule),
+            json_string(&f.file),
+            f.line,
+            json_string(&f.message),
+            if i + 1 == findings.len() { "" } else { "," }
+        ));
+    }
+    out.push_str(&format!("  ],\n  \"count\": {}\n}}\n", findings.len()));
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            rule: "wall-clock",
+            file: "crates/x/src/a.rs".into(),
+            line: 7,
+            message: "uses \"Instant\"".into(),
+        }]
+    }
+
+    #[test]
+    fn text_format() {
+        let t = render_text(&sample());
+        assert_eq!(t, "crates/x/src/a.rs:7: [wall-clock] uses \"Instant\"\n");
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let j = render_json(&sample());
+        assert!(j.contains("\\\"Instant\\\""));
+        assert!(j.contains("\"count\": 1"));
+        assert!(j.contains("\"line\": 7"));
+    }
+
+    #[test]
+    fn json_empty() {
+        let j = render_json(&[]);
+        assert!(j.contains("\"count\": 0"));
+    }
+}

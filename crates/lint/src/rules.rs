@@ -1,0 +1,432 @@
+//! The rule registry: what the pass enforces, where, and why.
+//!
+//! Every rule carries a *scope* — a predicate over the repo-relative
+//! path — because not all invariants apply everywhere: the bench crate
+//! measures real wall-clock time on purpose, and the vendored buffer
+//! crate predates our conventions. Scoping is part of the rule, not an
+//! ad-hoc exclusion list at the call site.
+//!
+//! Files opt out of a rule with a justified escape comment anywhere in
+//! the file:
+//!
+//! ```text
+//! // lint:allow(hash-collection): membership-only sets, never iterated
+//! ```
+//!
+//! The reason is mandatory; a bare `lint:allow(rule)` is itself a
+//! finding.
+
+use crate::scanner::{find_ident, is_ident_char, scan, Line};
+
+/// A single diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (stable, kebab-case).
+    pub rule: &'static str,
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Where a rule applies, as a predicate over repo-relative paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Every workspace source file.
+    All,
+    /// Everywhere except the given path prefixes.
+    Except(&'static [&'static str]),
+    /// Only under the given path prefixes.
+    Only(&'static [&'static str]),
+}
+
+impl Scope {
+    /// Does this scope cover `path` (repo-relative, `/`-separated)?
+    pub fn covers(&self, path: &str) -> bool {
+        match self {
+            Scope::All => true,
+            Scope::Except(prefixes) => !prefixes.iter().any(|p| path.starts_with(p)),
+            Scope::Only(prefixes) => prefixes.iter().any(|p| path.starts_with(p)),
+        }
+    }
+}
+
+/// One lint rule: identifier, scope, rationale, and the check itself.
+pub struct Rule {
+    /// Stable kebab-case identifier (what `lint:allow(...)` names).
+    pub id: &'static str,
+    /// Where the rule applies.
+    pub scope: Scope,
+    /// One-line rationale shown by `--rules`.
+    pub rationale: &'static str,
+    check: fn(&[Line], &mut Vec<(usize, String)>),
+}
+
+impl Rule {
+    /// Run the rule over scanned lines; returns `(line_no, message)`
+    /// pairs (1-based).
+    pub fn check(&self, lines: &[Line]) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        (self.check)(lines, &mut out);
+        out
+    }
+}
+
+/// The full registry, in reporting order.
+pub fn registry() -> Vec<Rule> {
+    vec![
+        Rule {
+            id: "wall-clock",
+            scope: Scope::Except(&["crates/bench/"]),
+            rationale: "std::time::Instant/SystemTime break replayable simulation; \
+                        use skyferry_sim::time::SimTime",
+            check: check_wall_clock,
+        },
+        Rule {
+            id: "ambient-rng",
+            scope: Scope::All,
+            rationale: "thread_rng/OsRng/rand:: seed from the environment; \
+                        use the seeded DetRng so replications replay",
+            check: check_ambient_rng,
+        },
+        Rule {
+            id: "hash-collection",
+            scope: Scope::Only(&["crates/core/", "crates/sim/", "crates/net/", "src/"]),
+            rationale: "HashMap/HashSet iteration order is randomised per process; \
+                        result-producing paths need BTreeMap/Vec",
+            check: check_hash_collection,
+        },
+        Rule {
+            id: "float-narrowing",
+            scope: Scope::Except(&["crates/bufs/"]),
+            rationale: "`as f32` silently drops precision mid-model; keep f64 \
+                        until an explicit wire/storage boundary",
+            check: check_float_narrowing,
+        },
+        Rule {
+            id: "unsafe-no-safety",
+            scope: Scope::All,
+            rationale: "every unsafe block needs a `// SAFETY:` comment stating \
+                        the upheld invariant",
+            check: check_unsafe_no_safety,
+        },
+        Rule {
+            id: "undocumented-pub",
+            scope: Scope::Only(&["crates/core/", "crates/phy/"]),
+            rationale: "public items of the model crates are the paper-facing \
+                        API; they must carry doc comments",
+            check: check_undocumented_pub,
+        },
+        Rule {
+            id: "allow-no-reason",
+            scope: Scope::All,
+            rationale: "#[allow(...)] without a justification comment hides \
+                        warnings without accountability",
+            check: check_allow_no_reason,
+        },
+        Rule {
+            id: "debug-macros",
+            scope: Scope::All,
+            rationale: "dbg!/todo!/unimplemented! are development scaffolding, \
+                        not shippable code",
+            check: check_debug_macros,
+        },
+        Rule {
+            id: "env-read",
+            scope: Scope::Except(&["crates/bench/"]),
+            rationale: "std::env::var makes results depend on ambient shell \
+                        state; thread configuration explicitly",
+            check: check_env_read,
+        },
+    ]
+}
+
+fn check_wall_clock(lines: &[Line], out: &mut Vec<(usize, String)>) {
+    for (i, l) in lines.iter().enumerate() {
+        for ident in ["Instant", "SystemTime"] {
+            if !find_ident(&l.code, ident).is_empty() {
+                out.push((
+                    i + 1,
+                    format!("wall-clock type `{ident}` in simulation code; use SimTime"),
+                ));
+            }
+        }
+    }
+}
+
+fn check_ambient_rng(lines: &[Line], out: &mut Vec<(usize, String)>) {
+    for (i, l) in lines.iter().enumerate() {
+        for ident in ["thread_rng", "from_entropy", "OsRng"] {
+            if !find_ident(&l.code, ident).is_empty() {
+                out.push((
+                    i + 1,
+                    format!("ambient randomness `{ident}`; use the seeded DetRng"),
+                ));
+            }
+        }
+        for pos in find_ident(&l.code, "rand") {
+            if l.code[pos..].starts_with("rand::") {
+                out.push((
+                    i + 1,
+                    "ambient randomness via `rand::`; use the seeded DetRng".into(),
+                ));
+            }
+        }
+    }
+}
+
+fn check_hash_collection(lines: &[Line], out: &mut Vec<(usize, String)>) {
+    for (i, l) in lines.iter().enumerate() {
+        for ident in ["HashMap", "HashSet"] {
+            if !find_ident(&l.code, ident).is_empty() {
+                out.push((
+                    i + 1,
+                    format!(
+                        "`{ident}` in a result-producing path: iteration order is \
+                         nondeterministic; use BTreeMap/BTreeSet/Vec"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_float_narrowing(lines: &[Line], out: &mut Vec<(usize, String)>) {
+    for (i, l) in lines.iter().enumerate() {
+        for pos in find_ident(&l.code, "as") {
+            let rest = l.code[pos + 2..].trim_start();
+            if rest.starts_with("f32") && !rest[3..].starts_with(|c: char| is_ident_char(c)) {
+                out.push((
+                    i + 1,
+                    "`as f32` truncates f64 precision; keep f64 or justify the boundary".into(),
+                ));
+            }
+        }
+    }
+}
+
+fn check_unsafe_no_safety(lines: &[Line], out: &mut Vec<(usize, String)>) {
+    for (i, l) in lines.iter().enumerate() {
+        if find_ident(&l.code, "unsafe").is_empty() {
+            continue;
+        }
+        // Look for a SAFETY: comment on this line or up to three lines
+        // above (above attribute lines, if any).
+        let documented = (i.saturating_sub(3)..=i)
+            .any(|j| lines[j].comment.to_ascii_uppercase().contains("SAFETY:"));
+        if !documented {
+            out.push((
+                i + 1,
+                "`unsafe` without a `// SAFETY:` comment stating the invariant".into(),
+            ));
+        }
+    }
+}
+
+fn check_undocumented_pub(lines: &[Line], out: &mut Vec<(usize, String)>) {
+    const ITEMS: [&str; 9] = [
+        "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "union",
+    ];
+    for (i, l) in lines.iter().enumerate() {
+        let t = l.code.trim_start();
+        let Some(rest) = t.strip_prefix("pub ") else {
+            continue;
+        };
+        // `pub unsafe fn`, `pub const fn`, `pub async fn` all still
+        // start with an item keyword chain; take the first word.
+        let first = rest.split_whitespace().next().unwrap_or("");
+        let is_item = ITEMS.contains(&first)
+            || (["unsafe", "async"].contains(&first)
+                && rest
+                    .split_whitespace()
+                    .nth(1)
+                    .is_some_and(|w| ITEMS.contains(&w)));
+        // `pub const NAME:` is an item; `pub const fn` too. Distinguish
+        // `pub use` (re-exports) and struct fields (`pub x: f64`), which
+        // we do not require docs on.
+        if !is_item {
+            continue;
+        }
+        // Walk upward over attribute lines (`#[derive(...)]`, `#[test]`,
+        // ...) to the closest candidate doc line.
+        let mut j = i;
+        while j > 0 {
+            let above = lines[j - 1].code.trim();
+            if above.starts_with("#[") || above.starts_with("#![") {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        let documented = j > 0 && lines[j - 1].is_doc_comment();
+        if !documented {
+            out.push((
+                i + 1,
+                format!(
+                    "undocumented public item `pub {first} ...`; model-crate API \
+                     requires doc comments"
+                ),
+            ));
+        }
+    }
+}
+
+fn check_allow_no_reason(lines: &[Line], out: &mut Vec<(usize, String)>) {
+    for (i, l) in lines.iter().enumerate() {
+        let code = &l.code;
+        let hit = code.contains("#[allow(") || code.contains("#![allow(");
+        if !hit {
+            continue;
+        }
+        // Justified when the attribute line or the line above carries a
+        // comment (the justification).
+        let own = !l.comment.is_empty();
+        let above = i > 0 && !lines[i - 1].comment.is_empty();
+        if !(own || above) {
+            out.push((
+                i + 1,
+                "#[allow(...)] without a justification comment on or above it".into(),
+            ));
+        }
+    }
+}
+
+fn check_debug_macros(lines: &[Line], out: &mut Vec<(usize, String)>) {
+    for (i, l) in lines.iter().enumerate() {
+        for mac in ["dbg", "todo", "unimplemented"] {
+            for pos in find_ident(&l.code, mac) {
+                if l.code[pos + mac.len()..].starts_with('!') {
+                    out.push((i + 1, format!("development macro `{mac}!` left in source")));
+                }
+            }
+        }
+    }
+}
+
+fn check_env_read(lines: &[Line], out: &mut Vec<(usize, String)>) {
+    for (i, l) in lines.iter().enumerate() {
+        for pat in ["env::var", "env::var_os"] {
+            let mut from = 0;
+            while let Some(pos) = l.code[from..].find(pat) {
+                let start = from + pos;
+                let end = start + pat.len();
+                let ok_after = !l.code[end..].starts_with(|c: char| is_ident_char(c));
+                if ok_after {
+                    out.push((
+                        i + 1,
+                        "environment read makes results depend on shell state; pass \
+                         configuration explicitly"
+                            .into(),
+                    ));
+                    break;
+                }
+                from = end;
+            }
+        }
+    }
+}
+
+/// A parsed `lint:allow(rule): reason` escape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// The rule being suppressed.
+    pub rule: String,
+    /// The mandatory justification (may be empty — then invalid).
+    pub reason: String,
+    /// 1-based line of the directive.
+    pub line: usize,
+}
+
+/// Extract every `lint:allow(...)` directive from the comment view.
+pub fn allow_directives(lines: &[Line]) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    for (i, l) in lines.iter().enumerate() {
+        // Doc comments never carry directives: documentation *examples*
+        // of the escape syntax must not activate (or count as invalid)
+        // suppressions in the file that documents them.
+        if l.is_doc_comment() {
+            continue;
+        }
+        let c = &l.comment;
+        let mut from = 0;
+        while let Some(pos) = c[from..].find("lint:allow(") {
+            let start = from + pos + "lint:allow(".len();
+            let Some(close) = c[start..].find(')') else {
+                break;
+            };
+            let rule = c[start..start + close].trim().to_string();
+            let reason = c[start + close + 1..]
+                .trim_start_matches([':', '-', ' '])
+                .trim()
+                .to_string();
+            out.push(AllowDirective {
+                rule,
+                reason,
+                line: i + 1,
+            });
+            from = start + close + 1;
+        }
+    }
+    out
+}
+
+/// Lint one file's source. `path` is the repo-relative path used both
+/// for rule scoping and in reported findings.
+pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
+    lint_source_with(path, source, &registry())
+}
+
+/// [`lint_source`] against an explicit rule set.
+pub fn lint_source_with(path: &str, source: &str, rules: &[Rule]) -> Vec<Finding> {
+    let lines = scan(source);
+    let directives = allow_directives(&lines);
+    let mut findings = Vec::new();
+
+    // A reason-less escape is itself a finding — an escape hatch without
+    // accountability is exactly what the pass exists to prevent.
+    for d in &directives {
+        if d.reason.is_empty() {
+            findings.push(Finding {
+                rule: "allow-no-reason",
+                file: path.to_string(),
+                line: d.line,
+                message: format!(
+                    "lint:allow({}) requires a reason after the rule name",
+                    d.rule
+                ),
+            });
+        }
+        if !rules.iter().any(|r| r.id == d.rule) {
+            findings.push(Finding {
+                rule: "allow-no-reason",
+                file: path.to_string(),
+                line: d.line,
+                message: format!("lint:allow names unknown rule `{}`", d.rule),
+            });
+        }
+    }
+
+    let suppressed: Vec<&str> = directives
+        .iter()
+        .filter(|d| !d.reason.is_empty())
+        .map(|d| d.rule.as_str())
+        .collect();
+
+    for rule in rules {
+        if !rule.scope.covers(path) || suppressed.contains(&rule.id) {
+            continue;
+        }
+        for (line, message) in rule.check(&lines) {
+            findings.push(Finding {
+                rule: rule.id,
+                file: path.to_string(),
+                line,
+                message,
+            });
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}

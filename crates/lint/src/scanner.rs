@@ -1,0 +1,341 @@
+//! A minimal Rust source scanner: splits every line into a *code view*
+//! and a *comment view* so rules can match syntax without tripping over
+//! pattern names quoted in strings or discussed in comments.
+//!
+//! The scanner is not a parser. It tracks just enough lexical state to
+//! classify every byte as code, string content, or comment:
+//!
+//! * line comments (`//`, `///`, `//!`) and nested block comments;
+//! * string literals (plain, byte, raw with any `#` count) — the
+//!   delimiters stay in the code view, the *contents* are blanked;
+//! * char literals vs. lifetimes (`'a'` is blanked, `'a` in `&'a T` is
+//!   code).
+//!
+//! That classification is what lets a rule for, say, `thread_rng` fire
+//! on a call site but not on the lint's own rule table or on a doc
+//! sentence mentioning it.
+
+/// One source line, split into its code and comment parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Line {
+    /// Code with string contents blanked and comments removed. Column
+    /// positions match the original line.
+    pub code: String,
+    /// The comment on this line, if any, including its `//` / `/*`
+    /// introducer (for block comments spanning lines, the part on this
+    /// line).
+    pub comment: String,
+}
+
+impl Line {
+    /// `true` when the comment is a doc comment (`///`, `//!`, `/**`,
+    /// `/*!`).
+    pub fn is_doc_comment(&self) -> bool {
+        self.comment.starts_with("///")
+            || self.comment.starts_with("//!")
+            || self.comment.starts_with("/**")
+            || self.comment.starts_with("/*!")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    Block { depth: usize, doc: bool },
+    Str { raw_hashes: Option<usize> },
+}
+
+/// Scan `source` into per-line code/comment views.
+pub fn scan(source: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+    for raw in source.split('\n') {
+        lines.push(scan_line(raw, &mut state));
+    }
+    lines
+}
+
+fn scan_line(raw: &str, state: &mut State) -> Line {
+    let chars: Vec<char> = raw.chars().collect();
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let mut i = 0usize;
+    // A block comment or string continuing from the previous line keeps
+    // its introducer out of this line's views; mark continuation blocks
+    // so `is_doc_comment` stays accurate only on the opening line.
+    while i < chars.len() {
+        match *state {
+            State::Block { depth, doc } => {
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    comment.push_str("*/");
+                    i += 2;
+                    if depth == 1 {
+                        *state = State::Code;
+                    } else {
+                        *state = State::Block {
+                            depth: depth - 1,
+                            doc,
+                        };
+                    }
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    comment.push_str("/*");
+                    i += 2;
+                    *state = State::Block {
+                        depth: depth + 1,
+                        doc,
+                    };
+                } else {
+                    comment.push(chars[i]);
+                    i += 1;
+                }
+            }
+            State::Str { raw_hashes } => match raw_hashes {
+                None => {
+                    if chars[i] == '\\' {
+                        code.push(' ');
+                        if i + 1 < chars.len() {
+                            code.push(' ');
+                        }
+                        i += 2;
+                    } else if chars[i] == '"' {
+                        code.push('"');
+                        i += 1;
+                        *state = State::Code;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Some(hashes) => {
+                    if chars[i] == '"' && closes_raw(&chars, i + 1, hashes) {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        i += 1 + hashes;
+                        *state = State::Code;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            },
+            State::Code => {
+                let c = chars[i];
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    comment.push_str(&chars[i..].iter().collect::<String>());
+                    i = chars.len();
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    let doc = matches!(chars.get(i + 2), Some(&'*') | Some(&'!'))
+                        && chars.get(i + 3) != Some(&'/');
+                    comment.push_str("/*");
+                    i += 2;
+                    *state = State::Block { depth: 1, doc };
+                } else if c == '"' {
+                    code.push('"');
+                    i += 1;
+                    *state = State::Str { raw_hashes: None };
+                } else if c == 'r' && is_raw_string_start(&chars, i) {
+                    code.push('r');
+                    i += 1;
+                    let mut hashes = 0;
+                    while chars.get(i) == Some(&'#') {
+                        code.push('#');
+                        hashes += 1;
+                        i += 1;
+                    }
+                    code.push('"');
+                    i += 1;
+                    *state = State::Str {
+                        raw_hashes: Some(hashes),
+                    };
+                } else if c == 'b'
+                    && (chars.get(i + 1) == Some(&'"')
+                        || (chars.get(i + 1) == Some(&'r') && is_raw_string_start(&chars, i + 1)))
+                {
+                    // Byte-string prefix: emit the `b`, let the next
+                    // iteration enter the string/raw-string state.
+                    code.push('b');
+                    i += 1;
+                } else if c == '\'' {
+                    // Lifetime or char literal? A lifetime is `'` +
+                    // ident not followed by a closing `'`.
+                    let (consumed, out) = char_or_lifetime(&chars, i);
+                    code.push_str(&out);
+                    i += consumed;
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    Line { code, comment }
+}
+
+fn closes_raw(chars: &[char], mut i: usize, hashes: usize) -> bool {
+    for _ in 0..hashes {
+        if chars.get(i) != Some(&'#') {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // `r"` or `r#...#"` — and not part of an identifier like `for`.
+    if i > 0 && is_ident_char(chars[i - 1]) {
+        return false;
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Consume a `'` at `i`: returns (chars consumed, text to append to the
+/// code view). Char-literal contents are blanked; lifetimes pass through.
+fn char_or_lifetime(chars: &[char], i: usize) -> (usize, String) {
+    debug_assert_eq!(chars[i], '\'');
+    match chars.get(i + 1) {
+        Some(&'\\') => {
+            // Escaped char literal: consume to the closing quote.
+            let mut j = i + 2;
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+            let span = (j + 1).min(chars.len()) - i;
+            let mut out = String::from("'");
+            for _ in 0..span.saturating_sub(2) {
+                out.push(' ');
+            }
+            if span >= 2 {
+                out.push('\'');
+            }
+            (span, out)
+        }
+        Some(_) => {
+            if chars.get(i + 2) == Some(&'\'') {
+                // 'a' or '(' — a one-char literal, blank the payload.
+                (3, "' '".into())
+            } else {
+                // 'a in &'a T — a lifetime (or stray quote), keep as code.
+                (1, "'".into())
+            }
+        }
+        None => (1, "'".into()),
+    }
+}
+
+/// `true` for characters that can appear in a Rust identifier.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Find all occurrences of `ident` in `code` at identifier boundaries.
+/// Returns byte offsets.
+pub fn find_ident(code: &str, ident: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(ident) {
+        let start = from + pos;
+        let end = start + ident.len();
+        let ok_before = start == 0 || !is_ident_char(bytes[start - 1] as char);
+        let ok_after = end >= code.len() || !is_ident_char(bytes[end] as char);
+        if ok_before && ok_after {
+            out.push(start);
+        }
+        from = start + ident.len().max(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        scan(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strips_line_comments() {
+        let l = scan("let x = 1; // thread_rng mention");
+        assert_eq!(l[0].code, "let x = 1; ");
+        assert!(l[0].comment.contains("thread_rng"));
+    }
+
+    #[test]
+    fn doc_comments_detected() {
+        let l = scan("/// docs\npub fn f() {}\n//! inner");
+        assert!(l[0].is_doc_comment());
+        assert!(!l[1].is_doc_comment());
+        assert!(l[2].is_doc_comment());
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let c = code_of(r#"let s = "HashMap::new()";"#);
+        assert!(!c[0].contains("HashMap"));
+        assert!(c[0].contains('"'));
+    }
+
+    #[test]
+    fn blanks_raw_strings_with_hashes() {
+        let src = "let s = r#\"Instant::now() \"quoted\"\"#; let y = 2;";
+        let c = code_of(src);
+        assert!(!c[0].contains("Instant"));
+        assert!(c[0].contains("let y = 2;"));
+    }
+
+    #[test]
+    fn multiline_string_blanked() {
+        let src = "let s = \"line one\nInstant::now()\nend\"; let t = 3;";
+        let c = code_of(src);
+        assert!(!c.join("\n").contains("Instant"));
+        assert!(c[2].contains("let t = 3;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let c = code_of(src);
+        assert!(c[0].contains('a') && c[0].contains('b'));
+        assert!(!c[0].contains("still"));
+    }
+
+    #[test]
+    fn block_comment_spans_lines() {
+        let src = "a /* one\ntwo Instant\nthree */ b";
+        let c = code_of(src);
+        assert!(!c.join("\n").contains("Instant"));
+        assert!(c[2].contains('b'));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let c = code_of("fn f<'a>(x: &'a str, c: char) -> bool { c == 'z' }");
+        assert!(c[0].contains("'a>"));
+        assert!(!c[0].contains("'z'"));
+        let c = code_of(r"let nl = '\n'; let q = '\''; done();");
+        assert!(c[0].contains("done();"));
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let c = code_of(r#"let s = "he said \"Instant\""; go();"#);
+        assert!(!c[0].contains("Instant"));
+        assert!(c[0].contains("go();"));
+    }
+
+    #[test]
+    fn find_ident_respects_boundaries() {
+        assert_eq!(find_ident("Instant::now()", "Instant"), vec![0]);
+        assert!(find_ident("SimInstant::now()", "Instant").is_empty());
+        assert!(find_ident("unsafe_code", "unsafe").is_empty());
+        assert_eq!(find_ident("x unsafe {", "unsafe").len(), 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Workspace traversal: find every `.rs` file the pass should see.
+//!
+//! The walk is deterministic (sorted at every level) so findings print
+//! in a stable order regardless of filesystem enumeration order.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned: build output, VCS metadata, and the
+/// lint's own known-bad fixtures (they exist to fail).
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "fixtures"];
+
+/// The workspace root, resolved from the lint crate's own manifest
+/// location (`crates/lint` → two levels up).
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+/// All `.rs` files under `root`, repo-relative, sorted.
+pub fn rust_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    collect(root, root, &mut out);
+    out.sort();
+    out
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.filter_map(Result::ok).collect();
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_workspace_sources() {
+        let root = workspace_root();
+        let files = rust_files(&root);
+        let names: Vec<String> = files
+            .iter()
+            .map(|p| p.to_string_lossy().replace('\\', "/"))
+            .collect();
+        assert!(names.iter().any(|n| n == "crates/core/src/utility.rs"));
+        assert!(names.iter().any(|n| n == "src/lib.rs"));
+        // Fixtures and build output are excluded.
+        assert!(!names.iter().any(|n| n.contains("fixtures")));
+        assert!(!names.iter().any(|n| n.starts_with("target/")));
+        // The walk is sorted.
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+}

@@ -1,0 +1,6 @@
+// lint:allow(hash-collection): membership-only set, never iterated
+use std::collections::HashSet;
+
+fn seen() -> HashSet<u64> {
+    HashSet::new()
+}

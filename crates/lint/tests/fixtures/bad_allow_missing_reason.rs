@@ -1,0 +1,6 @@
+// lint:allow(wall-clock)
+use std::time::Instant;
+
+fn t() -> Instant {
+    Instant::now()
+}

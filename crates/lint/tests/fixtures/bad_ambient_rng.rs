@@ -1,0 +1,6 @@
+fn roll() -> u32 {
+    let mut rng = rand::thread_rng();
+    let seeded = rand::rngs::StdRng::from_entropy();
+    let _ = (seeded, OsRng);
+    rng.gen()
+}

@@ -1,0 +1,8 @@
+fn wip(x: u32) -> u32 {
+    dbg!(x);
+    if x > 10 {
+        todo!()
+    } else {
+        unimplemented!()
+    }
+}

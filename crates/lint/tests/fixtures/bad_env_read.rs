@@ -1,0 +1,6 @@
+fn budget() -> u64 {
+    std::env::var("BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100)
+}

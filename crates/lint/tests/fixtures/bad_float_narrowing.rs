@@ -1,0 +1,3 @@
+fn shrink(x: f64) -> f32 {
+    x as f32
+}

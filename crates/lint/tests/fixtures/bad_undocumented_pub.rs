@@ -1,0 +1,10 @@
+pub struct Bare {
+    pub value: f64,
+}
+
+#[derive(Debug)]
+pub enum AlsoBare {
+    A,
+}
+
+pub fn no_docs() {}

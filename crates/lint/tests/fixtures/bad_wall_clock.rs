@@ -1,0 +1,7 @@
+use std::time::Instant;
+
+fn measure() -> f64 {
+    let start = Instant::now();
+    let _ = std::time::SystemTime::now();
+    start.elapsed().as_secs_f64()
+}

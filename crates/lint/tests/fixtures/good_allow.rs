@@ -1,0 +1,3 @@
+// allow: retained for API symmetry with the _mut variant.
+#[allow(dead_code)]
+fn justified() {}

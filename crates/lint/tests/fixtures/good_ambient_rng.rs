@@ -1,0 +1,6 @@
+// thread_rng is only discussed in this comment.
+fn roll(rng: &mut DetRng) -> u64 {
+    let doc = "rand::thread_rng() quoted";
+    let _ = doc;
+    rng.next_u64()
+}

@@ -1,0 +1,4 @@
+// dbg! and todo! only appear in this comment.
+fn done(x: u32) -> u32 {
+    x + 1
+}

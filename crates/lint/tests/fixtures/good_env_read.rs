@@ -1,0 +1,4 @@
+// env::var is only named in this comment.
+fn budget(configured: u64) -> u64 {
+    configured
+}

@@ -1,0 +1,4 @@
+fn widen(x: f32) -> f64 {
+    // `as f32` only appears in this comment.
+    f64::from(x)
+}

@@ -1,0 +1,15 @@
+/// A documented struct.
+pub struct Documented {
+    pub value: f64,
+}
+
+/// A documented enum, with an attribute between doc and item.
+#[derive(Debug)]
+pub enum AlsoDocumented {
+    A,
+}
+
+/// A documented function.
+pub fn with_docs() {}
+
+pub use std::f64::consts::PI;

@@ -1,0 +1,5 @@
+fn peek(xs: &[u8]) -> u8 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *xs.get_unchecked(0) }
+}

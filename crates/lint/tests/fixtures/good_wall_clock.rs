@@ -1,0 +1,5 @@
+// Instant is mentioned here in a comment only.
+fn measure() -> &'static str {
+    let label = "Instant::now() quoted in a string";
+    label
+}

@@ -1,0 +1,190 @@
+//! Fixture-based self-tests: every rule in the registry must fire on
+//! its known-bad fixture with the exact `file:line` span, stay silent on
+//! the known-good twin, and be suppressible via a justified
+//! `lint:allow`.
+
+use std::fs;
+use std::path::Path;
+
+use skyferry_lint::rules::{lint_source, registry, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lint a fixture as if it lived at `virtual_path` (which drives rule
+/// scoping), returning `(rule, line)` pairs.
+fn lint_at(virtual_path: &str, name: &str) -> Vec<(String, usize)> {
+    let findings = lint_source(virtual_path, &fixture(name));
+    for f in &findings {
+        assert_eq!(f.file, virtual_path, "finding carries the linted path");
+    }
+    findings
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.line))
+        .collect()
+}
+
+fn all(rule: &str, lines: &[usize]) -> Vec<(String, usize)> {
+    lines.iter().map(|&l| (rule.to_string(), l)).collect()
+}
+
+const CORE: &str = "crates/core/src/fixture.rs";
+
+#[test]
+fn registry_has_at_least_eight_rules_with_unique_ids() {
+    let rules = registry();
+    assert!(rules.len() >= 8, "only {} rules", rules.len());
+    let mut ids: Vec<_> = rules.iter().map(|r| r.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), registry().len(), "duplicate rule ids");
+}
+
+#[test]
+fn wall_clock_fires_with_exact_spans() {
+    assert_eq!(
+        lint_at(CORE, "bad_wall_clock.rs"),
+        all("wall-clock", &[1, 4, 5])
+    );
+    assert!(lint_at(CORE, "good_wall_clock.rs").is_empty());
+}
+
+#[test]
+fn wall_clock_scope_excludes_bench() {
+    assert!(lint_at("crates/bench/src/fixture.rs", "bad_wall_clock.rs").is_empty());
+}
+
+#[test]
+fn ambient_rng_fires_with_exact_spans() {
+    // Line 2 hits both `thread_rng` and `rand::`; line 3 both
+    // `from_entropy` and `rand::`; line 4 `OsRng`.
+    assert_eq!(
+        lint_at(CORE, "bad_ambient_rng.rs"),
+        all("ambient-rng", &[2, 2, 3, 3, 4])
+    );
+    assert!(lint_at(CORE, "good_ambient_rng.rs").is_empty());
+}
+
+#[test]
+fn hash_collection_fires_in_scope_only() {
+    assert_eq!(
+        lint_at(CORE, "bad_hash_collection.rs"),
+        all("hash-collection", &[1, 3, 4])
+    );
+    assert!(lint_at(CORE, "good_hash_collection.rs").is_empty());
+    // Out of scope: the geo crate has no result-producing sim paths.
+    assert!(lint_at("crates/geo/src/fixture.rs", "bad_hash_collection.rs").is_empty());
+}
+
+#[test]
+fn justified_lint_allow_suppresses() {
+    assert!(lint_at(CORE, "allowed_hash_collection.rs").is_empty());
+}
+
+#[test]
+fn unjustified_lint_allow_is_a_finding_and_does_not_suppress() {
+    let got = lint_at(CORE, "bad_allow_missing_reason.rs");
+    // The reason-less escape is flagged on its own line …
+    assert!(got.contains(&("allow-no-reason".to_string(), 1)), "{got:?}");
+    // … and the rule it tried to silence still fires.
+    for line in [2, 4, 5] {
+        assert!(got.contains(&("wall-clock".to_string(), line)), "{got:?}");
+    }
+}
+
+#[test]
+fn float_narrowing_fires_with_exact_spans() {
+    assert_eq!(
+        lint_at(CORE, "bad_float_narrowing.rs"),
+        all("float-narrowing", &[2])
+    );
+    assert!(lint_at(CORE, "good_float_narrowing.rs").is_empty());
+}
+
+#[test]
+fn unsafe_requires_safety_comment() {
+    assert_eq!(
+        lint_at(CORE, "bad_unsafe.rs"),
+        all("unsafe-no-safety", &[2])
+    );
+    assert!(lint_at(CORE, "good_unsafe.rs").is_empty());
+}
+
+#[test]
+fn undocumented_pub_fires_in_model_crates() {
+    assert_eq!(
+        lint_at("crates/phy/src/fixture.rs", "bad_undocumented_pub.rs"),
+        all("undocumented-pub", &[1, 6, 10])
+    );
+    assert!(lint_at("crates/phy/src/fixture.rs", "good_undocumented_pub.rs").is_empty());
+    // Out of scope: the control crate is not part of the model API.
+    assert!(lint_at("crates/control/src/fixture.rs", "bad_undocumented_pub.rs").is_empty());
+}
+
+#[test]
+fn allow_without_justification_fires() {
+    assert_eq!(lint_at(CORE, "bad_allow.rs"), all("allow-no-reason", &[1]));
+    assert!(lint_at(CORE, "good_allow.rs").is_empty());
+}
+
+#[test]
+fn debug_macros_fire_with_exact_spans() {
+    assert_eq!(
+        lint_at(CORE, "bad_debug_macros.rs"),
+        all("debug-macros", &[2, 4, 6])
+    );
+    assert!(lint_at(CORE, "good_debug_macros.rs").is_empty());
+}
+
+#[test]
+fn env_read_fires_outside_bench() {
+    assert_eq!(lint_at(CORE, "bad_env_read.rs"), all("env-read", &[2]));
+    assert!(lint_at(CORE, "good_env_read.rs").is_empty());
+    assert!(lint_at("crates/bench/src/fixture.rs", "bad_env_read.rs").is_empty());
+}
+
+#[test]
+fn every_rule_has_a_firing_bad_fixture() {
+    // The pairing that proves each registry entry is live.
+    let cases: Vec<(&str, &str, &str)> = vec![
+        ("wall-clock", CORE, "bad_wall_clock.rs"),
+        ("ambient-rng", CORE, "bad_ambient_rng.rs"),
+        ("hash-collection", CORE, "bad_hash_collection.rs"),
+        ("float-narrowing", CORE, "bad_float_narrowing.rs"),
+        ("unsafe-no-safety", CORE, "bad_unsafe.rs"),
+        (
+            "undocumented-pub",
+            "crates/phy/src/fixture.rs",
+            "bad_undocumented_pub.rs",
+        ),
+        ("allow-no-reason", CORE, "bad_allow.rs"),
+        ("debug-macros", CORE, "bad_debug_macros.rs"),
+        ("env-read", CORE, "bad_env_read.rs"),
+    ];
+    for rule in registry() {
+        let (_, path, file) = cases
+            .iter()
+            .find(|(id, _, _)| *id == rule.id)
+            .unwrap_or_else(|| panic!("rule {} has no fixture case", rule.id));
+        let got = lint_at(path, file);
+        assert!(
+            got.iter().any(|(id, _)| id == rule.id),
+            "rule {} did not fire on {file}: {got:?}",
+            rule.id
+        );
+    }
+}
+
+#[test]
+fn json_report_round_trips_fields() {
+    let findings: Vec<Finding> = lint_source(CORE, &fixture("bad_float_narrowing.rs"));
+    let json = skyferry_lint::report::render_json(&findings);
+    assert!(json.contains("\"rule\": \"float-narrowing\""));
+    assert!(json.contains("\"file\": \"crates/core/src/fixture.rs\""));
+    assert!(json.contains("\"line\": 2"));
+    assert!(json.contains("\"count\": 1"));
+}

@@ -29,6 +29,8 @@
 //! * [`reorder`] — the receiver-side block-ACK window: in-order release,
 //!   duplicate filtering after lost block ACKs, hole accounting.
 
+#![forbid(unsafe_code)]
+
 pub mod dcf;
 pub mod frame;
 pub mod link;

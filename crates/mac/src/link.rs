@@ -228,7 +228,11 @@ impl LinkState {
         // Per-subframe fate: resample the channel along the burst. The
         // mean SNR pays the attitude/motion penalty at the current speed.
         let mean_snr = db_to_linear(
-            self.config.preset.budget.mean_snr_db(distance_m)
+            self.config
+                .preset
+                .budget
+                .mean_snr(skyferry_units::Meters::new(distance_m))
+                .get()
                 - self.fading.config().motion_loss_db(),
         );
         let tx_start = now + self.config.dcf.difs() + backoff;

@@ -27,8 +27,8 @@ fn tput_curve(preset: ChannelPreset, label: &str) -> Vec<(f64, f64)> {
     let mut pts = Vec::new();
     for i in 0..22 {
         let snr = 16.0 - 0.75 * i as f64;
-        if let Some(d) = preset.budget.range_for_snr_db(snr) {
-            let s = measure_throughput_replicated(&cfg, MotionProfile::hover(d), 4);
+        if let Some(d) = preset.budget.range_for_snr(skyferry_units::Db::new(snr)) {
+            let s = measure_throughput_replicated(&cfg, MotionProfile::hover(d.get()), 4);
             let m = median(&s).unwrap();
             pts.push((snr, m));
         }

@@ -19,6 +19,8 @@
 //! * [`receiver`] — receiver-side flow accounting (air loss, in-order
 //!   release, BA-loss duplicates) through a real reorder window.
 
+#![forbid(unsafe_code)]
+
 pub mod campaign;
 pub mod meter;
 pub mod profile;

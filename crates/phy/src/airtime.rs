@@ -8,13 +8,14 @@
 //! paper's driver default is 14) matters so much for throughput.
 
 use skyferry_sim::time::SimDuration;
+use skyferry_units::Seconds;
 
 use crate::mcs::{ChannelWidth, GuardInterval, Mcs};
 
-/// Long-GI OFDM symbol duration (used by the preamble), seconds.
-pub const SYMBOL_GI_LONG: f64 = 4.0e-6;
-/// Short-GI OFDM symbol duration, seconds.
-pub const SYMBOL_GI_SHORT: f64 = 3.6e-6;
+/// Long-GI OFDM symbol duration (used by the preamble).
+pub const SYMBOL_GI_LONG: Seconds = Seconds::new(4.0e-6);
+/// Short-GI OFDM symbol duration.
+pub const SYMBOL_GI_SHORT: Seconds = Seconds::new(3.6e-6);
 
 /// Service field bits prepended to the PSDU.
 const SERVICE_BITS: f64 = 16.0;
@@ -25,9 +26,9 @@ const TAIL_BITS: f64 = 6.0;
 ///
 /// L-STF (8 µs) + L-LTF (8 µs) + L-SIG (4 µs) + HT-SIG (8 µs) +
 /// HT-STF (4 µs) + one HT-LTF per stream (4 µs each).
-pub fn ht_mixed_preamble() -> SimDuration {
+pub fn ht_mixed_preamble() -> Seconds {
     // nss handled in `ppdu_duration`; this is the nss-independent part.
-    SimDuration::from_secs_f64(8.0e-6 + 8.0e-6 + 4.0e-6 + 8.0e-6 + 4.0e-6)
+    Seconds::new(8.0e-6 + 8.0e-6 + 4.0e-6 + 8.0e-6 + 4.0e-6)
 }
 
 /// Total duration of one PPDU carrying `psdu_bytes` of MAC payload
@@ -48,10 +49,10 @@ pub fn ppdu_duration(
     psdu_bytes: usize,
 ) -> SimDuration {
     let n_ltf = mcs.spatial_streams() as f64; // one HT-LTF per stream
-    let preamble_s = ht_mixed_preamble().as_secs_f64() + n_ltf * 4.0e-6;
+    let preamble = ht_mixed_preamble() + Seconds::new(n_ltf * 4.0e-6);
     let bits = SERVICE_BITS + 8.0 * psdu_bytes as f64 + TAIL_BITS;
     let n_symbols = (bits / mcs.data_bits_per_symbol(width)).ceil();
-    SimDuration::from_secs_f64(preamble_s + n_symbols * gi.symbol_duration_s())
+    SimDuration::from_secs_f64((preamble + gi.symbol_duration() * n_symbols).get())
 }
 
 /// The highest useful goodput of a PPDU: payload bits over total airtime.

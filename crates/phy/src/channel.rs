@@ -7,6 +7,8 @@
 //! receiver noise figure. Fast variation around the mean is handled
 //! separately by [`crate::fading`].
 
+use skyferry_units::{Db, Meters};
+
 use crate::mcs::ChannelWidth;
 
 /// Speed of light, m/s.
@@ -42,11 +44,11 @@ impl PathLossModel {
         20.0 * (4.0 * std::f64::consts::PI * d_m * freq_hz / SPEED_OF_LIGHT_MPS).log10()
     }
 
-    /// Mean path loss in dB at distance `d_m` (clamped below at 1 m, where
+    /// Mean path loss at distance `d` (clamped below at 1 m, where
     /// near-field effects make the formulas meaningless anyway).
-    pub fn loss_db(&self, d_m: f64) -> f64 {
-        let d = d_m.max(1.0);
-        match *self {
+    pub fn loss(&self, d: Meters) -> Db {
+        let d = d.get().max(1.0);
+        Db::new(match *self {
             PathLossModel::FreeSpace { freq_hz } => Self::friis_db(freq_hz, d),
             PathLossModel::LogDistance {
                 freq_hz,
@@ -60,7 +62,7 @@ impl PathLossModel {
                     Self::friis_db(freq_hz, d0) + 10.0 * exponent * (d / d0).log10()
                 }
             }
-        }
+        })
     }
 }
 
@@ -84,40 +86,44 @@ pub struct LinkBudget {
 }
 
 impl LinkBudget {
-    /// Noise floor in dBm for the configured bandwidth and noise figure.
-    pub fn noise_floor_dbm(&self) -> f64 {
-        THERMAL_NOISE_DBM_PER_HZ + 10.0 * self.width.bandwidth_hz().log10() + self.noise_figure_db
+    /// Noise floor for the configured bandwidth and noise figure (dBm,
+    /// carried as [`Db`] — see that type's note on absolute levels).
+    pub fn noise_floor_dbm(&self) -> Db {
+        Db::new(
+            THERMAL_NOISE_DBM_PER_HZ
+                + 10.0 * self.width.bandwidth_hz().log10()
+                + self.noise_figure_db,
+        )
     }
 
-    /// Mean received signal power at distance `d_m`, dBm.
-    pub fn rx_power_dbm(&self, d_m: f64) -> f64 {
-        self.tx_power_dbm + self.antenna_gain_dbi
-            - self.implementation_loss_db
-            - self.path_loss.loss_db(d_m)
+    /// Mean received signal power at distance `d` (dBm, as [`Db`]).
+    pub fn rx_power_dbm(&self, d: Meters) -> Db {
+        Db::new(self.tx_power_dbm + self.antenna_gain_dbi - self.implementation_loss_db)
+            - self.path_loss.loss(d)
     }
 
-    /// Mean SNR at distance `d_m`, dB.
-    pub fn mean_snr_db(&self, d_m: f64) -> f64 {
-        self.rx_power_dbm(d_m) - self.noise_floor_dbm()
+    /// Mean SNR at distance `d`.
+    pub fn mean_snr(&self, d: Meters) -> Db {
+        self.rx_power_dbm(d) - self.noise_floor_dbm()
     }
 
-    /// The distance at which the mean SNR drops to `snr_db`, found by
+    /// The distance at which the mean SNR drops to `snr`, found by
     /// bisection over `[1 m, 100 km]`. Returns `None` if the SNR is above
-    /// `snr_db` even at 100 km (or below it at 1 m).
-    pub fn range_for_snr_db(&self, snr_db: f64) -> Option<f64> {
+    /// `snr` even at 100 km (or below it at 1 m).
+    pub fn range_for_snr(&self, snr: Db) -> Option<Meters> {
         let (mut lo, mut hi) = (1.0_f64, 100_000.0_f64);
-        if self.mean_snr_db(lo) < snr_db || self.mean_snr_db(hi) > snr_db {
+        if self.mean_snr(Meters::new(lo)) < snr || self.mean_snr(Meters::new(hi)) > snr {
             return None;
         }
         for _ in 0..64 {
             let mid = 0.5 * (lo + hi);
-            if self.mean_snr_db(mid) > snr_db {
+            if self.mean_snr(Meters::new(mid)) > snr {
                 lo = mid;
             } else {
                 hi = mid;
             }
         }
-        Some(0.5 * (lo + hi))
+        Some(Meters::new(0.5 * (lo + hi)))
     }
 }
 
@@ -152,11 +158,15 @@ mod tests {
         }
     }
 
+    fn m(v: f64) -> Meters {
+        Meters::new(v)
+    }
+
     #[test]
     fn friis_known_value() {
         // FSPL at 100 m, 5.2 GHz ≈ 86.8 dB.
         let pl = PathLossModel::FreeSpace { freq_hz: FREQ };
-        let l = pl.loss_db(100.0);
+        let l = pl.loss(m(100.0)).get();
         assert!((l - 86.76).abs() < 0.1, "loss={l}");
     }
 
@@ -173,7 +183,7 @@ mod tests {
             let mut prev = f64::NEG_INFINITY;
             for i in 1..60 {
                 let d = 10.0 * i as f64;
-                let l = model.loss_db(d);
+                let l = model.loss(m(d)).get();
                 assert!(l > prev, "{model:?} at {d}");
                 prev = l;
             }
@@ -188,37 +198,37 @@ mod tests {
             exponent: 2.7,
         };
         let fs = PathLossModel::FreeSpace { freq_hz: FREQ };
-        assert!((ld.loss_db(10.0) - fs.loss_db(10.0)).abs() < 1e-9);
+        assert!((ld.loss(m(10.0)) - fs.loss(m(10.0))).get().abs() < 1e-9);
         // Beyond the reference, the steeper exponent dominates.
-        assert!(ld.loss_db(100.0) > fs.loss_db(100.0));
+        assert!(ld.loss(m(100.0)) > fs.loss(m(100.0)));
     }
 
     #[test]
     fn noise_floor_40mhz() {
         // -174 + 10log10(40e6) + 6 ≈ -91.98 dBm.
-        let nf = budget().noise_floor_dbm();
+        let nf = budget().noise_floor_dbm().get();
         assert!((nf + 91.98).abs() < 0.05, "nf={nf}");
     }
 
     #[test]
     fn snr_decreases_with_distance() {
         let b = budget();
-        assert!(b.mean_snr_db(20.0) > b.mean_snr_db(80.0));
-        assert!(b.mean_snr_db(80.0) > b.mean_snr_db(320.0));
+        assert!(b.mean_snr(m(20.0)) > b.mean_snr(m(80.0)));
+        assert!(b.mean_snr(m(80.0)) > b.mean_snr(m(320.0)));
     }
 
     #[test]
     fn range_for_snr_inverts_mean_snr() {
         let b = budget();
-        let snr_at_100 = b.mean_snr_db(100.0);
-        let d = b.range_for_snr_db(snr_at_100).unwrap();
+        let snr_at_100 = b.mean_snr(m(100.0));
+        let d = b.range_for_snr(snr_at_100).unwrap().get();
         assert!((d - 100.0).abs() < 0.01, "d={d}");
     }
 
     #[test]
     fn range_for_snr_out_of_reach_is_none() {
         let b = budget();
-        assert!(b.range_for_snr_db(1_000.0).is_none());
+        assert!(b.range_for_snr(Db::new(1_000.0)).is_none());
     }
 
     #[test]
@@ -232,6 +242,6 @@ mod tests {
     #[test]
     fn sub_metre_distance_clamped() {
         let pl = PathLossModel::FreeSpace { freq_hz: FREQ };
-        assert_eq!(pl.loss_db(0.1), pl.loss_db(1.0));
+        assert_eq!(pl.loss(m(0.1)), pl.loss(m(1.0)));
     }
 }

@@ -31,12 +31,21 @@
 //! STBC beats SDM at short-to-mid range while the BPSK-based MCS8 wins at
 //! the far edge.
 
+#![forbid(unsafe_code)]
+
+/// PPDU airtime: preamble + OFDM symbol arithmetic.
 pub mod airtime;
+/// Airframe antenna patterns and orientation losses.
 pub mod antenna;
+/// Path loss and link-budget models for the aerial channel.
 pub mod channel;
+/// Packet error probability vs. SNR per MCS.
 pub mod error;
+/// Shadowing and small-scale fading processes.
 pub mod fading;
+/// 802.11n MCS table: rates, widths, guard intervals.
 pub mod mcs;
+/// Calibrated channel presets for the paper's platforms.
 pub mod presets;
 
 pub use antenna::AntennaPattern;

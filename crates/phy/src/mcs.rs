@@ -13,6 +13,8 @@
 //! (Ralink RT3572, 2 antennas) supports exactly this range, using STBC for
 //! single-stream MCS and spatial-division multiplexing (SDM) for MCS ≥ 8.
 
+use skyferry_units::Seconds;
+
 use std::fmt;
 
 /// Channel width.
@@ -52,12 +54,17 @@ pub enum GuardInterval {
 }
 
 impl GuardInterval {
-    /// OFDM symbol duration in seconds.
-    pub const fn symbol_duration_s(self) -> f64 {
+    /// OFDM symbol duration.
+    pub const fn symbol_duration(self) -> Seconds {
         match self {
-            GuardInterval::Long => 4.0e-6,
-            GuardInterval::Short => 3.6e-6,
+            GuardInterval::Long => crate::airtime::SYMBOL_GI_LONG,
+            GuardInterval::Short => crate::airtime::SYMBOL_GI_SHORT,
         }
+    }
+
+    /// OFDM symbol duration in seconds (raw `f64` convenience).
+    pub const fn symbol_duration_s(self) -> f64 {
+        self.symbol_duration().get()
     }
 }
 

@@ -35,6 +35,8 @@
 //!   badly (`sdm_sir_db` ≈ 12 dB), so the indoor-capable MCS 8–15 rarely
 //!   help in the air and throughput looks "802.11g-like" (Section 3.1).
 
+use skyferry_units::{Db, Meters};
+
 use crate::channel::{LinkBudget, PathLossModel};
 use crate::fading::FadingConfig;
 use crate::mcs::{ChannelWidth, GuardInterval};
@@ -177,9 +179,9 @@ impl ChannelPreset {
         }
     }
 
-    /// Mean SNR at distance `d_m`, dB (convenience passthrough).
-    pub fn mean_snr_db(&self, d_m: f64) -> f64 {
-        self.budget.mean_snr_db(d_m)
+    /// Mean SNR at distance `d` (convenience passthrough).
+    pub fn mean_snr(&self, d: Meters) -> Db {
+        self.budget.mean_snr(d)
     }
 }
 
@@ -193,13 +195,13 @@ mod tests {
         // Mean SNR is marginal (within one shadowing sigma of decodable)
         // at the 320 m range edge — Figure 5 shows a few Mb/s there,
         // carried by shadowing up-states…
-        let snr320 = p.mean_snr_db(320.0);
+        let snr320 = p.mean_snr(Meters::new(320.0)).get();
         assert!(
             snr320 > -p.fading.shadowing_sigma_db && snr320 < 5.0,
             "snr(320)={snr320}"
         );
         // …and comfortable but far below indoor levels up close.
-        let snr20 = p.mean_snr_db(20.0);
+        let snr20 = p.mean_snr(Meters::new(20.0)).get();
         assert!((10.0..30.0).contains(&snr20), "snr(20)={snr20}");
     }
 
@@ -210,7 +212,7 @@ mod tests {
         // its fitted curve hits zero around d = 120 m vs ≈ 450 m.
         let a = ChannelPreset::airplane(20.0);
         let q = ChannelPreset::quadrocopter(0.0);
-        assert!(q.mean_snr_db(80.0) < a.mean_snr_db(80.0));
+        assert!(q.mean_snr(Meters::new(80.0)) < a.mean_snr(Meters::new(80.0)));
     }
 
     #[test]
@@ -218,7 +220,7 @@ mod tests {
         let lab = ChannelPreset::indoor_lab();
         // At bench distance the SNR must safely carry MCS15 (~28 dB incl.
         // SDM SIR of 28 dB).
-        assert!(lab.mean_snr_db(3.0) > 35.0);
+        assert!(lab.mean_snr(Meters::new(3.0)).get() > 35.0);
         assert!(lab.fading.sdm_sir_db >= 25.0);
     }
 

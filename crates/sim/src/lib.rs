@@ -55,6 +55,8 @@
 //! assert_eq!(log, vec![SimTime::from_millis(1), SimTime::from_millis(3)]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod parallel;
 pub mod queue;

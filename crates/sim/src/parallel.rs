@@ -213,9 +213,8 @@ mod tests {
     // in ONE test — the harness runs separate #[test] fns concurrently.
     #[test]
     fn global_ceiling_and_replication_invariance() {
-        let draw = |_rep: u64, mut rng: DetRng| -> Vec<u64> {
-            (0..16).map(|_| rng.next_u64()).collect()
-        };
+        let draw =
+            |_rep: u64, mut rng: DetRng| -> Vec<u64> { (0..16).map(|_| rng.next_u64()).collect() };
         set_max_threads(7);
         assert_eq!(max_threads(), 7);
         set_max_threads(1);
@@ -242,5 +241,4 @@ mod tests {
         });
         assert_eq!(out, (0..32).collect::<Vec<_>>());
     }
-
 }

@@ -7,6 +7,8 @@
 //! and never by heap internals.
 
 use std::cmp::Ordering;
+// lint:allow(hash-collection): membership/tombstone sets only — never
+// iterated, so hash order cannot leak into results.
 use std::collections::{BinaryHeap, HashSet};
 
 use crate::time::{SimDuration, SimTime};

@@ -21,6 +21,8 @@
 //! Everything operates on `&[f64]` slices, is allocation-light and has no
 //! dependencies, so every other crate in the workspace can use it freely.
 
+#![forbid(unsafe_code)]
+
 pub mod bootstrap;
 pub mod boxplot;
 pub mod histogram;

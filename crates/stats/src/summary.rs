@@ -54,6 +54,8 @@ impl Summary {
     }
 
     /// Fold an iterator of samples into a summary.
+    // allow: `FromIterator` would force `Summary: Default` semantics on
+    // collect(); a named constructor keeps the fold explicit.
     #[allow(clippy::should_implement_trait)]
     pub fn from_iter(iter: impl IntoIterator<Item = f64>) -> Self {
         let mut s = Summary::new();

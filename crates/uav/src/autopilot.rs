@@ -261,7 +261,7 @@ mod tests {
         fly(&mut kin, &mut ap, 120.0);
         assert!(ap.is_done());
         // Must keep moving (no hover) but stay near the loiter circle.
-        assert!(kin.ground_speed() > 9.0);
+        assert!(kin.ground_speed().get() > 9.0);
         let dist = kin.position.horizontal_distance(center);
         assert!(dist < 60.0, "dist={dist}");
     }

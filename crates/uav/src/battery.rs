@@ -7,6 +7,7 @@
 //! faster in forward flight.
 
 use skyferry_sim::time::SimDuration;
+use skyferry_units::{Meters, MetersPerSec, Seconds};
 
 use crate::platform::PlatformSpec;
 
@@ -50,9 +51,15 @@ impl Battery {
         self.consumed_s += dt.as_secs_f64() * factor;
     }
 
-    /// Remaining endurance at hover drain, seconds (never negative).
+    /// Remaining endurance at hover drain (never negative).
+    pub fn remaining(&self) -> Seconds {
+        Seconds::new((self.autonomy_s - self.consumed_s).max(0.0))
+    }
+
+    /// Remaining endurance at hover drain, seconds (raw `f64`
+    /// convenience for the report layer).
     pub fn remaining_s(&self) -> f64 {
-        (self.autonomy_s - self.consumed_s).max(0.0)
+        self.remaining().get()
     }
 
     /// Remaining fraction in `[0, 1]`.
@@ -65,10 +72,10 @@ impl Battery {
         self.remaining_s() <= 0.0
     }
 
-    /// Distance still flyable at `speed_mps`, metres.
-    pub fn remaining_range_m(&self, speed_mps: f64) -> f64 {
-        assert!(speed_mps >= 0.0);
-        self.remaining_s() / self.cruise_drain_factor * speed_mps
+    /// Distance still flyable at cruise speed `speed`.
+    pub fn remaining_range(&self, speed: MetersPerSec) -> Meters {
+        assert!(speed.get() >= 0.0);
+        speed * (self.remaining() / self.cruise_drain_factor)
     }
 }
 
@@ -122,6 +129,9 @@ mod tests {
     #[test]
     fn remaining_range() {
         let b = Battery::full(&PlatformSpec::airplane());
-        assert_eq!(b.remaining_range_m(10.0), 18_000.0);
+        assert_eq!(
+            b.remaining_range(MetersPerSec::new(10.0)),
+            Meters::new(18_000.0)
+        );
     }
 }

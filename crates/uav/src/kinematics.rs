@@ -11,6 +11,7 @@
 //!   is realised as a loiter circle of at least 20 m radius.
 
 use skyferry_geo::vector::Vec3;
+use skyferry_units::MetersPerSec;
 
 use crate::platform::{PlatformKind, PlatformSpec};
 
@@ -45,14 +46,16 @@ impl UavKinematics {
         }
     }
 
-    /// Ground (horizontal) speed, m/s.
-    pub fn ground_speed(&self) -> f64 {
-        (self.velocity.x * self.velocity.x + self.velocity.y * self.velocity.y).sqrt()
+    /// Ground (horizontal) speed.
+    pub fn ground_speed(&self) -> MetersPerSec {
+        MetersPerSec::new(
+            (self.velocity.x * self.velocity.x + self.velocity.y * self.velocity.y).sqrt(),
+        )
     }
 
-    /// Total speed, m/s.
-    pub fn speed(&self) -> f64 {
-        self.velocity.norm()
+    /// Total speed.
+    pub fn speed(&self) -> MetersPerSec {
+        MetersPerSec::new(self.velocity.norm())
     }
 
     /// Advance the state by `dt` seconds towards the commanded velocity,
@@ -178,11 +181,11 @@ mod tests {
         for _ in 0..100 {
             q.step(cmd(4.5, 0.0, 0.0), 0.1);
         }
-        assert!((q.ground_speed() - 4.5).abs() < 1e-6);
+        assert!((q.ground_speed().get() - 4.5).abs() < 1e-6);
         for _ in 0..100 {
             q.step(cmd(0.0, 0.0, 0.0), 0.1);
         }
-        assert!(q.ground_speed() < 1e-6, "hovering again");
+        assert!(q.ground_speed().get() < 1e-6, "hovering again");
     }
 
     #[test]
@@ -191,14 +194,14 @@ mod tests {
         for _ in 0..200 {
             q.step(cmd(50.0, 0.0, 0.0), 0.1);
         }
-        assert!(q.ground_speed() <= 4.5 + 1e-9);
+        assert!(q.ground_speed().get() <= 4.5 + 1e-9);
     }
 
     #[test]
     fn quad_acceleration_bounded() {
         let mut q = quad_at(Vec3::ZERO);
         q.step(cmd(4.5, 0.0, 0.0), 0.1);
-        assert!(q.speed() <= 2.0 * 0.1 + 1e-12, "dv <= a*dt");
+        assert!(q.speed().get() <= 2.0 * 0.1 + 1e-12, "dv <= a*dt");
     }
 
     #[test]
@@ -208,7 +211,7 @@ mod tests {
         for _ in 0..50 {
             a.step(cmd(10.0, 0.0, 0.0), 0.1);
         }
-        assert!((a.ground_speed() - 10.0).abs() < 1e-9);
+        assert!((a.ground_speed().get() - 10.0).abs() < 1e-9);
     }
 
     #[test]
@@ -267,7 +270,7 @@ mod tests {
             a.step_in_wind(cmd(0.0, 10.0, 0.0), 0.1, wind);
         }
         assert!(
-            (a.ground_speed() - 15.0).abs() < 1e-6,
+            (a.ground_speed().get() - 15.0).abs() < 1e-6,
             "{}",
             a.ground_speed()
         );
@@ -275,7 +278,7 @@ mod tests {
             a.step_in_wind(cmd(0.0, -10.0, 0.0), 0.1, wind);
         }
         assert!(
-            (a.ground_speed() - 5.0).abs() < 1e-6,
+            (a.ground_speed().get() - 5.0).abs() < 1e-6,
             "{}",
             a.ground_speed()
         );
@@ -310,7 +313,11 @@ mod tests {
         for _ in 0..100 {
             q.step_in_wind(cmd(0.0, 0.0, 0.0), 0.1, wind);
         }
-        assert!(q.ground_speed() < 0.01, "drifting at {}", q.ground_speed());
+        assert!(
+            q.ground_speed().get() < 0.01,
+            "drifting at {}",
+            q.ground_speed()
+        );
     }
 
     #[test]
@@ -324,7 +331,7 @@ mod tests {
             q.step_in_wind(cmd(4.5, 0.0, 0.0), 0.1, wind);
         }
         assert!(
-            (q.ground_speed() - 2.5).abs() < 0.01,
+            (q.ground_speed().get() - 2.5).abs() < 0.01,
             "{}",
             q.ground_speed()
         );

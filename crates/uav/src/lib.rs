@@ -25,6 +25,8 @@
 //!   speed is airspeed plus wind, which is how the paper's 10 m/s
 //!   airplanes reach 26 m/s of relative closing speed.
 
+#![forbid(unsafe_code)]
+
 pub mod autopilot;
 pub mod battery;
 pub mod failure;

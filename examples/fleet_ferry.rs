@@ -118,7 +118,10 @@ fn main() {
         };
 
         // Sample whether the airframe survives the repositioning leg.
-        let rho = 1.0 / battery.remaining_range_m(spec.cruise_speed_mps);
+        let rho = 1.0
+            / battery
+                .remaining_range(skyferry_units::MetersPerSec::new(spec.cruise_speed_mps))
+                .get();
         let mut failure = FailureProcess::sample(rho, &mut seeds.rng_indexed("failure", i as u64));
         let leg = (d0 - target_d).max(0.0);
         if !failure.travel(leg) {

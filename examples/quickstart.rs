@@ -12,6 +12,7 @@
 
 use skyferry::core::prelude::*;
 use skyferry::core::utility::utility_breakdown;
+use skyferry_units::Meters;
 
 fn show(scenario: &Scenario) {
     println!("scenario: {}", scenario.name);
@@ -27,10 +28,13 @@ fn show(scenario: &Scenario) {
     let n = 5;
     for i in 0..n {
         let d = scenario.d_min_m + (scenario.d0_m - scenario.d_min_m) * i as f64 / (n - 1) as f64;
-        let b = utility_breakdown(scenario, d);
+        let b = utility_breakdown(scenario, Meters::new(d));
         println!(
             "    d = {d:>5.1} m   ship {:>6.1} s + tx {:>6.1} s   survival {:.4}   U = {:.5}",
-            b.delay.ship_s, b.delay.tx_s, b.survival, b.utility
+            b.delay.ship_s(),
+            b.delay.tx_s(),
+            b.survival,
+            b.utility
         );
     }
 

@@ -34,7 +34,7 @@ fn main() {
     let preset = ChannelPreset::airplane(speed);
     println!(
         "rate-control lab — airplane channel at d = {distance:.0} m, v = {speed:.0} m/s (mean SNR {:.1} dB)\n",
-        preset.mean_snr_db(distance)
+        preset.mean_snr(skyferry_units::Meters::new(distance)).get()
     );
 
     let mut configs: Vec<(String, ControllerKind)> = vec![

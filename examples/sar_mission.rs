@@ -55,7 +55,10 @@ fn main() {
         let cmd = autopilot.update(&scanner, DT);
         scanner.step(cmd, DT);
         sensor.observe(scanner.position);
-        battery.drain(SimDuration::from_secs_f64(DT), scanner.ground_speed() > 0.5);
+        battery.drain(
+            SimDuration::from_secs_f64(DT),
+            scanner.ground_speed().get() > 0.5,
+        );
         t += DT;
     }
     let mdata = sensor.data_bytes();
@@ -74,7 +77,7 @@ fn main() {
     let scanner_report = Telemetry {
         uav: UavId(1),
         position: scanner.position,
-        speed_mps: scanner.ground_speed(),
+        speed_mps: scanner.ground_speed().get(),
         battery_fraction: battery.remaining_fraction(),
         data_ready_bytes: mdata as u64,
     };

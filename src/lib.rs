@@ -53,6 +53,8 @@
 //! assert!((outcome.d_opt - 20.0).abs() < 0.5);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use skyferry_control as control;
 pub use skyferry_core as core;
 pub use skyferry_geo as geo;

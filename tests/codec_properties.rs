@@ -158,8 +158,14 @@ fn command_roundtrip() {
                 assert_eq!(a, b)
             }
             (
-                Command::GotoThenTransmit { target: a, peer: pa },
-                Command::GotoThenTransmit { target: b, peer: pb },
+                Command::GotoThenTransmit {
+                    target: a,
+                    peer: pa,
+                },
+                Command::GotoThenTransmit {
+                    target: b,
+                    peer: pb,
+                },
             ) => {
                 assert!(a.distance(b) < 0.01);
                 assert_eq!(pa, pb);

@@ -75,7 +75,11 @@ fn enu_roundtrip_mission_scale() {
         let frame = EnuFrame::new(origin);
         let p = frame.to_geodetic(v);
         let back = frame.to_enu(&p);
-        assert!(back.distance(v) < 1e-4, "roundtrip error {}", back.distance(v));
+        assert!(
+            back.distance(v) < 1e-4,
+            "roundtrip error {}",
+            back.distance(v)
+        );
     }
 }
 

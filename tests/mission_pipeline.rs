@@ -40,7 +40,10 @@ fn fly_scan() -> ScanResult {
         let cmd = ap.update(&kin, DT);
         kin.step(cmd, DT);
         sensor.observe(kin.position);
-        battery.drain(SimDuration::from_secs_f64(DT), kin.ground_speed() > 0.5);
+        battery.drain(
+            SimDuration::from_secs_f64(DT),
+            kin.ground_speed().get() > 0.5,
+        );
         t += DT;
     }
     assert!(ap.is_done(), "scan did not finish");

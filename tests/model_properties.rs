@@ -11,6 +11,7 @@ use skyferry::core::strategy::{evaluate, EvalConfig, Strategy as DeliveryStrateg
 use skyferry::core::throughput::{LogFitThroughput, ThroughputModel, ThroughputSpec};
 use skyferry::core::utility::utility;
 use skyferry::sim::rng::DetRng;
+use skyferry_units::Meters;
 
 const CASES: usize = 128;
 
@@ -55,7 +56,7 @@ fn optimum_dominates_random_feasible_points() {
         let frac = rng.uniform();
         let o = optimize(&s);
         let d = s.d_min_m + frac * (s.d0_m - s.d_min_m);
-        assert!(o.utility >= utility(&s, d) - 1e-9);
+        assert!(o.utility >= utility(&s, Meters::new(d)) - 1e-9);
     }
 }
 
@@ -68,8 +69,8 @@ fn utility_is_survival_over_delay() {
         let s = arb_scenario(&mut rng);
         let frac = rng.uniform();
         let d = s.d_min_m + frac * (s.d0_m - s.d_min_m);
-        let u = utility(&s, d);
-        let c = CommunicationDelay::at(&s, d);
+        let u = utility(&s, Meters::new(d));
+        let c = CommunicationDelay::at(&s, Meters::new(d));
         let surv = s.failure.survival(s.d0_m, d);
         assert!((u - surv / c.total_s()).abs() < 1e-12);
         assert!(surv <= 1.0 + 1e-12);
@@ -97,7 +98,7 @@ fn rho_zero_upper_bounds_all_rho() {
         // Removing risk can only increase utility pointwise.
         let risk_free = s.clone().with_rho(0.0);
         let d = s.d_min_m + frac * (s.d0_m - s.d_min_m);
-        assert!(utility(&risk_free, d) >= utility(&s, d) - 1e-12);
+        assert!(utility(&risk_free, Meters::new(d)) >= utility(&s, Meters::new(d)) - 1e-12);
     }
 }
 
@@ -122,7 +123,7 @@ fn throughput_model_positive_and_decreasing() {
         };
         let mut prev = f64::INFINITY;
         for i in 1..=40 {
-            let r = m.rate_bps(10.0 * i as f64);
+            let r = m.rate_bps(Meters::new(10.0 * i as f64)).get();
             assert!(r > 0.0);
             assert!(r <= prev + 1e-9);
             prev = r;

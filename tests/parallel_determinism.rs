@@ -98,10 +98,7 @@ fn outputs_bit_identical_across_thread_counts_and_runs() {
     // Different seeds must still produce different worlds (the engine
     // must not be deterministic by virtue of ignoring the seed).
     set_max_threads(0);
-    let other = measure_throughput_replicated(
-        &campaign(0x00DE_7E13),
-        MotionProfile::hover(50.0),
-        6,
-    );
+    let other =
+        measure_throughput_replicated(&campaign(0x00DE_7E13), MotionProfile::hover(50.0), 6);
     assert_ne!(other, ref_reps, "seed is being ignored");
 }

@@ -10,6 +10,7 @@ use skyferry::phy::fading::{ChannelState, FadingConfig, FadingProcess};
 use skyferry::phy::mcs::{ChannelWidth, GuardInterval, Mcs, Modulation};
 use skyferry::sim::prelude::*;
 use skyferry::sim::rng::DetRng;
+use skyferry_units::Meters;
 
 const CASES: usize = 256;
 
@@ -132,7 +133,7 @@ fn path_loss_monotone() {
             ref_distance_m: 10.0,
             exponent: exp,
         };
-        assert!(model.loss_db(d1 * factor) >= model.loss_db(d1));
+        assert!(model.loss(Meters::new(d1 * factor)) >= model.loss(Meters::new(d1)));
     }
 }
 
@@ -151,7 +152,7 @@ fn snr_decreases_with_distance() {
             path_loss: PathLossModel::FreeSpace { freq_hz: 5.2e9 },
             width: ChannelWidth::Mhz40,
         };
-        assert!(budget.mean_snr_db(d * 2.0) < budget.mean_snr_db(d));
+        assert!(budget.mean_snr(Meters::new(d * 2.0)) < budget.mean_snr(Meters::new(d)));
     }
 }
 
