@@ -9,6 +9,7 @@ use std::hint::black_box;
 use skyferry_bench::experiments;
 use skyferry_bench::microbench::Harness;
 use skyferry_bench::report::ReproConfig;
+use skyferry_bench::store::CampaignStore;
 
 fn cfg() -> ReproConfig {
     ReproConfig {
@@ -27,7 +28,8 @@ fn main() {
         "table1", "mdata", "fig8", "fig9", "fig1", "fig4", "fig5", "fig6", "fig7", "fits",
     ] {
         h.bench(&format!("repro/{id}"), || {
-            let report = experiments::run(id, &config).expect("known experiment");
+            let mut store = CampaignStore::new(config.quick);
+            let report = experiments::run(id, &config, &mut store).expect("known experiment");
             black_box(report.tables.len())
         });
     }

@@ -2,41 +2,55 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--threads N] [--out DIR] [EXPERIMENT...]
+//! repro --list
+//! repro --verify [--quick] [--seed N] [--threads N] [EXPERIMENT...]
 //! repro --bench-parallel FILE [--quick] [--seed N] [--threads N]
 //! ```
 //!
-//! With no experiment arguments, runs everything in paper order and
-//! prints per-experiment wall-clock timing. `--threads N` caps the
-//! deterministic worker pool (`0` = one worker per hardware thread);
-//! output is bit-identical at any setting. `--bench-parallel FILE`
-//! times the campaign-heavy figures serially and at the configured
-//! thread count and writes the comparison as JSON.
+//! With no experiment arguments, runs everything in the registry's paper
+//! order and prints per-experiment wall-clock timing, sharing one
+//! [`CampaignStore`] so repeated campaigns simulate once. `--threads N`
+//! caps the deterministic worker pool (`0` = one worker per hardware
+//! thread); output is bit-identical at any setting. `--list` prints the
+//! registry (id, title, campaign dependencies). `--verify` regenerates
+//! the selected tables and diffs them cell by cell against the goldens
+//! under `results/` (`results/quick/` with `--quick`), exiting 1 on any
+//! difference. `--bench-parallel FILE` times the replication-heavy
+//! figures serially and at the configured thread count and writes the
+//! comparison as JSON.
 
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use skyferry_bench::experiments;
+use skyferry_bench::cli::{self, CliArgs, CliError};
+use skyferry_bench::experiments::{self, REGISTRY};
 use skyferry_bench::report::ReproConfig;
+use skyferry_bench::store::CampaignStore;
+use skyferry_bench::verify::verify_report;
 use skyferry_sim::parallel::{max_threads, set_max_threads};
+use skyferry_stats::json::Json;
 
-fn usage() -> ! {
+fn usage() {
     eprintln!(
         "usage: repro [--quick] [--seed N] [--threads N] [--out DIR] [EXPERIMENT...]\n\
+         \x20      repro --list\n\
+         \x20      repro --verify [--quick] [--seed N] [--threads N] [EXPERIMENT...]\n\
          \x20      repro --bench-parallel FILE [--quick] [--seed N] [--threads N]\n\
          experiments: {} (default: all)",
-        experiments::ALL.join(" ")
+        experiments::ids().join(" ")
     );
-    std::process::exit(2);
 }
 
 /// The figures timed by `--bench-parallel`: the ones the issue calls
 /// out as replication- or sweep-dominated.
 const BENCH_FIGURES: [&str; 4] = ["fig1", "fig4", "fig8", "fig9"];
 
-/// Time one experiment end to end, returning seconds.
+/// Time one experiment end to end on a fresh store, returning seconds.
 fn time_experiment(id: &str, cfg: &ReproConfig) -> f64 {
+    let mut store = CampaignStore::new(cfg.quick);
     let t = Instant::now();
-    let report = experiments::run(id, cfg).expect("known experiment");
+    let report = experiments::run(id, cfg, &mut store).expect("known experiment");
     let secs = t.elapsed().as_secs_f64();
     std::hint::black_box(report.tables.len());
     secs
@@ -51,95 +65,150 @@ fn bench_parallel(cfg: &ReproConfig, threads: usize) -> String {
         let serial = time_experiment(id, cfg);
         set_max_threads(threads);
         let parallel = time_experiment(id, cfg);
-        eprintln!(
-            "{id}: serial {serial:.3} s, parallel ({} workers) {parallel:.3} s, speedup {:.2}x",
-            max_threads(),
-            serial / parallel
-        );
-        rows.push(format!(
-            "    {{\"figure\": \"{id}\", \"serial_s\": {serial:.6}, \
-             \"parallel_s\": {parallel:.6}, \"speedup\": {:.4}}}",
-            serial / parallel
-        ));
+        // A degenerate denominator (an experiment too fast for the clock)
+        // yields no speedup claim rather than an infinite one.
+        let speedup = if parallel > 1e-9 {
+            Json::Fixed(serial / parallel, 4)
+        } else {
+            Json::Null
+        };
+        match &speedup {
+            Json::Fixed(s, _) => eprintln!(
+                "{id}: serial {serial:.3} s, parallel ({} workers) {parallel:.3} s, speedup {s:.2}x",
+                max_threads(),
+            ),
+            _ => eprintln!(
+                "{id}: serial {serial:.3} s, parallel ({} workers) {parallel:.3} s, speedup n/a",
+                max_threads(),
+            ),
+        }
+        rows.push(Json::obj([
+            ("figure", Json::str(id)),
+            ("serial_s", Json::Fixed(serial, 6)),
+            ("parallel_s", Json::Fixed(parallel, 6)),
+            ("speedup", speedup),
+        ]));
     }
     set_max_threads(0);
-    format!(
-        "{{\n  \"bench\": \"repro --bench-parallel\",\n  \"quick\": {},\n  \
-         \"seed\": {},\n  \"threads\": {},\n  \"hardware_threads\": {hw},\n  \
-         \"figures\": [\n{}\n  ]\n}}\n",
-        cfg.quick,
-        cfg.seed,
-        if threads == 0 { hw } else { threads },
-        rows.join(",\n")
-    )
+    Json::obj([
+        ("bench", Json::str("repro --bench-parallel")),
+        ("quick", Json::Bool(cfg.quick)),
+        ("seed", Json::Int(cfg.seed as i64)),
+        (
+            "threads",
+            Json::Int(if threads == 0 { hw } else { threads } as i64),
+        ),
+        ("hardware_threads", Json::Int(hw as i64)),
+        ("figures", Json::Arr(rows)),
+    ])
+    .render_pretty()
 }
 
-fn main() -> ExitCode {
-    let mut cfg = ReproConfig::default();
-    let mut wanted: Vec<String> = Vec::new();
-    let mut threads = 0usize;
-    let mut bench_out: Option<String> = None;
-
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => cfg.quick = true,
-            "--seed" => {
-                let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
-                    usage();
-                };
-                cfg.seed = v;
-            }
-            "--threads" => {
-                let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
-                    usage();
-                };
-                threads = v;
-            }
-            "--out" => {
-                let Some(dir) = args.next() else { usage() };
-                cfg.out_dir = Some(dir.into());
-            }
-            "--bench-parallel" => {
-                let Some(path) = args.next() else { usage() };
-                bench_out = Some(path);
-            }
-            "--help" | "-h" => usage(),
-            other if other.starts_with('-') => usage(),
-            other => wanted.push(other.to_string()),
-        }
+/// Print the registry: id, title, campaign dependencies.
+fn list_experiments() {
+    for e in REGISTRY {
+        let deps = if e.deps().is_empty() {
+            "-".to_string()
+        } else {
+            e.deps().join(", ")
+        };
+        println!(
+            "{:<11} {}\n{:<11} campaigns: {}",
+            e.id(),
+            e.title(),
+            "",
+            deps
+        );
     }
-    set_max_threads(threads);
+}
 
-    if let Some(path) = bench_out {
-        let json = bench_parallel(&cfg, threads);
-        if let Err(e) = std::fs::write(&path, &json) {
-            eprintln!("error: could not write {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-        eprintln!("wrote {path}");
+fn run(args: CliArgs) -> ExitCode {
+    let cfg = args.to_config();
+    set_max_threads(args.threads);
+
+    if args.list {
+        list_experiments();
         return ExitCode::SUCCESS;
     }
 
-    if wanted.is_empty() {
-        wanted = experiments::ALL.iter().map(|s| s.to_string()).collect();
+    if let Some(path) = &args.bench_parallel {
+        let json = bench_parallel(&cfg, args.threads);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: could not write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+        return ExitCode::SUCCESS;
     }
 
+    let wanted: Vec<String> = if args.experiments.is_empty() {
+        experiments::ids().iter().map(|s| s.to_string()).collect()
+    } else {
+        args.experiments.clone()
+    };
+
+    // Resolve every id up front so a typo fails before hours of sim time.
+    let mut selected = Vec::new();
     for id in &wanted {
-        let t = Instant::now();
-        match experiments::run(id, &cfg) {
-            Some(report) => {
-                println!("{}", report.render());
-                eprintln!("[{id}: {:.3} s]", t.elapsed().as_secs_f64());
-                if let Err(e) = report.write_csv(&cfg) {
-                    eprintln!("warning: could not write CSV for {id}: {e}");
-                }
-            }
-            None => {
-                eprintln!("unknown experiment: {id}");
-                usage();
+        match experiments::find(id) {
+            Ok(e) => selected.push(e),
+            Err(err) => {
+                eprintln!("error: {err}");
+                return ExitCode::from(2);
             }
         }
     }
+
+    let golden_dir = if cfg.quick {
+        Path::new("results/quick")
+    } else {
+        Path::new("results")
+    };
+    let mut store = CampaignStore::new(cfg.quick);
+    let mut mismatches = Vec::new();
+    for e in selected {
+        let t = Instant::now();
+        let report = e.run(&cfg, &mut store);
+        println!("{}", report.render());
+        eprintln!("[{}: {:.3} s]", e.id(), t.elapsed().as_secs_f64());
+        if args.verify {
+            mismatches.extend(verify_report(&report, golden_dir));
+        }
+        if let Err(err) = report.write_csv(&cfg) {
+            eprintln!("warning: could not write CSV for {}: {err}", e.id());
+        }
+    }
+    eprintln!("{}", store.summary());
+
+    if args.verify {
+        if mismatches.is_empty() {
+            eprintln!("verify: all tables match {}", golden_dir.display());
+        } else {
+            eprintln!(
+                "verify: {} difference(s) against {}:",
+                mismatches.len(),
+                golden_dir.display()
+            );
+            for m in &mismatches {
+                eprintln!("  {m}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    match cli::parse(std::env::args().skip(1)) {
+        Ok(args) => run(args),
+        Err(CliError::HelpRequested) => {
+            usage();
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            ExitCode::from(2)
+        }
+    }
 }

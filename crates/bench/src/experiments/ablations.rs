@@ -12,25 +12,30 @@
 //! 6. **Optimizer grid** — dopt stability vs grid resolution;
 //! 7. **Failure law** — exponential vs Weibull wear-out;
 //! 8. **Mixed vs pure strategies** — the §7 extension's payoff.
+//!
+//! The campaign-shaped ablations (host rate, controllers, channel
+//! harshness) and the Eq. (2) solutions route through the shared
+//! [`CampaignStore`], so any cell or scenario also touched by another
+//! experiment is simulated only once per `repro` run.
 
 use skyferry_core::failure::{FailureSpec, WeibullFailure};
 use skyferry_core::mixed::{optimize_mixed, MixedConfig};
-use skyferry_core::optimizer::optimize;
 use skyferry_core::scenario::Scenario;
 use skyferry_core::utility::utility;
 use skyferry_mac::link::{LinkConfig, LinkState};
 use skyferry_mac::queue::TxQueue;
 
-use skyferry_net::campaign::{measure_throughput_replicated, CampaignConfig, ControllerKind};
-use skyferry_net::profile::MotionProfile;
+use skyferry_net::campaign::{CampaignConfig, ControllerKind};
 use skyferry_phy::mcs::Mcs;
 use skyferry_phy::presets::ChannelPreset;
 use skyferry_sim::parallel::run_replications;
 use skyferry_sim::prelude::*;
 use skyferry_stats::quantile::median;
-use skyferry_stats::table::TextTable;
+use skyferry_stats::table::{Column, Table, Value};
 
+use super::Experiment;
 use crate::report::{ExperimentReport, ReproConfig};
+use crate::store::CampaignStore;
 
 /// Run a saturated link with a custom `LinkConfig` and return goodput.
 fn goodput_with(
@@ -85,8 +90,11 @@ fn goodput_replicated(
 }
 
 /// Ablation 1: aggregation size.
-pub fn ampdu_table(cfg: &ReproConfig) -> TextTable {
-    let mut t = TextTable::new(&["max A-MPDU subframes", "goodput @20 m (Mb/s)"]);
+pub fn ampdu_table(cfg: &ReproConfig) -> Table {
+    let mut t = Table::new(vec![
+        Column::text("max A-MPDU subframes"),
+        Column::float("goodput @20 m (Mb/s)", 1),
+    ]);
     let preset = ChannelPreset::quadrocopter(0.0);
     for n in [1usize, 2, 4, 8, 14, 32, 64] {
         let link_cfg = LinkConfig {
@@ -103,14 +111,18 @@ pub fn ampdu_table(cfg: &ReproConfig) -> TextTable {
             "ampdu",
             cfg.reps(4),
         );
-        t.row_f64(&format!("{n}"), &[g], 1);
+        t.row_f64(&format!("{n}"), &[g]);
     }
     t
 }
 
 /// Ablation 2: STBC on/off across distances.
-pub fn stbc_table(cfg: &ReproConfig) -> TextTable {
-    let mut t = TextTable::new(&["d (m)", "STBC on (Mb/s)", "STBC off (Mb/s)"]);
+pub fn stbc_table(cfg: &ReproConfig) -> Table {
+    let mut t = Table::new(vec![
+        Column::text("d (m)"),
+        Column::float("STBC on (Mb/s)", 1),
+        Column::float("STBC off (Mb/s)", 1),
+    ]);
     let preset = ChannelPreset::airplane(20.0);
     for d in [60.0, 120.0, 180.0] {
         let mut row = Vec::new();
@@ -130,14 +142,17 @@ pub fn stbc_table(cfg: &ReproConfig) -> TextTable {
                 cfg.reps(12),
             ));
         }
-        t.row_f64(&format!("{d:.0}"), &row, 1);
+        t.row_f64(&format!("{d:.0}"), &row);
     }
     t
 }
 
-/// Ablation 3: host fill rate.
-pub fn host_rate_table(cfg: &ReproConfig) -> TextTable {
-    let mut t = TextTable::new(&["host rate (Mb/s)", "goodput @15 m (Mb/s)"]);
+/// Ablation 3: host fill rate (campaign cells via the shared store).
+pub fn host_rate_table(cfg: &ReproConfig, store: &mut CampaignStore) -> Table {
+    let mut t = Table::new(vec![
+        Column::text("host rate (Mb/s)"),
+        Column::float("goodput @15 m (Mb/s)", 1),
+    ]);
     for rate in [8.0, 16.0, 32.0, 48.0, 100.0, 400.0] {
         let mut preset = ChannelPreset::quadrocopter(0.0);
         preset.host_fill_rate_bps = rate * 1e6;
@@ -147,15 +162,20 @@ pub fn host_rate_table(cfg: &ReproConfig) -> TextTable {
             duration: SimDuration::from_secs(cfg.secs(12)),
             seed: cfg.seed + 2,
         };
-        let s = measure_throughput_replicated(&c, MotionProfile::hover(15.0), cfg.reps(4));
-        t.row_f64(&format!("{rate:.0}"), &[median(&s).expect("non-empty")], 1);
+        let s = store.samples(&c, 15.0, cfg.reps(4));
+        t.row_f64(&format!("{rate:.0}"), &[median(&s).expect("non-empty")]);
     }
     t
 }
 
 /// Ablation 4: rate controllers at three distances.
-pub fn controller_table(cfg: &ReproConfig) -> TextTable {
-    let mut t = TextTable::new(&["d (m)", "arf", "minstrel", "best fixed"]);
+pub fn controller_table(cfg: &ReproConfig, store: &mut CampaignStore) -> Table {
+    let mut t = Table::new(vec![
+        Column::text("d (m)"),
+        Column::float("arf", 1),
+        Column::float("minstrel", 1),
+        Column::float("best fixed", 1),
+    ]);
     let preset = ChannelPreset::airplane(20.0);
     for d in [40.0, 120.0, 220.0] {
         let mut cells = Vec::new();
@@ -166,7 +186,7 @@ pub fn controller_table(cfg: &ReproConfig) -> TextTable {
                 duration: SimDuration::from_secs(cfg.secs(16)),
                 seed: cfg.seed + 3,
             };
-            let s = measure_throughput_replicated(&c, MotionProfile::hover(d), cfg.reps(4));
+            let s = store.samples(&c, d, cfg.reps(4));
             cells.push(median(&s).expect("non-empty"));
         }
         let best = [1u8, 2, 8]
@@ -178,19 +198,23 @@ pub fn controller_table(cfg: &ReproConfig) -> TextTable {
                     duration: SimDuration::from_secs(cfg.secs(16)),
                     seed: cfg.seed + 3,
                 };
-                let s = measure_throughput_replicated(&c, MotionProfile::hover(d), cfg.reps(4));
+                let s = store.samples(&c, d, cfg.reps(4));
                 median(&s).expect("non-empty")
             })
             .fold(0.0f64, f64::max);
         cells.push(best);
-        t.row_f64(&format!("{d:.0}"), &cells, 1);
+        t.row_f64(&format!("{d:.0}"), &cells);
     }
     t
 }
 
 /// Ablation 5: calibrated aerial channel vs a calm "genie" channel.
-pub fn channel_harshness_table(cfg: &ReproConfig) -> TextTable {
-    let mut t = TextTable::new(&["d (m)", "calibrated aerial", "calm genie channel"]);
+pub fn channel_harshness_table(cfg: &ReproConfig, store: &mut CampaignStore) -> Table {
+    let mut t = Table::new(vec![
+        Column::text("d (m)"),
+        Column::float("calibrated aerial", 1),
+        Column::float("calm genie channel", 1),
+    ]);
     let aerial = ChannelPreset::airplane(20.0);
     let mut genie = aerial;
     genie.fading.k_factor_db = 30.0;
@@ -207,17 +231,21 @@ pub fn channel_harshness_table(cfg: &ReproConfig) -> TextTable {
                 duration: SimDuration::from_secs(cfg.secs(12)),
                 seed: cfg.seed + 4,
             };
-            let s = measure_throughput_replicated(&c, MotionProfile::hover(d), cfg.reps(4));
+            let s = store.samples(&c, d, cfg.reps(4));
             cells.push(median(&s).expect("non-empty"));
         }
-        t.row_f64(&format!("{d:.0}"), &cells, 1);
+        t.row_f64(&format!("{d:.0}"), &cells);
     }
     t
 }
 
 /// Ablation 6: optimizer grid resolution (via a coarse manual scan).
-pub fn optimizer_grid_table() -> TextTable {
-    let mut t = TextTable::new(&["grid points", "dopt (m)", "U(dopt)"]);
+pub fn optimizer_grid_table(store: &mut CampaignStore) -> Table {
+    let mut t = Table::new(vec![
+        Column::text("grid points"),
+        Column::float("dopt (m)", 1),
+        Column::float("U(dopt)", 5),
+    ]);
     let s = Scenario::quadrocopter_baseline().with_mdata_mb(10.0);
     for points in [8usize, 32, 128, 1024] {
         // Manual grid at the given resolution.
@@ -230,30 +258,34 @@ pub fn optimizer_grid_table() -> TextTable {
                 best_d = d;
             }
         }
-        t.row(&[
-            &format!("{points}"),
-            &format!("{best_d:.1}"),
-            &format!("{best_u:.5}"),
+        t.push(vec![
+            format!("{points}").into(),
+            Value::Num(best_d),
+            Value::Num(best_u),
         ]);
     }
-    let refined = optimize(&s);
-    t.row(&[
-        "2048+golden (default)",
-        &format!("{:.1}", refined.d_opt),
-        &format!("{:.5}", refined.utility),
+    let refined = store.optimum(&s);
+    t.push(vec![
+        "2048+golden (default)".into(),
+        refined.d_opt.into(),
+        refined.utility.into(),
     ]);
     t
 }
 
 /// Ablation 7: failure law — exponential vs Weibull wear-out.
-pub fn failure_law_table() -> TextTable {
-    let mut t = TextTable::new(&["failure law", "dopt (m)", "U(dopt)"]);
+pub fn failure_law_table(store: &mut CampaignStore) -> Table {
+    let mut t = Table::new(vec![
+        Column::text("failure law"),
+        Column::float("dopt (m)", 1),
+        Column::float("U(dopt)", 5),
+    ]);
     let base = Scenario::quadrocopter_baseline().with_mdata_mb(10.0);
-    let exp = optimize(&base.clone().with_rho(2.0e-3));
-    t.row(&[
-        "exponential rho=2e-3",
-        &format!("{:.1}", exp.d_opt),
-        &format!("{:.5}", exp.utility),
+    let exp = store.optimum(&base.clone().with_rho(2.0e-3));
+    t.push(vec![
+        "exponential rho=2e-3".into(),
+        exp.d_opt.into(),
+        exp.utility.into(),
     ]);
     // Weibull with the same mean failure distance (Γ(1.5)·λ = 1/ρ) but
     // wear-out shape k = 2 and half the mission already flown.
@@ -261,47 +293,52 @@ pub fn failure_law_table() -> TextTable {
     for flown in [0.0, lambda / 2.0] {
         let mut s = base.clone();
         s.failure = FailureSpec::Weibull(WeibullFailure::new(lambda, 2.0, flown));
-        let o = optimize(&s);
-        t.row(&[
-            &format!("weibull k=2, flown {:.0} m", flown),
-            &format!("{:.1}", o.d_opt),
-            &format!("{:.5}", o.utility),
+        let o = store.optimum(&s);
+        t.push(vec![
+            format!("weibull k=2, flown {flown:.0} m").into(),
+            o.d_opt.into(),
+            o.utility.into(),
         ]);
     }
     t
 }
 
 /// Ablation 8: the §7 mixed-strategy extension's payoff.
-pub fn mixed_strategy_table() -> TextTable {
-    let mut t = TextTable::new(&["Mdata (MB)", "pure U", "mixed U", "gain"]);
+pub fn mixed_strategy_table(store: &mut CampaignStore) -> Table {
+    let mut t = Table::new(vec![
+        Column::text("Mdata (MB)"),
+        Column::float("pure U", 5),
+        Column::float("mixed U", 5),
+        Column::text("gain").right(),
+    ]);
     for mb in [5.0, 15.0, 56.2] {
         let s = Scenario::quadrocopter_baseline().with_mdata_mb(mb);
-        let pure = optimize(&s);
+        let pure = store.optimum(&s);
         let mixed = optimize_mixed(&s, &MixedConfig::for_speed(4.5));
-        t.row(&[
-            &format!("{mb:.1}"),
-            &format!("{:.5}", pure.utility),
-            &format!("{:.5}", mixed.utility),
-            &format!("{:.3}x", mixed.utility / pure.utility),
+        t.push(vec![
+            format!("{mb:.1}").into(),
+            pure.utility.into(),
+            mixed.utility.into(),
+            format!("{:.3}x", mixed.utility / pure.utility).into(),
         ]);
     }
     t
 }
 
 /// Run all ablations.
-pub fn run(cfg: &ReproConfig) -> ExperimentReport {
-    let mut r = ExperimentReport::new("ablations", "Design-choice ablation studies");
+pub fn run(cfg: &ReproConfig, store: &mut CampaignStore) -> ExperimentReport {
+    let mut r = ExperimentReport::new("ablations", Ablations.title());
     r.table("1. A-MPDU aggregation size", ampdu_table(cfg));
     r.table("2. STBC vs plain single stream", stbc_table(cfg));
     r.table(
         "3. Host fill rate (Gumstix bottleneck)",
-        host_rate_table(cfg),
+        host_rate_table(cfg, store),
     );
-    r.table("4. Rate controllers", controller_table(cfg));
-    r.table("5. Channel harshness", channel_harshness_table(cfg));
-    r.table("6. Optimizer grid resolution", optimizer_grid_table());
-    r.table("7. Failure law", failure_law_table());
-    r.table("8. Mixed vs pure strategies", mixed_strategy_table());
+    r.table("4. Rate controllers", controller_table(cfg, store));
+    r.table("5. Channel harshness", channel_harshness_table(cfg, store));
+    r.table("6. Optimizer grid resolution", optimizer_grid_table(store));
+    r.table("7. Failure law", failure_law_table(store));
+    r.table("8. Mixed vs pure strategies", mixed_strategy_table(store));
     r.note("aggregation and the host cap dominate close-range goodput");
     r.note(
         "STBC pays off in the deep-fade regime at range; close in, both \
@@ -311,13 +348,45 @@ pub fn run(cfg: &ReproConfig) -> ExperimentReport {
     r
 }
 
+/// Registry entry for the ablation studies.
+pub struct Ablations;
+
+impl Experiment for Ablations {
+    fn id(&self) -> &'static str {
+        "ablations"
+    }
+
+    fn title(&self) -> &'static str {
+        "Design-choice ablation studies"
+    }
+
+    fn deps(&self) -> &'static [&'static str] {
+        &[
+            "quadrocopter/autorate",
+            "airplane/autorate",
+            "airplane/minstrel",
+            "airplane/mcs1",
+            "airplane/mcs2",
+            "airplane/mcs8",
+        ]
+    }
+
+    fn run(&self, cfg: &ReproConfig, store: &mut CampaignStore) -> ExperimentReport {
+        run(cfg, store)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn first_col_values(t: &TextTable) -> Vec<f64> {
+    fn fresh() -> CampaignStore {
+        CampaignStore::new(true)
+    }
+
+    fn first_col_values(t: &Table) -> Vec<f64> {
         // Parse the rendered table's second column back out for checks.
-        t.render()
+        t.render_text()
             .lines()
             .skip(2)
             .filter_map(|l| {
@@ -344,7 +413,7 @@ mod tests {
     #[test]
     fn stbc_pays_off_in_the_deep_fade_regime() {
         let t = stbc_table(&ReproConfig::quick());
-        let text = t.render();
+        let text = t.render_text();
         let rows: Vec<Vec<f64>> = text
             .lines()
             .skip(2)
@@ -380,7 +449,7 @@ mod tests {
 
     #[test]
     fn host_rate_saturates() {
-        let t = host_rate_table(&ReproConfig::quick());
+        let t = host_rate_table(&ReproConfig::quick(), &mut fresh());
         let g = first_col_values(&t);
         // Goodput grows with the host rate then saturates at the radio's
         // own limit.
@@ -390,8 +459,8 @@ mod tests {
 
     #[test]
     fn genie_channel_embarrasses_the_sky() {
-        let t = channel_harshness_table(&ReproConfig::quick());
-        let text = t.render();
+        let t = channel_harshness_table(&ReproConfig::quick(), &mut fresh());
+        let text = t.render_text();
         let rows: Vec<Vec<f64>> = text
             .lines()
             .skip(2)
@@ -413,8 +482,8 @@ mod tests {
 
     #[test]
     fn optimizer_grid_converges() {
-        let t = optimizer_grid_table();
-        let text = t.render();
+        let t = optimizer_grid_table(&mut fresh());
+        let text = t.render_text();
         let dopts: Vec<f64> = text
             .lines()
             .skip(2)
@@ -429,8 +498,8 @@ mod tests {
 
     #[test]
     fn weibull_wearout_transmits_sooner() {
-        let t = failure_law_table();
-        let text = t.render();
+        let t = failure_law_table(&mut fresh());
+        let text = t.render_text();
         let dopts: Vec<f64> = text
             .lines()
             .skip(2)
@@ -446,8 +515,8 @@ mod tests {
 
     #[test]
     fn mixed_gain_is_at_least_one() {
-        let t = mixed_strategy_table();
-        let text = t.render();
+        let t = mixed_strategy_table(&mut fresh());
+        let text = t.render_text();
         for line in text.lines().skip(2) {
             let gain: f64 = line
                 .split_whitespace()

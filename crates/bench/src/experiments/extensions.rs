@@ -15,26 +15,28 @@
 //!    agree, so the calibration is self-consistent end to end.
 //! 4. **Full-mission summary** — the `control::mission` simulator: a
 //!    small fleet scanning, planning and delivering, with failure risk.
+//!
+//! The closed-loop campaign cells and all pure Eq. (2) solutions route
+//! through the shared [`CampaignStore`].
 
 use skyferry_control::mission::{run_mission, MissionConfig};
 use skyferry_core::mixed::{optimize_mixed, MixedConfig};
-use skyferry_core::optimizer::optimize;
 use skyferry_core::scenario::Scenario;
 use skyferry_core::throughput::{EmpiricalThroughput, ThroughputSpec};
 use skyferry_geo::vector::Vec3;
-use skyferry_net::campaign::{
-    run_transfer, throughput_vs_distance, CampaignConfig, ControllerKind,
-};
+use skyferry_net::campaign::{run_transfer, CampaignConfig, ControllerKind};
 use skyferry_net::profile::MotionProfile;
 use skyferry_net::relay::{run_relayed_transfer, RelayGeometry};
 use skyferry_phy::presets::ChannelPreset;
 use skyferry_sim::time::SimDuration;
-use skyferry_stats::table::TextTable;
+use skyferry_stats::table::{Column, Table, Value};
 
+use super::Experiment;
 use crate::report::{ExperimentReport, ReproConfig};
+use crate::store::CampaignStore;
 
 /// Relay economics table.
-pub fn relay_table(cfg: &ReproConfig) -> TextTable {
+pub fn relay_table(cfg: &ReproConfig) -> Table {
     let campaign = CampaignConfig {
         preset: ChannelPreset::quadrocopter(0.0),
         controller: ControllerKind::Arf,
@@ -43,10 +45,15 @@ pub fn relay_table(cfg: &ReproConfig) -> TextTable {
     };
     let mdata: u64 = 8_000_000;
     let fmt = |o: Option<skyferry_sim::time::SimTime>| {
-        o.map(|t| format!("{:.1}", t.as_secs_f64()))
+        o.map(|t| Value::Num(t.as_secs_f64()))
             .unwrap_or_else(|| "dnf".into())
     };
-    let mut t = TextTable::new(&["configuration", "direct (s)", "relayed (s)", "verdict"]);
+    let mut t = Table::new(vec![
+        Column::text("configuration"),
+        Column::float("direct (s)", 1),
+        Column::float("relayed (s)", 1),
+        Column::text("verdict").right(),
+    ]);
     for (label, d_direct, hops) in [
         ("good link: 40 m direct vs 40+40 m hops", 40.0, (40.0, 40.0)),
         (
@@ -80,39 +87,39 @@ pub fn relay_table(cfg: &ReproConfig) -> TextTable {
             (None, Some(_)) => "relay wins",
             (None, None) => "both starve",
         };
-        t.row(&[
-            label,
-            &fmt(direct.completion),
-            &fmt(relayed.end_to_end.completion),
-            verdict,
+        t.push(vec![
+            label.into(),
+            fmt(direct.completion),
+            fmt(relayed.end_to_end.completion),
+            verdict.into(),
         ]);
     }
     t
 }
 
 /// Mixed-strategy payoff across motion penalties.
-pub fn mixed_table() -> TextTable {
-    let mut t = TextTable::new(&[
-        "motion penalty (dB per m/s)",
-        "pure dopt (m)",
-        "mixed d (m)",
-        "mixed v (m/s)",
-        "tx while moving",
-        "utility gain",
+pub fn mixed_table(store: &mut CampaignStore) -> Table {
+    let mut t = Table::new(vec![
+        Column::float("motion penalty (dB per m/s)", 1).left(),
+        Column::int("pure dopt (m)"),
+        Column::int("mixed d (m)"),
+        Column::float("mixed v (m/s)", 1),
+        Column::text("tx while moving").right(),
+        Column::text("utility gain").right(),
     ]);
     let s = Scenario::quadrocopter_baseline().with_mdata_mb(15.0);
-    let pure = optimize(&s);
+    let pure = store.optimum(&s);
     for loss in [0.0, 0.3, 0.7, 2.0] {
         let mut cfg = MixedConfig::for_speed(4.5);
         cfg.penalty.loss_db_per_mps = loss;
         let m = optimize_mixed(&s, &cfg);
-        t.row(&[
-            &format!("{loss:.1}"),
-            &format!("{:.0}", pure.d_opt),
-            &format!("{:.0}", m.d_m),
-            &format!("{:.1}", m.v_mps),
-            if m.transmit_while_moving { "yes" } else { "no" },
-            &format!("{:.3}x", m.utility / pure.utility),
+        t.push(vec![
+            Value::Num(loss),
+            Value::Num(pure.d_opt),
+            Value::Num(m.d_m),
+            m.v_mps.into(),
+            if m.transmit_while_moving { "yes" } else { "no" }.into(),
+            format!("{:.3}x", m.utility / pure.utility).into(),
         ]);
     }
     t
@@ -121,7 +128,7 @@ pub fn mixed_table() -> TextTable {
 /// Closing the loop: feed the *simulated* campaign's empirical medians
 /// into the optimizer and compare against the paper-fit answer. If the
 /// calibration holds, the two `dopt` values agree.
-pub fn closed_loop_table(cfg: &ReproConfig) -> TextTable {
+pub fn closed_loop_table(cfg: &ReproConfig, store: &mut CampaignStore) -> Table {
     let campaign = CampaignConfig {
         preset: ChannelPreset::quadrocopter(0.0),
         controller: ControllerKind::Arf,
@@ -129,67 +136,70 @@ pub fn closed_loop_table(cfg: &ReproConfig) -> TextTable {
         seed: cfg.seed + 9,
     };
     let distances: Vec<f64> = (1..=9).map(|i| 10.0 * i as f64 + 5.0).collect();
-    let rows = throughput_vs_distance(&campaign, &distances, cfg.reps(6));
+    let rows = store.throughput_vs_distance(&campaign, &distances, cfg.reps(6));
     let empirical = EmpiricalThroughput::from_campaign_mbps(&rows);
 
-    let mut t = TextTable::new(&["Mdata (MB)", "dopt paper-fit (m)", "dopt sim-empirical (m)"]);
+    let mut t = Table::new(vec![
+        Column::float("Mdata (MB)", 1).left(),
+        Column::int("dopt paper-fit (m)"),
+        Column::int("dopt sim-empirical (m)"),
+    ]);
     for mb in [5.0, 10.0, 56.2] {
         let fit_scenario = Scenario::quadrocopter_baseline().with_mdata_mb(mb);
         let mut emp_scenario = fit_scenario.clone();
         emp_scenario.throughput = ThroughputSpec::Empirical(empirical.clone());
-        t.row(&[
-            &format!("{mb:.1}"),
-            &format!("{:.0}", optimize(&fit_scenario).d_opt),
-            &format!("{:.0}", optimize(&emp_scenario).d_opt),
+        t.push(vec![
+            Value::Num(mb),
+            Value::Num(store.optimum(&fit_scenario).d_opt),
+            Value::Num(store.optimum(&emp_scenario).d_opt),
         ]);
     }
     t
 }
 
 /// Fleet mission summary.
-pub fn mission_table(cfg: &ReproConfig) -> TextTable {
+pub fn mission_table(cfg: &ReproConfig) -> Table {
     let mut mission_cfg = MissionConfig::quadrocopter_fleet(2, 70.0, cfg.seed);
     mission_cfg.relay_position = Vec3::new(150.0, 35.0, 10.0);
     mission_cfg.horizon_s = if cfg.quick { 900.0 } else { 1_800.0 };
     let report = run_mission(&mission_cfg);
-    let mut t = TextTable::new(&[
-        "UAV",
-        "collected (MB)",
-        "delivered (MB)",
-        "done (s)",
-        "status",
+    let mut t = Table::new(vec![
+        Column::int("UAV").left(),
+        Column::float("collected (MB)", 1),
+        Column::float("delivered (MB)", 1),
+        Column::int("done (s)"),
+        Column::text("status").right(),
     ]);
     for u in &report.uavs {
-        t.row(&[
-            &format!("{}", u.id.0),
-            &format!("{:.1}", u.collected_bytes as f64 / 1e6),
-            &format!("{:.1}", u.delivered_bytes as f64 / 1e6),
-            &u.completed_s
-                .map(|s| format!("{s:.0}"))
-                .unwrap_or_else(|| "-".into()),
+        t.push(vec![
+            Value::Int(u.id.0 as i64),
+            Value::Num(u.collected_bytes as f64 / 1e6),
+            Value::Num(u.delivered_bytes as f64 / 1e6),
+            u.completed_s.map_or_else(|| "-".into(), Value::Num),
             if u.failed {
                 "lost"
             } else if u.completed_s.is_some() {
                 "delivered"
             } else {
                 "incomplete"
-            },
+            }
+            .into(),
         ]);
     }
     t
 }
 
 /// Run all extension demonstrations.
-pub fn run(cfg: &ReproConfig) -> ExperimentReport {
-    let mut r = ExperimentReport::new(
-        "extensions",
-        "Implemented §5/§7 extensions: relaying, mixed strategies, full missions",
-    );
+pub fn run(cfg: &ReproConfig, store: &mut CampaignStore) -> ExperimentReport {
+    let mut r = ExperimentReport::new("extensions", Extensions.title());
     r.table("Relay economics (8 MB batch)", relay_table(cfg));
-    r.table("Mixed-strategy payoff (15 MB quad batch)", mixed_table());
+    r.table(
+        "Mixed-strategy payoff (15 MB quad batch)",
+        mixed_table(store),
+    );
     r.table(
         "Closed loop: optimizer on simulated vs paper throughput",
-        closed_loop_table(cfg),
+        closed_loop_table(cfg, store),
     );
     r.table("Two-UAV mission summary", mission_table(cfg));
     r.note("relaying costs ≈2x on a healthy link and pays on a starved one");
@@ -200,14 +210,39 @@ pub fn run(cfg: &ReproConfig) -> ExperimentReport {
     r
 }
 
+/// Registry entry for the extension demonstrations.
+pub struct Extensions;
+
+impl Experiment for Extensions {
+    fn id(&self) -> &'static str {
+        "extensions"
+    }
+
+    fn title(&self) -> &'static str {
+        "Implemented §5/§7 extensions: relaying, mixed strategies, full missions"
+    }
+
+    fn deps(&self) -> &'static [&'static str] {
+        &["quadrocopter/autorate"]
+    }
+
+    fn run(&self, cfg: &ReproConfig, store: &mut CampaignStore) -> ExperimentReport {
+        run(cfg, store)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn fresh() -> CampaignStore {
+        CampaignStore::new(true)
+    }
+
     #[test]
     fn relay_verdicts_match_theory() {
         let t = relay_table(&ReproConfig::quick());
-        let text = t.render();
+        let text = t.render_text();
         let lines: Vec<&str> = text.lines().skip(2).collect();
         assert!(lines[0].ends_with("direct wins"), "{}", lines[0]);
         assert!(lines[1].ends_with("relay wins"), "{}", lines[1]);
@@ -215,9 +250,9 @@ mod tests {
 
     #[test]
     fn mixed_gain_decreases_with_penalty() {
-        let t = mixed_table();
+        let t = mixed_table(&mut fresh());
         let gains: Vec<f64> = t
-            .render()
+            .render_text()
             .lines()
             .skip(2)
             .map(|l| {
@@ -238,7 +273,8 @@ mod tests {
 
     #[test]
     fn mission_summary_renders_fleet() {
-        let r = run(&ReproConfig::quick());
+        let cfg = ReproConfig::quick();
+        let r = run(&cfg, &mut fresh());
         assert_eq!(r.tables.len(), 4);
         let (_, mission) = &r.tables[3];
         assert_eq!(mission.num_rows(), 2);
@@ -246,8 +282,8 @@ mod tests {
 
     #[test]
     fn closed_loop_optima_agree() {
-        let t = closed_loop_table(&ReproConfig::quick());
-        for line in t.render().lines().skip(2) {
+        let t = closed_loop_table(&ReproConfig::quick(), &mut fresh());
+        for line in t.render_text().lines().skip(2) {
             let cols: Vec<f64> = line
                 .split_whitespace()
                 .filter_map(|v| v.parse().ok())

@@ -18,9 +18,11 @@ use skyferry_net::transfer::TransferRecord;
 use skyferry_phy::presets::ChannelPreset;
 use skyferry_sim::parallel::par_map_indexed;
 use skyferry_sim::time::{SimDuration, SimTime};
-use skyferry_stats::table::TextTable;
+use skyferry_stats::table::{Column, Table, Value};
 
+use super::Experiment;
 use crate::report::{ExperimentReport, ReproConfig};
+use crate::store::CampaignStore;
 
 /// Batch size of the experiment, bytes.
 pub const MDATA_BYTES: u64 = 20_000_000;
@@ -116,35 +118,36 @@ pub fn run(cfg: &ReproConfig) -> ExperimentReport {
         .filter_map(|s| s.completion_s)
         .fold(10.0_f64, f64::max)
         .ceil() as u64;
-    let mut headers: Vec<String> = vec!["t (s)".into()];
-    headers.extend(strategies.iter().map(|s| format!("{} (MB)", s.label)));
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut curve = TextTable::new(&header_refs);
+    let mut columns = vec![Column::int("t (s)").left()];
+    columns.extend(
+        strategies
+            .iter()
+            .map(|s| Column::float(format!("{} (MB)", s.label), 1)),
+    );
+    let mut curve = Table::new(columns);
     for t in 0..=horizon.min(120) {
-        let mut cells = vec![format!("{t}")];
+        let mut cells = vec![Value::Int(t as i64)];
         for s in &strategies {
             let mb = s.record.bytes_at(SimTime::from_secs(t)) as f64 / 1e6;
-            cells.push(format!("{mb:.1}"));
+            cells.push(Value::Num(mb));
         }
-        let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
-        curve.row(&refs);
+        curve.push(cells);
     }
 
-    let mut completion = TextTable::new(&["strategy", "completion (s)", "delivered (MB)"]);
+    let mut completion = Table::new(vec![
+        Column::text("strategy"),
+        Column::float("completion (s)", 1),
+        Column::float("delivered (MB)", 1),
+    ]);
     for s in &strategies {
-        completion.row(&[
-            &s.label,
-            &s.completion_s
-                .map(|c| format!("{c:.1}"))
-                .unwrap_or_else(|| "dnf".into()),
-            &format!("{:.1}", s.record.total_bytes() as f64 / 1e6),
+        completion.push(vec![
+            s.label.as_str().into(),
+            s.completion_s.map_or_else(|| "dnf".into(), Value::Num),
+            Value::Num(s.record.total_bytes() as f64 / 1e6),
         ]);
     }
 
-    let mut r = ExperimentReport::new(
-        "fig1",
-        "Transmitted data vs time for the five delivery strategies (20 MB from 80 m)",
-    );
+    let mut r = ExperimentReport::new("fig1", Fig1.title());
 
     // Crossover between "move to 60 m first" and "transmit at 80 m now".
     let d60 = strategies.iter().find(|s| s.label == "d=60").expect("d=60");
@@ -196,6 +199,27 @@ pub fn run(cfg: &ReproConfig) -> ExperimentReport {
     r.table("Cumulative delivered data (Figure 1 curves)", curve);
     r.table("Completion times", completion);
     r
+}
+
+/// Registry entry for Figure 1.
+pub struct Fig1;
+
+impl Experiment for Fig1 {
+    fn id(&self) -> &'static str {
+        "fig1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Transmitted data vs time for the five delivery strategies (20 MB from 80 m)"
+    }
+
+    fn deps(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    fn run(&self, cfg: &ReproConfig, _store: &mut CampaignStore) -> ExperimentReport {
+        run(cfg)
+    }
 }
 
 #[cfg(test)]

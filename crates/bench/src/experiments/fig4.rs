@@ -15,14 +15,16 @@ use skyferry_sim::parallel::par_map;
 use skyferry_sim::rng::SeedStream;
 use skyferry_sim::time::SimTime;
 use skyferry_stats::summary::Summary;
-use skyferry_stats::table::TextTable;
+use skyferry_stats::table::{Column, Table};
 use skyferry_uav::autopilot::Autopilot;
 use skyferry_uav::gps::{GpsConfig, GpsSensor};
 use skyferry_uav::kinematics::UavKinematics;
 use skyferry_uav::platform::PlatformSpec;
 use skyferry_uav::wind::{WindConfig, WindField};
 
+use super::Experiment;
 use crate::report::{ExperimentReport, ReproConfig};
+use crate::store::CampaignStore;
 
 /// Control-loop step, seconds.
 const DT: f64 = 0.1;
@@ -150,11 +152,11 @@ pub fn run(cfg: &ReproConfig) -> ExperimentReport {
         }
     }
 
-    let mut a = TextTable::new(&[
-        "airplane trace statistic",
-        "min",
-        "median-ish (mean)",
-        "max",
+    let mut a = Table::new(vec![
+        Column::text("airplane trace statistic"),
+        Column::float("min", 1),
+        Column::float("median-ish (mean)", 1),
+        Column::float("max", 1),
     ]);
     a.row_f64(
         "separation (m)",
@@ -163,7 +165,6 @@ pub fn run(cfg: &ReproConfig) -> ExperimentReport {
             sep.mean().unwrap_or(0.0),
             sep.max().unwrap_or(0.0),
         ],
-        1,
     );
     a.row_f64(
         "altitude UAV1 (m)",
@@ -172,7 +173,6 @@ pub fn run(cfg: &ReproConfig) -> ExperimentReport {
             alt1.mean().unwrap_or(0.0),
             alt1.max().unwrap_or(0.0),
         ],
-        1,
     );
     a.row_f64(
         "altitude UAV2 (m)",
@@ -181,7 +181,6 @@ pub fn run(cfg: &ReproConfig) -> ExperimentReport {
             alt2.mean().unwrap_or(0.0),
             alt2.max().unwrap_or(0.0),
         ],
-        1,
     );
     a.row_f64(
         "relative speed (m/s)",
@@ -190,13 +189,12 @@ pub fn run(cfg: &ReproConfig) -> ExperimentReport {
             relspeed.mean().unwrap_or(0.0),
             relspeed.max().unwrap_or(0.0),
         ],
-        1,
     );
 
-    let mut q = TextTable::new(&[
-        "quad separation (m)",
-        "mean fix separation (m)",
-        "fix std (m)",
+    let mut q = Table::new(vec![
+        Column::text("quad separation (m)"),
+        Column::float("mean fix separation (m)", 2),
+        Column::float("fix std (m)", 2),
     ]);
     // The four hover separations are independent missions: fly them as
     // parallel tasks (each seeds its sensors from cfg.seed alone) and
@@ -213,11 +211,10 @@ pub fn run(cfg: &ReproConfig) -> ExperimentReport {
         q.row_f64(
             &format!("{d:.0}"),
             &[s.mean().unwrap_or(0.0), s.sample_std_dev().unwrap_or(0.0)],
-            2,
         );
     }
 
-    let mut r = ExperimentReport::new("fig4", "GPS traces of both platforms");
+    let mut r = ExperimentReport::new("fig4", Fig4.title());
     let max_rel = relspeed.max().unwrap_or(0.0);
     r.note(format!(
         "airplane relative speed reaches {:.0} m/s head-on (paper: 15–26 m/s window)",
@@ -227,6 +224,27 @@ pub fn run(cfg: &ReproConfig) -> ExperimentReport {
     r.table("Airplane shuttle (Figure 4a)", a);
     r.table("Quadrocopter hover (Figure 4b)", q);
     r
+}
+
+/// Registry entry for Figure 4.
+pub struct Fig4;
+
+impl Experiment for Fig4 {
+    fn id(&self) -> &'static str {
+        "fig4"
+    }
+
+    fn title(&self) -> &'static str {
+        "GPS traces of both platforms"
+    }
+
+    fn deps(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    fn run(&self, cfg: &ReproConfig, _store: &mut CampaignStore) -> ExperimentReport {
+        run(cfg)
+    }
 }
 
 #[cfg(test)]

@@ -5,13 +5,15 @@
 //! short range ("more the one expected of 802.11g") despite 802.11n
 //! features, with very large per-distance variability.
 
-use skyferry_net::campaign::{throughput_vs_distance, CampaignConfig, ControllerKind};
+use skyferry_net::campaign::{CampaignConfig, ControllerKind};
 use skyferry_phy::presets::ChannelPreset;
 use skyferry_sim::time::SimDuration;
 use skyferry_stats::boxplot::BoxplotSummary;
-use skyferry_stats::table::TextTable;
+use skyferry_stats::table::{Column, Table, Value};
 
+use super::Experiment;
 use crate::report::{ExperimentReport, ReproConfig};
+use crate::store::CampaignStore;
 
 /// The airplane campaign's relative speed (mid paper window), m/s.
 pub const RELATIVE_SPEED_MPS: f64 = 20.0;
@@ -21,46 +23,55 @@ pub fn distances() -> Vec<f64> {
     (1..=16).map(|i| 20.0 * i as f64).collect()
 }
 
-/// Run the campaign: per-distance throughput samples.
-pub fn simulate(cfg: &ReproConfig) -> Vec<(f64, Vec<f64>)> {
-    let campaign = CampaignConfig {
+/// The airplane iperf campaign shared with `fig6` and `fits`.
+pub fn campaign(cfg: &ReproConfig) -> CampaignConfig {
+    CampaignConfig {
         preset: ChannelPreset::airplane(RELATIVE_SPEED_MPS),
         controller: ControllerKind::Arf,
         duration: SimDuration::from_secs(cfg.secs(20)),
         seed: cfg.seed,
-    };
-    throughput_vs_distance(&campaign, &distances(), cfg.reps(6))
+    }
+}
+
+/// Run the campaign: per-distance throughput samples.
+pub fn simulate(cfg: &ReproConfig, store: &mut CampaignStore) -> Vec<(f64, Vec<f64>)> {
+    store.throughput_vs_distance(&campaign(cfg), &distances(), cfg.reps(6))
 }
 
 /// Render the boxplot table from campaign samples.
-pub fn boxplot_table(rows: &[(f64, Vec<f64>)]) -> TextTable {
-    let mut t = TextTable::new(&[
-        "d (m)", "n", "min", "whisk-", "q1", "median", "q3", "whisk+", "max",
+pub fn boxplot_table(rows: &[(f64, Vec<f64>)]) -> Table {
+    let mut t = Table::new(vec![
+        Column::int("d (m)").left(),
+        Column::int("n"),
+        Column::float("min", 1),
+        Column::float("whisk-", 1),
+        Column::float("q1", 1),
+        Column::float("median", 1),
+        Column::float("q3", 1),
+        Column::float("whisk+", 1),
+        Column::float("max", 1),
     ]);
     for (d, samples) in rows {
         let b = BoxplotSummary::of(samples).expect("non-empty campaign");
-        t.row(&[
-            &format!("{d:.0}"),
-            &format!("{}", b.n),
-            &format!("{:.1}", b.min),
-            &format!("{:.1}", b.whisker_low),
-            &format!("{:.1}", b.q1),
-            &format!("{:.1}", b.median),
-            &format!("{:.1}", b.q3),
-            &format!("{:.1}", b.whisker_high),
-            &format!("{:.1}", b.max),
+        t.push(vec![
+            Value::Num(*d),
+            b.n.into(),
+            b.min.into(),
+            b.whisker_low.into(),
+            b.q1.into(),
+            b.median.into(),
+            b.q3.into(),
+            b.whisker_high.into(),
+            b.max.into(),
         ]);
     }
     t
 }
 
 /// Regenerate Figure 5.
-pub fn run(cfg: &ReproConfig) -> ExperimentReport {
-    let rows = simulate(cfg);
-    let mut r = ExperimentReport::new(
-        "fig5",
-        "Throughput vs distance between two airplanes (auto rate, boxplots)",
-    );
+pub fn run(cfg: &ReproConfig, store: &mut CampaignStore) -> ExperimentReport {
+    let rows = simulate(cfg, store);
+    let mut r = ExperimentReport::new("fig5", Fig5.title());
 
     let medians: Vec<(f64, f64)> = rows
         .iter()
@@ -86,10 +97,35 @@ pub fn run(cfg: &ReproConfig) -> ExperimentReport {
     r
 }
 
+/// Registry entry for Figure 5.
+pub struct Fig5;
+
+impl Experiment for Fig5 {
+    fn id(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn title(&self) -> &'static str {
+        "Throughput vs distance between two airplanes (auto rate, boxplots)"
+    }
+
+    fn deps(&self) -> &'static [&'static str] {
+        &["airplane/autorate"]
+    }
+
+    fn run(&self, cfg: &ReproConfig, store: &mut CampaignStore) -> ExperimentReport {
+        run(cfg, store)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use skyferry_stats::quantile::median;
+
+    fn simulate_fresh(cfg: &ReproConfig) -> Vec<(f64, Vec<f64>)> {
+        simulate(cfg, &mut CampaignStore::new(cfg.quick))
+    }
 
     #[test]
     fn covers_20_to_320() {
@@ -103,7 +139,7 @@ mod tests {
     fn throughput_degrades_with_distance() {
         // Robust to shadowing noise at quick-mode sample counts: compare
         // the mean of the near-half medians against the far half.
-        let rows = simulate(&ReproConfig::quick());
+        let rows = simulate_fresh(&ReproConfig::quick());
         let medians: Vec<f64> = rows.iter().map(|(_, s)| median(s).unwrap()).collect();
         let near: f64 = medians[..8].iter().sum::<f64>() / 8.0;
         let far: f64 = medians[8..].iter().sum::<f64>() / 8.0;
@@ -120,7 +156,7 @@ mod tests {
     #[test]
     fn short_range_is_80211g_like_not_n_like() {
         // The whole point of Section 3.1: ~20 Mb/s, not ~176 Mb/s.
-        let rows = simulate(&ReproConfig::quick());
+        let rows = simulate_fresh(&ReproConfig::quick());
         let m20 = median(&rows[0].1).unwrap();
         assert!((12.0..45.0).contains(&m20), "m20={m20}");
     }
@@ -129,7 +165,7 @@ mod tests {
     fn airplane_variability_is_large() {
         // Figure 5's boxes/whiskers are wide: at mid distance the spread
         // must be comparable to the median itself.
-        let rows = simulate(&ReproConfig::quick());
+        let rows = simulate_fresh(&ReproConfig::quick());
         let (d, samples) = &rows[4]; // 100 m
         let b = BoxplotSummary::of(samples).unwrap();
         assert!(
@@ -142,7 +178,8 @@ mod tests {
 
     #[test]
     fn report_renders_all_rows() {
-        let r = run(&ReproConfig::quick());
+        let cfg = ReproConfig::quick();
+        let r = run(&cfg, &mut CampaignStore::new(cfg.quick));
         let (_, t) = &r.tables[0];
         assert_eq!(t.num_rows(), 16);
     }

@@ -5,17 +5,18 @@
 //! the best fixed MCS beats auto rate by "100 % or more" at each
 //! distance; STBC rates (MCS1–3) win up to ≈220 m; the SDM rate MCS8
 //! takes over at the far edge (240–260 m).
+//!
+//! The auto-rate column is the same campaign as Figure 5, so with a shared
+//! [`CampaignStore`] its 13 cells are served from the Figure 5 sweep.
 
-use skyferry_net::campaign::{measure_throughput_replicated, CampaignConfig, ControllerKind};
-use skyferry_net::profile::MotionProfile;
+use skyferry_net::campaign::{CampaignConfig, ControllerKind};
 use skyferry_phy::mcs::Mcs;
-use skyferry_phy::presets::ChannelPreset;
-use skyferry_sim::parallel::par_map;
-use skyferry_sim::time::SimDuration;
 use skyferry_stats::quantile::median;
-use skyferry_stats::table::TextTable;
+use skyferry_stats::table::{Column, Table, Value};
 
+use super::Experiment;
 use crate::report::{ExperimentReport, ReproConfig};
+use crate::store::CampaignStore;
 
 /// The fixed MCS set the paper evaluates.
 pub const FIXED_MCS: [u8; 4] = [1, 2, 3, 8];
@@ -54,59 +55,57 @@ impl Fig6Row {
 }
 
 /// Run the Figure 6 campaign.
-pub fn simulate(cfg: &ReproConfig) -> Vec<Fig6Row> {
-    let base = CampaignConfig {
-        preset: ChannelPreset::airplane(super::fig5::RELATIVE_SPEED_MPS),
-        controller: ControllerKind::Arf,
-        duration: SimDuration::from_secs(cfg.secs(20)),
-        seed: cfg.seed,
-    };
+pub fn simulate(cfg: &ReproConfig, store: &mut CampaignStore) -> Vec<Fig6Row> {
+    let base = super::fig5::campaign(cfg);
     let reps = cfg.reps(6);
-    // One task per distance; the per-controller replications inside each
-    // task reuse the deterministic pool, so the row content does not
-    // depend on how tasks are scheduled.
-    par_map(&distances(), |&d| {
-        let auto = median(&measure_throughput_replicated(
-            &base,
-            MotionProfile::hover(d),
-            reps,
-        ))
-        .expect("non-empty");
-        let fixed_mbps = FIXED_MCS
-            .iter()
-            .map(|&m| {
-                let c = CampaignConfig {
-                    controller: ControllerKind::Fixed(Mcs::new(m)),
-                    ..base
-                };
-                median(&measure_throughput_replicated(
-                    &c,
-                    MotionProfile::hover(d),
-                    reps,
-                ))
-                .expect("non-empty")
-            })
-            .collect();
-        Fig6Row {
-            d_m: d,
-            auto_mbps: auto,
-            fixed_mbps,
-        }
-    })
+    let distances = distances();
+    // One batch over the full (controller × distance) grid: the store
+    // fills every missing cell through one flattened parallel pool, and
+    // per-cell results do not depend on how tasks are scheduled.
+    let mut requests: Vec<(CampaignConfig, f64)> = distances.iter().map(|&d| (base, d)).collect();
+    for &m in &FIXED_MCS {
+        let c = CampaignConfig {
+            controller: ControllerKind::Fixed(Mcs::new(m)),
+            ..base
+        };
+        requests.extend(distances.iter().map(|&d| (c, d)));
+    }
+    store.ensure(&requests, reps);
+    distances
+        .iter()
+        .map(|&d| {
+            let auto = median(&store.samples(&base, d, reps)).expect("non-empty");
+            let fixed_mbps = FIXED_MCS
+                .iter()
+                .map(|&m| {
+                    let c = CampaignConfig {
+                        controller: ControllerKind::Fixed(Mcs::new(m)),
+                        ..base
+                    };
+                    median(&store.samples(&c, d, reps)).expect("non-empty")
+                })
+                .collect();
+            Fig6Row {
+                d_m: d,
+                auto_mbps: auto,
+                fixed_mbps,
+            }
+        })
+        .collect()
 }
 
 /// Regenerate Figure 6.
-pub fn run(cfg: &ReproConfig) -> ExperimentReport {
-    let rows = simulate(cfg);
-    let mut t = TextTable::new(&[
-        "d (m)",
-        "autorate",
-        "MCS1",
-        "MCS2",
-        "MCS3",
-        "MCS8",
-        "best",
-        "best/auto",
+pub fn run(cfg: &ReproConfig, store: &mut CampaignStore) -> ExperimentReport {
+    let rows = simulate(cfg, store);
+    let mut t = Table::new(vec![
+        Column::int("d (m)").left(),
+        Column::float("autorate", 1),
+        Column::float("MCS1", 1),
+        Column::float("MCS2", 1),
+        Column::float("MCS3", 1),
+        Column::float("MCS8", 1),
+        Column::text("best").right(),
+        Column::float("best/auto", 2),
     ]);
     for row in &rows {
         let best = row.best_fixed_mbps();
@@ -115,26 +114,23 @@ pub fn run(cfg: &ReproConfig) -> ExperimentReport {
         } else {
             f64::INFINITY
         };
-        t.row(&[
-            &format!("{:.0}", row.d_m),
-            &format!("{:.1}", row.auto_mbps),
-            &format!("{:.1}", row.fixed_mbps[0]),
-            &format!("{:.1}", row.fixed_mbps[1]),
-            &format!("{:.1}", row.fixed_mbps[2]),
-            &format!("{:.1}", row.fixed_mbps[3]),
-            &format!("MCS{}", FIXED_MCS[row.best_fixed_index()]),
-            &if ratio.is_finite() {
-                format!("{ratio:.2}")
+        t.push(vec![
+            Value::Num(row.d_m),
+            row.auto_mbps.into(),
+            row.fixed_mbps[0].into(),
+            row.fixed_mbps[1].into(),
+            row.fixed_mbps[2].into(),
+            row.fixed_mbps[3].into(),
+            format!("MCS{}", FIXED_MCS[row.best_fixed_index()]).into(),
+            if ratio.is_finite() {
+                Value::Num(ratio)
             } else {
                 "inf".into()
             },
         ]);
     }
 
-    let mut r = ExperimentReport::new(
-        "fig6",
-        "Best fixed MCS vs auto PHY rate between the airplanes (medians, Mb/s)",
-    );
+    let mut r = ExperimentReport::new("fig6", Fig6.title());
 
     // Paper claim 1: best fixed ≥ auto everywhere, typically ≥ 2×.
     let wins = rows
@@ -164,13 +160,44 @@ pub fn run(cfg: &ReproConfig) -> ExperimentReport {
     r
 }
 
+/// Registry entry for Figure 6.
+pub struct Fig6;
+
+impl Experiment for Fig6 {
+    fn id(&self) -> &'static str {
+        "fig6"
+    }
+
+    fn title(&self) -> &'static str {
+        "Best fixed MCS vs auto PHY rate between the airplanes (medians, Mb/s)"
+    }
+
+    fn deps(&self) -> &'static [&'static str] {
+        &[
+            "airplane/autorate",
+            "airplane/mcs1",
+            "airplane/mcs2",
+            "airplane/mcs3",
+            "airplane/mcs8",
+        ]
+    }
+
+    fn run(&self, cfg: &ReproConfig, store: &mut CampaignStore) -> ExperimentReport {
+        run(cfg, store)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn simulate_fresh(cfg: &ReproConfig) -> Vec<Fig6Row> {
+        simulate(cfg, &mut CampaignStore::new(cfg.quick))
+    }
+
     #[test]
     fn best_fixed_beats_autorate_broadly() {
-        let rows = simulate(&ReproConfig::quick());
+        let rows = simulate_fresh(&ReproConfig::quick());
         let wins = rows
             .iter()
             .filter(|r| r.best_fixed_mbps() >= r.auto_mbps * 0.95)
@@ -184,7 +211,7 @@ mod tests {
 
     #[test]
     fn autorate_leaves_large_gains_at_mid_range() {
-        let rows = simulate(&ReproConfig::quick());
+        let rows = simulate_fresh(&ReproConfig::quick());
         // Average gain over usable distances must be substantial.
         let gains: Vec<f64> = rows
             .iter()
@@ -197,7 +224,7 @@ mod tests {
 
     #[test]
     fn single_stream_wins_near_sdm_wins_far() {
-        let rows = simulate(&ReproConfig::quick());
+        let rows = simulate_fresh(&ReproConfig::quick());
         let near = FIXED_MCS[rows[0].best_fixed_index()];
         assert!(near != 8, "near winner must be an STBC rate, got MCS{near}");
         let far = FIXED_MCS[rows.last().unwrap().best_fixed_index()];
@@ -205,8 +232,25 @@ mod tests {
     }
 
     #[test]
+    fn shares_the_fig5_campaign_cells() {
+        // Figure 6's auto-rate column is the Figure 5 sweep: after fig5
+        // runs, every auto cell at 20–260 m must be a hit.
+        let cfg = ReproConfig::quick();
+        let mut store = CampaignStore::new(cfg.quick);
+        super::super::fig5::simulate(&cfg, &mut store);
+        let miss_before = store.misses();
+        let rows = simulate(&cfg, &mut store);
+        assert_eq!(rows.len(), 13);
+        // The 13 auto cells were already present; only the 4×13 fixed-MCS
+        // cells are new.
+        assert_eq!(store.misses() - miss_before, 4 * 13);
+        assert!(store.hits() >= 13);
+    }
+
+    #[test]
     fn report_has_13_rows() {
-        let r = run(&ReproConfig::quick());
+        let cfg = ReproConfig::quick();
+        let r = run(&cfg, &mut CampaignStore::new(cfg.quick));
         let (_, t) = &r.tables[0];
         assert_eq!(t.num_rows(), 13);
     }

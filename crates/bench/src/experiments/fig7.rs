@@ -5,16 +5,16 @@
 //! ≈ 8 m/s — a clear drop. Right: throughput vs cruise speed at ≈ 60 m —
 //! "the throughput varies and drops significantly with the speed".
 
-use skyferry_net::campaign::{measure_throughput_replicated, CampaignConfig, ControllerKind};
-use skyferry_net::profile::MotionProfile;
+use skyferry_net::campaign::{CampaignConfig, ControllerKind};
 use skyferry_phy::presets::ChannelPreset;
-use skyferry_sim::parallel::par_map;
 use skyferry_sim::time::SimDuration;
 use skyferry_stats::boxplot::BoxplotSummary;
 use skyferry_stats::quantile::median;
-use skyferry_stats::table::TextTable;
+use skyferry_stats::table::{Column, Table, Value};
 
+use super::Experiment;
 use crate::report::{ExperimentReport, ReproConfig};
+use crate::store::CampaignStore;
 
 /// The approach speed of the centre panel, m/s.
 pub const MOVING_SPEED_MPS: f64 = 8.0;
@@ -23,7 +23,8 @@ pub const DISTANCES: [f64; 4] = [20.0, 40.0, 60.0, 80.0];
 /// The right-panel speed sweep at 60 m.
 pub const SPEEDS: [f64; 5] = [0.0, 2.0, 4.5, 8.0, 12.0];
 
-fn campaign(cfg: &ReproConfig, speed: f64) -> CampaignConfig {
+/// The quadrocopter iperf campaign at a given platform speed.
+pub fn campaign(cfg: &ReproConfig, speed: f64) -> CampaignConfig {
     CampaignConfig {
         preset: ChannelPreset::quadrocopter(speed),
         controller: ControllerKind::Arf,
@@ -33,66 +34,59 @@ fn campaign(cfg: &ReproConfig, speed: f64) -> CampaignConfig {
 }
 
 /// Hover samples per distance (left panel).
-pub fn hover_rows(cfg: &ReproConfig) -> Vec<(f64, Vec<f64>)> {
-    let c = campaign(cfg, 0.0);
-    par_map(&DISTANCES, |&d| {
-        (
-            d,
-            measure_throughput_replicated(&c, MotionProfile::hover(d), cfg.reps(6)),
-        )
-    })
+pub fn hover_rows(cfg: &ReproConfig, store: &mut CampaignStore) -> Vec<(f64, Vec<f64>)> {
+    store.throughput_vs_distance(&campaign(cfg, 0.0), &DISTANCES, cfg.reps(6))
 }
 
 /// Moving samples per distance (centre panel): the platform flies at
 /// ≈ 8 m/s relative while the distance band is held (the paper flies
 /// repeated approach segments; we model the sustained-motion channel at
 /// the band's distance).
-pub fn moving_rows(cfg: &ReproConfig) -> Vec<(f64, Vec<f64>)> {
-    let c = campaign(cfg, MOVING_SPEED_MPS);
-    par_map(&DISTANCES, |&d| {
-        (
-            d,
-            measure_throughput_replicated(&c, MotionProfile::hover(d), cfg.reps(6)),
-        )
-    })
+pub fn moving_rows(cfg: &ReproConfig, store: &mut CampaignStore) -> Vec<(f64, Vec<f64>)> {
+    store.throughput_vs_distance(&campaign(cfg, MOVING_SPEED_MPS), &DISTANCES, cfg.reps(6))
 }
 
-/// Speed sweep at 60 m (right panel).
-pub fn speed_rows(cfg: &ReproConfig) -> Vec<(f64, Vec<f64>)> {
-    par_map(&SPEEDS, |&v| {
-        let c = campaign(cfg, v);
-        (
-            v,
-            measure_throughput_replicated(&c, MotionProfile::hover(60.0), cfg.reps(6)),
-        )
-    })
+/// Speed sweep at 60 m (right panel). The `v = 0` cell is the hover
+/// campaign's 60 m cell, so it is shared with the left panel.
+pub fn speed_rows(cfg: &ReproConfig, store: &mut CampaignStore) -> Vec<(f64, Vec<f64>)> {
+    let reps = cfg.reps(6);
+    let requests: Vec<(CampaignConfig, f64)> =
+        SPEEDS.iter().map(|&v| (campaign(cfg, v), 60.0)).collect();
+    store.ensure(&requests, reps);
+    SPEEDS
+        .iter()
+        .map(|&v| (v, store.samples(&campaign(cfg, v), 60.0, reps)))
+        .collect()
 }
 
-fn panel_table(label: &str, rows: &[(f64, Vec<f64>)]) -> TextTable {
-    let mut t = TextTable::new(&[label, "q1", "median", "q3", "whisker spread"]);
+fn panel_table(label: &str, rows: &[(f64, Vec<f64>)]) -> Table {
+    let mut t = Table::new(vec![
+        Column::float(label, 1).left(),
+        Column::float("q1", 1),
+        Column::float("median", 1),
+        Column::float("q3", 1),
+        Column::float("whisker spread", 1),
+    ]);
     for (x, samples) in rows {
         let b = BoxplotSummary::of(samples).expect("non-empty");
-        t.row(&[
-            &format!("{x:.1}"),
-            &format!("{:.1}", b.q1),
-            &format!("{:.1}", b.median),
-            &format!("{:.1}", b.q3),
-            &format!("{:.1}", b.spread()),
+        t.push(vec![
+            Value::Num(*x),
+            b.q1.into(),
+            b.median.into(),
+            b.q3.into(),
+            b.spread().into(),
         ]);
     }
     t
 }
 
 /// Regenerate Figure 7.
-pub fn run(cfg: &ReproConfig) -> ExperimentReport {
-    let hover = hover_rows(cfg);
-    let moving = moving_rows(cfg);
-    let speeds = speed_rows(cfg);
+pub fn run(cfg: &ReproConfig, store: &mut CampaignStore) -> ExperimentReport {
+    let hover = hover_rows(cfg, store);
+    let moving = moving_rows(cfg, store);
+    let speeds = speed_rows(cfg, store);
 
-    let mut r = ExperimentReport::new(
-        "fig7",
-        "Quadrocopter tests: hover vs distance, moving vs distance, throughput vs speed",
-    );
+    let mut r = ExperimentReport::new("fig7", Fig7.title());
 
     let hover_med_40 = median(&hover[1].1).expect("non-empty");
     let moving_med_40 = median(&moving[1].1).expect("non-empty");
@@ -121,6 +115,27 @@ pub fn run(cfg: &ReproConfig) -> ExperimentReport {
     r
 }
 
+/// Registry entry for Figure 7.
+pub struct Fig7;
+
+impl Experiment for Fig7 {
+    fn id(&self) -> &'static str {
+        "fig7"
+    }
+
+    fn title(&self) -> &'static str {
+        "Quadrocopter tests: hover vs distance, moving vs distance, throughput vs speed"
+    }
+
+    fn deps(&self) -> &'static [&'static str] {
+        &["quadrocopter/autorate"]
+    }
+
+    fn run(&self, cfg: &ReproConfig, store: &mut CampaignStore) -> ExperimentReport {
+        run(cfg, store)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,8 +143,9 @@ mod tests {
     #[test]
     fn hover_beats_moving_at_every_distance() {
         let cfg = ReproConfig::quick();
-        let hover = hover_rows(&cfg);
-        let moving = moving_rows(&cfg);
+        let store = &mut CampaignStore::new(cfg.quick);
+        let hover = hover_rows(&cfg, store);
+        let moving = moving_rows(&cfg, store);
         let mut wins = 0;
         for (h, m) in hover.iter().zip(&moving) {
             let hm = median(&h.1).unwrap();
@@ -143,7 +159,8 @@ mod tests {
 
     #[test]
     fn throughput_drops_with_speed_at_60m() {
-        let rows = speed_rows(&ReproConfig::quick());
+        let cfg = ReproConfig::quick();
+        let rows = speed_rows(&cfg, &mut CampaignStore::new(cfg.quick));
         let hover = median(&rows[0].1).unwrap();
         let fast = median(&rows[4].1).unwrap();
         assert!(
@@ -153,13 +170,25 @@ mod tests {
     }
 
     #[test]
+    fn speed_sweep_reuses_the_hover_cell() {
+        // The v = 0 sweep point is the hover campaign's 60 m cell.
+        let cfg = ReproConfig::quick();
+        let store = &mut CampaignStore::new(cfg.quick);
+        hover_rows(&cfg, store);
+        let hits_before = store.hits();
+        speed_rows(&cfg, store);
+        assert!(store.hits() > hits_before, "v=0 @ 60 m must be a hit");
+    }
+
+    #[test]
     fn quad_hover_tighter_than_airplanes() {
         // "higher throughput and smaller variability than in the
         // airplanes tests" — compare whisker spreads at the shared
         // distances, normalised by the median.
         let cfg = ReproConfig::quick();
-        let quad = hover_rows(&cfg);
-        let air = super::super::fig5::simulate(&cfg);
+        let store = &mut CampaignStore::new(cfg.quick);
+        let quad = hover_rows(&cfg, store);
+        let air = super::super::fig5::simulate(&cfg, store);
         let rel_spread = |samples: &[f64]| {
             let b = BoxplotSummary::of(samples).unwrap();
             b.spread() / b.median.max(1.0)
@@ -172,7 +201,8 @@ mod tests {
 
     #[test]
     fn report_has_three_panels() {
-        let r = run(&ReproConfig::quick());
+        let cfg = ReproConfig::quick();
+        let r = run(&cfg, &mut CampaignStore::new(cfg.quick));
         assert_eq!(r.tables.len(), 3);
     }
 }

@@ -7,9 +7,11 @@
 
 use skyferry_core::scenario::Scenario;
 use skyferry_core::sweep::{paper_rhos, rho_sweep, RhoCurve};
-use skyferry_stats::table::TextTable;
+use skyferry_stats::table::{Column, Table, Value};
 
+use super::Experiment;
 use crate::report::{ExperimentReport, ReproConfig};
+use crate::store::CampaignStore;
 
 /// Curve resolution (points over `[d_min, d0]`).
 const POINTS: usize = 15;
@@ -29,31 +31,36 @@ pub fn simulate() -> (Vec<RhoCurve>, Vec<RhoCurve>) {
     (air, quad)
 }
 
-fn panel_table(curves: &[RhoCurve]) -> TextTable {
-    let mut headers: Vec<String> = vec!["d (m)".into()];
-    headers.extend(curves.iter().map(|c| format!("rho={:.2e}", c.rho_per_m)));
-    let refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut t = TextTable::new(&refs);
+fn panel_table(curves: &[RhoCurve]) -> Table {
+    let mut columns = vec![Column::int("d (m)").left()];
+    columns.extend(
+        curves
+            .iter()
+            .map(|c| Column::float(format!("rho={:.2e}", c.rho_per_m), 4)),
+    );
+    let mut t = Table::new(columns);
     for i in 0..POINTS {
         let d = curves[0].curve[i].0;
-        let mut cells = vec![format!("{d:.0}")];
-        for c in curves {
-            cells.push(format!("{:.4}", c.curve[i].1));
-        }
-        let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
-        t.row(&refs);
+        let mut cells = vec![Value::Num(d)];
+        cells.extend(curves.iter().map(|c| Value::Num(c.curve[i].1)));
+        t.push(cells);
     }
     t
 }
 
-fn maxima_table(curves: &[RhoCurve]) -> TextTable {
-    let mut t = TextTable::new(&["rho (1/m)", "dopt (m)", "U(dopt)", "Cdelay (s)"]);
+fn maxima_table(curves: &[RhoCurve]) -> Table {
+    let mut t = Table::new(vec![
+        Column::sci("rho (1/m)", 2).left(),
+        Column::float("dopt (m)", 1),
+        Column::float("U(dopt)", 4),
+        Column::float("Cdelay (s)", 1),
+    ]);
     for c in curves {
-        t.row(&[
-            &format!("{:.2e}", c.rho_per_m),
-            &format!("{:.1}", c.optimum.d_opt),
-            &format!("{:.4}", c.optimum.utility),
-            &format!("{:.1}", c.optimum.cdelay_s()),
+        t.push(vec![
+            Value::Num(c.rho_per_m),
+            c.optimum.d_opt.into(),
+            c.optimum.utility.into(),
+            c.optimum.cdelay_s().into(),
         ]);
     }
     t
@@ -62,7 +69,7 @@ fn maxima_table(curves: &[RhoCurve]) -> TextTable {
 /// Regenerate Figure 8.
 pub fn run(_cfg: &ReproConfig) -> ExperimentReport {
     let (air, quad) = simulate();
-    let mut r = ExperimentReport::new("fig8", "U(d) for various failure rates (both baselines)");
+    let mut r = ExperimentReport::new("fig8", Fig8.title());
 
     let air_span = (
         air.first().expect("non-empty").optimum.d_opt,
@@ -85,6 +92,27 @@ pub fn run(_cfg: &ReproConfig) -> ExperimentReport {
     r.table("Quadrocopter panel U(d)", panel_table(&quad));
     r.table("Quadrocopter maxima", maxima_table(&quad));
     r
+}
+
+/// Registry entry for Figure 8.
+pub struct Fig8;
+
+impl Experiment for Fig8 {
+    fn id(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn title(&self) -> &'static str {
+        "U(d) for various failure rates (both baselines)"
+    }
+
+    fn deps(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    fn run(&self, cfg: &ReproConfig, _store: &mut CampaignStore) -> ExperimentReport {
+        run(cfg)
+    }
 }
 
 #[cfg(test)]

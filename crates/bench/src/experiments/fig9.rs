@@ -10,9 +10,11 @@
 
 use skyferry_core::scenario::Scenario;
 use skyferry_core::sweep::{gratification_sweep, paper_grid, GratificationPoint};
-use skyferry_stats::table::TextTable;
+use skyferry_stats::table::{Column, Table};
 
+use super::Experiment;
 use crate::report::{ExperimentReport, ReproConfig};
+use crate::store::CampaignStore;
 
 /// Compute the Figure 9 grid.
 pub fn simulate() -> Vec<Vec<GratificationPoint>> {
@@ -27,20 +29,26 @@ pub fn simulate() -> Vec<Vec<GratificationPoint>> {
 pub fn run(_cfg: &ReproConfig) -> ExperimentReport {
     let grid = simulate();
 
-    let mut dopt = TextTable::new(&["Mdata \\ v", "3 m/s", "5 m/s", "10 m/s", "15 m/s", "20 m/s"]);
-    let mut util = TextTable::new(&["Mdata \\ v", "3 m/s", "5 m/s", "10 m/s", "15 m/s", "20 m/s"]);
+    let speed_columns = |decimals: usize| {
+        let mut columns = vec![Column::text("Mdata \\ v")];
+        columns.extend(
+            ["3 m/s", "5 m/s", "10 m/s", "15 m/s", "20 m/s"]
+                .iter()
+                .map(|h| Column::float(*h, decimals)),
+        );
+        columns
+    };
+    let mut dopt = Table::new(speed_columns(1));
+    let mut util = Table::new(speed_columns(4));
     for row in &grid {
         let label = format!("{:.0} MB", row[0].mdata_mb);
         let d: Vec<f64> = row.iter().map(|p| p.optimum.d_opt).collect();
         let u: Vec<f64> = row.iter().map(|p| p.optimum.utility).collect();
-        dopt.row_f64(&label, &d, 1);
-        util.row_f64(&label, &u, 4);
+        dopt.row_f64(&label, &d);
+        util.row_f64(&label, &u);
     }
 
-    let mut r = ExperimentReport::new(
-        "fig9",
-        "Delayed gratification for different data sizes and speeds (airplane scenario)",
-    );
+    let mut r = ExperimentReport::new("fig9", Fig9.title());
     let small = &grid[0];
     let large = grid.last().expect("non-empty");
     r.note(format!(
@@ -58,6 +66,27 @@ pub fn run(_cfg: &ReproConfig) -> ExperimentReport {
     r.table("dopt (m) per Mdata × v", dopt);
     r.table("U(dopt) per Mdata × v", util);
     r
+}
+
+/// Registry entry for Figure 9.
+pub struct Fig9;
+
+impl Experiment for Fig9 {
+    fn id(&self) -> &'static str {
+        "fig9"
+    }
+
+    fn title(&self) -> &'static str {
+        "Delayed gratification for different data sizes and speeds (airplane scenario)"
+    }
+
+    fn deps(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    fn run(&self, cfg: &ReproConfig, _store: &mut CampaignStore) -> ExperimentReport {
+        run(cfg)
+    }
 }
 
 #[cfg(test)]

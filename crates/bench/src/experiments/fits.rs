@@ -7,15 +7,18 @@
 //! determination R² = 0.9 for the airplane scenario and 0.96 for the
 //! quadrocopter one."
 //!
-//! This experiment runs the Figure 5 and Figure 7 campaigns, fits the
-//! same model family to the simulated medians, and reports coefficients
-//! and R² side by side with the paper's.
+//! This experiment fits the same model family to the medians of the
+//! Figure 5 and Figure 7 campaigns. Through the shared [`CampaignStore`]
+//! those campaigns execute once per `repro` run: when `fig5`/`fig7` ran
+//! first, every cell requested here is a hit.
 
 use skyferry_stats::quantile::median;
 use skyferry_stats::regression::Log2Fit;
-use skyferry_stats::table::TextTable;
+use skyferry_stats::table::{Column, Table, Value};
 
+use super::Experiment;
 use crate::report::{ExperimentReport, ReproConfig};
+use crate::store::CampaignStore;
 
 /// One platform's fit comparison.
 #[derive(Debug, Clone, Copy)]
@@ -31,8 +34,8 @@ pub struct FitComparison {
 }
 
 /// Fit both platforms.
-pub fn simulate(cfg: &ReproConfig) -> (FitComparison, FitComparison) {
-    let air_rows = super::fig5::simulate(cfg);
+pub fn simulate(cfg: &ReproConfig, store: &mut CampaignStore) -> (FitComparison, FitComparison) {
+    let air_rows = super::fig5::simulate(cfg, store);
     let air_pts: Vec<(f64, f64)> = air_rows
         .iter()
         .map(|(d, s)| (*d, median(s).expect("non-empty")))
@@ -44,7 +47,7 @@ pub fn simulate(cfg: &ReproConfig) -> (FitComparison, FitComparison) {
         paper_r2: 0.90,
     };
 
-    let quad_rows = super::fig7::hover_rows(cfg);
+    let quad_rows = super::fig7::hover_rows(cfg, store);
     let quad_pts: Vec<(f64, f64)> = quad_rows
         .iter()
         .map(|(d, s)| (*d, median(s).expect("non-empty")))
@@ -59,32 +62,29 @@ pub fn simulate(cfg: &ReproConfig) -> (FitComparison, FitComparison) {
 }
 
 /// Regenerate the Section 4 fit table.
-pub fn run(cfg: &ReproConfig) -> ExperimentReport {
-    let (air, quad) = simulate(cfg);
-    let mut t = TextTable::new(&[
-        "platform",
-        "a (ours)",
-        "a (paper)",
-        "b (ours)",
-        "b (paper)",
-        "R2 (ours)",
-        "R2 (paper)",
+pub fn run(cfg: &ReproConfig, store: &mut CampaignStore) -> ExperimentReport {
+    let (air, quad) = simulate(cfg, store);
+    let mut t = Table::new(vec![
+        Column::text("platform"),
+        Column::float("a (ours)", 2),
+        Column::float("a (paper)", 2),
+        Column::float("b (ours)", 1),
+        Column::float("b (paper)", 1),
+        Column::float("R2 (ours)", 2),
+        Column::float("R2 (paper)", 2),
     ]);
     for (name, f) in [("airplane", &air), ("quadrocopter", &quad)] {
-        t.row(&[
-            name,
-            &format!("{:.2}", f.ours.a),
-            &format!("{:.2}", f.paper_a),
-            &format!("{:.1}", f.ours.b),
-            &format!("{:.1}", f.paper_b),
-            &format!("{:.2}", f.ours.r_squared),
-            &format!("{:.2}", f.paper_r2),
+        t.push(vec![
+            name.into(),
+            f.ours.a.into(),
+            f.paper_a.into(),
+            f.ours.b.into(),
+            f.paper_b.into(),
+            f.ours.r_squared.into(),
+            Value::Num(f.paper_r2),
         ]);
     }
-    let mut r = ExperimentReport::new(
-        "fits",
-        "Section 4 logarithmic fits of median throughput vs distance",
-    );
+    let mut r = ExperimentReport::new("fits", Fits.title());
     r.note(format!(
         "airplane: s(d) = {:.2}·log2(d) + {:.1} Mb/s, R²={:.2} (paper: −5.56, 49, 0.90)",
         air.ours.a, air.ours.b, air.ours.r_squared
@@ -97,13 +97,38 @@ pub fn run(cfg: &ReproConfig) -> ExperimentReport {
     r
 }
 
+/// Registry entry for the Section 4 fits.
+pub struct Fits;
+
+impl Experiment for Fits {
+    fn id(&self) -> &'static str {
+        "fits"
+    }
+
+    fn title(&self) -> &'static str {
+        "Section 4 logarithmic fits of median throughput vs distance"
+    }
+
+    fn deps(&self) -> &'static [&'static str] {
+        &["airplane/autorate", "quadrocopter/autorate"]
+    }
+
+    fn run(&self, cfg: &ReproConfig, store: &mut CampaignStore) -> ExperimentReport {
+        run(cfg, store)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn simulate_fresh(cfg: &ReproConfig) -> (FitComparison, FitComparison) {
+        simulate(cfg, &mut CampaignStore::new(cfg.quick))
+    }
+
     #[test]
     fn both_fits_are_decreasing_and_log_linear() {
-        let (air, quad) = simulate(&ReproConfig::quick());
+        let (air, quad) = simulate_fresh(&ReproConfig::quick());
         assert!(air.ours.a < 0.0, "airplane slope {:.2}", air.ours.a);
         assert!(quad.ours.a < 0.0, "quad slope {:.2}", quad.ours.a);
         assert!(
@@ -120,7 +145,7 @@ mod tests {
 
     #[test]
     fn coefficients_in_paper_ballpark() {
-        let (air, quad) = simulate(&ReproConfig::quick());
+        let (air, quad) = simulate_fresh(&ReproConfig::quick());
         // Shape reproduction: slopes within a factor band, intercepts in
         // tens of Mb/s.
         assert!(
@@ -147,12 +172,26 @@ mod tests {
 
     #[test]
     fn quad_slope_steeper_than_airplane() {
-        let (air, quad) = simulate(&ReproConfig::quick());
+        let (air, quad) = simulate_fresh(&ReproConfig::quick());
         assert!(
             quad.ours.a < air.ours.a,
             "quad {:.2} vs airplane {:.2}",
             quad.ours.a,
             air.ours.a
         );
+    }
+
+    #[test]
+    fn reuses_fig5_and_fig7_campaigns_entirely() {
+        // After fig5 and fig7 populate the store, the fits experiment
+        // must not simulate a single new cell.
+        let cfg = ReproConfig::quick();
+        let store = &mut CampaignStore::new(cfg.quick);
+        super::super::fig5::simulate(&cfg, store);
+        super::super::fig7::hover_rows(&cfg, store);
+        let misses_before = store.misses();
+        simulate(&cfg, store);
+        assert_eq!(store.misses(), misses_before, "fits must be all hits");
+        assert!(store.hits() >= 20, "16 airplane + 4 quad cells reused");
     }
 }

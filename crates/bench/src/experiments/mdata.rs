@@ -6,9 +6,11 @@
 //! Aimage = 69.4 m²; Asector = 0.01 km² → Mdata = 56.2 MB.
 
 use skyferry_geo::camera::{CameraModel, BYTES_PER_MB};
-use skyferry_stats::table::TextTable;
+use skyferry_stats::table::{Column, Table, Value};
 
+use super::Experiment;
 use crate::report::{ExperimentReport, ReproConfig};
+use crate::store::CampaignStore;
 
 /// One derivation row.
 #[derive(Debug, Clone, Copy)]
@@ -52,33 +54,54 @@ pub fn simulate() -> (MdataRow, MdataRow) {
 /// Regenerate the Mdata derivation table.
 pub fn run(_cfg: &ReproConfig) -> ExperimentReport {
     let (air, quad) = simulate();
-    let mut t = TextTable::new(&[
-        "scenario",
-        "altitude (m)",
-        "FOV (m)",
-        "Aimage (m2)",
-        "Asector (m2)",
-        "Mdata (MB)",
-        "paper (MB)",
+    let mut t = Table::new(vec![
+        Column::text("scenario"),
+        Column::int("altitude (m)"),
+        Column::float("FOV (m)", 1),
+        Column::int("Aimage (m2)"),
+        Column::int("Asector (m2)"),
+        Column::float("Mdata (MB)", 1),
+        Column::float("paper (MB)", 1),
     ]);
     for (name, row) in [("airplane", air), ("quadrocopter", quad)] {
-        t.row(&[
-            name,
-            &format!("{:.0}", row.altitude_m),
-            &format!("{:.1}", row.fov_m),
-            &format!("{:.0}", row.aimage_m2),
-            &format!("{:.0}", row.sector_m2),
-            &format!("{:.1}", row.mdata_mb),
-            &format!("{:.1}", row.paper_mdata_mb),
+        t.push(vec![
+            name.into(),
+            Value::Num(row.altitude_m),
+            row.fov_m.into(),
+            Value::Num(row.aimage_m2),
+            Value::Num(row.sector_m2),
+            row.mdata_mb.into(),
+            row.paper_mdata_mb.into(),
         ]);
     }
-    let mut r = ExperimentReport::new("mdata", "Camera-geometry derivation of Mdata (fn. 3–4)");
+    let mut r = ExperimentReport::new("mdata", Mdata.title());
     r.note(format!(
         "airplane Mdata {:.1} MB vs paper 28 MB; quadrocopter {:.1} MB vs paper 56.2 MB",
         air.mdata_mb, quad.mdata_mb
     ));
     r.table("Derivation", t);
     r
+}
+
+/// Registry entry for the Mdata derivation.
+pub struct Mdata;
+
+impl Experiment for Mdata {
+    fn id(&self) -> &'static str {
+        "mdata"
+    }
+
+    fn title(&self) -> &'static str {
+        "Camera-geometry derivation of Mdata (fn. 3–4)"
+    }
+
+    fn deps(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    fn run(&self, cfg: &ReproConfig, _store: &mut CampaignStore) -> ExperimentReport {
+        run(cfg)
+    }
 }
 
 #[cfg(test)]

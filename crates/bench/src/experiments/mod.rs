@@ -1,4 +1,9 @@
-//! One module per reproduced table/figure.
+//! The experiment engine: one module per reproduced table/figure, one
+//! [`Experiment`] impl per module, all discovered through [`REGISTRY`].
+//!
+//! Adding an experiment is one trait impl plus one registry entry — the
+//! CLI usage text, `--list`, dependency reporting and the run loop all
+//! derive from the registry.
 
 pub mod ablations;
 pub mod extensions;
@@ -13,40 +18,135 @@ pub mod fits;
 pub mod mdata;
 pub mod table1;
 
-use crate::report::{ExperimentReport, ReproConfig};
+use std::fmt;
 
-/// All experiment ids in paper order.
-pub const ALL: [&str; 12] = [
-    "table1",
-    "fig1",
-    "fig4",
-    "fig5",
-    "fig6",
-    "fig7",
-    "fig8",
-    "fig9",
-    "fits",
-    "mdata",
-    "ablations",
-    "extensions",
+use crate::report::{ExperimentReport, ReproConfig};
+use crate::store::CampaignStore;
+
+/// One reproduced table/figure.
+///
+/// Implementations are stateless unit structs; all run state lives in the
+/// [`ReproConfig`] and the shared [`CampaignStore`].
+pub trait Experiment: Sync {
+    /// Short id, e.g. `fig5`.
+    fn id(&self) -> &'static str;
+    /// Human title (what the paper artefact shows).
+    fn title(&self) -> &'static str;
+    /// The shared-campaign ids this experiment draws from (empty for
+    /// purely analytic experiments). Reported by `repro --list`.
+    fn deps(&self) -> &'static [&'static str];
+    /// Regenerate the artefact.
+    fn run(&self, cfg: &ReproConfig, store: &mut CampaignStore) -> ExperimentReport;
+}
+
+/// Every experiment, in paper order. The registry is the single source of
+/// truth: the run loop, `--list` and the usage text all iterate it.
+pub static REGISTRY: [&dyn Experiment; 12] = [
+    &table1::Table1,
+    &fig1::Fig1,
+    &fig4::Fig4,
+    &fig5::Fig5,
+    &fig6::Fig6,
+    &fig7::Fig7,
+    &fig8::Fig8,
+    &fig9::Fig9,
+    &fits::Fits,
+    &mdata::Mdata,
+    &ablations::Ablations,
+    &extensions::Extensions,
 ];
 
-/// Run one experiment by id.
-pub fn run(id: &str, cfg: &ReproConfig) -> Option<ExperimentReport> {
-    let report = match id {
-        "table1" => table1::run(cfg),
-        "fig1" => fig1::run(cfg),
-        "fig4" => fig4::run(cfg),
-        "fig5" => fig5::run(cfg),
-        "fig6" => fig6::run(cfg),
-        "fig7" => fig7::run(cfg),
-        "fig8" => fig8::run(cfg),
-        "fig9" => fig9::run(cfg),
-        "fits" => fits::run(cfg),
-        "mdata" => mdata::run(cfg),
-        "ablations" => ablations::run(cfg),
-        "extensions" => extensions::run(cfg),
-        _ => return None,
-    };
-    Some(report)
+/// Typed lookup/run failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// No registered experiment has this id.
+    UnknownId(String),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::UnknownId(id) => {
+                write!(f, "unknown experiment '{id}' (known: ")?;
+                for (i, e) in REGISTRY.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    f.write_str(e.id())?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// All registered ids in paper order.
+pub fn ids() -> Vec<&'static str> {
+    REGISTRY.iter().map(|e| e.id()).collect()
+}
+
+/// Look an experiment up by id.
+pub fn find(id: &str) -> Result<&'static dyn Experiment, ExperimentError> {
+    REGISTRY
+        .iter()
+        .copied()
+        .find(|e| e.id() == id)
+        .ok_or_else(|| ExperimentError::UnknownId(id.to_string()))
+}
+
+/// Run one experiment by id against a shared store.
+pub fn run(
+    id: &str,
+    cfg: &ReproConfig,
+    store: &mut CampaignStore,
+) -> Result<ExperimentReport, ExperimentError> {
+    find(id).map(|e| e.run(cfg, store))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_match_reports() {
+        let ids = ids();
+        assert_eq!(ids.len(), REGISTRY.len());
+        for (i, a) in ids.iter().enumerate() {
+            for b in &ids[i + 1..] {
+                assert_ne!(a, b, "duplicate experiment id");
+            }
+        }
+    }
+
+    #[test]
+    fn find_resolves_every_registered_id() {
+        for e in REGISTRY {
+            assert_eq!(find(e.id()).unwrap().id(), e.id());
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_a_typed_error_listing_known_ids() {
+        let err = match find("nope") {
+            Err(e) => e,
+            Ok(_) => panic!("'nope' must not resolve"),
+        };
+        assert_eq!(err, ExperimentError::UnknownId("nope".into()));
+        let msg = err.to_string();
+        assert!(msg.contains("unknown experiment 'nope'"));
+        assert!(msg.contains("fig5"));
+        assert!(msg.contains("extensions"));
+    }
+
+    #[test]
+    fn titles_and_deps_are_present() {
+        for e in REGISTRY {
+            assert!(!e.title().is_empty(), "{} needs a title", e.id());
+            for dep in e.deps() {
+                assert!(!dep.is_empty());
+            }
+        }
+    }
 }

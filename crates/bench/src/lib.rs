@@ -22,8 +22,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cli;
 pub mod experiments;
 pub mod microbench;
 pub mod report;
+pub mod store;
+pub mod verify;
 
+pub use experiments::{Experiment, ExperimentError};
 pub use report::{ExperimentReport, ReproConfig};
+pub use store::CampaignStore;

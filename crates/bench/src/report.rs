@@ -4,7 +4,7 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
 
-use skyferry_stats::table::TextTable;
+use skyferry_stats::table::Table;
 
 /// Harness-wide configuration.
 #[derive(Debug, Clone)]
@@ -63,7 +63,7 @@ pub struct ExperimentReport {
     /// Human title.
     pub title: String,
     /// Named tables (name → table).
-    pub tables: Vec<(String, TextTable)>,
+    pub tables: Vec<(String, Table)>,
     /// Free-form findings: paper claim vs measured value.
     pub notes: Vec<String>,
 }
@@ -80,7 +80,7 @@ impl ExperimentReport {
     }
 
     /// Attach a table.
-    pub fn table(&mut self, name: impl Into<String>, table: TextTable) -> &mut Self {
+    pub fn table(&mut self, name: impl Into<String>, table: Table) -> &mut Self {
         self.tables.push((name.into(), table));
         self
     }
@@ -97,7 +97,7 @@ impl ExperimentReport {
         let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
         for (name, table) in &self.tables {
             let _ = writeln!(out, "\n-- {name} --");
-            out.push_str(&table.render());
+            out.push_str(&table.render_text());
         }
         if !self.notes.is_empty() {
             let _ = writeln!(out, "\nFindings:");
@@ -115,21 +115,27 @@ impl ExperimentReport {
         };
         fs::create_dir_all(dir)?;
         for (name, table) in &self.tables {
-            let slug: String = name
-                .chars()
-                .map(|c| {
-                    if c.is_alphanumeric() {
-                        c.to_ascii_lowercase()
-                    } else {
-                        '_'
-                    }
-                })
-                .collect();
-            let path = dir.join(format!("{}_{}.csv", self.id, slug));
+            let path = dir.join(csv_file_name(self.id, name));
             fs::write(path, table.render_csv())?;
         }
         Ok(())
     }
+}
+
+/// The CSV artifact name of one report table, shared by the writer and
+/// the golden verifier: `<experiment id>_<slugified table name>.csv`.
+pub fn csv_file_name(id: &str, table_name: &str) -> String {
+    let slug: String = table_name
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    format!("{id}_{slug}.csv")
 }
 
 #[cfg(test)]
@@ -150,9 +156,10 @@ mod tests {
 
     #[test]
     fn render_includes_tables_and_notes() {
+        use skyferry_stats::table::Column;
         let mut r = ExperimentReport::new("figx", "Test");
-        let mut t = TextTable::new(&["a", "b"]);
-        t.row(&["1", "2"]);
+        let mut t = Table::new(vec![Column::text("a"), Column::text("b")]);
+        t.push(vec!["1".into(), "2".into()]);
         r.table("main", t).note("claim holds");
         let s = r.render();
         assert!(s.contains("figx"));
@@ -167,9 +174,10 @@ mod tests {
             out_dir: Some(dir.clone()),
             ..ReproConfig::quick()
         };
+        use skyferry_stats::table::Column;
         let mut r = ExperimentReport::new("figy", "Test");
-        let mut t = TextTable::new(&["a"]);
-        t.row(&["1"]);
+        let mut t = Table::new(vec![Column::text("a")]);
+        t.push(vec!["1".into()]);
         r.table("Main Table", t);
         r.write_csv(&cfg).unwrap();
         let written = dir.join("figy_main_table.csv");

@@ -1,0 +1,226 @@
+//! Golden-result verification for `repro --verify`.
+//!
+//! Regenerated tables are diffed cell by cell against the checked-in
+//! CSV artifacts under `results/` (or `results/quick/` for `--quick`
+//! runs). Cells that parse as numbers on both sides compare with
+//! [`FLOAT_TOLERANCE`]; everything else compares as exact strings. The
+//! simulation is deterministic, so the tolerance is zero: any drift is a
+//! real behaviour change and must be reviewed (and the goldens
+//! regenerated deliberately with `repro --out`).
+
+use std::path::{Path, PathBuf};
+
+use crate::report::{csv_file_name, ExperimentReport};
+
+/// Maximum |golden − actual| for two numeric cells to match. Zero: the
+/// harness is bit-deterministic, so goldens must reproduce exactly.
+pub const FLOAT_TOLERANCE: f64 = 0.0;
+
+/// One cell-level (or shape-level) difference, already rendered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// The golden file the difference is against.
+    pub file: PathBuf,
+    /// Human-readable description of the difference.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.file.display(), self.detail)
+    }
+}
+
+/// Parse an RFC 4180 CSV document into rows of cells.
+///
+/// Handles quoted fields, escaped quotes (`""`), embedded separators and
+/// line breaks inside quotes, and both LF and CRLF row endings.
+pub fn parse_csv(text: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut cell = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut saw_any = false;
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    cell.push('"');
+                }
+                '"' => in_quotes = false,
+                c => cell.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => row.push(std::mem::take(&mut cell)),
+                '\r' if chars.peek() == Some(&'\n') => {}
+                '\n' => {
+                    row.push(std::mem::take(&mut cell));
+                    rows.push(std::mem::take(&mut row));
+                }
+                c => cell.push(c),
+            }
+        }
+    }
+    if saw_any && (!cell.is_empty() || !row.is_empty()) {
+        row.push(cell);
+        rows.push(row);
+    }
+    rows
+}
+
+/// Do two cells match? Numeric when both parse, string otherwise.
+fn cells_match(golden: &str, actual: &str) -> bool {
+    match (golden.parse::<f64>(), actual.parse::<f64>()) {
+        (Ok(g), Ok(a)) => (g - a).abs() <= FLOAT_TOLERANCE || (g.is_nan() && a.is_nan()) || g == a,
+        _ => golden == actual,
+    }
+}
+
+/// Diff one rendered table against one golden CSV document.
+pub fn diff_csv(file: &Path, golden: &str, actual: &str) -> Vec<Mismatch> {
+    let g = parse_csv(golden);
+    let a = parse_csv(actual);
+    let mut out = Vec::new();
+    if g.len() != a.len() {
+        out.push(Mismatch {
+            file: file.to_path_buf(),
+            detail: format!(
+                "row count differs: golden {} vs regenerated {}",
+                g.len(),
+                a.len()
+            ),
+        });
+    }
+    for (r, (grow, arow)) in g.iter().zip(&a).enumerate() {
+        if grow.len() != arow.len() {
+            out.push(Mismatch {
+                file: file.to_path_buf(),
+                detail: format!(
+                    "row {r}: column count differs: golden {} vs regenerated {}",
+                    grow.len(),
+                    arow.len()
+                ),
+            });
+            continue;
+        }
+        let header: &[String] = &g[0];
+        for (c, (gc, ac)) in grow.iter().zip(arow).enumerate() {
+            if !cells_match(gc, ac) {
+                let col = header.get(c).map(String::as_str).unwrap_or("?");
+                out.push(Mismatch {
+                    file: file.to_path_buf(),
+                    detail: format!(
+                        "row {r}, column {c} ({col}): golden '{gc}' vs regenerated '{ac}'"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Diff one regenerated report against the goldens in `golden_dir`,
+/// returning every difference (empty = verified).
+pub fn verify_report(report: &ExperimentReport, golden_dir: &Path) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    for (name, table) in &report.tables {
+        let file = golden_dir.join(csv_file_name(report.id, name));
+        match std::fs::read_to_string(&file) {
+            Ok(golden) => out.extend(diff_csv(&file, &golden, &table.render_csv())),
+            Err(e) => out.push(Mismatch {
+                file,
+                detail: format!("golden missing or unreadable ({e}); regenerate with --out"),
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyferry_stats::table::{Column, Table, Value};
+
+    #[test]
+    fn csv_parser_handles_rfc4180() {
+        let rows = parse_csv("a,b\n\"x,\"\"y\"\"\",2\r\nlast,\n");
+        assert_eq!(
+            rows,
+            vec![
+                vec!["a".to_string(), "b".into()],
+                vec!["x,\"y\"".to_string(), "2".into()],
+                vec!["last".to_string(), String::new()],
+            ]
+        );
+        assert!(parse_csv("").is_empty());
+    }
+
+    #[test]
+    fn identical_tables_verify_clean() {
+        let csv = "d (m),median\n20,24.5\n40,18.0\n";
+        assert!(diff_csv(Path::new("x.csv"), csv, csv).is_empty());
+    }
+
+    #[test]
+    fn numeric_drift_is_reported_per_cell() {
+        let golden = "d (m),median\n20,24.5\n40,18.0\n";
+        let actual = "d (m),median\n20,24.5\n40,18.1\n";
+        let d = diff_csv(Path::new("x.csv"), golden, actual);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].detail.contains("row 2, column 1 (median)"), "{}", d[0]);
+        assert!(d[0].detail.contains("'18.0'"), "{}", d[0]);
+        assert!(d[0].detail.contains("'18.1'"), "{}", d[0]);
+    }
+
+    #[test]
+    fn numeric_cells_compare_numerically_not_textually() {
+        // 18 and 18.0 are the same number: tolerance 0 still matches.
+        let golden = "h\n18.0\n";
+        let actual = "h\n18\n";
+        assert!(diff_csv(Path::new("x.csv"), golden, actual).is_empty());
+    }
+
+    #[test]
+    fn shape_changes_are_reported() {
+        let golden = "h,k\n1,2\n3,4\n";
+        let shorter = "h,k\n1,2\n";
+        let d = diff_csv(Path::new("x.csv"), golden, shorter);
+        assert!(d.iter().any(|m| m.detail.contains("row count differs")));
+        let narrower = "h,k\n1,2\n3\n";
+        let d = diff_csv(Path::new("x.csv"), golden, narrower);
+        assert!(d.iter().any(|m| m.detail.contains("column count differs")));
+    }
+
+    #[test]
+    fn missing_golden_is_its_own_error() {
+        let mut r = ExperimentReport::new("figz", "t");
+        let mut t = Table::new(vec![Column::int("a")]);
+        t.push(vec![Value::Int(1)]);
+        r.table("only", t);
+        let d = verify_report(&r, Path::new("/nonexistent-golden-dir"));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].detail.contains("golden missing"), "{}", d[0]);
+        assert!(d[0].file.ends_with("figz_only.csv"));
+    }
+
+    #[test]
+    fn matching_report_verifies_against_written_goldens() {
+        let dir = std::env::temp_dir().join(format!("skyferry-verify-{}", std::process::id()));
+        let mut r = ExperimentReport::new("figv", "t");
+        let mut t = Table::new(vec![Column::int("a"), Column::float("b", 2)]);
+        t.push(vec![Value::Int(1), Value::Num(0.25)]);
+        r.table("cells", t);
+        let cfg = crate::report::ReproConfig {
+            out_dir: Some(dir.clone()),
+            ..crate::report::ReproConfig::quick()
+        };
+        r.write_csv(&cfg).unwrap();
+        assert!(verify_report(&r, &dir).is_empty());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

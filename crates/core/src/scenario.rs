@@ -10,6 +10,7 @@
 //! both with the fitted throughput model of their platform and a minimum
 //! separation of 20 m "to avoid physical collisions".
 
+use skyferry_sim::stable::KeyHasher;
 use skyferry_units::{Bytes, Meters, MetersPerSec};
 
 use crate::failure::{ExponentialFailure, FailureSpec};
@@ -124,6 +125,33 @@ impl Scenario {
     /// The batch size `Mdata` as a typed data quantity.
     pub fn mdata(&self) -> Bytes {
         Bytes::new(self.mdata_bytes)
+    }
+
+    /// Fold every parameter that influences [`optimize`] into `h`: two
+    /// scenarios produce the same key exactly when Eq. (2) has the same
+    /// inputs (the `name` label is deliberately excluded). The bench
+    /// crate's campaign store uses this to memoize optimizer solutions
+    /// across experiments.
+    pub fn stable_key(&self, h: KeyHasher) -> KeyHasher {
+        let h = h
+            .f64(self.d0_m)
+            .f64(self.d_min_m)
+            .f64(self.v_mps)
+            .f64(self.mdata_bytes);
+        let h = match &self.throughput {
+            ThroughputSpec::LogFit(m) => h.str("log-fit").f64(m.a_mbps).f64(m.b_mbps),
+            ThroughputSpec::Empirical(m) => {
+                let mut h = h.str("empirical").u64(m.points().len() as u64);
+                for &(d, r) in m.points() {
+                    h = h.f64(d).f64(r);
+                }
+                h
+            }
+        };
+        match &self.failure {
+            FailureSpec::Exponential(m) => h.str("exponential").f64(m.rho_per_m),
+            FailureSpec::Weibull(m) => h.str("weibull").f64(m.scale_m).f64(m.shape).f64(m.flown_m),
+        }
     }
 
     /// A borrowed, `Copy` evaluation view of this scenario. All model
@@ -280,6 +308,18 @@ mod tests {
         let mut s = Scenario::airplane_baseline();
         s.d0_m = 5.0;
         s.validate();
+    }
+
+    #[test]
+    fn stable_key_ignores_name_but_sees_parameters() {
+        let k = |s: &Scenario| s.stable_key(KeyHasher::new("scenario")).finish();
+        let a = Scenario::airplane_baseline();
+        let mut renamed = a.clone();
+        renamed.name = "alias".into();
+        assert_eq!(k(&a), k(&renamed));
+        assert_ne!(k(&a), k(&a.clone().with_mdata_mb(5.0)));
+        assert_ne!(k(&a), k(&a.clone().with_rho(2e-4)));
+        assert_ne!(k(&a), k(&Scenario::quadrocopter_baseline()));
     }
 
     #[test]

@@ -13,6 +13,7 @@ use skyferry_phy::mcs::Mcs;
 use skyferry_phy::presets::ChannelPreset;
 use skyferry_sim::parallel::par_map_indexed;
 use skyferry_sim::prelude::*;
+use skyferry_sim::stable::KeyHasher;
 
 use crate::meter::ThroughputMeter;
 use crate::profile::MotionProfile;
@@ -48,7 +49,24 @@ impl ControllerKind {
             ControllerKind::MinstrelHt => "minstrel".into(),
         }
     }
+
+    /// Fold the policy identity into `h` (variant tag plus the fixed MCS
+    /// index where applicable).
+    pub fn stable_key(&self, h: KeyHasher) -> KeyHasher {
+        match *self {
+            ControllerKind::Fixed(mcs) => h.str("fixed").u64(mcs.index() as u64),
+            ControllerKind::Arf => h.str("arf"),
+            ControllerKind::MinstrelHt => h.str("minstrel-ht"),
+        }
+    }
 }
+
+/// A stable identity for a [`CampaignConfig`]: two configs share a key
+/// exactly when they would simulate the same thing (preset, controller,
+/// duration and seed all folded in). The bench crate's campaign store uses
+/// this as its memoization key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CampaignKey(pub u64);
 
 /// Campaign parameters.
 #[derive(Debug, Clone, Copy)]
@@ -64,6 +82,14 @@ pub struct CampaignConfig {
 }
 
 impl CampaignConfig {
+    /// The stable memoization key of this campaign (see [`CampaignKey`]).
+    pub fn stable_key(&self) -> CampaignKey {
+        let h = KeyHasher::new("campaign");
+        let h = self.preset.stable_key(h);
+        let h = self.controller.stable_key(h);
+        CampaignKey(h.i64(self.duration.as_nanos()).u64(self.seed).finish())
+    }
+
     /// Build the MAC link for replication `rep`.
     fn build_link(&self, rep: u64) -> LinkState {
         let seeds = SeedStream::new(self.seed);
@@ -273,6 +299,37 @@ mod tests {
             })
             .collect();
         assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn stable_key_tracks_every_campaign_parameter() {
+        let base = quad_cfg(ControllerKind::Arf, 5);
+        assert_eq!(
+            base.stable_key(),
+            quad_cfg(ControllerKind::Arf, 5).stable_key()
+        );
+        assert_ne!(
+            base.stable_key(),
+            quad_cfg(ControllerKind::Arf, 6).stable_key()
+        );
+        assert_ne!(
+            base.stable_key(),
+            quad_cfg(ControllerKind::MinstrelHt, 5).stable_key()
+        );
+        assert_ne!(
+            base.stable_key(),
+            quad_cfg(ControllerKind::Fixed(Mcs::new(1)), 5).stable_key()
+        );
+        assert_ne!(
+            quad_cfg(ControllerKind::Fixed(Mcs::new(1)), 5).stable_key(),
+            quad_cfg(ControllerKind::Fixed(Mcs::new(2)), 5).stable_key()
+        );
+        let mut other_seed = base;
+        other_seed.seed ^= 1;
+        assert_ne!(base.stable_key(), other_seed.stable_key());
+        let mut other_preset = base;
+        other_preset.preset = ChannelPreset::airplane(20.0);
+        assert_ne!(base.stable_key(), other_preset.stable_key());
     }
 
     #[test]

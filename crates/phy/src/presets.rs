@@ -35,6 +35,7 @@
 //!   badly (`sdm_sir_db` ≈ 12 dB), so the indoor-capable MCS 8–15 rarely
 //!   help in the air and throughput looks "802.11g-like" (Section 3.1).
 
+use skyferry_sim::stable::KeyHasher;
 use skyferry_units::{Db, Meters};
 
 use crate::channel::{LinkBudget, PathLossModel};
@@ -183,6 +184,47 @@ impl ChannelPreset {
     pub fn mean_snr(&self, d: Meters) -> Db {
         self.budget.mean_snr(d)
     }
+
+    /// Fold every model parameter into `h`, so that two presets produce the
+    /// same key exactly when they parameterise the same radio environment.
+    /// Used by the bench crate's campaign store to memoize simulation
+    /// results across experiments.
+    pub fn stable_key(&self, h: KeyHasher) -> KeyHasher {
+        let b = &self.budget;
+        let h = h
+            .str(self.name)
+            .f64(b.tx_power_dbm)
+            .f64(b.antenna_gain_dbi)
+            .f64(b.noise_figure_db)
+            .f64(b.implementation_loss_db);
+        let h = match b.path_loss {
+            PathLossModel::FreeSpace { freq_hz } => h.str("free-space").f64(freq_hz),
+            PathLossModel::LogDistance {
+                freq_hz,
+                ref_distance_m,
+                exponent,
+            } => h
+                .str("log-distance")
+                .f64(freq_hz)
+                .f64(ref_distance_m)
+                .f64(exponent),
+        };
+        let f = &self.fading;
+        h.u64(matches!(b.width, ChannelWidth::Mhz40) as u64)
+            .u64(matches!(self.width, ChannelWidth::Mhz40) as u64)
+            .u64(matches!(self.gi, GuardInterval::Short) as u64)
+            .f64(f.k_factor_db)
+            .f64(f.k_speed_slope_db_per_mps)
+            .f64(f.k_min_db)
+            .f64(f.shadowing_sigma_db)
+            .f64(f.shadowing_speed_slope_db_per_mps)
+            .f64(f.motion_loss_db_per_mps)
+            .f64(f.shadowing_coherence_s)
+            .f64(f.freq_hz)
+            .f64(f.relative_speed_mps)
+            .f64(f.sdm_sir_db)
+            .f64(self.host_fill_rate_bps)
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +272,16 @@ mod tests {
             ChannelPreset::airplane(15.0).fading.sdm_sir_db,
             ChannelPreset::quadrocopter(0.0).fading.sdm_sir_db
         );
+    }
+
+    #[test]
+    fn stable_key_separates_presets_and_speeds() {
+        let k = |p: &ChannelPreset| p.stable_key(KeyHasher::new("preset")).finish();
+        let a20 = ChannelPreset::airplane(20.0);
+        assert_eq!(k(&a20), k(&ChannelPreset::airplane(20.0)));
+        assert_ne!(k(&a20), k(&ChannelPreset::airplane(15.0)));
+        assert_ne!(k(&a20), k(&ChannelPreset::quadrocopter(0.0)));
+        assert_ne!(k(&a20), k(&ChannelPreset::indoor_lab()));
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod engine;
 pub mod parallel;
 pub mod queue;
 pub mod rng;
+pub mod stable;
 pub mod time;
 pub mod trace;
 

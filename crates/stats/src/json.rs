@@ -1,0 +1,213 @@
+//! A minimal JSON value model and writer.
+//!
+//! The reproduction harness emits machine-readable artifacts (table dumps,
+//! `--bench-parallel` timings) and must do so without external crates, so
+//! this module provides the one JSON writer the workspace shares. Object
+//! members keep insertion order, which keeps every emitted artifact
+//! deterministic and diff-friendly.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer, rendered without a fractional part.
+    Int(i64),
+    /// A float rendered with the shortest round-trip representation.
+    /// Non-finite values render as `null` (JSON has no NaN/Inf).
+    Num(f64),
+    /// A float rendered with a fixed number of decimal places (for stable,
+    /// diffable artifacts). Non-finite values render as `null`.
+    Fixed(f64, u8),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; members render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Render compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Render with two-space indentation and a trailing newline, the style
+    /// used for checked-in artifacts.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Fixed(v, d) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v:.prec$}", prec = *d as usize);
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(out, indent, depth, '[', ']', items.iter(), |out, item| {
+                    item.write(out, indent, depth + 1);
+                });
+            }
+            Json::Obj(members) => {
+                write_seq(
+                    out,
+                    indent,
+                    depth,
+                    '{',
+                    '}',
+                    members.iter(),
+                    |out, (k, v)| {
+                        write_escaped(out, k);
+                        out.push(':');
+                        if indent.is_some() {
+                            out.push(' ');
+                        }
+                        v.write(out, indent, depth + 1);
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Shared layout for arrays and objects: compact when `indent` is `None`,
+/// one item per line otherwise.
+fn write_seq<T>(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    items: impl ExactSizeIterator<Item = T>,
+    mut write_item: impl FnMut(&mut String, T),
+) {
+    out.push(open);
+    let n = items.len();
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * (depth + 1)));
+        }
+        write_item(out, item);
+    }
+    if n > 0 {
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * depth));
+        }
+    }
+    out.push(close);
+}
+
+/// Write a JSON-escaped, double-quoted string.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Int(-3).render(), "-3");
+        assert_eq!(Json::Num(0.5).render(), "0.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Fixed(1.0 / 3.0, 4).render(), "0.3333");
+        assert_eq!(Json::Fixed(f64::INFINITY, 2).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd\u{1}").render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn compact_nesting() {
+        let v = Json::obj([
+            ("xs", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            ("s", Json::str("hi")),
+        ]);
+        assert_eq!(v.render(), "{\"xs\":[1,2],\"s\":\"hi\"}");
+    }
+
+    #[test]
+    fn pretty_layout() {
+        let v = Json::obj([("a", Json::Int(1)), ("b", Json::Arr(vec![]))]);
+        assert_eq!(v.render_pretty(), "{\n  \"a\": 1,\n  \"b\": []\n}\n");
+    }
+
+    #[test]
+    fn pretty_nested_indent() {
+        let v = Json::obj([("rows", Json::Arr(vec![Json::Arr(vec![Json::Int(1)])]))]);
+        assert_eq!(
+            v.render_pretty(),
+            "{\n  \"rows\": [\n    [\n      1\n    ]\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let v = Json::obj([("z", Json::Int(1)), ("a", Json::Int(2))]);
+        assert_eq!(v.render(), "{\"z\":1,\"a\":2}");
+    }
+}

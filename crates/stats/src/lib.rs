@@ -13,8 +13,8 @@
 //!   `s(d) = a·log2(d) + b`, with the coefficient of determination R²
 //!   (Section 4: R² = 0.90 for airplanes, 0.96 for quadrocopters) — see
 //!   [`regression`];
-//! * plain summary statistics and text tables for the reproduction harness
-//!   — see [`summary`] and [`table`];
+//! * plain summary statistics, typed tables and a JSON writer for the
+//!   reproduction harness — see [`summary`], [`table`] and [`json`];
 //! * **bootstrap confidence intervals** for the campaign medians — see
 //!   [`bootstrap`].
 //!
@@ -26,6 +26,7 @@
 pub mod bootstrap;
 pub mod boxplot;
 pub mod histogram;
+pub mod json;
 pub mod quantile;
 pub mod regression;
 pub mod summary;
@@ -34,7 +35,8 @@ pub mod table;
 pub use bootstrap::{median_ci, ConfidenceInterval};
 pub use boxplot::BoxplotSummary;
 pub use histogram::Histogram;
+pub use json::Json;
 pub use quantile::{median, quantile, Quartiles};
 pub use regression::{LinearFit, Log2Fit};
 pub use summary::Summary;
-pub use table::TextTable;
+pub use table::{Align, Column, ColumnKind, Table, Value};

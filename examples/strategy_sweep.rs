@@ -12,7 +12,7 @@
 use skyferry::core::prelude::*;
 use skyferry::core::strategy::{evaluate_panel, EvalConfig};
 use skyferry::core::sweep::{gratification_sweep, paper_grid, paper_rhos, rho_sweep};
-use skyferry::stats::table::TextTable;
+use skyferry::stats::table::{Column, Table, Value};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -25,18 +25,24 @@ fn main() {
     let base = Scenario::airplane_baseline()
         .with_mdata_mb(mdata_mb)
         .with_speed(speed);
-    let mut t = TextTable::new(&["rho (1/m)", "dopt (m)", "U(dopt)", "ship (s)", "tx (s)"]);
+    let mut t = Table::new(vec![
+        Column::sci("rho (1/m)", 2).left(),
+        Column::float("dopt (m)", 1),
+        Column::float("U(dopt)", 4),
+        Column::float("ship (s)", 1),
+        Column::float("tx (s)", 1),
+    ]);
     for c in rho_sweep(&base, &paper_rhos::AIRPLANE, 2) {
-        t.row(&[
-            &format!("{:.2e}", c.rho_per_m),
-            &format!("{:.1}", c.optimum.d_opt),
-            &format!("{:.4}", c.optimum.utility),
-            &format!("{:.1}", c.optimum.ship_s),
-            &format!("{:.1}", c.optimum.tx_s),
+        t.push(vec![
+            Value::Num(c.rho_per_m),
+            c.optimum.d_opt.into(),
+            c.optimum.utility.into(),
+            c.optimum.ship_s.into(),
+            c.optimum.tx_s.into(),
         ]);
     }
     println!("risk sweep for Mdata = {mdata_mb} MB, v = {speed} m/s:");
-    println!("{}", t.render());
+    println!("{}", t.render_text());
 
     // --- Figure 9: the Mdata × v landscape. ------------------------------
     let grid = gratification_sweep(
@@ -44,30 +50,42 @@ fn main() {
         &paper_grid::MDATA_MB,
         &paper_grid::SPEEDS_MPS,
     );
-    let mut g = TextTable::new(&["Mdata \\ v", "3", "5", "10", "15", "20  (dopt in m)"]);
+    let mut g = Table::new(vec![
+        Column::text("Mdata \\ v"),
+        Column::int("3"),
+        Column::int("5"),
+        Column::int("10"),
+        Column::int("15"),
+        Column::int("20  (dopt in m)"),
+    ]);
     for row in &grid {
         let cells: Vec<f64> = row.iter().map(|p| p.optimum.d_opt).collect();
-        g.row_f64(&format!("{:.0} MB", row[0].mdata_mb), &cells, 0);
+        g.row_f64(&format!("{:.0} MB", row[0].mdata_mb), &cells);
     }
     println!("optimal rendezvous distance across the Figure 9 grid:");
-    println!("{}", g.render());
+    println!("{}", g.render_text());
 
     // --- Concrete strategies at the chosen point. ------------------------
-    let mut s = TextTable::new(&["strategy", "completion (s)", "survival", "utility"]);
+    let mut s = Table::new(vec![
+        Column::text("strategy"),
+        Column::float("completion (s)", 1),
+        Column::float("survival", 4),
+        Column::float("utility", 5),
+    ]);
     for e in evaluate_panel(
         &base,
         &[20.0, 60.0, 120.0, base.d0_m],
         &EvalConfig::default(),
     ) {
-        s.row(&[
-            &e.label,
-            &format!("{:.1}", e.completion_s),
-            &format!("{:.4}", e.survival),
-            &format!("{:.5}", e.utility),
+        s.push(vec![
+            Value::from(e.label.as_str()),
+            e.completion_s.into(),
+            e.survival.into(),
+            e.utility.into(),
         ]);
     }
     println!("strategy panel at Mdata = {mdata_mb} MB, v = {speed} m/s:");
-    println!("{}", s.render());
+    println!("{}", s.render_text());
 
     let opt = base.optimize();
     println!(
