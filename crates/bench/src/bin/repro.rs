@@ -1,7 +1,7 @@
 //! The reproduction harness CLI.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--threads N] [--out DIR] [EXPERIMENT...]
+//! repro [--quick] [--seed N] [--threads N] [--out DIR] [--json] [EXPERIMENT...]
 //! repro --list
 //! repro --verify [--quick] [--seed N] [--threads N] [EXPERIMENT...]
 //! repro --bench-parallel FILE [--quick] [--seed N] [--threads N]
@@ -33,7 +33,7 @@ use skyferry_stats::json::Json;
 
 fn usage() {
     eprintln!(
-        "usage: repro [--quick] [--seed N] [--threads N] [--out DIR] [EXPERIMENT...]\n\
+        "usage: repro [--quick] [--seed N] [--threads N] [--out DIR] [--json] [EXPERIMENT...]\n\
          \x20      repro --list\n\
          \x20      repro --verify [--quick] [--seed N] [--threads N] [EXPERIMENT...]\n\
          \x20      repro --bench-parallel FILE [--quick] [--seed N] [--threads N]\n\
@@ -179,6 +179,10 @@ fn run(args: CliArgs) -> ExitCode {
         }
     }
     eprintln!("{}", store.summary());
+    if args.json {
+        // One machine-readable footer line on stdout, after the tables.
+        println!("{}", store.summary_json().render());
+    }
 
     if args.verify {
         if mismatches.is_empty() {

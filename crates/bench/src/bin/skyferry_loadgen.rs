@@ -1,0 +1,67 @@
+//! `skyferry-loadgen` — drive a running `skyferryd` and measure it.
+//!
+//! ```text
+//! skyferry-loadgen --addr HOST:PORT [--requests N] [--concurrency N]
+//!                  [--window N] [--rate RPS] [--seed N] [--pool N]
+//!                  [--unique-frac F] [--compare] [--min-speedup X]
+//!                  [--expect-identical] [--check] [--out FILE]
+//!                  [--shutdown-after]
+//! ```
+//!
+//! Exit codes: 0 success, 1 a `--check` gate failed or the server was
+//! unreachable, 2 bad arguments.
+
+use skyferry_serve::loadgen::{parse_args, run, LoadgenError};
+
+const USAGE: &str = "usage: skyferry-loadgen --addr HOST:PORT [--requests N] \
+[--concurrency N] [--window N] [--rate RPS] [--seed N] [--pool N] [--unique-frac F] \
+[--compare] [--min-speedup X] [--expect-identical] [--check] [--out FILE] \
+[--shutdown-after]";
+
+fn main() {
+    let cfg = match parse_args(std::env::args().skip(1)) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("skyferry-loadgen: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    match run(&cfg) {
+        Ok(report) => {
+            for p in &report.phases {
+                println!(
+                    "{:<9} {:>8.0} req/s   p50 {:>8.0} us   p95 {:>8.0} us   p99 {:>8.0} us   \
+                     hits {}   errors {}",
+                    p.label,
+                    p.throughput_rps,
+                    p.p50_us,
+                    p.p95_us,
+                    p.p99_us,
+                    p.cache_hits,
+                    p.protocol_errors,
+                );
+            }
+            if let Some(s) = report.speedup {
+                println!("cache speedup: {s:.2}x");
+            }
+            if let Some(identical) = report.d_star_identical {
+                println!(
+                    "d_star streams: {}",
+                    if identical { "bit-identical" } else { "DIFFER" }
+                );
+            }
+            if let Some(out) = &cfg.out {
+                println!("report written to {}", out.display());
+            }
+        }
+        Err(e @ (LoadgenError::Io(_) | LoadgenError::Protocol(_))) => {
+            eprintln!("skyferry-loadgen: {e}");
+            std::process::exit(1);
+        }
+        Err(e @ LoadgenError::CheckFailed(_)) => {
+            eprintln!("skyferry-loadgen: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //! spawning the binary:
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--threads N] [--out DIR] [EXPERIMENT...]
+//! repro [--quick] [--seed N] [--threads N] [--out DIR] [--json] [EXPERIMENT...]
 //! repro --list
 //! repro --verify [--quick] [--seed N] [--threads N] [EXPERIMENT...]
 //! repro --bench-parallel FILE [--quick] [--seed N] [--threads N]
@@ -30,6 +30,9 @@ pub struct CliArgs {
     /// Diff regenerated tables against the checked-in goldens
     /// (`--verify`).
     pub verify: bool,
+    /// Print the campaign-store footer as one JSON line on stdout
+    /// (`--json`).
+    pub json: bool,
     /// List the registered experiments and exit (`--list`).
     pub list: bool,
     /// Positional experiment ids (empty = all, in registry order).
@@ -46,6 +49,7 @@ impl Default for CliArgs {
             out: None,
             bench_parallel: None,
             verify: false,
+            json: false,
             list: false,
             experiments: Vec::new(),
         }
@@ -100,6 +104,7 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<CliArgs, CliError
         match arg.as_str() {
             "--quick" => out.quick = true,
             "--verify" => out.verify = true,
+            "--json" => out.json = true,
             "--list" => out.list = true,
             "--seed" => {
                 let raw = args.next().ok_or(CliError::MissingValue("--seed"))?;
@@ -175,6 +180,13 @@ mod tests {
         assert!(parse_strs(&["--verify"]).unwrap().verify);
         assert!(parse_strs(&["--list"]).unwrap().list);
         assert!(!parse_strs(&[]).unwrap().verify);
+    }
+
+    #[test]
+    fn json_footer_flag() {
+        assert!(parse_strs(&["--json"]).unwrap().json);
+        assert!(!parse_strs(&[]).unwrap().json);
+        assert!(parse_strs(&["--json", "--quick", "fig5"]).unwrap().quick);
     }
 
     #[test]

@@ -30,6 +30,7 @@ use skyferry_net::campaign::{measure_throughput, CampaignConfig, CampaignKey};
 use skyferry_net::profile::MotionProfile;
 use skyferry_sim::parallel::par_map_indexed;
 use skyferry_sim::stable::KeyHasher;
+use skyferry_stats::json::Json;
 
 /// The derived, human-readable id of a campaign: preset name plus
 /// rate-control label, e.g. `airplane/autorate` or `quadrocopter/mcs1`.
@@ -188,6 +189,11 @@ impl CampaignStore {
         self.opt_hits
     }
 
+    /// Optimizer scenarios solved fresh.
+    pub fn optimizer_misses(&self) -> u64 {
+        self.opt_misses
+    }
+
     /// Estimated simulation wall-clock avoided by cell hits, seconds.
     pub fn saved_secs(&self) -> f64 {
         self.saved_s
@@ -196,6 +202,29 @@ impl CampaignStore {
     /// Wall-clock spent filling cells, seconds.
     pub fn fill_secs(&self) -> f64 {
         self.fill_s
+    }
+
+    /// The same footer as [`summary`](CampaignStore::summary), as a
+    /// machine-readable document for `repro --json`.
+    pub fn summary_json(&self) -> Json {
+        Json::obj([
+            (
+                "campaign_store",
+                Json::obj([
+                    ("hits", Json::Int(self.hits as i64)),
+                    ("misses", Json::Int(self.misses as i64)),
+                    ("reused_s", Json::Fixed(self.saved_s, 3)),
+                    ("fill_s", Json::Fixed(self.fill_s, 3)),
+                ]),
+            ),
+            (
+                "optimizer_memo",
+                Json::obj([
+                    ("hits", Json::Int(self.opt_hits as i64)),
+                    ("misses", Json::Int(self.opt_misses as i64)),
+                ]),
+            ),
+        ])
     }
 
     /// One-line stats summary for the `repro` footer.
@@ -289,6 +318,32 @@ mod tests {
             quick_store.key(&cfg, 40.0, 2),
             full_store.key(&cfg, 40.0, 2)
         );
+    }
+
+    #[test]
+    fn summary_json_reports_the_counters() {
+        let cfg = quad(7);
+        let mut store = CampaignStore::new(true);
+        store.samples(&cfg, 40.0, 2);
+        store.samples(&cfg, 40.0, 2);
+        store.optimum(&Scenario::airplane_baseline());
+        let doc = store.summary_json();
+        let cells = doc.get("campaign_store").expect("campaign_store block");
+        assert_eq!(cells.get("hits").and_then(Json::as_i64), Some(1));
+        assert_eq!(cells.get("misses").and_then(Json::as_i64), Some(1));
+        assert!(
+            cells
+                .get("reused_s")
+                .and_then(Json::as_f64)
+                .expect("reused")
+                > 0.0
+        );
+        let memo = doc.get("optimizer_memo").expect("optimizer block");
+        assert_eq!(memo.get("misses").and_then(Json::as_i64), Some(1));
+        // The footer renders as a single line of valid JSON.
+        let line = doc.render();
+        assert!(!line.contains('\n'));
+        assert!(skyferry_stats::json::parse(&line).is_ok());
     }
 
     #[test]

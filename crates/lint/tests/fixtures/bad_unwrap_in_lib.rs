@@ -1,0 +1,7 @@
+fn first_line(text: &str) -> &str {
+    text.lines().next().unwrap()
+}
+
+fn parse_port(raw: &str) -> u16 {
+    raw.parse().unwrap()
+}

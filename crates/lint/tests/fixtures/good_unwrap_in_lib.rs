@@ -1,0 +1,16 @@
+fn first_line(text: &str) -> Option<&str> {
+    text.lines().next()
+}
+
+fn fallback(raw: &str) -> u16 {
+    // `unwrap_or_else` and `unwrap_or` are error handling, not panics.
+    raw.parse().unwrap_or_else(|_| raw.len() as u16).min(u16::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(super::first_line("a\nb").unwrap(), "a");
+    }
+}

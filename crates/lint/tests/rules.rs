@@ -35,9 +35,9 @@ fn all(rule: &str, lines: &[usize]) -> Vec<(String, usize)> {
 const CORE: &str = "crates/core/src/fixture.rs";
 
 #[test]
-fn registry_has_at_least_eight_rules_with_unique_ids() {
+fn registry_has_at_least_ten_rules_with_unique_ids() {
     let rules = registry();
-    assert!(rules.len() >= 8, "only {} rules", rules.len());
+    assert!(rules.len() >= 10, "only {} rules", rules.len());
     let mut ids: Vec<_> = rules.iter().map(|r| r.id).collect();
     ids.sort_unstable();
     ids.dedup();
@@ -54,8 +54,10 @@ fn wall_clock_fires_with_exact_spans() {
 }
 
 #[test]
-fn wall_clock_scope_excludes_bench() {
+fn wall_clock_scope_excludes_bench_and_serve() {
     assert!(lint_at("crates/bench/src/fixture.rs", "bad_wall_clock.rs").is_empty());
+    // The serving layer measures real request latency on purpose.
+    assert!(lint_at("crates/serve/src/fixture.rs", "bad_wall_clock.rs").is_empty());
 }
 
 #[test]
@@ -141,6 +143,21 @@ fn debug_macros_fire_with_exact_spans() {
 }
 
 #[test]
+fn unwrap_in_lib_fires_outside_test_code() {
+    assert_eq!(
+        lint_at(CORE, "bad_unwrap_in_lib.rs"),
+        all("unwrap-in-lib", &[2, 6])
+    );
+    // `unwrap_or_else` / `unwrap_or`, and anything after the trailing
+    // `#[cfg(test)]` module, stay silent.
+    assert!(lint_at(CORE, "good_unwrap_in_lib.rs").is_empty());
+    // A justified escape suppresses the rule.
+    assert!(lint_at(CORE, "allowed_unwrap_in_lib.rs").is_empty());
+    // Integration-test trees are out of scope entirely.
+    assert!(lint_at("crates/serve/tests/fixture.rs", "bad_unwrap_in_lib.rs").is_empty());
+}
+
+#[test]
 fn env_read_fires_outside_bench() {
     assert_eq!(lint_at(CORE, "bad_env_read.rs"), all("env-read", &[2]));
     assert!(lint_at(CORE, "good_env_read.rs").is_empty());
@@ -161,6 +178,7 @@ fn every_rule_has_a_firing_bad_fixture() {
             "crates/phy/src/fixture.rs",
             "bad_undocumented_pub.rs",
         ),
+        ("unwrap-in-lib", CORE, "bad_unwrap_in_lib.rs"),
         ("allow-no-reason", CORE, "bad_allow.rs"),
         ("debug-macros", CORE, "bad_debug_macros.rs"),
         ("env-read", CORE, "bad_env_read.rs"),

@@ -1,0 +1,155 @@
+//! `skyferryd` — the long-running decision server.
+//!
+//! ```text
+//! skyferryd [--addr HOST:PORT] [--queue-depth N] [--batch N]
+//!           [--cache-capacity N] [--exact | --quant-d0 M --quant-mdata MB
+//!            --quant-rho R --quant-speed V] [--no-cache]
+//!           [--deterministic] [--threads N]
+//! ```
+//!
+//! Prints `listening on <addr>` once the socket is bound (scripts wait
+//! for that line), then serves until a `shutdown` control request.
+
+use skyferry_core::request::Quantizer;
+use skyferry_serve::server::{start, ServerConfig};
+
+struct Args {
+    server: ServerConfig,
+    threads: usize,
+}
+
+fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    let mut server = ServerConfig {
+        addr: "127.0.0.1:4517".to_string(),
+        ..Default::default()
+    };
+    let mut threads = 0usize;
+    let mut quant = Quantizer::default_buckets();
+    let mut raw = raw.into_iter();
+    fn value<T: std::str::FromStr>(
+        args: &mut impl Iterator<Item = String>,
+        flag: &str,
+    ) -> Result<T, String> {
+        let v = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        v.parse()
+            .map_err(|_| format!("{flag} got unparsable value '{v}'"))
+    }
+    while let Some(arg) = raw.next() {
+        match arg.as_str() {
+            "--addr" => server.addr = value(&mut raw, "--addr")?,
+            "--queue-depth" => server.queue_depth = value(&mut raw, "--queue-depth")?,
+            "--batch" => server.max_batch = value(&mut raw, "--batch")?,
+            "--cache-capacity" => {
+                server.engine.cache_capacity = value(&mut raw, "--cache-capacity")?
+            }
+            "--exact" => quant = Quantizer::exact(),
+            "--quant-d0" => quant.d0_step_m = Some(value(&mut raw, "--quant-d0")?),
+            "--quant-mdata" => quant.mdata_step_mb = Some(value(&mut raw, "--quant-mdata")?),
+            "--quant-rho" => quant.rho_step_per_m = Some(value(&mut raw, "--quant-rho")?),
+            "--quant-speed" => quant.speed_step_mps = Some(value(&mut raw, "--quant-speed")?),
+            "--no-cache" => server.engine.cache_enabled = false,
+            "--deterministic" => server.deterministic = true,
+            "--threads" => threads = value(&mut raw, "--threads")?,
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    server.engine.quant = quant;
+    Ok(Args { server, threads })
+}
+
+const USAGE: &str = "usage: skyferryd [--addr HOST:PORT] [--queue-depth N] [--batch N] \
+[--cache-capacity N] [--exact] [--quant-d0 M] [--quant-mdata MB] [--quant-rho R] \
+[--quant-speed V] [--no-cache] [--deterministic] [--threads N]";
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("skyferryd: {e}");
+            }
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    skyferry_sim::parallel::set_max_threads(args.threads);
+    let handle = match start(args.server.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("skyferryd: cannot bind {}: {e}", args.server.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", handle.addr());
+    let e = &args.server.engine;
+    eprintln!(
+        "skyferryd: cache {} (capacity {}, {}), queue depth {}, batch {}, {} mode",
+        if e.cache_enabled { "on" } else { "off" },
+        e.cache_capacity,
+        if e.quant.is_exact() {
+            "exact keys".to_string()
+        } else {
+            "quantized keys".to_string()
+        },
+        args.server.queue_depth,
+        args.server.max_batch,
+        if args.server.deterministic {
+            "deterministic"
+        } else {
+            "timing"
+        },
+    );
+    handle.join();
+    eprintln!("skyferryd: shut down cleanly");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(strs: &[&str]) -> Result<Args, String> {
+        parse_args(strs.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let a = parse(&[]).expect("defaults");
+        assert_eq!(a.server.addr, "127.0.0.1:4517");
+        assert!(a.server.engine.cache_enabled);
+        assert!(!a.server.engine.quant.is_exact());
+
+        let a = parse(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--queue-depth",
+            "8",
+            "--batch",
+            "16",
+            "--cache-capacity",
+            "100",
+            "--exact",
+            "--deterministic",
+            "--threads",
+            "2",
+        ])
+        .expect("valid");
+        assert_eq!(a.server.addr, "127.0.0.1:0");
+        assert_eq!(a.server.queue_depth, 8);
+        assert_eq!(a.server.max_batch, 16);
+        assert_eq!(a.server.engine.cache_capacity, 100);
+        assert!(a.server.engine.quant.is_exact());
+        assert!(a.server.deterministic);
+        assert_eq!(a.threads, 2);
+    }
+
+    #[test]
+    fn quant_flags_and_errors() {
+        let a = parse(&["--quant-d0", "2.5", "--no-cache"]).expect("valid");
+        assert_eq!(a.server.engine.quant.d0_step_m, Some(2.5));
+        assert!(!a.server.engine.cache_enabled);
+        assert!(parse(&["--queue-depth"]).is_err());
+        assert!(parse(&["--queue-depth", "many"]).is_err());
+        assert!(parse(&["--frob"]).is_err());
+    }
+}

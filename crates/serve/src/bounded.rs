@@ -1,0 +1,170 @@
+//! A bounded multi-producer job queue with explicit backpressure.
+//!
+//! Connection threads `try_push`; the dispatcher drains in batches.
+//! There is deliberately no blocking push: when the queue is full the
+//! connection answers `overloaded` immediately (the 503 of this
+//! protocol) rather than letting latency pile up invisibly in an
+//! unbounded buffer. Depth 0 is a valid configuration that rejects
+//! every job — the tests use it to exercise the overflow path without
+//! timing races.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused (the job comes back to the caller so it can
+/// answer the client).
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// At capacity; the caller should shed load.
+    Full(T),
+    /// The queue was closed (server shutting down).
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The queue. `capacity` is fixed at construction.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    available: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An open queue holding at most `capacity` jobs.
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            capacity,
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// The configured depth.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue without blocking; refuses when full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut s = self.state.lock().expect("queue lock poisoned");
+        if s.closed {
+            return Err(PushError::Closed(item));
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue up to `max` jobs, blocking until at least one is
+    /// available. Returns an empty vector only when the queue is closed
+    /// *and* fully drained — the dispatcher's exit signal.
+    pub fn pop_batch(&self, max: usize) -> Vec<T> {
+        let mut s = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if !s.items.is_empty() {
+                let n = s.items.len().min(max.max(1));
+                return s.items.drain(..n).collect();
+            }
+            if s.closed {
+                return Vec::new();
+            }
+            s = self.available.wait(s).expect("queue lock poisoned");
+        }
+    }
+
+    /// Close the queue: pending jobs still drain, new pushes are
+    /// refused, blocked consumers wake.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Has [`close`](BoundedQueue::close) been called?
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock poisoned").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_preserves_fifo_order() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).expect("capacity 8");
+        }
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.pop_batch(3), vec![0, 1, 2]);
+        assert_eq!(q.pop_batch(10), vec![3, 4]);
+    }
+
+    #[test]
+    fn overflow_returns_the_job() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).expect("room");
+        q.try_push(2).expect("room");
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        // Depth 0 rejects everything.
+        let z: BoundedQueue<u8> = BoundedQueue::new(0);
+        assert_eq!(z.try_push(9), Err(PushError::Full(9)));
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = BoundedQueue::new(4);
+        q.try_push('a').expect("room");
+        q.close();
+        assert_eq!(q.try_push('b'), Err(PushError::Closed('b')));
+        assert_eq!(q.pop_batch(4), vec!['a']);
+        assert_eq!(q.pop_batch(4), Vec::<char>::new());
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_push_and_on_close() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            loop {
+                let batch = q2.pop_batch(2);
+                if batch.is_empty() {
+                    return got;
+                }
+                got.extend(batch);
+            }
+        });
+        for i in 0..6 {
+            while q.try_push(i).is_err() {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        let got = consumer.join().expect("consumer finishes");
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

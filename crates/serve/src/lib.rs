@@ -1,0 +1,47 @@
+//! # skyferry-serve
+//!
+//! The serving subsystem: `skyferryd` turns the Eq. (2) optimizer into a
+//! long-running decision service, and `skyferry-loadgen` hammers it and
+//! measures it.
+//!
+//! A UAV (or a planner acting for one) asks, over a TCP connection,
+//! "given `(d0, Mdata, ρ, v, platform)`, transmit now or ferry closer?"
+//! and gets the solved optimum back. The interesting systems work is in
+//! between:
+//!
+//! * [`proto`] — newline-delimited JSON framing (one request per line,
+//!   one response per line, in order), reusing `stats::json` for both
+//!   directions; malformed input becomes a typed `bad-request`
+//!   response, never a panic;
+//! * [`bounded`] — a bounded MPSC job queue with backpressure: when it
+//!   is full the connection thread answers `overloaded` immediately
+//!   (503-style) instead of queueing unboundedly;
+//! * [`engine`] — batch decision evaluation on `sim::parallel` workers
+//!   with *sequential-equivalent* cache semantics: responses, hit flags
+//!   and eviction order are bit-identical to one-at-a-time serving, at
+//!   any worker count and any batch partitioning;
+//! * [`cache`] — a deterministic LRU keyed on quantized parameter
+//!   buckets ([`skyferry_core::request::Quantizer`]), mirroring the
+//!   repro harness's `CampaignStore` economics at per-request scale;
+//! * [`metrics`] — counters plus a streaming log-bucket latency
+//!   histogram (p50/p95/p99) served by the `STATS` control request;
+//! * [`server`] — the TCP front end: reader/writer threads per
+//!   connection, a single dispatcher owning engine and cache, graceful
+//!   shutdown on a control message;
+//! * [`loadgen`] — open-loop (fixed-rate) and closed-loop
+//!   (fixed-concurrency) workload driver with a seeded `DetRng` request
+//!   mix, cache-vs-no-cache comparison, and `BENCH_serve.json` output.
+//!
+//! Real wall-clock timing is confined to this crate (and `bench`) by
+//! the `wall-clock` lint rule: a latency histogram is the one place the
+//! workspace *wants* `Instant`.
+
+#![forbid(unsafe_code)]
+
+pub mod bounded;
+pub mod cache;
+pub mod engine;
+pub mod loadgen;
+pub mod metrics;
+pub mod proto;
+pub mod server;

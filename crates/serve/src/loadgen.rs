@@ -1,0 +1,682 @@
+//! The load generator behind `skyferry-loadgen`.
+//!
+//! Drives a running `skyferryd` with a seeded, reproducible request mix
+//! and measures it from the client side:
+//!
+//! * **closed-loop** (default): `concurrency` connections, each keeping
+//!   `window` requests in flight (pipelined — an initial burst, then
+//!   read-one-send-one), so throughput is bounded by the server, not by
+//!   round trips;
+//! * **open-loop** (`--rate R`): requests are launched on a fixed
+//!   schedule split across the connections, so latency includes queue
+//!   buildup when the server cannot keep up.
+//!
+//! The mix comes from a `DetRng` stream: a `pool` of distinct parameter
+//! tuples is drawn once, then each request either repeats a pool entry
+//! or (with probability `unique_frac`) draws fresh parameters. The same
+//! seed therefore replays byte-identical request lines — which is what
+//! makes `--compare` meaningful: phase 1 runs with the decision cache
+//! enabled, phase 2 disables it (`cache`/`reset` control requests),
+//! same workload, and the report carries the throughput ratio plus a
+//! per-request `d_star` comparison (bit-exact when the server runs in
+//! exactness mode).
+//!
+//! Client-side percentiles use the exact `stats::quantile` over the raw
+//! latency samples; the report also embeds the server's own `STATS`
+//! snapshot, and everything lands in `BENCH_serve.json`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use bytes::{BufMut, BytesMut};
+use skyferry_sim::rng::{DetRng, SeedStream};
+use skyferry_stats::json::{self, Json};
+use skyferry_stats::quantile::quantile;
+
+/// Knobs of one load-generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:4517`.
+    pub addr: String,
+    /// Total requests per phase.
+    pub requests: usize,
+    /// Concurrent connections.
+    pub concurrency: usize,
+    /// Pipelining window per connection (closed loop) / outstanding cap
+    /// (open loop).
+    pub window: usize,
+    /// Open-loop request rate in req/s (split across connections);
+    /// `None` = closed loop.
+    pub rate: Option<f64>,
+    /// Workload seed.
+    pub seed: u64,
+    /// Distinct parameter tuples in the repeated pool.
+    pub pool: usize,
+    /// Probability a request draws fresh parameters instead of reusing
+    /// the pool.
+    pub unique_frac: f64,
+    /// Run a second phase with the cache disabled and report speedup.
+    pub compare: bool,
+    /// With `--check`: fail unless cached/uncached throughput ratio
+    /// reaches this.
+    pub min_speedup: Option<f64>,
+    /// With `--compare`: require bit-identical `d_star` streams across
+    /// phases (valid against a server in exactness mode).
+    pub expect_identical: bool,
+    /// Gate the exit code on the checks (protocol errors, p99,
+    /// speedup, identity).
+    pub check: bool,
+    /// Where to write the JSON report.
+    pub out: Option<PathBuf>,
+    /// Send a `shutdown` control request when done.
+    pub shutdown_after: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: String::new(),
+            requests: 2000,
+            concurrency: 4,
+            window: 32,
+            rate: None,
+            seed: 0x5AFE_5EED,
+            pool: 64,
+            unique_frac: 0.0,
+            compare: false,
+            min_speedup: None,
+            expect_identical: false,
+            check: false,
+            out: None,
+            shutdown_after: false,
+        }
+    }
+}
+
+/// A failed run (I/O trouble or a failed `--check` gate).
+#[derive(Debug)]
+pub enum LoadgenError {
+    /// Socket-level failure talking to the server.
+    Io(std::io::Error),
+    /// The server answered something the protocol does not allow here.
+    Protocol(String),
+    /// A `--check` gate failed; the report is still returned alongside.
+    CheckFailed(String),
+}
+
+impl std::fmt::Display for LoadgenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadgenError::Io(e) => write!(f, "i/o: {e}"),
+            LoadgenError::Protocol(m) => write!(f, "protocol: {m}"),
+            LoadgenError::CheckFailed(m) => write!(f, "check failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadgenError {}
+
+impl From<std::io::Error> for LoadgenError {
+    fn from(e: std::io::Error) -> Self {
+        LoadgenError::Io(e)
+    }
+}
+
+/// Render one random decision-request line.
+fn random_request_line(rng: &mut DetRng) -> String {
+    let airplane = rng.chance(0.5);
+    let (platform, d0_lo, d0_hi) = if airplane {
+        ("airplane", 50.0, 300.0)
+    } else {
+        ("quadrocopter", 30.0, 100.0)
+    };
+    Json::obj([
+        ("platform", Json::str(platform)),
+        ("d0", Json::Num(rng.uniform_range(d0_lo, d0_hi))),
+        ("mdata", Json::Num(rng.uniform_range(1.0, 60.0))),
+        ("rho", Json::Num(rng.uniform_range(5e-5, 5e-4))),
+        ("speed", Json::Num(rng.uniform_range(2.0, 12.0))),
+    ])
+    .render()
+}
+
+/// The per-connection request streams for one run: `lines[t]` is
+/// connection `t`'s exact byte sequence. Pure function of the config,
+/// so a second phase replays the identical workload.
+pub fn build_workload(cfg: &LoadgenConfig) -> Vec<Vec<String>> {
+    let stream = SeedStream::new(cfg.seed);
+    let mut pool_rng = stream.rng("loadgen-pool");
+    let pool: Vec<String> = (0..cfg.pool.max(1))
+        .map(|_| random_request_line(&mut pool_rng))
+        .collect();
+
+    let threads = cfg.concurrency.max(1);
+    (0..threads)
+        .map(|t| {
+            let mut rng = stream.rng_indexed("loadgen-mix", t as u64);
+            let share = cfg.requests / threads + usize::from(t < cfg.requests % threads);
+            (0..share)
+                .map(|_| {
+                    if rng.chance(cfg.unique_frac) {
+                        random_request_line(&mut rng)
+                    } else {
+                        pool[rng.index(pool.len())].clone()
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// What one connection measured.
+#[derive(Debug, Default, Clone)]
+struct ThreadResult {
+    latencies_us: Vec<f64>,
+    d_stars: Vec<f64>,
+    cache_hits: u64,
+    protocol_errors: u64,
+}
+
+/// Drive one connection through its request lines.
+fn drive_connection(
+    addr: &str,
+    lines: &[String],
+    window: usize,
+    rate_per_conn: Option<f64>,
+) -> Result<ThreadResult, LoadgenError> {
+    let mut result = ThreadResult::default();
+    if lines.is_empty() {
+        return Ok(result);
+    }
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut write_half = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+
+    let window = window.max(1);
+    let mut send_times: std::collections::VecDeque<Instant> =
+        std::collections::VecDeque::with_capacity(window);
+    let mut sent = 0usize;
+    let mut line_buf = String::new();
+    let started = Instant::now();
+
+    let mut read_one = |reader: &mut BufReader<TcpStream>,
+                        send_times: &mut std::collections::VecDeque<Instant>,
+                        result: &mut ThreadResult|
+     -> Result<(), LoadgenError> {
+        line_buf.clear();
+        let n = reader.read_line(&mut line_buf)?;
+        if n == 0 {
+            return Err(LoadgenError::Protocol(
+                "server closed the connection mid-stream".into(),
+            ));
+        }
+        let t_sent = send_times
+            .pop_front()
+            .ok_or_else(|| LoadgenError::Protocol("response without a request".into()))?;
+        result
+            .latencies_us
+            .push(t_sent.elapsed().as_secs_f64() * 1e6);
+        let value = json::parse(line_buf.trim())
+            .map_err(|e| LoadgenError::Protocol(format!("unparsable response: {e}")))?;
+        if value.get("error").is_some() {
+            result.protocol_errors += 1;
+            result.d_stars.push(f64::NAN);
+        } else {
+            let d_star = value
+                .get("d_star")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| LoadgenError::Protocol("response lacks d_star".into()))?;
+            result.d_stars.push(d_star);
+            if value.get("cache_hit").and_then(Json::as_bool) == Some(true) {
+                result.cache_hits += 1;
+            }
+        }
+        Ok(())
+    };
+
+    while result.latencies_us.len() < lines.len() {
+        // Send while the window allows (and, open loop, the schedule
+        // says the next request is due).
+        let mut burst = BytesMut::new();
+        let mut burst_n = 0usize;
+        while sent < lines.len() && sent - result.latencies_us.len() < window {
+            if let Some(rate) = rate_per_conn {
+                let due = started + Duration::from_secs_f64(sent as f64 / rate);
+                let now = Instant::now();
+                if now < due {
+                    if burst_n == 0 && result.latencies_us.len() == sent {
+                        // Nothing in flight and nothing due: sleep.
+                        std::thread::sleep(due - now);
+                    } else {
+                        break;
+                    }
+                }
+            }
+            burst.put_slice(lines[sent].as_bytes());
+            burst.put_u8(b'\n');
+            sent += 1;
+            burst_n += 1;
+            if rate_per_conn.is_some() {
+                break; // open loop: one request per due tick
+            }
+        }
+        if !burst.is_empty() {
+            write_half.write_all(&burst)?;
+            let now = Instant::now();
+            for _ in 0..burst_n {
+                send_times.push_back(now);
+            }
+        }
+        if result.latencies_us.len() < sent {
+            read_one(&mut reader, &mut send_times, &mut result)?;
+        }
+    }
+    Ok(result)
+}
+
+/// One control request over its own throwaway connection.
+fn control(addr: &str, line: &str) -> Result<Json, LoadgenError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut write_half = stream.try_clone()?;
+    write_half.write_all(line.as_bytes())?;
+    write_half.write_all(b"\n")?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response)?;
+    json::parse(response.trim())
+        .map_err(|e| LoadgenError::Protocol(format!("unparsable control response: {e}")))
+}
+
+/// One measured phase.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// `"cache"` / `"no-cache"` / `"single"`.
+    pub label: &'static str,
+    /// Wall-clock of the whole phase, seconds.
+    pub wall_s: f64,
+    /// Requests per second over the phase.
+    pub throughput_rps: f64,
+    /// Error responses received.
+    pub protocol_errors: u64,
+    /// `cache_hit: true` responses.
+    pub cache_hits: u64,
+    /// Client-side latency percentiles, µs (exact, from raw samples).
+    pub p50_us: f64,
+    /// 95th percentile, µs.
+    pub p95_us: f64,
+    /// 99th percentile, µs.
+    pub p99_us: f64,
+    /// The server's `STATS` snapshot taken right after the phase.
+    pub server_stats: Json,
+    /// Per-connection `d_star` streams (for cross-phase comparison).
+    d_stars: Vec<Vec<f64>>,
+}
+
+impl PhaseReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::str(self.label)),
+            ("wall_s", Json::Fixed(self.wall_s, 4)),
+            ("throughput_rps", Json::Fixed(self.throughput_rps, 1)),
+            ("protocol_errors", Json::Int(self.protocol_errors as i64)),
+            ("cache_hits", Json::Int(self.cache_hits as i64)),
+            (
+                "latency_us",
+                Json::obj([
+                    ("p50", Json::Fixed(self.p50_us, 1)),
+                    ("p95", Json::Fixed(self.p95_us, 1)),
+                    ("p99", Json::Fixed(self.p99_us, 1)),
+                ]),
+            ),
+            ("server", self.server_stats.clone()),
+        ])
+    }
+}
+
+/// The full run report (what `BENCH_serve.json` serialises).
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Phases in execution order.
+    pub phases: Vec<PhaseReport>,
+    /// Cached/uncached throughput ratio (`--compare` only).
+    pub speedup: Option<f64>,
+    /// Were the `d_star` streams bit-identical across phases?
+    pub d_star_identical: Option<bool>,
+    cfg: LoadgenConfig,
+}
+
+impl Report {
+    /// Serialise for `BENCH_serve.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "workload",
+                Json::obj([
+                    ("requests", Json::Int(self.cfg.requests as i64)),
+                    ("concurrency", Json::Int(self.cfg.concurrency as i64)),
+                    ("window", Json::Int(self.cfg.window as i64)),
+                    (
+                        "mode",
+                        Json::str(if self.cfg.rate.is_some() {
+                            "open-loop"
+                        } else {
+                            "closed-loop"
+                        }),
+                    ),
+                    (
+                        "rate_rps",
+                        self.cfg.rate.map(Json::Num).unwrap_or(Json::Null),
+                    ),
+                    ("seed", Json::Int(self.cfg.seed as i64)),
+                    ("pool", Json::Int(self.cfg.pool as i64)),
+                    ("unique_frac", Json::Num(self.cfg.unique_frac)),
+                ]),
+            ),
+            (
+                "phases",
+                Json::Arr(self.phases.iter().map(PhaseReport::to_json).collect()),
+            ),
+            (
+                "speedup",
+                self.speedup
+                    .map(|s| Json::Fixed(s, 2))
+                    .unwrap_or(Json::Null),
+            ),
+            (
+                "d_star_identical",
+                self.d_star_identical.map(Json::Bool).unwrap_or(Json::Null),
+            ),
+        ])
+    }
+}
+
+fn run_phase(
+    cfg: &LoadgenConfig,
+    label: &'static str,
+    workload: &[Vec<String>],
+) -> Result<PhaseReport, LoadgenError> {
+    let rate_per_conn = cfg.rate.map(|r| r / workload.len().max(1) as f64);
+    let t0 = Instant::now();
+    let results: Vec<Result<ThreadResult, LoadgenError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = workload
+            .iter()
+            .map(|lines| {
+                scope.spawn(|| drive_connection(&cfg.addr, lines, cfg.window, rate_per_conn))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("driver thread panicked"))
+            .collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let mut merged = Vec::new();
+    let mut d_stars = Vec::new();
+    let mut protocol_errors = 0;
+    let mut cache_hits = 0;
+    for r in results {
+        let r = r?;
+        merged.extend(r.latencies_us);
+        d_stars.push(r.d_stars);
+        protocol_errors += r.protocol_errors;
+        cache_hits += r.cache_hits;
+    }
+    let server_stats = control(&cfg.addr, r#"{"cmd":"stats"}"#)?;
+    let q = |p: f64| quantile(&merged, p).unwrap_or(0.0);
+    Ok(PhaseReport {
+        label,
+        wall_s,
+        throughput_rps: merged.len() as f64 / wall_s.max(1e-9),
+        protocol_errors,
+        cache_hits,
+        p50_us: q(0.50),
+        p95_us: q(0.95),
+        p99_us: q(0.99),
+        server_stats,
+        d_stars,
+    })
+}
+
+/// Run the configured workload; on success the report is also written
+/// to `cfg.out` (pretty JSON) when set.
+pub fn run(cfg: &LoadgenConfig) -> Result<Report, LoadgenError> {
+    let workload = build_workload(cfg);
+    let mut phases = Vec::new();
+
+    if cfg.compare {
+        control(&cfg.addr, r#"{"cmd":"cache","enabled":true}"#)?;
+        control(&cfg.addr, r#"{"cmd":"reset"}"#)?;
+        phases.push(run_phase(cfg, "cache", &workload)?);
+        control(&cfg.addr, r#"{"cmd":"cache","enabled":false}"#)?;
+        control(&cfg.addr, r#"{"cmd":"reset"}"#)?;
+        phases.push(run_phase(cfg, "no-cache", &workload)?);
+        control(&cfg.addr, r#"{"cmd":"cache","enabled":true}"#)?;
+    } else {
+        phases.push(run_phase(cfg, "single", &workload)?);
+    }
+
+    let speedup = (phases.len() == 2).then(|| {
+        let cached = phases[0].throughput_rps;
+        let uncached = phases[1].throughput_rps;
+        cached / uncached.max(1e-9)
+    });
+    let d_star_identical = (phases.len() == 2).then(|| {
+        phases[0]
+            .d_stars
+            .iter()
+            .flatten()
+            .map(|d| d.to_bits())
+            .eq(phases[1].d_stars.iter().flatten().map(|d| d.to_bits()))
+    });
+
+    let report = Report {
+        phases,
+        speedup,
+        d_star_identical,
+        cfg: cfg.clone(),
+    };
+
+    if let Some(out) = &cfg.out {
+        std::fs::write(out, report.to_json().render_pretty())?;
+    }
+    if cfg.shutdown_after {
+        let _ = control(&cfg.addr, r#"{"cmd":"shutdown"}"#);
+    }
+
+    if cfg.check {
+        let errors: u64 = report.phases.iter().map(|p| p.protocol_errors).sum();
+        if errors > 0 {
+            return Err(LoadgenError::CheckFailed(format!(
+                "{errors} protocol error responses"
+            )));
+        }
+        if report.phases.iter().any(|p| p.p99_us <= 0.0) {
+            return Err(LoadgenError::CheckFailed("p99 latency is zero".into()));
+        }
+        if let (Some(min), Some(got)) = (cfg.min_speedup, report.speedup) {
+            if got < min {
+                return Err(LoadgenError::CheckFailed(format!(
+                    "cache speedup {got:.2}x below required {min:.2}x"
+                )));
+            }
+        }
+        if cfg.expect_identical && report.d_star_identical == Some(false) {
+            return Err(LoadgenError::CheckFailed(
+                "d_star streams differ between cached and uncached phases".into(),
+            ));
+        }
+    }
+    Ok(report)
+}
+
+/// Parse the `skyferry-loadgen` argument grammar (without the program
+/// name). Kept here so it is unit-testable without spawning the binary.
+pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<LoadgenConfig, String> {
+    let mut cfg = LoadgenConfig::default();
+    let mut args = args.into_iter();
+    fn value<T: std::str::FromStr>(
+        args: &mut impl Iterator<Item = String>,
+        flag: &str,
+    ) -> Result<T, String> {
+        let raw = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        raw.parse()
+            .map_err(|_| format!("{flag} got unparsable value '{raw}'"))
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = value(&mut args, "--addr")?,
+            "--requests" => cfg.requests = value(&mut args, "--requests")?,
+            "--concurrency" => cfg.concurrency = value(&mut args, "--concurrency")?,
+            "--window" => cfg.window = value(&mut args, "--window")?,
+            "--rate" => cfg.rate = Some(value(&mut args, "--rate")?),
+            "--seed" => cfg.seed = value(&mut args, "--seed")?,
+            "--pool" => cfg.pool = value(&mut args, "--pool")?,
+            "--unique-frac" => cfg.unique_frac = value(&mut args, "--unique-frac")?,
+            "--min-speedup" => cfg.min_speedup = Some(value(&mut args, "--min-speedup")?),
+            "--out" => {
+                cfg.out = Some(PathBuf::from(
+                    args.next().ok_or("--out needs a value".to_string())?,
+                ))
+            }
+            "--compare" => cfg.compare = true,
+            "--expect-identical" => cfg.expect_identical = true,
+            "--check" => cfg.check = true,
+            "--shutdown-after" => cfg.shutdown_after = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if cfg.addr.is_empty() {
+        return Err("--addr is required".to_string());
+    }
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_pool_heavy() {
+        let cfg = LoadgenConfig {
+            addr: "x".into(),
+            requests: 100,
+            concurrency: 3,
+            pool: 8,
+            unique_frac: 0.0,
+            ..Default::default()
+        };
+        let a = build_workload(&cfg);
+        let b = build_workload(&cfg);
+        assert_eq!(a, b, "same seed, same bytes");
+        assert_eq!(a.iter().map(Vec::len).sum::<usize>(), 100);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].len(), 34); // 100 = 34 + 33 + 33
+                                    // unique_frac 0 ⇒ every line is one of the 8 pool entries.
+        let mut distinct: Vec<&String> = a.iter().flatten().collect();
+        distinct.sort();
+        distinct.dedup();
+        assert!(distinct.len() <= 8);
+        // Lines must parse as valid decision requests.
+        for line in a.iter().flatten() {
+            assert!(matches!(
+                crate::proto::parse_request(line),
+                Ok(crate::proto::Request::Decide(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn unique_fraction_diversifies_the_mix() {
+        let cfg = LoadgenConfig {
+            addr: "x".into(),
+            requests: 200,
+            concurrency: 1,
+            pool: 4,
+            unique_frac: 1.0,
+            ..Default::default()
+        };
+        let lines = build_workload(&cfg);
+        let mut distinct: Vec<&String> = lines.iter().flatten().collect();
+        distinct.sort();
+        distinct.dedup();
+        assert!(distinct.len() > 150, "fresh params almost never collide");
+    }
+
+    #[test]
+    fn args_parse_round_trip() {
+        let cfg = parse_args(
+            [
+                "--addr",
+                "127.0.0.1:9",
+                "--requests",
+                "500",
+                "--concurrency",
+                "2",
+                "--window",
+                "16",
+                "--seed",
+                "7",
+                "--pool",
+                "10",
+                "--unique-frac",
+                "0.25",
+                "--compare",
+                "--min-speedup",
+                "5",
+                "--expect-identical",
+                "--check",
+                "--out",
+                "BENCH_serve.json",
+                "--shutdown-after",
+            ]
+            .into_iter()
+            .map(String::from),
+        )
+        .expect("valid args");
+        assert_eq!(cfg.addr, "127.0.0.1:9");
+        assert_eq!(cfg.requests, 500);
+        assert_eq!(cfg.concurrency, 2);
+        assert_eq!(cfg.window, 16);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.pool, 10);
+        assert_eq!(cfg.unique_frac, 0.25);
+        assert!(cfg.compare && cfg.check && cfg.expect_identical && cfg.shutdown_after);
+        assert_eq!(cfg.min_speedup, Some(5.0));
+        assert_eq!(
+            cfg.out.as_deref(),
+            Some(std::path::Path::new("BENCH_serve.json"))
+        );
+
+        assert!(
+            parse_args(["--requests".into(), "5".into()]).is_err(),
+            "addr required"
+        );
+        assert!(parse_args(["--frob".into()]).is_err());
+        assert!(parse_args(["--addr".into()]).is_err());
+    }
+
+    #[test]
+    fn open_loop_flag_switches_mode_in_report_json() {
+        let mut cfg = LoadgenConfig {
+            addr: "x".into(),
+            ..Default::default()
+        };
+        cfg.rate = Some(100.0);
+        let report = Report {
+            phases: Vec::new(),
+            speedup: None,
+            d_star_identical: None,
+            cfg,
+        };
+        let j = report.to_json();
+        let w = j.get("workload").expect("workload");
+        assert_eq!(w.get("mode").and_then(Json::as_str), Some("open-loop"));
+        assert_eq!(w.get("rate_rps").and_then(Json::as_f64), Some(100.0));
+        assert_eq!(j.get("speedup"), Some(&Json::Null));
+    }
+}

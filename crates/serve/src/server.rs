@@ -1,0 +1,464 @@
+//! The `skyferryd` TCP front end.
+//!
+//! Thread anatomy, per the classic inference-server shape:
+//!
+//! * one **accept** thread;
+//! * per connection, a **reader** thread (parses request lines,
+//!   answers protocol errors itself, enqueues valid jobs) and a
+//!   **writer** thread (owns the write half; a sequence-number reorder
+//!   buffer guarantees responses leave in request order even though
+//!   errors are answered out-of-band by the reader);
+//! * one **dispatcher** thread that owns the [`Engine`] and the
+//!   [`Metrics`], drains the bounded queue in batches, and serves each
+//!   batch through `sim::parallel` workers.
+//!
+//! Backpressure is explicit: a full queue bounces the request with an
+//! `overloaded` error at the reader, before any solving work happens.
+//! Graceful shutdown (the `shutdown` control request, or
+//! [`ServerHandle::shutdown`]) closes the queue — already-accepted jobs
+//! drain and get responses, later arrivals get `shutting-down` — and
+//! every thread exits; readers poll a 100 ms read timeout so idle
+//! connections notice.
+//!
+//! Nothing in the request path unwraps untrusted data: malformed JSON,
+//! invalid parameters, queue overflow and mid-stream disconnects all
+//! produce typed error responses or clean thread exits (the
+//! `server_survives` integration tests drive each case).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::{BufMut, BytesMut};
+use skyferry_core::request::DecisionParams;
+
+use crate::bounded::{BoundedQueue, PushError};
+use crate::engine::{Engine, EngineConfig};
+use crate::metrics::Metrics;
+use crate::proto::{
+    ack_response, decision_response, error_response, parse_request, ErrorKind, Request,
+};
+
+/// How the server is wired together.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (the bound address is on
+    /// the [`ServerHandle`]).
+    pub addr: String,
+    /// Bounded queue depth (0 = shed every decision, for tests).
+    pub queue_depth: usize,
+    /// Most jobs the dispatcher drains per batch.
+    pub max_batch: usize,
+    /// Engine (cache) configuration.
+    pub engine: EngineConfig,
+    /// Deterministic responses: `us_served` is reported as 0 so the
+    /// same request stream yields bit-identical response bodies.
+    pub deterministic: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            queue_depth: 1024,
+            max_batch: 64,
+            engine: EngineConfig::default(),
+            deterministic: false,
+        }
+    }
+}
+
+/// One queued unit of work.
+enum Job {
+    Decide {
+        params: DecisionParams,
+        seq: u64,
+        reply: Sender<(u64, String)>,
+    },
+    Stats {
+        seq: u64,
+        reply: Sender<(u64, String)>,
+    },
+    Reset {
+        seq: u64,
+        reply: Sender<(u64, String)>,
+    },
+    Cache {
+        enabled: bool,
+        seq: u64,
+        reply: Sender<(u64, String)>,
+    },
+}
+
+struct Shared {
+    queue: BoundedQueue<Job>,
+    metrics: Mutex<Metrics>,
+    shutdown: AtomicBool,
+    addr: Mutex<Option<SocketAddr>>,
+}
+
+impl Shared {
+    fn trigger_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            self.queue.close();
+            // Unblock the accept loop with a throwaway connection.
+            if let Some(addr) = *self.addr.lock().expect("addr lock poisoned") {
+                let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+            }
+        }
+    }
+}
+
+/// A running server: its bound address and the means to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begin a graceful shutdown without waiting for it.
+    pub fn shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+
+    /// Wait until the server stops (a `shutdown` control request, or
+    /// [`ServerHandle::shutdown`]). To stop *and* wait, call
+    /// [`shutdown`](ServerHandle::shutdown) first or simply drop the
+    /// handle — dropping shuts the server down.
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = {
+            let mut conns = self.conns.lock().expect("conn list poisoned");
+            conns.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.trigger_shutdown();
+        self.join_inner();
+    }
+}
+
+/// Bind, spawn the thread set, return immediately.
+pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        queue: BoundedQueue::new(cfg.queue_depth),
+        metrics: Mutex::new(Metrics::new()),
+        shutdown: AtomicBool::new(false),
+        addr: Mutex::new(Some(addr)),
+    });
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let dispatcher = {
+        let shared = Arc::clone(&shared);
+        let engine = Engine::new(cfg.engine);
+        let max_batch = cfg.max_batch.max(1);
+        let deterministic = cfg.deterministic;
+        std::thread::spawn(move || dispatch_loop(&shared, engine, max_batch, deterministic))
+    };
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let conns = Arc::clone(&conns);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                shared
+                    .metrics
+                    .lock()
+                    .expect("metrics lock poisoned")
+                    .connections += 1;
+                let shared2 = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || serve_connection(&shared2, stream));
+                conns.lock().expect("conn list poisoned").push(handle);
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        dispatcher: Some(dispatcher),
+        conns,
+    })
+}
+
+/// Reader side of one connection; spawns its paired writer.
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    // A read timeout lets the reader notice shutdown on idle
+    // connections; partial lines accumulate across timeouts because the
+    // buffer is only cleared after a complete line is processed.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = mpsc::channel::<(u64, String)>();
+    let writer = std::thread::spawn(move || write_loop(write_half, rx));
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut seq: u64 = 0;
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: client closed mid-stream or cleanly.
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    let this_seq = seq;
+                    seq += 1;
+                    handle_line(shared, trimmed, this_seq, &tx);
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Non-UTF-8 bytes: answer once, then drop the
+                // connection (framing is unrecoverable).
+                let _ = tx.send((
+                    seq,
+                    error_response(ErrorKind::BadRequest, "request is not UTF-8 text"),
+                ));
+                break;
+            }
+            Err(_) => break, // reset / broken pipe: nothing to answer.
+        }
+    }
+    drop(tx); // writer drains outstanding replies, then exits
+    let _ = writer.join();
+}
+
+/// Parse one request line and route it; every outcome sends exactly one
+/// response carrying `seq` (except `shutdown`, which also stops the
+/// server).
+fn handle_line(shared: &Arc<Shared>, line: &str, seq: u64, tx: &Sender<(u64, String)>) {
+    {
+        let mut m = shared.metrics.lock().expect("metrics lock poisoned");
+        m.requests += 1;
+    }
+    let send_err = |kind: ErrorKind, msg: &str| {
+        let _ = tx.send((seq, error_response(kind, msg)));
+        let mut m = shared.metrics.lock().expect("metrics lock poisoned");
+        match kind {
+            ErrorKind::BadRequest => m.bad_requests += 1,
+            ErrorKind::Overloaded => m.overloaded += 1,
+            ErrorKind::ShuttingDown => m.shed_on_shutdown += 1,
+        }
+    };
+
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return send_err(ErrorKind::BadRequest, &e.to_string()),
+    };
+    let job = match request {
+        Request::Decide(params) => match params.validated() {
+            Ok(params) => Job::Decide {
+                params,
+                seq,
+                reply: tx.clone(),
+            },
+            Err(e) => return send_err(ErrorKind::BadRequest, &format!("invalid parameters: {e}")),
+        },
+        Request::Stats => Job::Stats {
+            seq,
+            reply: tx.clone(),
+        },
+        Request::Reset => Job::Reset {
+            seq,
+            reply: tx.clone(),
+        },
+        Request::Cache { enabled } => Job::Cache {
+            enabled,
+            seq,
+            reply: tx.clone(),
+        },
+        Request::Shutdown => {
+            let _ = tx.send((seq, ack_response("shutdown")));
+            shared.trigger_shutdown();
+            return;
+        }
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Full(_)) => send_err(
+            ErrorKind::Overloaded,
+            &format!("queue full (depth {})", shared.queue.capacity()),
+        ),
+        Err(PushError::Closed(_)) => send_err(
+            ErrorKind::ShuttingDown,
+            "server is draining; reconnect later",
+        ),
+    }
+}
+
+/// Writer side of one connection: a reorder buffer keyed on sequence
+/// number, flushed whenever the channel runs momentarily dry.
+fn write_loop(mut stream: TcpStream, rx: Receiver<(u64, String)>) {
+    let mut pending: std::collections::BTreeMap<u64, String> = std::collections::BTreeMap::new();
+    let mut next_seq: u64 = 0;
+    let mut buf = BytesMut::with_capacity(4096);
+    // The `recv` loop ends when all senders are gone: connection done.
+    while let Ok((seq, body)) = rx.recv() {
+        pending.insert(seq, body);
+        // Opportunistically drain whatever else is already queued so
+        // one syscall carries many responses.
+        while let Ok((seq, body)) = rx.try_recv() {
+            pending.insert(seq, body);
+        }
+        while let Some(body) = pending.remove(&next_seq) {
+            buf.put_slice(body.as_bytes());
+            buf.put_u8(b'\n');
+            next_seq += 1;
+        }
+        if !buf.is_empty() {
+            if stream.write_all(&buf).is_err() {
+                break;
+            }
+            buf = BytesMut::with_capacity(4096);
+        }
+    }
+    // Final in-order flush (stops at the first gap, which can only mean
+    // the request never got a response because we are tearing down).
+    let mut tail = BytesMut::new();
+    while let Some(body) = pending.remove(&next_seq) {
+        tail.put_slice(body.as_bytes());
+        tail.put_u8(b'\n');
+        next_seq += 1;
+    }
+    if !tail.is_empty() {
+        let _ = stream.write_all(&tail);
+    }
+    let _ = stream.flush();
+}
+
+/// The dispatcher: drains the queue, forms decision batches (control
+/// jobs act as barriers so stream semantics hold), serves them on the
+/// worker pool, stamps and ships responses.
+fn dispatch_loop(shared: &Arc<Shared>, mut engine: Engine, max_batch: usize, deterministic: bool) {
+    let mut decides: Vec<PendingDecide> = Vec::new();
+    loop {
+        let batch = shared.queue.pop_batch(max_batch);
+        if batch.is_empty() {
+            // Closed and drained.
+            flush_decides(shared, &mut engine, &mut decides, deterministic);
+            return;
+        }
+        for job in batch {
+            match job {
+                Job::Decide { params, seq, reply } => decides.push((params, seq, reply)),
+                Job::Stats { seq, reply } => {
+                    flush_decides(shared, &mut engine, &mut decides, deterministic);
+                    let body = shared
+                        .metrics
+                        .lock()
+                        .expect("metrics lock poisoned")
+                        .to_json(
+                            &engine.cache_stats(),
+                            engine.cache_enabled(),
+                            shared.queue.len(),
+                        )
+                        .render();
+                    let _ = reply.send((seq, body));
+                }
+                Job::Reset { seq, reply } => {
+                    flush_decides(shared, &mut engine, &mut decides, deterministic);
+                    engine.reset();
+                    shared
+                        .metrics
+                        .lock()
+                        .expect("metrics lock poisoned")
+                        .clear();
+                    let _ = reply.send((seq, ack_response("reset")));
+                }
+                Job::Cache {
+                    enabled,
+                    seq,
+                    reply,
+                } => {
+                    flush_decides(shared, &mut engine, &mut decides, deterministic);
+                    engine.set_cache_enabled(enabled);
+                    let _ = reply.send((seq, ack_response("cache")));
+                }
+            }
+        }
+        flush_decides(shared, &mut engine, &mut decides, deterministic);
+    }
+}
+
+/// A decision waiting in the dispatcher's batch: parameters, sequence
+/// slot, and the connection's reply channel.
+type PendingDecide = (DecisionParams, u64, Sender<(u64, String)>);
+
+/// Serve the buffered decisions as one engine batch. The whole batch's
+/// service time is attributed to each request in it (`us_served`, and
+/// the latency histogram) — a per-request split would be fiction, the
+/// batch is solved jointly.
+fn flush_decides(
+    shared: &Arc<Shared>,
+    engine: &mut Engine,
+    decides: &mut Vec<PendingDecide>,
+    deterministic: bool,
+) {
+    if decides.is_empty() {
+        return;
+    }
+    let params: Vec<DecisionParams> = decides.iter().map(|(p, _, _)| *p).collect();
+    let t0 = Instant::now();
+    let served = engine.serve_batch(&params);
+    let dt_us = t0.elapsed().as_secs_f64() * 1e6;
+    let us_served = if deterministic {
+        0
+    } else {
+        dt_us.round() as u64
+    };
+    {
+        let mut m = shared.metrics.lock().expect("metrics lock poisoned");
+        m.decisions += served.len() as u64;
+        for _ in &served {
+            m.latency.record(dt_us);
+        }
+    }
+    for ((_, seq, reply), decision) in decides.drain(..).zip(served) {
+        let _ = reply.send((seq, decision_response(&decision, us_served)));
+    }
+}

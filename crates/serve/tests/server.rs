@@ -1,0 +1,310 @@
+//! End-to-end tests of the `skyferryd` TCP front end: protocol errors,
+//! backpressure, disconnects, shutdown, ordering and determinism.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use skyferry_core::request::Quantizer;
+use skyferry_serve::engine::EngineConfig;
+use skyferry_serve::server::{start, ServerConfig, ServerHandle};
+use skyferry_stats::json::{self, Json};
+
+fn test_server(queue_depth: usize) -> ServerHandle {
+    start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        queue_depth,
+        max_batch: 8,
+        engine: EngineConfig {
+            cache_capacity: 64,
+            quant: Quantizer::exact(),
+            cache_enabled: true,
+        },
+        deterministic: true,
+    })
+    .expect("bind loopback")
+}
+
+fn connect(handle: &ServerHandle) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+/// Send every line, then read one response line per request, in order.
+fn round_trip(handle: &ServerHandle, lines: &[&str]) -> Vec<String> {
+    let (mut stream, mut reader) = connect(handle);
+    for line in lines {
+        stream.write_all(line.as_bytes()).expect("send");
+        stream.write_all(b"\n").expect("send");
+    }
+    let mut out = Vec::new();
+    for _ in 0..lines.len() {
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("response");
+        out.push(response.trim().to_string());
+    }
+    out
+}
+
+fn error_kind(line: &str) -> Option<String> {
+    json::parse(line)
+        .ok()?
+        .get("error")?
+        .as_str()
+        .map(str::to_string)
+}
+
+#[test]
+fn decisions_served_in_order_with_cache_hits() {
+    let handle = test_server(64);
+    let baseline = r#"{"platform":"quadrocopter"}"#;
+    let other = r#"{"platform":"airplane","d0":250,"mdata":12}"#;
+    let responses = round_trip(&handle, &[baseline, other, baseline, baseline]);
+    assert_eq!(responses.len(), 4);
+
+    let parsed: Vec<Json> = responses
+        .iter()
+        .map(|r| json::parse(r).expect("valid response json"))
+        .collect();
+    for p in &parsed {
+        assert!(p.get("error").is_none(), "no errors: {p:?}");
+        assert!(p.get("d_star").and_then(Json::as_f64).is_some());
+    }
+    // The quadrocopter baseline's optimum is the 20 m safety floor.
+    let d = parsed[0]
+        .get("d_star")
+        .and_then(Json::as_f64)
+        .expect("d_star");
+    assert!((d - 20.0).abs() < 0.5, "got {d}");
+    // Responses 2 and 3 repeat request 0's key: hits, same solution.
+    assert_eq!(
+        parsed[0].get("cache_hit").and_then(Json::as_bool),
+        Some(false),
+        "first sight of the key is the miss"
+    );
+    for hit in [&parsed[2], &parsed[3]] {
+        assert_eq!(hit.get("cache_hit").and_then(Json::as_bool), Some(true));
+        for field in ["d_star", "utility", "cdelay_s"] {
+            assert_eq!(
+                hit.get(field).and_then(Json::as_f64),
+                parsed[0].get(field).and_then(Json::as_f64),
+                "cached value must match the miss bit-for-bit ({field})"
+            );
+        }
+    }
+    assert_ne!(
+        responses[0], responses[1],
+        "different params, different answer"
+    );
+    drop(handle); // drop = shutdown + join
+}
+
+#[test]
+fn malformed_and_invalid_requests_get_typed_errors() {
+    let handle = test_server(64);
+    let responses = round_trip(
+        &handle,
+        &[
+            "{broken json",
+            "[1,2,3]",
+            r#"{"platform":"zeppelin"}"#,
+            r#"{"platform":"airplane","d0":"far"}"#,
+            r#"{"platform":"airplane","speed":-4}"#,
+            r#"{"platform":"airplane","rho":1e999}"#,
+            r#"{"cmd":"explode"}"#,
+            r#"{"platform":"airplane"}"#,
+        ],
+    );
+    for r in &responses[..7] {
+        assert_eq!(
+            error_kind(r).as_deref(),
+            Some("bad-request"),
+            "expected typed error, got {r}"
+        );
+    }
+    // The valid request after all that garbage is still served.
+    assert!(error_kind(&responses[7]).is_none());
+    assert!(json::parse(&responses[7])
+        .expect("valid")
+        .get("d_star")
+        .is_some());
+    drop(handle); // drop = shutdown + join
+}
+
+#[test]
+fn zero_depth_queue_sheds_with_overloaded() {
+    let handle = test_server(0);
+    let responses = round_trip(
+        &handle,
+        &[r#"{"platform":"airplane"}"#, r#"{"cmd":"stats"}"#],
+    );
+    assert_eq!(error_kind(&responses[0]).as_deref(), Some("overloaded"));
+    assert_eq!(error_kind(&responses[1]).as_deref(), Some("overloaded"));
+    drop(handle); // drop = shutdown + join
+}
+
+#[test]
+fn mid_stream_disconnect_leaves_server_healthy() {
+    let handle = test_server(64);
+    {
+        // A client that floods requests and vanishes without reading.
+        let (mut stream, _reader) = connect(&handle);
+        for _ in 0..50 {
+            stream
+                .write_all(b"{\"platform\":\"airplane\",\"mdata\":55}\n")
+                .expect("send");
+        }
+        // Drop both halves: reader EOFs, writer hits a broken pipe.
+    }
+    // Another client that disconnects mid-line.
+    {
+        let (mut stream, _reader) = connect(&handle);
+        stream.write_all(b"{\"platform\":\"airpl").expect("send");
+    }
+    // The server still answers a fresh connection correctly.
+    let responses = round_trip(
+        &handle,
+        &[r#"{"platform":"airplane"}"#, r#"{"cmd":"stats"}"#],
+    );
+    assert!(error_kind(&responses[0]).is_none());
+    let stats = json::parse(&responses[1]).expect("stats json");
+    assert!(
+        stats
+            .get("decisions")
+            .and_then(Json::as_i64)
+            .expect("count")
+            >= 1
+    );
+    drop(handle); // drop = shutdown + join
+}
+
+#[test]
+fn stats_reset_and_cache_toggle_round_trip() {
+    let handle = test_server(64);
+    let baseline = r#"{"platform":"airplane"}"#;
+    let responses = round_trip(
+        &handle,
+        &[
+            baseline,
+            baseline,
+            r#"{"cmd":"stats"}"#,
+            r#"{"cmd":"cache","enabled":false}"#,
+            baseline,
+            r#"{"cmd":"reset"}"#,
+            r#"{"cmd":"stats"}"#,
+        ],
+    );
+    let stats = json::parse(&responses[2]).expect("stats");
+    let cache = stats.get("cache").expect("cache block");
+    assert_eq!(cache.get("hits").and_then(Json::as_i64), Some(1));
+    assert_eq!(cache.get("misses").and_then(Json::as_i64), Some(1));
+    assert_eq!(cache.get("enabled").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        json::parse(&responses[3])
+            .expect("ack")
+            .get("ok")
+            .and_then(Json::as_str),
+        Some("cache")
+    );
+    assert_eq!(
+        json::parse(&responses[4])
+            .expect("decision")
+            .get("cache_hit")
+            .and_then(Json::as_bool),
+        Some(false),
+        "cache disabled"
+    );
+    let after_reset = json::parse(&responses[6]).expect("stats");
+    assert_eq!(
+        after_reset
+            .get("cache")
+            .and_then(|c| c.get("misses"))
+            .and_then(Json::as_i64),
+        Some(0)
+    );
+    drop(handle); // drop = shutdown + join
+}
+
+#[test]
+fn shutdown_request_stops_the_server() {
+    let handle = test_server(64);
+    let addr = handle.addr();
+    let responses = round_trip(
+        &handle,
+        &[r#"{"platform":"airplane"}"#, r#"{"cmd":"shutdown"}"#],
+    );
+    assert!(error_kind(&responses[0]).is_none());
+    assert_eq!(
+        json::parse(&responses[1])
+            .expect("ack")
+            .get("ok")
+            .and_then(Json::as_str),
+        Some("shutdown")
+    );
+    // Shutdown was requested over the wire, so this returns promptly.
+    drop(handle); // drop = shutdown + join
+                  // And the port no longer accepts decision traffic.
+    let refused = TcpStream::connect_timeout(&addr, std::time::Duration::from_millis(200));
+    if let Ok(mut s) = refused {
+        // Accept loop may have been mid-teardown; the connection must
+        // at least be useless: either the write fails or nothing
+        // answers.
+        let _ = s.write_all(b"{\"platform\":\"airplane\"}\n");
+        let _ = s.set_read_timeout(Some(std::time::Duration::from_millis(300)));
+        let mut r = BufReader::new(s);
+        let mut line = String::new();
+        let got = r.read_line(&mut line);
+        assert!(
+            matches!(got, Err(_) | Ok(0)),
+            "a dead server must not serve decisions, got {line:?}"
+        );
+    }
+}
+
+// The ONE test in this binary allowed to touch the global worker-count
+// ceiling: the same pipelined stream, served at 1, 2 and 8 workers in
+// deterministic mode, must produce bit-identical response bodies.
+#[test]
+fn response_bytes_identical_across_worker_counts() {
+    use skyferry_sim::parallel::set_max_threads;
+
+    let mut streams: Vec<Vec<String>> = Vec::new();
+    let requests: Vec<String> = {
+        // A deterministic mix with plenty of repeats and a sprinkle of
+        // errors (error responses must be deterministic too).
+        let mut lines = Vec::new();
+        for i in 0..60u64 {
+            match i % 5 {
+                0 => lines.push(r#"{"platform":"quadrocopter"}"#.to_string()),
+                1 => lines.push(format!(
+                    r#"{{"platform":"airplane","d0":{},"mdata":14}}"#,
+                    120 + (i % 3) * 40
+                )),
+                2 => lines.push(r#"{"platform":"airplane","mdata":28}"#.to_string()),
+                3 => lines.push("{oops".to_string()),
+                _ => lines.push(format!(r#"{{"platform":"quadrocopter","d0":{}}}"#, 60 + i)),
+            }
+        }
+        lines
+    };
+    let line_refs: Vec<&str> = requests.iter().map(String::as_str).collect();
+
+    for threads in [1usize, 2, 8] {
+        set_max_threads(threads);
+        let handle = test_server(256);
+        let responses = round_trip(&handle, &line_refs);
+        drop(handle); // drop = shutdown + join
+        streams.push(responses);
+    }
+    set_max_threads(0);
+
+    assert_eq!(streams[0], streams[1], "1 vs 2 workers");
+    assert_eq!(streams[0], streams[2], "1 vs 8 workers");
+    // Deterministic mode really does zero the timing field.
+    for line in &streams[0] {
+        if let Some(us) = json::parse(line).expect("valid").get("us_served") {
+            assert_eq!(us.as_i64(), Some(0));
+        }
+    }
+}

@@ -33,6 +33,7 @@
 //! | [`uav`] | `skyferry-uav` | platforms, autopilot, failure processes |
 //! | [`control`] | `skyferry-control` | telemetry channel, central planner |
 //! | [`core`] | `skyferry-core` | the delayed-gratification model itself |
+//! | [`serve`] | `skyferry-serve` | `skyferryd` decision server + load generator |
 //!
 //! ## Quickstart
 //!
@@ -61,6 +62,7 @@ pub use skyferry_geo as geo;
 pub use skyferry_mac as mac;
 pub use skyferry_net as net;
 pub use skyferry_phy as phy;
+pub use skyferry_serve as serve;
 pub use skyferry_sim as sim;
 pub use skyferry_stats as stats;
 pub use skyferry_uav as uav;
