@@ -4,13 +4,13 @@
 //! the pooled output is bit-identical across all of them.
 
 use std::hint::black_box;
-use std::time::Instant;
 
 use skyferry_net::campaign::{measure_throughput, CampaignConfig, ControllerKind};
 use skyferry_net::profile::MotionProfile;
 use skyferry_phy::presets::ChannelPreset;
 use skyferry_sim::parallel::{run_replications, set_max_threads};
 use skyferry_sim::prelude::*;
+use skyferry_trace::clock::monotonic_ns;
 
 const REPS: u64 = 16;
 
@@ -49,9 +49,9 @@ fn main() {
         let mut best = f64::INFINITY;
         let mut out = Vec::new();
         for _ in 0..3 {
-            let t = Instant::now();
+            let t0 = monotonic_ns();
             out = run_once(&cfg);
-            best = best.min(t.elapsed().as_secs_f64());
+            best = best.min(monotonic_ns().saturating_sub(t0) as f64 / 1e9);
         }
         match &reference {
             None => {

@@ -1,7 +1,8 @@
 //! The reproduction harness CLI.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--threads N] [--out DIR] [--json] [EXPERIMENT...]
+//! repro [--quick] [--seed N] [--threads N] [--out DIR] [--json]
+//!       [--trace FILE] [--deterministic] [EXPERIMENT...]
 //! repro --list
 //! repro --verify [--quick] [--seed N] [--threads N] [EXPERIMENT...]
 //! repro --bench-parallel FILE [--quick] [--seed N] [--threads N]
@@ -17,11 +18,15 @@
 //! under `results/` (`results/quick/` with `--quick`), exiting 1 on any
 //! difference. `--bench-parallel FILE` times the replication-heavy
 //! figures serially and at the configured thread count and writes the
-//! comparison as JSON.
+//! comparison as JSON. `--trace FILE` records the whole run as one span
+//! tree (`repro` → per-experiment → per-task) — compact JSONL when the
+//! path ends in `.jsonl`, Chrome `trace_event` JSON (Perfetto-loadable)
+//! otherwise; with `--deterministic` the span timestamps come from the
+//! virtual tick clock, making the trace byte-identical across runs and
+//! `--threads` settings.
 
 use std::path::Path;
 use std::process::ExitCode;
-use std::time::Instant;
 
 use skyferry_bench::cli::{self, CliArgs, CliError};
 use skyferry_bench::experiments::{self, REGISTRY};
@@ -30,10 +35,13 @@ use skyferry_bench::store::CampaignStore;
 use skyferry_bench::verify::verify_report;
 use skyferry_sim::parallel::{max_threads, set_max_threads};
 use skyferry_stats::json::Json;
+use skyferry_trace as trace;
+use skyferry_trace::clock::monotonic_ns;
 
 fn usage() {
     eprintln!(
-        "usage: repro [--quick] [--seed N] [--threads N] [--out DIR] [--json] [EXPERIMENT...]\n\
+        "usage: repro [--quick] [--seed N] [--threads N] [--out DIR] [--json] \
+         [--trace FILE] [--deterministic] [EXPERIMENT...]\n\
          \x20      repro --list\n\
          \x20      repro --verify [--quick] [--seed N] [--threads N] [EXPERIMENT...]\n\
          \x20      repro --bench-parallel FILE [--quick] [--seed N] [--threads N]\n\
@@ -49,9 +57,9 @@ const BENCH_FIGURES: [&str; 4] = ["fig1", "fig4", "fig8", "fig9"];
 /// Time one experiment end to end on a fresh store, returning seconds.
 fn time_experiment(id: &str, cfg: &ReproConfig) -> f64 {
     let mut store = CampaignStore::new(cfg.quick);
-    let t = Instant::now();
+    let t0 = monotonic_ns();
     let report = experiments::run(id, cfg, &mut store).expect("known experiment");
-    let secs = t.elapsed().as_secs_f64();
+    let secs = monotonic_ns().saturating_sub(t0) as f64 / 1e9;
     std::hint::black_box(report.tables.len());
     secs
 }
@@ -159,6 +167,14 @@ fn run(args: CliArgs) -> ExitCode {
         }
     }
 
+    if args.trace.is_some() {
+        trace::install(if args.deterministic {
+            trace::TraceConfig::deterministic()
+        } else {
+            trace::TraceConfig::default()
+        });
+    }
+
     let golden_dir = if cfg.quick {
         Path::new("results/quick")
     } else {
@@ -166,16 +182,40 @@ fn run(args: CliArgs) -> ExitCode {
     };
     let mut store = CampaignStore::new(cfg.quick);
     let mut mismatches = Vec::new();
-    for e in selected {
-        let t = Instant::now();
-        let report = e.run(&cfg, &mut store);
-        println!("{}", report.render());
-        eprintln!("[{}: {:.3} s]", e.id(), t.elapsed().as_secs_f64());
-        if args.verify {
-            mismatches.extend(verify_report(&report, golden_dir));
+    {
+        // Root span: every experiment (and its task spans) nests under
+        // it, so the trace's critical path covers the whole run.
+        let _root = trace::span!("repro", quick = cfg.quick, seed = cfg.seed);
+        for e in selected {
+            let _span = trace::span!("experiment", id = e.id());
+            let t0 = monotonic_ns();
+            let report = e.run(&cfg, &mut store);
+            println!("{}", report.render());
+            eprintln!(
+                "[{}: {:.3} s]",
+                e.id(),
+                monotonic_ns().saturating_sub(t0) as f64 / 1e9
+            );
+            if args.verify {
+                mismatches.extend(verify_report(&report, golden_dir));
+            }
+            if let Err(err) = report.write_csv(&cfg) {
+                eprintln!("warning: could not write CSV for {}: {err}", e.id());
+            }
         }
-        if let Err(err) = report.write_csv(&cfg) {
-            eprintln!("warning: could not write CSV for {}: {err}", e.id());
+    }
+    if let Some(path) = &args.trace {
+        let records = trace::drain();
+        match trace::sink::write_file(path, &records) {
+            Ok(()) => eprintln!(
+                "wrote {} trace records to {}",
+                records.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("error: could not write trace {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
         }
     }
     eprintln!("{}", store.summary());

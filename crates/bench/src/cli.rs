@@ -4,7 +4,8 @@
 //! spawning the binary:
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--threads N] [--out DIR] [--json] [EXPERIMENT...]
+//! repro [--quick] [--seed N] [--threads N] [--out DIR] [--json]
+//!       [--trace FILE] [--deterministic] [EXPERIMENT...]
 //! repro --list
 //! repro --verify [--quick] [--seed N] [--threads N] [EXPERIMENT...]
 //! repro --bench-parallel FILE [--quick] [--seed N] [--threads N]
@@ -27,6 +28,13 @@ pub struct CliArgs {
     pub out: Option<PathBuf>,
     /// Serial-vs-parallel timing output path (`--bench-parallel FILE`).
     pub bench_parallel: Option<PathBuf>,
+    /// Execution trace output path (`--trace FILE`; `.jsonl` = compact,
+    /// anything else = Chrome `trace_event` JSON for Perfetto).
+    pub trace: Option<PathBuf>,
+    /// Virtual trace clock (`--deterministic`): span timestamps come
+    /// from the deterministic tick clock so traces are byte-identical
+    /// across runs and thread counts.
+    pub deterministic: bool,
     /// Diff regenerated tables against the checked-in goldens
     /// (`--verify`).
     pub verify: bool,
@@ -48,6 +56,8 @@ impl Default for CliArgs {
             threads: 0,
             out: None,
             bench_parallel: None,
+            trace: None,
+            deterministic: false,
             verify: false,
             json: false,
             list: false,
@@ -126,6 +136,11 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<CliArgs, CliError
                     .ok_or(CliError::MissingValue("--bench-parallel"))?;
                 out.bench_parallel = Some(path.into());
             }
+            "--trace" => {
+                let path = args.next().ok_or(CliError::MissingValue("--trace"))?;
+                out.trace = Some(path.into());
+            }
+            "--deterministic" => out.deterministic = true,
             "--help" | "-h" => return Err(CliError::HelpRequested),
             other if other.starts_with('-') => {
                 return Err(CliError::UnknownFlag(other.to_string()));
@@ -199,6 +214,23 @@ mod tests {
         assert_eq!(
             parse_strs(&["--bench-parallel"]),
             Err(CliError::MissingValue("--bench-parallel"))
+        );
+    }
+
+    #[test]
+    fn trace_flags() {
+        let a = parse_strs(&["--trace", "repro.trace.json", "--deterministic"]).unwrap();
+        assert_eq!(
+            a.trace.as_deref(),
+            Some(std::path::Path::new("repro.trace.json"))
+        );
+        assert!(a.deterministic);
+        let a = parse_strs(&[]).unwrap();
+        assert_eq!(a.trace, None);
+        assert!(!a.deterministic);
+        assert_eq!(
+            parse_strs(&["--trace"]),
+            Err(CliError::MissingValue("--trace"))
         );
     }
 

@@ -8,7 +8,9 @@
 //! attempt Criterion's statistical machinery.
 
 use std::hint::black_box;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use skyferry_trace::clock::monotonic_ns;
 
 /// One finished measurement.
 #[derive(Debug, Clone)]
@@ -89,22 +91,22 @@ impl Harness {
             }
         }
         // Warm-up and batch sizing: aim for ~20 batches in the budget.
-        let warm = Instant::now();
+        let warm = monotonic_ns();
         black_box(f());
-        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let once_ns = (monotonic_ns() - warm).max(1) as u128;
         let per_batch = self.budget.as_nanos() / 20;
-        let batch = (per_batch / once.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+        let batch = (per_batch / once_ns).clamp(1, 1 << 20) as u64;
 
         let mut batch_means: Vec<Duration> = Vec::new();
         let mut iters = 0u64;
-        let start = Instant::now();
+        let start = monotonic_ns();
         let mut total = Duration::ZERO;
-        while start.elapsed() < self.budget || batch_means.is_empty() {
-            let t = Instant::now();
+        while monotonic_ns() - start < self.budget.as_nanos() as u64 || batch_means.is_empty() {
+            let t = monotonic_ns();
             for _ in 0..batch {
                 black_box(f());
             }
-            let el = t.elapsed();
+            let el = Duration::from_nanos(monotonic_ns() - t);
             total += el;
             iters += batch;
             batch_means.push(el / batch as u32);

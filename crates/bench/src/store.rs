@@ -22,7 +22,6 @@
 //! [`measure_throughput_replicated`]: skyferry_net::campaign::measure_throughput_replicated
 
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 use skyferry_core::optimizer::{optimize, OptimalTransfer};
 use skyferry_core::scenario::Scenario;
@@ -31,6 +30,8 @@ use skyferry_net::profile::MotionProfile;
 use skyferry_sim::parallel::par_map_indexed;
 use skyferry_sim::stable::KeyHasher;
 use skyferry_stats::json::Json;
+use skyferry_trace as trace;
+use skyferry_trace::clock::monotonic_ns;
 
 /// The derived, human-readable id of a campaign: preset name plus
 /// rate-control label, e.g. `airplane/autorate` or `quadrocopter/mcs1`.
@@ -105,10 +106,12 @@ impl CampaignStore {
             if let Some(cell) = self.cells.get(&k) {
                 self.hits += 1;
                 self.saved_s += cell.cost_s;
+                trace::event!("cell-hit", campaign = campaign_id(cfg), d_m = *d);
             } else if missing_keys.contains(&k) {
                 // Requested twice in one batch: only one fill, one miss.
             } else {
                 self.misses += 1;
+                trace::event!("cell-miss", campaign = campaign_id(cfg), d_m = *d);
                 missing_keys.push(k);
                 missing.push((*cfg, *d));
             }
@@ -116,14 +119,15 @@ impl CampaignStore {
         if missing.is_empty() {
             return;
         }
+        let _span = trace::span!("store-fill", cells = missing.len(), reps = reps);
         let reps_usize = reps as usize;
-        let t = Instant::now();
+        let t0 = monotonic_ns();
         let per_rep = par_map_indexed(missing.len() * reps_usize, |k| {
             let (cfg, d) = &missing[k / reps_usize.max(1)];
             let rep = (k % reps_usize.max(1)) as u64;
             measure_throughput(cfg, MotionProfile::hover(*d), rep)
         });
-        let elapsed = t.elapsed().as_secs_f64();
+        let elapsed = monotonic_ns().saturating_sub(t0) as f64 / 1e9;
         self.fill_s += elapsed;
         // Attribute the batch cost evenly; cells of one batch share a
         // duration, so this is a fair per-cell estimate.
@@ -166,9 +170,11 @@ impl CampaignStore {
         let k = scenario.stable_key(KeyHasher::new("scenario")).finish();
         if let Some(v) = self.optima.get(&k) {
             self.opt_hits += 1;
+            trace::event!("optimum-hit");
             return *v;
         }
         self.opt_misses += 1;
+        trace::event!("optimum-miss");
         let v = optimize(scenario);
         self.optima.insert(k, v);
         v

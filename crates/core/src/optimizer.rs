@@ -61,6 +61,11 @@ pub fn optimize(scenario: &Scenario) -> OptimalTransfer {
 /// [`optimize`] on a borrowed [`ScenarioView`] — what parameter sweeps
 /// call per grid cell without cloning the base scenario.
 pub fn optimize_view(scenario: ScenarioView<'_>) -> OptimalTransfer {
+    let _span = skyferry_trace::span!(
+        "optimize",
+        d0_m = scenario.d0_m,
+        mdata_bytes = scenario.mdata_bytes
+    );
     scenario.validate();
     let lo = scenario.d_min_m;
     let hi = scenario.d0_m;

@@ -40,6 +40,15 @@ pub enum Scope {
     Except(&'static [&'static str]),
     /// Only under the given path prefixes.
     Only(&'static [&'static str]),
+    /// Under the `only` prefixes, minus the `except` prefixes — for rules
+    /// with a single sanctioned implementation site inside their scope.
+    OnlyExcept {
+        /// Path prefixes the rule applies under.
+        only: &'static [&'static str],
+        /// Carve-outs within `only` (e.g. the one module allowed to do
+        /// the thing the rule forbids).
+        except: &'static [&'static str],
+    },
 }
 
 impl Scope {
@@ -49,6 +58,10 @@ impl Scope {
             Scope::All => true,
             Scope::Except(prefixes) => !prefixes.iter().any(|p| path.starts_with(p)),
             Scope::Only(prefixes) => prefixes.iter().any(|p| path.starts_with(p)),
+            Scope::OnlyExcept { only, except } => {
+                only.iter().any(|p| path.starts_with(p))
+                    && !except.iter().any(|p| path.starts_with(p))
+            }
         }
     }
 }
@@ -81,8 +94,10 @@ pub fn registry() -> Vec<Rule> {
             id: "wall-clock",
             // The bench crate measures real time on purpose; the serving
             // layer reports real request latency (simulation results
-            // never flow through it).
-            scope: Scope::Except(&["crates/bench/", "crates/serve/"]),
+            // never flow through it); the trace crate hosts the clock.
+            // Those three are instead policed by the stricter
+            // instant-now-outside-clock rule below.
+            scope: Scope::Except(&["crates/bench/", "crates/serve/", "crates/trace/"]),
             rationale: "std::time::Instant/SystemTime break replayable simulation; \
                         use skyferry_sim::time::SimTime",
             check: check_wall_clock,
@@ -145,11 +160,26 @@ pub fn registry() -> Vec<Rule> {
                 "tests/",
                 "crates/lint/tests/",
                 "crates/serve/tests/",
+                "crates/trace/tests/",
                 "crates/net/examples/",
             ]),
             rationale: "`.unwrap()` in library code panics on the error path; \
                         return a typed error or `.expect(\"invariant\")`",
             check: check_unwrap_in_lib,
+        },
+        Rule {
+            id: "instant-now-outside-clock",
+            // The wall-clock exemption for bench/serve does not mean "read
+            // the clock anywhere": `trace::clock::monotonic_ns` is the one
+            // sanctioned reader, so every timestamp in the real-time crates
+            // shares an anchor and a unit (and traces stay comparable).
+            scope: Scope::OnlyExcept {
+                only: &["crates/bench/", "crates/serve/", "crates/trace/"],
+                except: &["crates/trace/src/clock.rs"],
+            },
+            rationale: "raw Instant/SystemTime reads fragment the time base; \
+                        go through skyferry_trace::clock::monotonic_ns",
+            check: check_instant_now_outside_clock,
         },
         Rule {
             id: "env-read",
@@ -340,6 +370,22 @@ fn check_unwrap_in_lib(lines: &[Line], out: &mut Vec<(usize, String)>) {
                     "`.unwrap()` panics on the error path; return a typed error \
                      or `.expect(..)` naming the invariant"
                         .into(),
+                ));
+            }
+        }
+    }
+}
+
+fn check_instant_now_outside_clock(lines: &[Line], out: &mut Vec<(usize, String)>) {
+    for (i, l) in lines.iter().enumerate() {
+        for ident in ["Instant", "SystemTime"] {
+            if !find_ident(&l.code, ident).is_empty() {
+                out.push((
+                    i + 1,
+                    format!(
+                        "raw `{ident}` outside trace::clock; use \
+                         skyferry_trace::clock::monotonic_ns"
+                    ),
                 ));
             }
         }

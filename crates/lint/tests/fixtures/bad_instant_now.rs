@@ -1,0 +1,7 @@
+use std::time::Instant;
+
+fn measure() -> u64 {
+    let start = Instant::now();
+    let _wall = std::time::SystemTime::now();
+    start.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,10 @@
+// Timestamps come from the sanctioned clock module; "Instant" appears
+// only in this comment and in the string below.
+use skyferry_trace::clock::monotonic_ns;
+
+fn measure() -> u64 {
+    let label = "Instant::now() quoted in a string";
+    let start = monotonic_ns();
+    let _ = label;
+    monotonic_ns().saturating_sub(start)
+}

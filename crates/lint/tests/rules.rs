@@ -55,9 +55,48 @@ fn wall_clock_fires_with_exact_spans() {
 
 #[test]
 fn wall_clock_scope_excludes_bench_and_serve() {
-    assert!(lint_at("crates/bench/src/fixture.rs", "bad_wall_clock.rs").is_empty());
-    // The serving layer measures real request latency on purpose.
-    assert!(lint_at("crates/serve/src/fixture.rs", "bad_wall_clock.rs").is_empty());
+    // The wall-clock rule is out of scope there (the serving layer
+    // measures real request latency on purpose), but the raw reads now
+    // belong to the stricter instant-now-outside-clock rule instead.
+    for path in ["crates/bench/src/fixture.rs", "crates/serve/src/fixture.rs"] {
+        let got = lint_at(path, "bad_wall_clock.rs");
+        assert!(
+            got.iter().all(|(id, _)| id != "wall-clock"),
+            "wall-clock fired at {path}: {got:?}"
+        );
+        assert!(
+            got.iter().all(|(id, _)| id == "instant-now-outside-clock"),
+            "unexpected rules at {path}: {got:?}"
+        );
+    }
+}
+
+#[test]
+fn instant_now_fires_in_realtime_crates_with_exact_spans() {
+    for path in [
+        "crates/bench/src/fixture.rs",
+        "crates/serve/src/fixture.rs",
+        "crates/trace/src/collector.rs",
+    ] {
+        assert_eq!(
+            lint_at(path, "bad_instant_now.rs"),
+            all("instant-now-outside-clock", &[1, 4, 5]),
+            "at {path}"
+        );
+        assert!(lint_at(path, "good_instant_now.rs").is_empty(), "at {path}");
+    }
+}
+
+#[test]
+fn instant_now_scope_spares_clock_module_and_model_crates() {
+    // The one sanctioned reader of the process clock …
+    assert!(lint_at("crates/trace/src/clock.rs", "bad_instant_now.rs").is_empty());
+    // … and simulation crates, where the broader wall-clock rule owns
+    // the diagnostic instead.
+    assert_eq!(
+        lint_at(CORE, "bad_instant_now.rs"),
+        all("wall-clock", &[1, 4, 5])
+    );
 }
 
 #[test]
@@ -182,6 +221,11 @@ fn every_rule_has_a_firing_bad_fixture() {
         ("allow-no-reason", CORE, "bad_allow.rs"),
         ("debug-macros", CORE, "bad_debug_macros.rs"),
         ("env-read", CORE, "bad_env_read.rs"),
+        (
+            "instant-now-outside-clock",
+            "crates/serve/src/fixture.rs",
+            "bad_instant_now.rs",
+        ),
     ];
     for rule in registry() {
         let (_, path, file) = cases

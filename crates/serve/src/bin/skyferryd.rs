@@ -4,18 +4,24 @@
 //! skyferryd [--addr HOST:PORT] [--queue-depth N] [--batch N]
 //!           [--cache-capacity N] [--exact | --quant-d0 M --quant-mdata MB
 //!            --quant-rho R --quant-speed V] [--no-cache]
-//!           [--deterministic] [--threads N]
+//!           [--deterministic] [--threads N] [--trace PATH]
 //! ```
 //!
 //! Prints `listening on <addr>` once the socket is bound (scripts wait
 //! for that line), then serves until a `shutdown` control request.
+//! `--trace PATH` records every request as a span tree (parse → queue →
+//! cache → compute → respond) and writes the merged trace on shutdown —
+//! `.jsonl` for the compact format, anything else for Chrome
+//! `trace_event` JSON (loadable in Perfetto).
 
 use skyferry_core::request::Quantizer;
 use skyferry_serve::server::{start, ServerConfig};
+use skyferry_trace as trace;
 
 struct Args {
     server: ServerConfig,
     threads: usize,
+    trace_path: Option<String>,
 }
 
 fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
@@ -24,6 +30,7 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
         ..Default::default()
     };
     let mut threads = 0usize;
+    let mut trace_path = None;
     let mut quant = Quantizer::default_buckets();
     let mut raw = raw.into_iter();
     fn value<T: std::str::FromStr>(
@@ -50,17 +57,22 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
             "--no-cache" => server.engine.cache_enabled = false,
             "--deterministic" => server.deterministic = true,
             "--threads" => threads = value(&mut raw, "--threads")?,
+            "--trace" => trace_path = Some(value(&mut raw, "--trace")?),
             "--help" | "-h" => return Err("help".to_string()),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
     server.engine.quant = quant;
-    Ok(Args { server, threads })
+    Ok(Args {
+        server,
+        threads,
+        trace_path,
+    })
 }
 
 const USAGE: &str = "usage: skyferryd [--addr HOST:PORT] [--queue-depth N] [--batch N] \
 [--cache-capacity N] [--exact] [--quant-d0 M] [--quant-mdata MB] [--quant-rho R] \
-[--quant-speed V] [--no-cache] [--deterministic] [--threads N]";
+[--quant-speed V] [--no-cache] [--deterministic] [--threads N] [--trace PATH]";
 
 fn main() {
     let args = match parse_args(std::env::args().skip(1)) {
@@ -74,6 +86,14 @@ fn main() {
         }
     };
     skyferry_sim::parallel::set_max_threads(args.threads);
+    if args.trace_path.is_some() {
+        // Request spans are manual spans stamped with measured monotonic
+        // timestamps, so the trace clock is always the real one — the
+        // virtual clock would disagree with the stamps. `--deterministic`
+        // still zeroes `us_served` in responses; trace *times* are
+        // inherently wall-clock here.
+        trace::install(trace::TraceConfig::default());
+    }
     let handle = match start(args.server.clone()) {
         Ok(h) => h,
         Err(e) => {
@@ -101,6 +121,13 @@ fn main() {
         },
     );
     handle.join();
+    if let Some(path) = &args.trace_path {
+        let records = trace::drain();
+        match trace::sink::write_file(std::path::Path::new(path), &records) {
+            Ok(()) => eprintln!("skyferryd: wrote {} trace records to {path}", records.len()),
+            Err(e) => eprintln!("skyferryd: cannot write trace {path}: {e}"),
+        }
+    }
     eprintln!("skyferryd: shut down cleanly");
 }
 
@@ -141,6 +168,11 @@ mod tests {
         assert!(a.server.engine.quant.is_exact());
         assert!(a.server.deterministic);
         assert_eq!(a.threads, 2);
+        assert_eq!(a.trace_path, None);
+
+        let a = parse(&["--trace", "/tmp/d.trace.json"]).expect("valid");
+        assert_eq!(a.trace_path.as_deref(), Some("/tmp/d.trace.json"));
+        assert!(parse(&["--trace"]).is_err());
     }
 
     #[test]

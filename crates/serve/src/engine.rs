@@ -29,6 +29,8 @@ use std::collections::BTreeMap;
 use skyferry_core::optimizer::OptimalTransfer;
 use skyferry_core::request::{DecisionParams, Quantizer};
 use skyferry_sim::parallel::par_map;
+use skyferry_trace as trace;
+use skyferry_trace::clock::monotonic_ns;
 
 use crate::cache::{CacheStats, DecisionCache, Key, Lookup};
 use crate::proto::Decision;
@@ -68,6 +70,21 @@ enum Plan {
     Hit(OptimalTransfer),
     Shared(Key),
     Origin(Key),
+}
+
+/// Phase boundaries of one [`Engine::serve_batch_timed`] call, in
+/// monotonic nanoseconds — what the dispatcher uses to build per-request
+/// trace spans and the latency metric without re-measuring.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchTiming {
+    /// Batch entry (before the cache bookkeeping pass).
+    pub t_start_ns: u64,
+    /// End of the sequential cache pass (lookups/reservations done).
+    pub t_cache_ns: u64,
+    /// End of the solve + fulfil passes (responses assembled).
+    pub t_done_ns: u64,
+    /// Unique keys actually solved.
+    pub solved: usize,
 }
 
 impl Engine {
@@ -116,11 +133,19 @@ impl Engine {
 
     /// Serve a batch of *validated* parameters, responses in order.
     pub fn serve_batch(&mut self, batch: &[DecisionParams]) -> Vec<Decision> {
+        self.serve_batch_timed(batch).0
+    }
+
+    /// [`serve_batch`](Engine::serve_batch) plus the batch's phase
+    /// boundary timestamps (see [`BatchTiming`]).
+    pub fn serve_batch_timed(&mut self, batch: &[DecisionParams]) -> (Vec<Decision>, BatchTiming) {
+        let _span = trace::span!("serve-batch", n = batch.len());
+        let t_start_ns = monotonic_ns();
         if !self.cache_enabled {
             // No cache: solve raw (un-snapped) parameters — this is the
             // reference path `--no-cache` comparisons measure against.
             let solved = par_map(batch, DecisionParams::solve);
-            return batch
+            let decisions: Vec<Decision> = batch
                 .iter()
                 .zip(solved)
                 .map(|(p, transfer)| Decision {
@@ -129,6 +154,13 @@ impl Engine {
                     cache_hit: false,
                 })
                 .collect();
+            let timing = BatchTiming {
+                t_start_ns,
+                t_cache_ns: t_start_ns,
+                t_done_ns: monotonic_ns(),
+                solved: batch.len(),
+            };
+            return (decisions, timing);
         }
 
         // Pass 1: sequential bookkeeping in stream order.
@@ -152,6 +184,8 @@ impl Engine {
             }
         }
 
+        let t_cache_ns = monotonic_ns();
+
         // Pass 2: solve unique misses on the worker pool.
         let solved = par_map(&miss_params, DecisionParams::solve);
 
@@ -164,7 +198,8 @@ impl Engine {
         }
         debug_assert!(!self.cache.has_pending(), "batch left a reservation open");
 
-        batch
+        let solved_count = miss_keys.len();
+        let decisions: Vec<Decision> = batch
             .iter()
             .zip(plan)
             .map(|(p, pl)| {
@@ -190,7 +225,14 @@ impl Engine {
                     cache_hit,
                 }
             })
-            .collect()
+            .collect();
+        let timing = BatchTiming {
+            t_start_ns,
+            t_cache_ns,
+            t_done_ns: monotonic_ns(),
+            solved: solved_count,
+        };
+        (decisions, timing)
     }
 }
 

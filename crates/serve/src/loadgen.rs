@@ -28,12 +28,13 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use bytes::{BufMut, BytesMut};
 use skyferry_sim::rng::{DetRng, SeedStream};
 use skyferry_stats::json::{self, Json};
 use skyferry_stats::quantile::quantile;
+use skyferry_trace::clock::monotonic_ns;
 
 /// Knobs of one load-generation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -196,14 +197,14 @@ fn drive_connection(
     let mut reader = BufReader::new(stream);
 
     let window = window.max(1);
-    let mut send_times: std::collections::VecDeque<Instant> =
+    let mut send_times: std::collections::VecDeque<u64> =
         std::collections::VecDeque::with_capacity(window);
     let mut sent = 0usize;
     let mut line_buf = String::new();
-    let started = Instant::now();
+    let started_ns = monotonic_ns();
 
     let mut read_one = |reader: &mut BufReader<TcpStream>,
-                        send_times: &mut std::collections::VecDeque<Instant>,
+                        send_times: &mut std::collections::VecDeque<u64>,
                         result: &mut ThreadResult|
      -> Result<(), LoadgenError> {
         line_buf.clear();
@@ -213,12 +214,12 @@ fn drive_connection(
                 "server closed the connection mid-stream".into(),
             ));
         }
-        let t_sent = send_times
+        let t_sent_ns = send_times
             .pop_front()
             .ok_or_else(|| LoadgenError::Protocol("response without a request".into()))?;
         result
             .latencies_us
-            .push(t_sent.elapsed().as_secs_f64() * 1e6);
+            .push(monotonic_ns().saturating_sub(t_sent_ns) as f64 / 1e3);
         let value = json::parse(line_buf.trim())
             .map_err(|e| LoadgenError::Protocol(format!("unparsable response: {e}")))?;
         if value.get("error").is_some() {
@@ -244,12 +245,12 @@ fn drive_connection(
         let mut burst_n = 0usize;
         while sent < lines.len() && sent - result.latencies_us.len() < window {
             if let Some(rate) = rate_per_conn {
-                let due = started + Duration::from_secs_f64(sent as f64 / rate);
-                let now = Instant::now();
-                if now < due {
+                let due_ns = started_ns + (sent as f64 / rate * 1e9) as u64;
+                let now_ns = monotonic_ns();
+                if now_ns < due_ns {
                     if burst_n == 0 && result.latencies_us.len() == sent {
                         // Nothing in flight and nothing due: sleep.
-                        std::thread::sleep(due - now);
+                        std::thread::sleep(Duration::from_nanos(due_ns - now_ns));
                     } else {
                         break;
                     }
@@ -265,9 +266,9 @@ fn drive_connection(
         }
         if !burst.is_empty() {
             write_half.write_all(&burst)?;
-            let now = Instant::now();
+            let now_ns = monotonic_ns();
             for _ in 0..burst_n {
-                send_times.push_back(now);
+                send_times.push_back(now_ns);
             }
         }
         if result.latencies_us.len() < sent {
@@ -400,7 +401,7 @@ fn run_phase(
     workload: &[Vec<String>],
 ) -> Result<PhaseReport, LoadgenError> {
     let rate_per_conn = cfg.rate.map(|r| r / workload.len().max(1) as f64);
-    let t0 = Instant::now();
+    let t0_ns = monotonic_ns();
     let results: Vec<Result<ThreadResult, LoadgenError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = workload
             .iter()
@@ -413,7 +414,7 @@ fn run_phase(
             .map(|h| h.join().expect("driver thread panicked"))
             .collect()
     });
-    let wall_s = t0.elapsed().as_secs_f64();
+    let wall_s = monotonic_ns().saturating_sub(t0_ns) as f64 / 1e9;
 
     let mut merged = Vec::new();
     let mut d_stars = Vec::new();

@@ -148,6 +148,13 @@ pub struct Metrics {
     pub decisions: u64,
     /// `bad-request` responses (parse or validation failures).
     pub bad_requests: u64,
+    /// Well-formed `decide` requests (classified after parse +
+    /// validation; requests later shed as overloaded/shutting-down still
+    /// count here, so `decide + control + bad_requests == requests`).
+    pub decide_requests: u64,
+    /// Well-formed control requests (`stats`, `reset`, `cache`,
+    /// `shutdown`).
+    pub control_requests: u64,
     /// `overloaded` responses (bounded queue full).
     pub overloaded: u64,
     /// `shutting-down` responses.
@@ -178,6 +185,13 @@ impl Metrics {
             ("requests", Json::Int(self.requests as i64)),
             ("decisions", Json::Int(self.decisions as i64)),
             ("bad_requests", Json::Int(self.bad_requests as i64)),
+            (
+                "endpoints",
+                Json::obj([
+                    ("decide", Json::Int(self.decide_requests as i64)),
+                    ("control", Json::Int(self.control_requests as i64)),
+                ]),
+            ),
             ("overloaded", Json::Int(self.overloaded as i64)),
             ("shed_on_shutdown", Json::Int(self.shed_on_shutdown as i64)),
             ("queue_len", Json::Int(queue_len as i64)),
@@ -249,6 +263,28 @@ mod tests {
         h.clear();
         assert_eq!(h.count(), 0);
         assert_eq!(h.quantile_us(0.5), None);
+    }
+
+    #[test]
+    fn endpoint_split_sums_to_request_total() {
+        // The per-endpoint counters partition the request counter: every
+        // request line is exactly one of decide / control / bad.
+        let mut m = Metrics::new();
+        m.requests = 12;
+        m.decide_requests = 7;
+        m.control_requests = 3;
+        m.bad_requests = 2;
+        assert_eq!(
+            m.decide_requests + m.control_requests + m.bad_requests,
+            m.requests
+        );
+        let j = m.to_json(&CacheStats::default(), true, 0);
+        let e = j.get("endpoints").expect("endpoints member");
+        let decide = e.get("decide").and_then(Json::as_i64).expect("decide");
+        let control = e.get("control").and_then(Json::as_i64).expect("control");
+        let bad = j.get("bad_requests").and_then(Json::as_i64).expect("bad");
+        let total = j.get("requests").and_then(Json::as_i64).expect("requests");
+        assert_eq!(decide + control + bad, total);
     }
 
     #[test]

@@ -31,10 +31,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use bytes::{BufMut, BytesMut};
 use skyferry_core::request::DecisionParams;
+use skyferry_trace as trace;
+use skyferry_trace::clock::monotonic_ns;
 
 use crate::bounded::{BoundedQueue, PushError};
 use crate::engine::{Engine, EngineConfig};
@@ -78,6 +80,12 @@ enum Job {
         params: DecisionParams,
         seq: u64,
         reply: Sender<(u64, String)>,
+        /// When the reader saw the complete request line (mono ns).
+        t_recv_ns: u64,
+        /// When parse + validation finished (mono ns).
+        t_parsed_ns: u64,
+        /// Server-wide decide counter value, the trace span's `req` id.
+        req_id: u64,
     },
     Stats {
         seq: u64,
@@ -236,11 +244,12 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
         match reader.read_line(&mut line) {
             Ok(0) => break, // EOF: client closed mid-stream or cleanly.
             Ok(_) => {
+                let t_recv_ns = monotonic_ns();
                 let trimmed = line.trim();
                 if !trimmed.is_empty() {
                     let this_seq = seq;
                     seq += 1;
-                    handle_line(shared, trimmed, this_seq, &tx);
+                    handle_line(shared, trimmed, this_seq, t_recv_ns, &tx);
                 }
                 line.clear();
             }
@@ -271,11 +280,24 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
 /// Parse one request line and route it; every outcome sends exactly one
 /// response carrying `seq` (except `shutdown`, which also stops the
 /// server).
-fn handle_line(shared: &Arc<Shared>, line: &str, seq: u64, tx: &Sender<(u64, String)>) {
+fn handle_line(
+    shared: &Arc<Shared>,
+    line: &str,
+    seq: u64,
+    t_recv_ns: u64,
+    tx: &Sender<(u64, String)>,
+) {
     {
         let mut m = shared.metrics.lock().expect("metrics lock poisoned");
         m.requests += 1;
     }
+    let mark_control = || {
+        shared
+            .metrics
+            .lock()
+            .expect("metrics lock poisoned")
+            .control_requests += 1;
+    };
     let send_err = |kind: ErrorKind, msg: &str| {
         let _ = tx.send((seq, error_response(kind, msg)));
         let mut m = shared.metrics.lock().expect("metrics lock poisoned");
@@ -292,27 +314,47 @@ fn handle_line(shared: &Arc<Shared>, line: &str, seq: u64, tx: &Sender<(u64, Str
     };
     let job = match request {
         Request::Decide(params) => match params.validated() {
-            Ok(params) => Job::Decide {
-                params,
-                seq,
-                reply: tx.clone(),
-            },
+            Ok(params) => {
+                let req_id = {
+                    let mut m = shared.metrics.lock().expect("metrics lock poisoned");
+                    m.decide_requests += 1;
+                    m.decide_requests
+                };
+                Job::Decide {
+                    params,
+                    seq,
+                    reply: tx.clone(),
+                    t_recv_ns,
+                    t_parsed_ns: monotonic_ns(),
+                    req_id,
+                }
+            }
             Err(e) => return send_err(ErrorKind::BadRequest, &format!("invalid parameters: {e}")),
         },
-        Request::Stats => Job::Stats {
-            seq,
-            reply: tx.clone(),
-        },
-        Request::Reset => Job::Reset {
-            seq,
-            reply: tx.clone(),
-        },
-        Request::Cache { enabled } => Job::Cache {
-            enabled,
-            seq,
-            reply: tx.clone(),
-        },
+        Request::Stats => {
+            mark_control();
+            Job::Stats {
+                seq,
+                reply: tx.clone(),
+            }
+        }
+        Request::Reset => {
+            mark_control();
+            Job::Reset {
+                seq,
+                reply: tx.clone(),
+            }
+        }
+        Request::Cache { enabled } => {
+            mark_control();
+            Job::Cache {
+                enabled,
+                seq,
+                reply: tx.clone(),
+            }
+        }
         Request::Shutdown => {
+            mark_control();
             let _ = tx.send((seq, ack_response("shutdown")));
             shared.trigger_shutdown();
             return;
@@ -385,7 +427,21 @@ fn dispatch_loop(shared: &Arc<Shared>, mut engine: Engine, max_batch: usize, det
         }
         for job in batch {
             match job {
-                Job::Decide { params, seq, reply } => decides.push((params, seq, reply)),
+                Job::Decide {
+                    params,
+                    seq,
+                    reply,
+                    t_recv_ns,
+                    t_parsed_ns,
+                    req_id,
+                } => decides.push(PendingDecide {
+                    params,
+                    seq,
+                    reply,
+                    t_recv_ns,
+                    t_parsed_ns,
+                    req_id,
+                }),
                 Job::Stats { seq, reply } => {
                     flush_decides(shared, &mut engine, &mut decides, deterministic);
                     let body = shared
@@ -426,8 +482,16 @@ fn dispatch_loop(shared: &Arc<Shared>, mut engine: Engine, max_batch: usize, det
 }
 
 /// A decision waiting in the dispatcher's batch: parameters, sequence
-/// slot, and the connection's reply channel.
-type PendingDecide = (DecisionParams, u64, Sender<(u64, String)>);
+/// slot, the connection's reply channel, and the trace timestamps the
+/// reader stamped on the way in.
+struct PendingDecide {
+    params: DecisionParams,
+    seq: u64,
+    reply: Sender<(u64, String)>,
+    t_recv_ns: u64,
+    t_parsed_ns: u64,
+    req_id: u64,
+}
 
 /// Serve the buffered decisions as one engine batch. The whole batch's
 /// service time is attributed to each request in it (`us_served`, and
@@ -442,10 +506,9 @@ fn flush_decides(
     if decides.is_empty() {
         return;
     }
-    let params: Vec<DecisionParams> = decides.iter().map(|(p, _, _)| *p).collect();
-    let t0 = Instant::now();
-    let served = engine.serve_batch(&params);
-    let dt_us = t0.elapsed().as_secs_f64() * 1e6;
+    let params: Vec<DecisionParams> = decides.iter().map(|d| d.params).collect();
+    let (served, timing) = engine.serve_batch_timed(&params);
+    let dt_us = timing.t_done_ns.saturating_sub(timing.t_start_ns) as f64 / 1e3;
     let us_served = if deterministic {
         0
     } else {
@@ -458,7 +521,40 @@ fn flush_decides(
             m.latency.record(dt_us);
         }
     }
-    for ((_, seq, reply), decision) in decides.drain(..).zip(served) {
-        let _ = reply.send((seq, decision_response(&decision, us_served)));
+    for (d, decision) in decides.iter().zip(&served) {
+        let _ = d
+            .reply
+            .send((d.seq, decision_response(decision, us_served)));
     }
+    if trace::enabled() {
+        // One span tree per request, built from measured timestamps
+        // (manual spans: the dispatcher already has the real phase
+        // boundaries, re-timing with guards would double-measure). The
+        // queue/cache/compute phases are batch-wide; parse is the one
+        // genuinely per-request leg.
+        let t_respond_ns = monotonic_ns();
+        for (d, decision) in decides.iter().zip(&served) {
+            let span = trace::manual_span("request");
+            if !span.live() {
+                continue;
+            }
+            span.finish_tree(
+                d.t_recv_ns,
+                t_respond_ns,
+                trace::fields!(
+                    req = d.req_id,
+                    cache_hit = decision.cache_hit,
+                    endpoint = "decide"
+                ),
+                &[
+                    ("parse", d.t_recv_ns, d.t_parsed_ns),
+                    ("queue", d.t_parsed_ns, timing.t_start_ns),
+                    ("cache", timing.t_start_ns, timing.t_cache_ns),
+                    ("compute", timing.t_cache_ns, timing.t_done_ns),
+                    ("respond", timing.t_done_ns, t_respond_ns),
+                ],
+            );
+        }
+    }
+    decides.clear();
 }

@@ -24,6 +24,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use skyferry_trace as trace;
+
 use crate::rng::{DetRng, SeedStream};
 
 /// Global worker-count override: 0 = auto (available parallelism).
@@ -65,8 +67,33 @@ where
     F: Fn(usize) -> R + Sync,
 {
     let threads = effective_threads(n, threads);
+
+    // Tracing: one region per map, one lane per task (lane = index + 1, a
+    // *logical* rank). The serial path runs the exact same per-task guards
+    // inline, so a trace is bit-identical at any worker count. The physical
+    // worker id is attached only under a real clock — it is scheduling-
+    // dependent, so deterministic (virtual-clock) traces must omit it.
+    let region = trace::region();
+    let epoch = region.epoch();
+    let run_task = |worker: usize, i: usize| -> R {
+        let _lane = trace::lane(epoch, i as u64 + 1);
+        let _span = if trace::enabled() {
+            let mut fields = trace::fields!(index = i);
+            if !trace::clock_is_virtual() {
+                fields.push((
+                    std::borrow::Cow::Borrowed("worker"),
+                    trace::FieldValue::from(worker),
+                ));
+            }
+            Some(trace::start_span("task", fields))
+        } else {
+            None
+        };
+        f(i)
+    };
+
     if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n).map(|i| run_task(0, i)).collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -75,8 +102,10 @@ where
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|worker| {
+                let run_task = &run_task;
+                let next = &next;
+                scope.spawn(move || {
                     // Each worker buffers (index, result) pairs locally;
                     // the atomic counter is the only shared state.
                     let mut local: Vec<(usize, R)> = Vec::new();
@@ -85,7 +114,7 @@ where
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(i)));
+                        local.push((i, run_task(worker, i)));
                     }
                     local
                 })

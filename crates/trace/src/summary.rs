@@ -1,0 +1,500 @@
+//! Trace analysis: self-time attribution, per-span percentiles, coverage
+//! and critical-path extraction, plus the text rendering used by the
+//! `skyferry-trace summarize` CLI.
+
+use std::collections::BTreeMap;
+
+use skyferry_stats::quantile::quantile;
+use skyferry_stats::table::{Column, Table, Value};
+
+use crate::record::{Record, RecordKind};
+
+/// Aggregate statistics for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NameStat {
+    /// Span name.
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Sum of durations.
+    pub total_ns: u64,
+    /// Sum of durations minus time spent in child spans.
+    pub self_ns: u64,
+    /// Median duration.
+    pub p50_ns: f64,
+    /// 95th-percentile duration.
+    pub p95_ns: f64,
+    /// 99th-percentile duration.
+    pub p99_ns: f64,
+}
+
+/// One step of the extracted critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalRow {
+    /// Depth below the path's root span.
+    pub depth: usize,
+    /// Span name.
+    pub name: String,
+    /// Span duration.
+    pub dur_ns: u64,
+    /// Duration minus child time.
+    pub self_ns: u64,
+}
+
+/// Everything `summarize` computes from a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Total records.
+    pub records: usize,
+    /// Span records.
+    pub spans: usize,
+    /// Event records.
+    pub events: usize,
+    /// Distinct lanes.
+    pub lanes: usize,
+    /// Distinct epochs.
+    pub epochs: usize,
+    /// Trace extent: max end − min start over all records.
+    pub extent_ns: u64,
+    /// Union of root-span intervals (the traced share of the extent).
+    pub covered_ns: u64,
+    /// Spans named `request` (the serve per-request roots).
+    pub request_spans: u64,
+    /// Per-name span statistics, sorted by self-time descending.
+    pub by_name: Vec<NameStat>,
+    /// Per-name event counts, sorted by count descending.
+    pub events_by_name: Vec<(String, u64)>,
+    /// Critical path from the slowest root (slowest `request` span when
+    /// any exist), descending into the slowest child at each level.
+    pub critical: Vec<CriticalRow>,
+}
+
+impl Summary {
+    /// Fraction of the trace extent covered by root spans (1.0 when empty).
+    pub fn coverage(&self) -> f64 {
+        if self.extent_ns == 0 {
+            1.0
+        } else {
+            self.covered_ns as f64 / self.extent_ns as f64
+        }
+    }
+}
+
+/// Merge overlapping `(start, end)` intervals and return covered length.
+fn union_len(mut intervals: Vec<(u64, u64)>) -> u64 {
+    intervals.sort_unstable();
+    let mut covered = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for (s, e) in intervals {
+        match cur {
+            Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+            Some((cs, ce)) => {
+                covered += ce - cs;
+                cur = Some((s, e));
+            }
+            None => cur = Some((s, e)),
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        covered += ce - cs;
+    }
+    covered
+}
+
+/// Compute per-span self time: duration minus the summed durations of
+/// direct children (same `(epoch, lane)`, `parent == seq`).
+fn self_times(records: &[Record]) -> Vec<u64> {
+    let mut child_ns: BTreeMap<(u64, u64, u64), u64> = BTreeMap::new();
+    for r in records {
+        if let (Some(parent), RecordKind::Span { .. }) = (r.parent, r.kind) {
+            *child_ns.entry((r.epoch, r.lane, parent)).or_insert(0) += r.duration_ns();
+        }
+    }
+    records
+        .iter()
+        .map(|r| {
+            let children = child_ns
+                .get(&(r.epoch, r.lane, r.seq))
+                .copied()
+                .unwrap_or(0);
+            r.duration_ns().saturating_sub(children)
+        })
+        .collect()
+}
+
+fn critical_path(records: &[Record], self_ns: &[u64]) -> Vec<CriticalRow> {
+    // Index direct children of each span.
+    let mut children: BTreeMap<(u64, u64, u64), Vec<usize>> = BTreeMap::new();
+    for (i, r) in records.iter().enumerate() {
+        if let (Some(parent), RecordKind::Span { .. }) = (r.parent, r.kind) {
+            children
+                .entry((r.epoch, r.lane, parent))
+                .or_default()
+                .push(i);
+        }
+    }
+    let roots = records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_span() && r.parent.is_none());
+    let requests: Vec<(usize, &Record)> =
+        roots.clone().filter(|(_, r)| r.name == "request").collect();
+    let start = if requests.is_empty() {
+        roots.max_by_key(|(_, r)| r.duration_ns()).map(|(i, _)| i)
+    } else {
+        requests
+            .iter()
+            .max_by_key(|(_, r)| r.duration_ns())
+            .map(|(i, _)| *i)
+    };
+    let Some(mut at) = start else {
+        return Vec::new();
+    };
+    let mut path = Vec::new();
+    for depth in 0..64 {
+        let r = &records[at];
+        path.push(CriticalRow {
+            depth,
+            name: r.name.clone().into_owned(),
+            dur_ns: r.duration_ns(),
+            self_ns: self_ns[at],
+        });
+        let next = children
+            .get(&(r.epoch, r.lane, r.seq))
+            .and_then(|c| c.iter().copied().max_by_key(|&i| records[i].duration_ns()));
+        match next {
+            Some(i) => at = i,
+            None => break,
+        }
+    }
+    path
+}
+
+/// Analyze a trace (records in any order; spans/events mixed).
+pub fn summarize(records: &[Record]) -> Summary {
+    let self_ns = self_times(records);
+    let mut lanes: Vec<u64> = records.iter().map(|r| r.lane).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    let mut epochs: Vec<u64> = records.iter().map(|r| r.epoch).collect();
+    epochs.sort_unstable();
+    epochs.dedup();
+
+    let extent_ns = match (
+        records.iter().map(Record::start_ns).min(),
+        records.iter().map(Record::end_ns).max(),
+    ) {
+        (Some(lo), Some(hi)) => hi.saturating_sub(lo),
+        _ => 0,
+    };
+    let covered_ns = union_len(
+        records
+            .iter()
+            .filter(|r| r.is_span() && r.parent.is_none())
+            .map(|r| (r.start_ns(), r.end_ns()))
+            .collect(),
+    );
+
+    let mut by_name: BTreeMap<&str, (u64, u64, u64, Vec<f64>)> = BTreeMap::new();
+    let mut events_by_name: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut spans = 0usize;
+    let mut events = 0usize;
+    let mut request_spans = 0u64;
+    for (i, r) in records.iter().enumerate() {
+        match r.kind {
+            RecordKind::Span { .. } => {
+                spans += 1;
+                if r.name == "request" {
+                    request_spans += 1;
+                }
+                let entry = by_name
+                    .entry(r.name.as_ref())
+                    .or_insert((0, 0, 0, Vec::new()));
+                entry.0 += 1;
+                entry.1 += r.duration_ns();
+                entry.2 += self_ns[i];
+                entry.3.push(r.duration_ns() as f64);
+            }
+            RecordKind::Event { .. } => {
+                events += 1;
+                *events_by_name.entry(r.name.as_ref()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let mut by_name: Vec<NameStat> = by_name
+        .into_iter()
+        .map(|(name, (count, total_ns, self_total, durs))| NameStat {
+            name: name.to_string(),
+            count,
+            total_ns,
+            self_ns: self_total,
+            p50_ns: quantile(&durs, 0.50).unwrap_or(0.0),
+            p95_ns: quantile(&durs, 0.95).unwrap_or(0.0),
+            p99_ns: quantile(&durs, 0.99).unwrap_or(0.0),
+        })
+        .collect();
+    // Self-time descending; name ascending as the deterministic tiebreak.
+    by_name.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+    let mut events_by_name: Vec<(String, u64)> = events_by_name
+        .into_iter()
+        .map(|(n, c)| (n.to_string(), c))
+        .collect();
+    events_by_name.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let critical = critical_path(records, &self_ns);
+
+    Summary {
+        records: records.len(),
+        spans,
+        events,
+        lanes: lanes.len(),
+        epochs: epochs.len(),
+        extent_ns,
+        covered_ns,
+        request_spans,
+        by_name,
+        events_by_name,
+        critical,
+    }
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Render the summary as text tables (via `stats::table`), listing the top
+/// `top` span names by self-time.
+pub fn render(summary: &Summary, top: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace: {} records ({} spans, {} events) on {} lanes / {} epochs\n",
+        summary.records, summary.spans, summary.events, summary.lanes, summary.epochs
+    ));
+    out.push_str(&format!(
+        "extent: {:.3} ms, root-span coverage: {:.3} ms ({:.1}%)\n",
+        ms(summary.extent_ns),
+        ms(summary.covered_ns),
+        summary.coverage() * 100.0
+    ));
+    if summary.request_spans > 0 {
+        out.push_str(&format!("request spans: {}\n", summary.request_spans));
+    }
+
+    out.push_str("\ntop spans by self-time:\n");
+    let mut spans_table = Table::new(vec![
+        Column::text("span"),
+        Column::int("count"),
+        Column::float("self ms", 3),
+        Column::float("total ms", 3),
+        Column::float("p50 ms", 3),
+        Column::float("p95 ms", 3),
+        Column::float("p99 ms", 3),
+    ]);
+    for stat in summary.by_name.iter().take(top) {
+        spans_table.push(vec![
+            Value::Str(stat.name.clone()),
+            Value::Int(stat.count as i64),
+            Value::Num(ms(stat.self_ns)),
+            Value::Num(ms(stat.total_ns)),
+            Value::Num(stat.p50_ns / 1e6),
+            Value::Num(stat.p95_ns / 1e6),
+            Value::Num(stat.p99_ns / 1e6),
+        ]);
+    }
+    out.push_str(&spans_table.render_text());
+
+    if !summary.events_by_name.is_empty() {
+        out.push_str("\nevents:\n");
+        let mut events_table = Table::new(vec![Column::text("event"), Column::int("count")]);
+        for (name, count) in &summary.events_by_name {
+            events_table.push(vec![Value::Str(name.clone()), Value::Int(*count as i64)]);
+        }
+        out.push_str(&events_table.render_text());
+    }
+
+    if !summary.critical.is_empty() {
+        out.push_str("\ncritical path (slowest root, slowest child at each level):\n");
+        let mut crit_table = Table::new(vec![
+            Column::text("span"),
+            Column::float("dur ms", 3),
+            Column::float("self ms", 3),
+        ]);
+        for row in &summary.critical {
+            crit_table.push(vec![
+                Value::Str(format!("{}{}", "  ".repeat(row.depth), row.name)),
+                Value::Num(ms(row.dur_ns)),
+                Value::Num(ms(row.self_ns)),
+            ]);
+        }
+        out.push_str(&crit_table.render_text());
+    }
+    out
+}
+
+/// Structural checks for CI (`skyferry-trace summarize --check`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckSpec {
+    /// Require exactly this many `request` spans.
+    pub expect_requests: Option<u64>,
+    /// Require root-span coverage of at least this fraction of the extent.
+    pub min_coverage: Option<f64>,
+}
+
+/// Validate a summary against a [`CheckSpec`]; returns every failure.
+pub fn check(summary: &Summary, spec: &CheckSpec) -> Result<(), Vec<String>> {
+    let mut failures = Vec::new();
+    if summary.records == 0 {
+        failures.push("trace is empty".to_string());
+    }
+    if let Some(expect) = spec.expect_requests {
+        if summary.request_spans != expect {
+            failures.push(format!(
+                "expected {expect} request spans, found {}",
+                summary.request_spans
+            ));
+        }
+    }
+    if let Some(min) = spec.min_coverage {
+        if summary.coverage() < min {
+            failures.push(format!(
+                "root-span coverage {:.1}% below required {:.1}%",
+                summary.coverage() * 100.0,
+                min * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::FieldValue;
+
+    fn span(
+        epoch: u64,
+        lane: u64,
+        seq: u64,
+        parent: Option<u64>,
+        name: &str,
+        t0: u64,
+        t1: u64,
+    ) -> Record {
+        Record {
+            epoch,
+            lane,
+            seq,
+            parent,
+            name: name.to_string().into(),
+            kind: RecordKind::Span {
+                start_ns: t0,
+                end_ns: t1,
+            },
+            fields: Vec::new(),
+        }
+    }
+
+    fn sample() -> Vec<Record> {
+        vec![
+            span(0, 9, 0, None, "root", 0, 100),
+            span(0, 9, 1, Some(0), "inner", 10, 70),
+            span(0, 9, 2, Some(1), "leaf", 20, 40),
+            Record {
+                epoch: 0,
+                lane: 9,
+                seq: 3,
+                parent: Some(1),
+                name: "mark".into(),
+                kind: RecordKind::Event { at_ns: 50 },
+                fields: vec![("k".into(), FieldValue::U64(1))],
+            },
+        ]
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let s = summarize(&sample());
+        let root = s.by_name.iter().find(|n| n.name == "root").unwrap();
+        assert_eq!(root.total_ns, 100);
+        assert_eq!(root.self_ns, 40); // 100 − inner(60)
+        let inner = s.by_name.iter().find(|n| n.name == "inner").unwrap();
+        assert_eq!(inner.self_ns, 40); // 60 − leaf(20)
+        let leaf = s.by_name.iter().find(|n| n.name == "leaf").unwrap();
+        assert_eq!(leaf.self_ns, 20);
+    }
+
+    #[test]
+    fn coverage_is_union_of_roots() {
+        let s = summarize(&sample());
+        assert_eq!(s.extent_ns, 100);
+        assert_eq!(s.covered_ns, 100);
+        assert!((s.coverage() - 1.0).abs() < 1e-12);
+
+        // Two overlapping roots on different lanes + a gap.
+        let rs = vec![
+            span(0, 1, 0, None, "a", 0, 50),
+            span(0, 2, 0, None, "b", 30, 60),
+            span(1, 1, 0, None, "c", 80, 100),
+        ];
+        let s2 = summarize(&rs);
+        assert_eq!(s2.covered_ns, 80); // [0,60) ∪ [80,100)
+        assert_eq!(s2.extent_ns, 100);
+    }
+
+    #[test]
+    fn critical_path_descends_slowest_child() {
+        let s = summarize(&sample());
+        let names: Vec<&str> = s.critical.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["root", "inner", "leaf"]);
+        assert_eq!(s.critical[0].depth, 0);
+        assert_eq!(s.critical[2].depth, 2);
+    }
+
+    #[test]
+    fn critical_path_prefers_request_roots() {
+        let rs = vec![
+            span(0, 1, 0, None, "huge", 0, 1_000),
+            span(0, 2, 0, None, "request", 0, 10),
+        ];
+        let s = summarize(&rs);
+        assert_eq!(s.critical[0].name, "request");
+        assert_eq!(s.request_spans, 1);
+    }
+
+    #[test]
+    fn check_enforces_spec() {
+        let s = summarize(&sample());
+        assert!(check(&s, &CheckSpec::default()).is_ok());
+        assert!(check(
+            &s,
+            &CheckSpec {
+                expect_requests: Some(2),
+                min_coverage: None
+            }
+        )
+        .is_err());
+        assert!(check(
+            &s,
+            &CheckSpec {
+                expect_requests: None,
+                min_coverage: Some(0.5)
+            }
+        )
+        .is_ok());
+        let empty = summarize(&[]);
+        assert!(check(&empty, &CheckSpec::default()).is_err());
+    }
+
+    #[test]
+    fn render_mentions_top_spans() {
+        let text = render(&summarize(&sample()), 10);
+        assert!(text.contains("root"));
+        assert!(text.contains("critical path"));
+        assert!(text.contains("events"));
+    }
+}

@@ -65,4 +65,5 @@ pub use skyferry_phy as phy;
 pub use skyferry_serve as serve;
 pub use skyferry_sim as sim;
 pub use skyferry_stats as stats;
+pub use skyferry_trace as trace;
 pub use skyferry_uav as uav;
