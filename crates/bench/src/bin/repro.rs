@@ -6,6 +6,8 @@
 //! repro --list
 //! repro --verify [--quick] [--seed N] [--threads N] [EXPERIMENT...]
 //! repro --bench-parallel FILE [--quick] [--seed N] [--threads N]
+//! repro --compile-policy FILE [--quick] [--seed N] [--threads N]
+//! repro --verify-policy FILE
 //! ```
 //!
 //! With no experiment arguments, runs everything in the registry's paper
@@ -30,6 +32,7 @@ use std::process::ExitCode;
 
 use skyferry_bench::cli::{self, CliArgs, CliError};
 use skyferry_bench::experiments::{self, REGISTRY};
+use skyferry_bench::policy;
 use skyferry_bench::report::ReproConfig;
 use skyferry_bench::store::CampaignStore;
 use skyferry_bench::verify::verify_report;
@@ -45,6 +48,8 @@ fn usage() {
          \x20      repro --list\n\
          \x20      repro --verify [--quick] [--seed N] [--threads N] [EXPERIMENT...]\n\
          \x20      repro --bench-parallel FILE [--quick] [--seed N] [--threads N]\n\
+         \x20      repro --compile-policy FILE [--quick] [--seed N] [--threads N]\n\
+         \x20      repro --verify-policy FILE\n\
          experiments: {} (default: all)",
         experiments::ids().join(" ")
     );
@@ -147,6 +152,62 @@ fn run(args: CliArgs) -> ExitCode {
         }
         eprintln!("wrote {}", path.display());
         return ExitCode::SUCCESS;
+    }
+
+    if let Some(out) = &args.compile_policy {
+        if args.trace.is_some() {
+            trace::install(if args.deterministic {
+                trace::TraceConfig::deterministic()
+            } else {
+                trace::TraceConfig::default()
+            });
+        }
+        let result = policy::compile_policy(out, args.quick, args.seed);
+        if let Some(path) = &args.trace {
+            let records = trace::drain();
+            if let Err(e) = trace::sink::write_file(path, &records) {
+                eprintln!("error: could not write trace {}: {e}", path.display());
+            }
+        }
+        return match result {
+            Ok(s) => {
+                eprintln!(
+                    "compiled {} cells ({} bytes) in {:.2} s to {} (manifest {})",
+                    s.cells,
+                    s.bytes,
+                    s.wall_s,
+                    out.display(),
+                    s.manifest_path.display(),
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Some(path) = &args.verify_policy {
+        return match policy::verify_policy(path) {
+            Ok(s) => {
+                eprintln!(
+                    "verify-policy: {} — {} cells, {} re-solved bitwise-equal, \
+                     {} interpolation probes (max relative loss {:.4} ≤ {})",
+                    path.display(),
+                    s.cells,
+                    s.sampled,
+                    s.interp_probes,
+                    s.max_interp_loss,
+                    skyferry_bench::policy::INTERP_LOSS_BOUND,
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     let wanted: Vec<String> = if args.experiments.is_empty() {

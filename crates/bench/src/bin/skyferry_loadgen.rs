@@ -3,20 +3,24 @@
 //! ```text
 //! skyferry-loadgen --addr HOST:PORT [--requests N] [--concurrency N]
 //!                  [--window N] [--rate RPS] [--seed N] [--pool N]
-//!                  [--unique-frac F] [--compare] [--min-speedup X]
-//!                  [--expect-identical] [--check] [--out FILE]
-//!                  [--shutdown-after]
+//!                  [--unique-frac F] [--grid quick|full] [--compare]
+//!                  [--policy-compare] [--miss-heavy] [--min-speedup X]
+//!                  [--min-table-speedup X] [--expect-identical]
+//!                  [--check] [--out FILE] [--shutdown-after]
 //! ```
 //!
-//! Exit codes: 0 success, 1 a `--check` gate failed or the server was
-//! unreachable, 2 bad arguments.
+//! `--policy-compare` needs a server started with `--policy FILE`;
+//! `--grid` aligns the request mix to that table's cell centres so the
+//! `table`, `cache` and `no-cache` phases solve bit-identical
+//! parameters. Exit codes: 0 success, 1 a `--check` gate failed or the
+//! server was unreachable, 2 bad arguments.
 
 use skyferry_serve::loadgen::{parse_args, run, LoadgenError};
 
 const USAGE: &str = "usage: skyferry-loadgen --addr HOST:PORT [--requests N] \
 [--concurrency N] [--window N] [--rate RPS] [--seed N] [--pool N] [--unique-frac F] \
-[--compare] [--min-speedup X] [--expect-identical] [--check] [--out FILE] \
-[--shutdown-after]";
+[--grid quick|full] [--compare] [--policy-compare] [--miss-heavy] [--min-speedup X] \
+[--min-table-speedup X] [--expect-identical] [--check] [--out FILE] [--shutdown-after]";
 
 fn main() {
     let cfg = match parse_args(std::env::args().skip(1)) {
@@ -31,7 +35,7 @@ fn main() {
         Ok(report) => {
             for p in &report.phases {
                 println!(
-                    "{:<9} {:>8.0} req/s   p50 {:>8.0} us   p95 {:>8.0} us   p99 {:>8.0} us   \
+                    "{:<13} {:>8.0} req/s   p50 {:>8.0} us   p95 {:>8.0} us   p99 {:>8.0} us   \
                      hits {}   errors {}",
                     p.label,
                     p.throughput_rps,
@@ -44,6 +48,15 @@ fn main() {
             }
             if let Some(s) = report.speedup {
                 println!("cache speedup: {s:.2}x");
+            }
+            if let Some(s) = report.speedup_miss {
+                println!("cache speedup (miss-heavy): {s:.2}x");
+            }
+            if let Some(s) = report.table_speedup {
+                println!("table speedup: {s:.2}x");
+            }
+            if let Some(s) = report.table_speedup_miss {
+                println!("table speedup (miss-heavy): {s:.2}x");
             }
             if let Some(identical) = report.d_star_identical {
                 println!(

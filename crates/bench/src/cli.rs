@@ -9,6 +9,8 @@
 //! repro --list
 //! repro --verify [--quick] [--seed N] [--threads N] [EXPERIMENT...]
 //! repro --bench-parallel FILE [--quick] [--seed N] [--threads N]
+//! repro --compile-policy FILE [--quick] [--seed N] [--threads N]
+//! repro --verify-policy FILE
 //! ```
 
 use std::path::PathBuf;
@@ -28,6 +30,12 @@ pub struct CliArgs {
     pub out: Option<PathBuf>,
     /// Serial-vs-parallel timing output path (`--bench-parallel FILE`).
     pub bench_parallel: Option<PathBuf>,
+    /// Compiled-policy artifact output path (`--compile-policy FILE`;
+    /// the grid is [`quick`](CliArgs::quick)-dependent).
+    pub compile_policy: Option<PathBuf>,
+    /// Policy artifact to audit against the exact optimizer
+    /// (`--verify-policy FILE`).
+    pub verify_policy: Option<PathBuf>,
     /// Execution trace output path (`--trace FILE`; `.jsonl` = compact,
     /// anything else = Chrome `trace_event` JSON for Perfetto).
     pub trace: Option<PathBuf>,
@@ -56,6 +64,8 @@ impl Default for CliArgs {
             threads: 0,
             out: None,
             bench_parallel: None,
+            compile_policy: None,
+            verify_policy: None,
             trace: None,
             deterministic: false,
             verify: false,
@@ -136,6 +146,18 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<CliArgs, CliError
                     .ok_or(CliError::MissingValue("--bench-parallel"))?;
                 out.bench_parallel = Some(path.into());
             }
+            "--compile-policy" => {
+                let path = args
+                    .next()
+                    .ok_or(CliError::MissingValue("--compile-policy"))?;
+                out.compile_policy = Some(path.into());
+            }
+            "--verify-policy" => {
+                let path = args
+                    .next()
+                    .ok_or(CliError::MissingValue("--verify-policy"))?;
+                out.verify_policy = Some(path.into());
+            }
             "--trace" => {
                 let path = args.next().ok_or(CliError::MissingValue("--trace"))?;
                 out.trace = Some(path.into());
@@ -214,6 +236,30 @@ mod tests {
         assert_eq!(
             parse_strs(&["--bench-parallel"]),
             Err(CliError::MissingValue("--bench-parallel"))
+        );
+    }
+
+    #[test]
+    fn policy_flags_take_paths() {
+        let a = parse_strs(&["--compile-policy", "policy.bin", "--quick"]).unwrap();
+        assert_eq!(
+            a.compile_policy.as_deref(),
+            Some(std::path::Path::new("policy.bin"))
+        );
+        assert!(a.quick);
+        assert_eq!(a.verify_policy, None);
+        let a = parse_strs(&["--verify-policy", "policy.bin"]).unwrap();
+        assert_eq!(
+            a.verify_policy.as_deref(),
+            Some(std::path::Path::new("policy.bin"))
+        );
+        assert_eq!(
+            parse_strs(&["--compile-policy"]),
+            Err(CliError::MissingValue("--compile-policy"))
+        );
+        assert_eq!(
+            parse_strs(&["--verify-policy"]),
+            Err(CliError::MissingValue("--verify-policy"))
         );
     }
 

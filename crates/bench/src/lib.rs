@@ -25,6 +25,7 @@
 pub mod cli;
 pub mod experiments;
 pub mod microbench;
+pub mod policy;
 pub mod report;
 pub mod store;
 pub mod verify;

@@ -59,6 +59,8 @@ pub mod failure;
 pub mod mixed;
 /// The Eq. (2) solver: grid scan + golden-section refinement.
 pub mod optimizer;
+/// Compiled decision tables: versioned, checksummed policy artifacts.
+pub mod policy;
 /// Per-request decision parameters for the serving layer.
 pub mod request;
 /// Scenario parameter sets, including the paper's baselines.

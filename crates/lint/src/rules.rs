@@ -188,6 +188,18 @@ pub fn registry() -> Vec<Rule> {
                         state; thread configuration explicitly",
             check: check_env_read,
         },
+        Rule {
+            id: "raw-endian-bytes",
+            // The policy artifact codec is the sanctioned first-party
+            // wire format; the vendored buffer crate is its own world.
+            // Other legitimate byte-level sites (802.11 framing, seed
+            // derivation) escape with a justified lint:allow.
+            scope: Scope::Except(&["crates/bufs/", "crates/core/src/policy.rs"]),
+            rationale: "hand-rolled from/to_*_bytes (de)serialisation outside the \
+                        policy codec forks the artifact format; go through \
+                        skyferry_core::policy or justify the byte boundary",
+            check: check_raw_endian_bytes,
+        },
     ]
 }
 
@@ -385,6 +397,31 @@ fn check_instant_now_outside_clock(lines: &[Line], out: &mut Vec<(usize, String)
                     format!(
                         "raw `{ident}` outside trace::clock; use \
                          skyferry_trace::clock::monotonic_ns"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_raw_endian_bytes(lines: &[Line], out: &mut Vec<(usize, String)>) {
+    const IDENTS: [&str; 6] = [
+        "from_le_bytes",
+        "to_le_bytes",
+        "from_be_bytes",
+        "to_be_bytes",
+        "from_ne_bytes",
+        "to_ne_bytes",
+    ];
+    for (i, l) in lines.iter().enumerate() {
+        for ident in IDENTS {
+            if !find_ident(&l.code, ident).is_empty() {
+                out.push((
+                    i + 1,
+                    format!(
+                        "raw endian (de)serialisation `{ident}` outside the policy \
+                         codec; keep binary formats in skyferry_core::policy or \
+                         justify the byte boundary"
                     ),
                 ));
             }

@@ -1,0 +1,5 @@
+// lint:allow(raw-endian-bytes): fixture demonstrating a justified
+// byte-boundary escape.
+fn decode(b: [u8; 4]) -> u32 {
+    u32::from_le_bytes(b)
+}

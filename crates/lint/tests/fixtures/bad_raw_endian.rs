@@ -1,0 +1,11 @@
+fn decode(b: [u8; 4]) -> u32 {
+    u32::from_le_bytes(b)
+}
+
+fn encode(v: u64) -> [u8; 8] {
+    v.to_be_bytes()
+}
+
+fn native(v: u16) -> [u8; 2] {
+    v.to_ne_bytes()
+}

@@ -1,0 +1,5 @@
+// from_le_bytes is only named in this comment; real serialisation goes
+// through the skyferry_core::policy codec.
+fn artifact_size(cells: usize) -> usize {
+    128 + cells * 40 + 8
+}

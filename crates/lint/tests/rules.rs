@@ -204,6 +204,25 @@ fn env_read_fires_outside_bench() {
 }
 
 #[test]
+fn raw_endian_bytes_fires_with_exact_spans() {
+    assert_eq!(
+        lint_at(CORE, "bad_raw_endian.rs"),
+        all("raw-endian-bytes", &[2, 6, 10])
+    );
+    assert!(lint_at(CORE, "good_raw_endian.rs").is_empty());
+}
+
+#[test]
+fn raw_endian_bytes_spares_the_codec_and_the_vendored_bufs() {
+    // The policy artifact codec is the sanctioned serialisation site …
+    assert!(lint_at("crates/core/src/policy.rs", "bad_raw_endian.rs").is_empty());
+    // … the vendored buffer crate predates the convention …
+    assert!(lint_at("crates/bufs/src/lib.rs", "bad_raw_endian.rs").is_empty());
+    // … and a justified file-scoped escape silences it anywhere.
+    assert!(lint_at(CORE, "allowed_raw_endian.rs").is_empty());
+}
+
+#[test]
 fn every_rule_has_a_firing_bad_fixture() {
     // The pairing that proves each registry entry is live.
     let cases: Vec<(&str, &str, &str)> = vec![
@@ -226,6 +245,7 @@ fn every_rule_has_a_firing_bad_fixture() {
             "crates/serve/src/fixture.rs",
             "bad_instant_now.rs",
         ),
+        ("raw-endian-bytes", CORE, "bad_raw_endian.rs"),
     ];
     for rule in registry() {
         let (_, path, file) = cases

@@ -7,6 +7,8 @@
 //! surface to attack: every decoder must reject what the encoder cannot
 //! produce.
 
+// lint:allow(raw-endian-bytes): 802.11 wire formats are byte-exact by
+// definition; this module IS the codec for them.
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// A 48-bit MAC address.

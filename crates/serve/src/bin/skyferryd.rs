@@ -4,17 +4,27 @@
 //! skyferryd [--addr HOST:PORT] [--queue-depth N] [--batch N]
 //!           [--cache-capacity N] [--exact | --quant-d0 M --quant-mdata MB
 //!            --quant-rho R --quant-speed V] [--no-cache]
+//!           [--policy FILE] [--policy-interp]
 //!           [--deterministic] [--threads N] [--trace PATH]
 //! ```
 //!
 //! Prints `listening on <addr>` once the socket is bound (scripts wait
 //! for that line), then serves until a `shutdown` control request.
-//! `--trace PATH` records every request as a span tree (parse → queue →
-//! cache → compute → respond) and writes the merged trace on shutdown —
-//! `.jsonl` for the compact format, anything else for Chrome
-//! `trace_event` JSON (loadable in Perfetto).
+//! `--policy FILE` loads a compiled decision table built by
+//! `repro --compile-policy`; a corrupted, truncated or
+//! version-mismatched artifact is rejected at startup with the typed
+//! decode error. `--policy-interp` interpolates between cell centres
+//! instead of nearest-cell lookup. `--trace PATH` records every request
+//! as a span tree (parse → queue → cache → compute → respond, or parse
+//! → policy-lookup → respond on the table path) and writes the merged
+//! trace on shutdown — `.jsonl` for the compact format, anything else
+//! for Chrome `trace_event` JSON (loadable in Perfetto).
 
+use std::sync::Arc;
+
+use skyferry_core::policy::PolicyTable;
 use skyferry_core::request::Quantizer;
+use skyferry_serve::policy::PolicyConfig;
 use skyferry_serve::server::{start, ServerConfig};
 use skyferry_trace as trace;
 
@@ -22,6 +32,8 @@ struct Args {
     server: ServerConfig,
     threads: usize,
     trace_path: Option<String>,
+    policy_path: Option<String>,
+    policy_interp: bool,
 }
 
 fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
@@ -31,6 +43,8 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
     };
     let mut threads = 0usize;
     let mut trace_path = None;
+    let mut policy_path = None;
+    let mut policy_interp = false;
     let mut quant = Quantizer::default_buckets();
     let mut raw = raw.into_iter();
     fn value<T: std::str::FromStr>(
@@ -58,24 +72,32 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
             "--deterministic" => server.deterministic = true,
             "--threads" => threads = value(&mut raw, "--threads")?,
             "--trace" => trace_path = Some(value(&mut raw, "--trace")?),
+            "--policy" => policy_path = Some(value(&mut raw, "--policy")?),
+            "--policy-interp" => policy_interp = true,
             "--help" | "-h" => return Err("help".to_string()),
             other => return Err(format!("unknown flag '{other}'")),
         }
+    }
+    if policy_interp && policy_path.is_none() {
+        return Err("--policy-interp needs --policy FILE".to_string());
     }
     server.engine.quant = quant;
     Ok(Args {
         server,
         threads,
         trace_path,
+        policy_path,
+        policy_interp,
     })
 }
 
 const USAGE: &str = "usage: skyferryd [--addr HOST:PORT] [--queue-depth N] [--batch N] \
 [--cache-capacity N] [--exact] [--quant-d0 M] [--quant-mdata MB] [--quant-rho R] \
-[--quant-speed V] [--no-cache] [--deterministic] [--threads N] [--trace PATH]";
+[--quant-speed V] [--no-cache] [--policy FILE] [--policy-interp] [--deterministic] \
+[--threads N] [--trace PATH]";
 
 fn main() {
-    let args = match parse_args(std::env::args().skip(1)) {
+    let mut args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
             if e != "help" {
@@ -86,6 +108,29 @@ fn main() {
         }
     };
     skyferry_sim::parallel::set_max_threads(args.threads);
+    if let Some(path) = &args.policy_path {
+        let table = match PolicyTable::load_file(std::path::Path::new(path)) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("skyferryd: cannot load policy {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!(
+            "skyferryd: policy table {path}: {} cells, seed {:#x}, {}",
+            table.len(),
+            table.seed,
+            if args.policy_interp {
+                "interpolating"
+            } else {
+                "nearest-cell lookup"
+            },
+        );
+        args.server.policy = Some(PolicyConfig {
+            table: Arc::new(table),
+            interpolate: args.policy_interp,
+        });
+    }
     if args.trace_path.is_some() {
         // Request spans are manual spans stamped with measured monotonic
         // timestamps, so the trace clock is always the real one — the
@@ -183,5 +228,21 @@ mod tests {
         assert!(parse(&["--queue-depth"]).is_err());
         assert!(parse(&["--queue-depth", "many"]).is_err());
         assert!(parse(&["--frob"]).is_err());
+    }
+
+    #[test]
+    fn policy_flags_parse_and_validate() {
+        let a = parse(&["--policy", "/tmp/policy.bin"]).expect("valid");
+        assert_eq!(a.policy_path.as_deref(), Some("/tmp/policy.bin"));
+        assert!(!a.policy_interp);
+        let a = parse(&["--policy", "p.bin", "--policy-interp"]).expect("valid");
+        assert!(a.policy_interp);
+        assert!(parse(&["--policy"]).is_err(), "flag needs a value");
+        assert!(
+            parse(&["--policy-interp"]).is_err(),
+            "interp without a table is a config error"
+        );
+        let a = parse(&[]).expect("defaults");
+        assert_eq!(a.policy_path, None);
     }
 }

@@ -152,6 +152,7 @@ impl Engine {
                     transfer,
                     transmit_now: transmit_now(p.d0_m, &transfer),
                     cache_hit: false,
+                    policy_hit: false,
                 })
                 .collect();
             let timing = BatchTiming {
@@ -223,6 +224,7 @@ impl Engine {
                     transfer,
                     transmit_now: transmit_now(d0_solved, &transfer),
                     cache_hit,
+                    policy_hit: false,
                 }
             })
             .collect();

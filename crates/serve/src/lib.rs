@@ -23,8 +23,12 @@
 //! * [`cache`] — a deterministic LRU keyed on quantized parameter
 //!   buckets ([`skyferry_core::request::Quantizer`]), mirroring the
 //!   repro harness's `CampaignStore` economics at per-request scale;
-//! * [`metrics`] — counters plus a streaming log-bucket latency
-//!   histogram (p50/p95/p99) served by the `STATS` control request;
+//! * [`metrics`] — lock-free atomic counters plus a streaming
+//!   log-bucket latency histogram (p50/p95/p99) served by the `STATS`
+//!   control request;
+//! * [`policy`] — serving state for a compiled
+//!   [`skyferry_core::policy`] table: O(1) lock-free lookups on the
+//!   reader threads, exact-engine fallback for out-of-range requests;
 //! * [`server`] — the TCP front end: reader/writer threads per
 //!   connection, a single dispatcher owning engine and cache, graceful
 //!   shutdown on a control message;
@@ -43,5 +47,6 @@ pub mod cache;
 pub mod engine;
 pub mod loadgen;
 pub mod metrics;
+pub mod policy;
 pub mod proto;
 pub mod server;

@@ -21,9 +21,23 @@
 //! per-request `d_star` comparison (bit-exact when the server runs in
 //! exactness mode).
 //!
+//! Two extensions exercise the paths a warm 64-key pool never touches:
+//!
+//! * `--miss-heavy` repeats every phase with a second, fully unique
+//!   workload (`unique_frac = 1`), reported as `<label>-miss` — the
+//!   uncached-optimizer floor and the table path under realistic churn;
+//! * `--policy-compare` (against a `skyferryd --policy` server) runs
+//!   three phases — `table` (policy on), `cache` (policy off, cache
+//!   on), `no-cache` (both off) — and reports `table_speedup`;
+//! * `--grid quick|full` draws requests *on* the compiled policy grid's
+//!   cell centres, so table, cache and exact phases all solve
+//!   bit-identical parameters and the `d_star` streams can be compared
+//!   bitwise across all three.
+//!
 //! Client-side percentiles use the exact `stats::quantile` over the raw
 //! latency samples; the report also embeds the server's own `STATS`
-//! snapshot, and everything lands in `BENCH_serve.json`.
+//! snapshot, and everything lands in `BENCH_serve.json` /
+//! `BENCH_policy.json`.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -31,10 +45,41 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use bytes::{BufMut, BytesMut};
+use skyferry_core::policy::PolicyGrid;
 use skyferry_sim::rng::{DetRng, SeedStream};
 use skyferry_stats::json::{self, Json};
 use skyferry_stats::quantile::quantile;
 use skyferry_trace::clock::monotonic_ns;
+
+/// Which compiled-policy grid the workload should align to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridMode {
+    /// [`PolicyGrid::quick`] — the CI grid.
+    Quick,
+    /// [`PolicyGrid::full`] — the production grid.
+    Full,
+}
+
+impl GridMode {
+    /// The grid this mode names.
+    pub fn grid(&self) -> PolicyGrid {
+        match self {
+            GridMode::Quick => PolicyGrid::quick(),
+            GridMode::Full => PolicyGrid::full(),
+        }
+    }
+}
+
+impl std::str::FromStr for GridMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<GridMode, String> {
+        match s {
+            "quick" => Ok(GridMode::Quick),
+            "full" => Ok(GridMode::Full),
+            other => Err(format!("unknown grid '{other}' (quick|full)")),
+        }
+    }
+}
 
 /// Knobs of one load-generation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,11 +103,22 @@ pub struct LoadgenConfig {
     /// Probability a request draws fresh parameters instead of reusing
     /// the pool.
     pub unique_frac: f64,
+    /// Align the request mix to a compiled policy grid's cell centres.
+    pub grid: Option<GridMode>,
     /// Run a second phase with the cache disabled and report speedup.
     pub compare: bool,
+    /// Run `table` / `cache` / `no-cache` phases against a server with a
+    /// compiled policy table (implies the `policy` control toggles).
+    pub policy_compare: bool,
+    /// Repeat every phase with a fully unique (`unique_frac = 1`)
+    /// workload, reported as `<label>-miss`.
+    pub miss_heavy: bool,
     /// With `--check`: fail unless cached/uncached throughput ratio
     /// reaches this.
     pub min_speedup: Option<f64>,
+    /// With `--check`: fail unless table/uncached throughput ratio
+    /// (miss-heavy variant when present) reaches this.
+    pub min_table_speedup: Option<f64>,
     /// With `--compare`: require bit-identical `d_star` streams across
     /// phases (valid against a server in exactness mode).
     pub expect_identical: bool,
@@ -86,8 +142,12 @@ impl Default for LoadgenConfig {
             seed: 0x5AFE_5EED,
             pool: 64,
             unique_frac: 0.0,
+            grid: None,
             compare: false,
+            policy_compare: false,
+            miss_heavy: false,
             min_speedup: None,
+            min_table_speedup: None,
             expect_identical: false,
             check: false,
             out: None,
@@ -125,8 +185,22 @@ impl From<std::io::Error> for LoadgenError {
     }
 }
 
-/// Render one random decision-request line.
-fn random_request_line(rng: &mut DetRng) -> String {
+/// Render one random decision-request line. With a grid, the request is
+/// drawn *on* a random cell centre ([`PolicyGrid::request_of`] wire
+/// values), so the server's snapped parameters land bit-exactly on the
+/// cell and the compiled table serves every request.
+fn random_request_line(rng: &mut DetRng, grid: Option<&PolicyGrid>) -> String {
+    if let Some(g) = grid {
+        let (platform, [d0, mdata, rho, speed]) = g.request_of(rng.index(g.cells()));
+        return Json::obj([
+            ("platform", Json::str(platform.id())),
+            ("d0", Json::Num(d0)),
+            ("mdata", Json::Num(mdata)),
+            ("rho", Json::Num(rho)),
+            ("speed", Json::Num(speed)),
+        ])
+        .render();
+    }
     let airplane = rng.chance(0.5);
     let (platform, d0_lo, d0_hi) = if airplane {
         ("airplane", 50.0, 300.0)
@@ -147,10 +221,18 @@ fn random_request_line(rng: &mut DetRng) -> String {
 /// connection `t`'s exact byte sequence. Pure function of the config,
 /// so a second phase replays the identical workload.
 pub fn build_workload(cfg: &LoadgenConfig) -> Vec<Vec<String>> {
+    build_workload_unique(cfg, cfg.unique_frac)
+}
+
+/// Same streams with `unique_frac` overridden — the miss-heavy phases
+/// replay the identical RNG schedule over a fully fresh mix.
+fn build_workload_unique(cfg: &LoadgenConfig, unique_frac: f64) -> Vec<Vec<String>> {
+    let grid = cfg.grid.map(|g| g.grid());
+    let grid = grid.as_ref();
     let stream = SeedStream::new(cfg.seed);
     let mut pool_rng = stream.rng("loadgen-pool");
     let pool: Vec<String> = (0..cfg.pool.max(1))
-        .map(|_| random_request_line(&mut pool_rng))
+        .map(|_| random_request_line(&mut pool_rng, grid))
         .collect();
 
     let threads = cfg.concurrency.max(1);
@@ -160,8 +242,8 @@ pub fn build_workload(cfg: &LoadgenConfig) -> Vec<Vec<String>> {
             let share = cfg.requests / threads + usize::from(t < cfg.requests % threads);
             (0..share)
                 .map(|_| {
-                    if rng.chance(cfg.unique_frac) {
-                        random_request_line(&mut rng)
+                    if rng.chance(unique_frac) {
+                        random_request_line(&mut rng, grid)
                     } else {
                         pool[rng.index(pool.len())].clone()
                     }
@@ -292,10 +374,25 @@ fn control(addr: &str, line: &str) -> Result<Json, LoadgenError> {
         .map_err(|e| LoadgenError::Protocol(format!("unparsable control response: {e}")))
 }
 
+/// A control request that must be acknowledged: an `{"error": ...}`
+/// answer (e.g. a `policy` toggle against a server with no table loaded)
+/// aborts the run instead of silently measuring the wrong path.
+fn control_ok(addr: &str, line: &str) -> Result<Json, LoadgenError> {
+    let response = control(addr, line)?;
+    if let Some(err) = response.get("error") {
+        return Err(LoadgenError::Protocol(format!(
+            "control {line} rejected: {}",
+            err.render()
+        )));
+    }
+    Ok(response)
+}
+
 /// One measured phase.
 #[derive(Debug, Clone)]
 pub struct PhaseReport {
-    /// `"cache"` / `"no-cache"` / `"single"`.
+    /// `"table"` / `"cache"` / `"no-cache"` / `"single"`, with a
+    /// `-miss` suffix for the miss-heavy repeat of the same phase.
     pub label: &'static str,
     /// Wall-clock of the whole phase, seconds.
     pub wall_s: f64,
@@ -343,16 +440,25 @@ impl PhaseReport {
 pub struct Report {
     /// Phases in execution order.
     pub phases: Vec<PhaseReport>,
-    /// Cached/uncached throughput ratio (`--compare` only).
+    /// Cached/uncached throughput ratio on the warm workload.
     pub speedup: Option<f64>,
-    /// Were the `d_star` streams bit-identical across phases?
+    /// Cached/uncached throughput ratio on the miss-heavy workload.
+    pub speedup_miss: Option<f64>,
+    /// Table/uncached throughput ratio on the warm workload
+    /// (`--policy-compare` only).
+    pub table_speedup: Option<f64>,
+    /// Table/uncached throughput ratio on the miss-heavy workload.
+    pub table_speedup_miss: Option<f64>,
+    /// Were the `d_star` streams bit-identical across the phases of
+    /// each workload (warm phases vs warm, miss vs miss)?
     pub d_star_identical: Option<bool>,
     cfg: LoadgenConfig,
 }
 
 impl Report {
-    /// Serialise for `BENCH_serve.json`.
+    /// Serialise for `BENCH_serve.json` / `BENCH_policy.json`.
     pub fn to_json(&self) -> Json {
+        let ratio = |r: Option<f64>| r.map(|s| Json::Fixed(s, 2)).unwrap_or(Json::Null);
         Json::obj([
             (
                 "workload",
@@ -375,18 +481,26 @@ impl Report {
                     ("seed", Json::Int(self.cfg.seed as i64)),
                     ("pool", Json::Int(self.cfg.pool as i64)),
                     ("unique_frac", Json::Num(self.cfg.unique_frac)),
+                    (
+                        "grid",
+                        match self.cfg.grid {
+                            Some(GridMode::Quick) => Json::str("quick"),
+                            Some(GridMode::Full) => Json::str("full"),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("miss_heavy", Json::Bool(self.cfg.miss_heavy)),
+                    ("policy_compare", Json::Bool(self.cfg.policy_compare)),
                 ]),
             ),
             (
                 "phases",
                 Json::Arr(self.phases.iter().map(PhaseReport::to_json).collect()),
             ),
-            (
-                "speedup",
-                self.speedup
-                    .map(|s| Json::Fixed(s, 2))
-                    .unwrap_or(Json::Null),
-            ),
+            ("speedup", ratio(self.speedup)),
+            ("speedup_miss", ratio(self.speedup_miss)),
+            ("table_speedup", ratio(self.table_speedup)),
+            ("table_speedup_miss", ratio(self.table_speedup_miss)),
             (
                 "d_star_identical",
                 self.d_star_identical.map(Json::Bool).unwrap_or(Json::Null),
@@ -443,41 +557,123 @@ fn run_phase(
     })
 }
 
-/// Run the configured workload; on success the report is also written
-/// to `cfg.out` (pretty JSON) when set.
-pub fn run(cfg: &LoadgenConfig) -> Result<Report, LoadgenError> {
-    let workload = build_workload(cfg);
-    let mut phases = Vec::new();
-
-    if cfg.compare {
-        control(&cfg.addr, r#"{"cmd":"cache","enabled":true}"#)?;
-        control(&cfg.addr, r#"{"cmd":"reset"}"#)?;
-        phases.push(run_phase(cfg, "cache", &workload)?);
-        control(&cfg.addr, r#"{"cmd":"cache","enabled":false}"#)?;
-        control(&cfg.addr, r#"{"cmd":"reset"}"#)?;
-        phases.push(run_phase(cfg, "no-cache", &workload)?);
-        control(&cfg.addr, r#"{"cmd":"cache","enabled":true}"#)?;
-    } else {
-        phases.push(run_phase(cfg, "single", &workload)?);
+/// The `-miss` variant of a phase label.
+fn miss_label(base: &str) -> &'static str {
+    match base {
+        "table" => "table-miss",
+        "cache" => "cache-miss",
+        "no-cache" => "no-cache-miss",
+        _ => "single-miss",
     }
+}
 
-    let speedup = (phases.len() == 2).then(|| {
-        let cached = phases[0].throughput_rps;
-        let uncached = phases[1].throughput_rps;
-        cached / uncached.max(1e-9)
-    });
-    let d_star_identical = (phases.len() == 2).then(|| {
-        phases[0]
-            .d_stars
+/// Bitwise `d_star` identity across a group of phases that replayed
+/// the same workload; `None` when there is nothing to compare.
+fn d_stars_identical(group: &[&PhaseReport]) -> Option<bool> {
+    if group.len() < 2 {
+        return None;
+    }
+    let first: Vec<u64> = group[0]
+        .d_stars
+        .iter()
+        .flatten()
+        .map(|d| d.to_bits())
+        .collect();
+    Some(group.iter().skip(1).all(|p| {
+        p.d_stars
             .iter()
             .flatten()
             .map(|d| d.to_bits())
-            .eq(phases[1].d_stars.iter().flatten().map(|d| d.to_bits()))
-    });
+            .eq(first.iter().copied())
+    }))
+}
+
+/// Run the configured workload; on success the report is also written
+/// to `cfg.out` (pretty JSON) when set.
+pub fn run(cfg: &LoadgenConfig) -> Result<Report, LoadgenError> {
+    let warm = build_workload(cfg);
+    let miss = cfg.miss_heavy.then(|| build_workload_unique(cfg, 1.0));
+
+    // One entry per server configuration: (base label, policy toggle,
+    // cache toggle). Each runs the warm workload, then the miss-heavy
+    // one when requested.
+    let specs: Vec<(&'static str, Option<bool>, Option<bool>)> = if cfg.policy_compare {
+        vec![
+            ("table", Some(true), Some(true)),
+            ("cache", Some(false), Some(true)),
+            ("no-cache", Some(false), Some(false)),
+        ]
+    } else if cfg.compare {
+        vec![("cache", None, Some(true)), ("no-cache", None, Some(false))]
+    } else {
+        vec![("single", None, None)]
+    };
+    let multi_phase = specs.len() > 1 || miss.is_some();
+
+    let mut phases = Vec::new();
+    for &(base, policy_on, cache_on) in &specs {
+        if let Some(on) = cache_on {
+            control_ok(&cfg.addr, &format!(r#"{{"cmd":"cache","enabled":{on}}}"#))?;
+        }
+        if let Some(on) = policy_on {
+            control_ok(&cfg.addr, &format!(r#"{{"cmd":"policy","enabled":{on}}}"#))?;
+        }
+        let mut workloads: Vec<(&'static str, &Vec<Vec<String>>)> = vec![(base, &warm)];
+        if let Some(m) = &miss {
+            workloads.push((miss_label(base), m));
+        }
+        for (label, workload) in workloads {
+            if multi_phase {
+                control_ok(&cfg.addr, r#"{"cmd":"reset"}"#)?;
+            }
+            phases.push(run_phase(cfg, label, workload)?);
+        }
+    }
+    // Restore the toggles the sweep changed.
+    if cfg.policy_compare {
+        control_ok(&cfg.addr, r#"{"cmd":"policy","enabled":true}"#)?;
+    }
+    if cfg.compare || cfg.policy_compare {
+        control_ok(&cfg.addr, r#"{"cmd":"cache","enabled":true}"#)?;
+    }
+
+    let rps = |label: &str| {
+        phases
+            .iter()
+            .find(|p| p.label == label)
+            .map(|p| p.throughput_rps)
+    };
+    let ratio = |num: Option<f64>, den: Option<f64>| match (num, den) {
+        (Some(n), Some(d)) => Some(n / d.max(1e-9)),
+        _ => None,
+    };
+    let speedup = ratio(rps("cache"), rps("no-cache"));
+    let speedup_miss = ratio(rps("cache-miss"), rps("no-cache-miss"));
+    let table_speedup = ratio(rps("table"), rps("no-cache"));
+    let table_speedup_miss = ratio(rps("table-miss"), rps("no-cache-miss"));
+
+    let warm_group: Vec<&PhaseReport> = phases
+        .iter()
+        .filter(|p| !p.label.ends_with("-miss"))
+        .collect();
+    let miss_group: Vec<&PhaseReport> = phases
+        .iter()
+        .filter(|p| p.label.ends_with("-miss"))
+        .collect();
+    let d_star_identical = match (
+        d_stars_identical(&warm_group),
+        d_stars_identical(&miss_group),
+    ) {
+        (None, None) => None,
+        (a, b) => Some(a.unwrap_or(true) && b.unwrap_or(true)),
+    };
 
     let report = Report {
         phases,
         speedup,
+        speedup_miss,
+        table_speedup,
+        table_speedup_miss,
         d_star_identical,
         cfg: cfg.clone(),
     };
@@ -506,9 +702,22 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Report, LoadgenError> {
                 )));
             }
         }
+        if let Some(min) = cfg.min_table_speedup {
+            let got = report
+                .table_speedup_miss
+                .or(report.table_speedup)
+                .ok_or_else(|| {
+                    LoadgenError::CheckFailed("--min-table-speedup needs --policy-compare".into())
+                })?;
+            if got < min {
+                return Err(LoadgenError::CheckFailed(format!(
+                    "table speedup {got:.2}x below required {min:.2}x"
+                )));
+            }
+        }
         if cfg.expect_identical && report.d_star_identical == Some(false) {
             return Err(LoadgenError::CheckFailed(
-                "d_star streams differ between cached and uncached phases".into(),
+                "d_star streams differ between phases of the same workload".into(),
             ));
         }
     }
@@ -538,13 +747,19 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<LoadgenConfi
             "--seed" => cfg.seed = value(&mut args, "--seed")?,
             "--pool" => cfg.pool = value(&mut args, "--pool")?,
             "--unique-frac" => cfg.unique_frac = value(&mut args, "--unique-frac")?,
+            "--grid" => cfg.grid = Some(value(&mut args, "--grid")?),
             "--min-speedup" => cfg.min_speedup = Some(value(&mut args, "--min-speedup")?),
+            "--min-table-speedup" => {
+                cfg.min_table_speedup = Some(value(&mut args, "--min-table-speedup")?)
+            }
             "--out" => {
                 cfg.out = Some(PathBuf::from(
                     args.next().ok_or("--out needs a value".to_string())?,
                 ))
             }
             "--compare" => cfg.compare = true,
+            "--policy-compare" => cfg.policy_compare = true,
+            "--miss-heavy" => cfg.miss_heavy = true,
             "--expect-identical" => cfg.expect_identical = true,
             "--check" => cfg.check = true,
             "--shutdown-after" => cfg.shutdown_after = true,
@@ -626,9 +841,15 @@ mod tests {
                 "10",
                 "--unique-frac",
                 "0.25",
+                "--grid",
+                "quick",
                 "--compare",
+                "--policy-compare",
+                "--miss-heavy",
                 "--min-speedup",
                 "5",
+                "--min-table-speedup",
+                "3",
                 "--expect-identical",
                 "--check",
                 "--out",
@@ -646,8 +867,11 @@ mod tests {
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.pool, 10);
         assert_eq!(cfg.unique_frac, 0.25);
+        assert_eq!(cfg.grid, Some(GridMode::Quick));
         assert!(cfg.compare && cfg.check && cfg.expect_identical && cfg.shutdown_after);
+        assert!(cfg.policy_compare && cfg.miss_heavy);
         assert_eq!(cfg.min_speedup, Some(5.0));
+        assert_eq!(cfg.min_table_speedup, Some(3.0));
         assert_eq!(
             cfg.out.as_deref(),
             Some(std::path::Path::new("BENCH_serve.json"))
@@ -659,6 +883,97 @@ mod tests {
         );
         assert!(parse_args(["--frob".into()]).is_err());
         assert!(parse_args(["--addr".into()]).is_err());
+        assert!(
+            parse_args(["--addr".into(), "x".into(), "--grid".into(), "vast".into()]).is_err(),
+            "grid names are quick|full"
+        );
+    }
+
+    #[test]
+    fn grid_aligned_workload_lands_on_cell_centres() {
+        let cfg = LoadgenConfig {
+            addr: "x".into(),
+            requests: 120,
+            concurrency: 2,
+            pool: 16,
+            unique_frac: 0.5,
+            grid: Some(GridMode::Quick),
+            ..Default::default()
+        };
+        let grid = GridMode::Quick.grid();
+        let lines = build_workload(&cfg);
+        assert_eq!(lines.iter().map(Vec::len).sum::<usize>(), 120);
+        for line in lines.iter().flatten() {
+            let params = match crate::proto::parse_request(line) {
+                Ok(crate::proto::Request::Decide(p)) => p,
+                other => panic!("grid line must be a decide request, got {other:?}"),
+            };
+            let cell = grid
+                .cell_of(&params)
+                .unwrap_or_else(|| panic!("line off-grid: {line}"));
+            // Wire round-trip must be bit-exact: the parsed parameters
+            // ARE the cell centre, so the table serves this request.
+            let centre = grid.params_at(cell);
+            assert_eq!(params.platform, centre.platform);
+            assert_eq!(params.d0_m.to_bits(), centre.d0_m.to_bits());
+            assert_eq!(params.mdata_bytes.to_bits(), centre.mdata_bytes.to_bits());
+            assert_eq!(params.rho_per_m.to_bits(), centre.rho_per_m.to_bits());
+            assert_eq!(params.v_mps.to_bits(), centre.v_mps.to_bits());
+        }
+    }
+
+    #[test]
+    fn miss_workload_shares_schedule_but_diversifies() {
+        let cfg = LoadgenConfig {
+            addr: "x".into(),
+            requests: 200,
+            concurrency: 2,
+            pool: 4,
+            unique_frac: 0.0,
+            ..Default::default()
+        };
+        let warm = build_workload(&cfg);
+        let miss = build_workload_unique(&cfg, 1.0);
+        assert_eq!(
+            warm.iter().map(Vec::len).collect::<Vec<_>>(),
+            miss.iter().map(Vec::len).collect::<Vec<_>>(),
+            "same per-connection split"
+        );
+        let mut warm_distinct: Vec<&String> = warm.iter().flatten().collect();
+        warm_distinct.sort();
+        warm_distinct.dedup();
+        assert!(warm_distinct.len() <= 4);
+        let mut miss_distinct: Vec<&String> = miss.iter().flatten().collect();
+        miss_distinct.sort();
+        miss_distinct.dedup();
+        assert!(miss_distinct.len() > 150, "miss mix is essentially unique");
+    }
+
+    #[test]
+    fn phase_grouping_and_labels() {
+        assert_eq!(miss_label("table"), "table-miss");
+        assert_eq!(miss_label("cache"), "cache-miss");
+        assert_eq!(miss_label("no-cache"), "no-cache-miss");
+        assert_eq!(miss_label("single"), "single-miss");
+
+        let mk = |label: &'static str, d: Vec<f64>| PhaseReport {
+            label,
+            wall_s: 1.0,
+            throughput_rps: 1.0,
+            protocol_errors: 0,
+            cache_hits: 0,
+            p50_us: 1.0,
+            p95_us: 1.0,
+            p99_us: 1.0,
+            server_stats: Json::Null,
+            d_stars: vec![d],
+        };
+        let a = mk("table", vec![1.0, 2.0]);
+        let b = mk("cache", vec![1.0, 2.0]);
+        let c = mk("no-cache", vec![1.0, 2.5]);
+        assert_eq!(d_stars_identical(&[&a]), None);
+        assert_eq!(d_stars_identical(&[&a, &b]), Some(true));
+        assert_eq!(d_stars_identical(&[&a, &b, &c]), Some(false));
     }
 
     #[test]
@@ -671,6 +986,9 @@ mod tests {
         let report = Report {
             phases: Vec::new(),
             speedup: None,
+            speedup_miss: None,
+            table_speedup: Some(7.25),
+            table_speedup_miss: None,
             d_star_identical: None,
             cfg,
         };
@@ -678,6 +996,15 @@ mod tests {
         let w = j.get("workload").expect("workload");
         assert_eq!(w.get("mode").and_then(Json::as_str), Some("open-loop"));
         assert_eq!(w.get("rate_rps").and_then(Json::as_f64), Some(100.0));
+        assert_eq!(w.get("grid"), Some(&Json::Null));
+        assert_eq!(w.get("miss_heavy").and_then(Json::as_bool), Some(false));
         assert_eq!(j.get("speedup"), Some(&Json::Null));
+        assert_eq!(j.get("speedup_miss"), Some(&Json::Null));
+        assert_eq!(
+            j.get("table_speedup").and_then(Json::as_f64),
+            Some(7.25),
+            "ratio members survive the round trip"
+        );
+        assert_eq!(j.get("table_speedup_miss"), Some(&Json::Null));
     }
 }

@@ -9,6 +9,8 @@
 //! percentiles; the server-side `STATS` response reports these
 //! streaming ones.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use skyferry_stats::json::Json;
 
 use crate::cache::CacheStats;
@@ -135,65 +137,157 @@ impl LatencyHistogram {
     }
 }
 
-/// The server-wide counter registry. One instance lives behind a mutex
-/// shared by the connection threads (error counters) and the dispatcher
-/// (decision counters and latency).
-#[derive(Debug, Clone, Default)]
+/// A lock-free [`LatencyHistogram`]: the same quarter-octave buckets
+/// behind relaxed atomics, so the compiled-policy fast path (and the
+/// reader threads generally) can record observations with no mutex.
+///
+/// Sums and maxima are kept in tenths of a microsecond, integer — a
+/// relaxed `fetch_add`/`fetch_max` apiece — so the reported mean is
+/// exact to 0.05 µs, far below the histogram's own bucket resolution.
+#[derive(Debug)]
+pub struct AtomicLatency {
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    sum_tenth_us: AtomicU64,
+    max_tenth_us: AtomicU64,
+}
+
+impl Default for AtomicLatency {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicLatency {
+    /// An empty histogram.
+    pub fn new() -> AtomicLatency {
+        AtomicLatency {
+            counts: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            sum_tenth_us: AtomicU64::new(0),
+            max_tenth_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation (microseconds; negatives clamp to 0).
+    pub fn record(&self, us: f64) {
+        let us = us.max(0.0);
+        let tenths = (us * 10.0).round().min(u64::MAX as f64) as u64;
+        self.counts[LatencyHistogram::bucket(us)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum_tenth_us.fetch_add(tenths, Ordering::Relaxed);
+        self.max_tenth_us.fetch_max(tenths, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time [`LatencyHistogram`] for quantile queries and
+    /// JSON rendering.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        LatencyHistogram {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            total: self.total.load(Ordering::Relaxed),
+            sum_us: self.sum_tenth_us.load(Ordering::Relaxed) as f64 / 10.0,
+            max_us: self.max_tenth_us.load(Ordering::Relaxed) as f64 / 10.0,
+        }
+    }
+
+    /// Forget everything (the `reset` control request).
+    pub fn clear(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.total.store(0, Ordering::Relaxed);
+        self.sum_tenth_us.store(0, Ordering::Relaxed);
+        self.max_tenth_us.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The server-wide counter registry: relaxed atomics shared directly by
+/// the connection threads (error counters, policy lookups) and the
+/// dispatcher (decision counters and latency) — no mutex anywhere on
+/// the request path.
+#[derive(Debug, Default)]
 pub struct Metrics {
     /// Connections accepted.
-    pub connections: u64,
+    pub connections: AtomicU64,
     /// Request lines received (valid or not).
-    pub requests: u64,
+    pub requests: AtomicU64,
     /// Decisions served.
-    pub decisions: u64,
+    pub decisions: AtomicU64,
     /// `bad-request` responses (parse or validation failures).
-    pub bad_requests: u64,
+    pub bad_requests: AtomicU64,
     /// Well-formed `decide` requests (classified after parse +
     /// validation; requests later shed as overloaded/shutting-down still
     /// count here, so `decide + control + bad_requests == requests`).
-    pub decide_requests: u64,
+    pub decide_requests: AtomicU64,
     /// Well-formed control requests (`stats`, `reset`, `cache`,
-    /// `shutdown`).
-    pub control_requests: u64,
+    /// `policy`, `shutdown`).
+    pub control_requests: AtomicU64,
     /// `overloaded` responses (bounded queue full).
-    pub overloaded: u64,
+    pub overloaded: AtomicU64,
     /// `shutting-down` responses.
-    pub shed_on_shutdown: u64,
-    /// Service latency per decision batch, attributed per request.
-    pub latency: LatencyHistogram,
+    pub shed_on_shutdown: AtomicU64,
+    /// Service latency per decision, engine batches and policy lookups
+    /// alike.
+    pub latency: AtomicLatency,
 }
 
 impl Metrics {
     /// Fresh, all-zero registry.
     pub fn new() -> Metrics {
-        Metrics {
-            latency: LatencyHistogram::new(),
-            ..Default::default()
-        }
+        Metrics::default()
     }
 
     /// Zero everything (the `reset` control request).
-    pub fn clear(&mut self) {
-        *self = Metrics::new();
+    pub fn clear(&self) {
+        for c in [
+            &self.connections,
+            &self.requests,
+            &self.decisions,
+            &self.bad_requests,
+            &self.decide_requests,
+            &self.control_requests,
+            &self.overloaded,
+            &self.shed_on_shutdown,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.latency.clear();
     }
 
     /// Render the `STATS` response body, folding in the engine's cache
-    /// counters and the current queue depth.
-    pub fn to_json(&self, cache: &CacheStats, cache_enabled: bool, queue_len: usize) -> Json {
+    /// counters, the current queue depth, and (when a compiled policy
+    /// table is loaded) the policy serving block.
+    pub fn to_json(
+        &self,
+        cache: &CacheStats,
+        cache_enabled: bool,
+        queue_len: usize,
+        policy: Option<Json>,
+    ) -> Json {
+        let load = |c: &AtomicU64| Json::Int(c.load(Ordering::Relaxed) as i64);
         Json::obj([
-            ("connections", Json::Int(self.connections as i64)),
-            ("requests", Json::Int(self.requests as i64)),
-            ("decisions", Json::Int(self.decisions as i64)),
-            ("bad_requests", Json::Int(self.bad_requests as i64)),
+            ("connections", load(&self.connections)),
+            ("requests", load(&self.requests)),
+            ("decisions", load(&self.decisions)),
+            ("bad_requests", load(&self.bad_requests)),
             (
                 "endpoints",
                 Json::obj([
-                    ("decide", Json::Int(self.decide_requests as i64)),
-                    ("control", Json::Int(self.control_requests as i64)),
+                    ("decide", load(&self.decide_requests)),
+                    ("control", load(&self.control_requests)),
                 ]),
             ),
-            ("overloaded", Json::Int(self.overloaded as i64)),
-            ("shed_on_shutdown", Json::Int(self.shed_on_shutdown as i64)),
+            ("overloaded", load(&self.overloaded)),
+            ("shed_on_shutdown", load(&self.shed_on_shutdown)),
             ("queue_len", Json::Int(queue_len as i64)),
             (
                 "cache",
@@ -206,7 +300,11 @@ impl Metrics {
                     ("capacity", Json::Int(cache.capacity as i64)),
                 ]),
             ),
-            ("latency", self.latency.to_json()),
+            (
+                "policy",
+                policy.unwrap_or_else(|| Json::obj([("loaded", Json::Bool(false))])),
+            ),
+            ("latency", self.latency.snapshot().to_json()),
         ])
     }
 }
@@ -269,16 +367,12 @@ mod tests {
     fn endpoint_split_sums_to_request_total() {
         // The per-endpoint counters partition the request counter: every
         // request line is exactly one of decide / control / bad.
-        let mut m = Metrics::new();
-        m.requests = 12;
-        m.decide_requests = 7;
-        m.control_requests = 3;
-        m.bad_requests = 2;
-        assert_eq!(
-            m.decide_requests + m.control_requests + m.bad_requests,
-            m.requests
-        );
-        let j = m.to_json(&CacheStats::default(), true, 0);
+        let m = Metrics::new();
+        m.requests.store(12, Ordering::Relaxed);
+        m.decide_requests.store(7, Ordering::Relaxed);
+        m.control_requests.store(3, Ordering::Relaxed);
+        m.bad_requests.store(2, Ordering::Relaxed);
+        let j = m.to_json(&CacheStats::default(), true, 0, None);
         let e = j.get("endpoints").expect("endpoints member");
         let decide = e.get("decide").and_then(Json::as_i64).expect("decide");
         let control = e.get("control").and_then(Json::as_i64).expect("control");
@@ -288,9 +382,9 @@ mod tests {
     }
 
     #[test]
-    fn stats_json_embeds_cache_and_queue() {
-        let mut m = Metrics::new();
-        m.decisions = 7;
+    fn stats_json_embeds_cache_queue_and_policy() {
+        let m = Metrics::new();
+        m.decisions.store(7, Ordering::Relaxed);
         m.latency.record(100.0);
         let cache = CacheStats {
             hits: 5,
@@ -299,12 +393,23 @@ mod tests {
             len: 1,
             capacity: 8,
         };
-        let j = m.to_json(&cache, true, 3);
+        let j = m.to_json(&cache, true, 3, None);
         assert_eq!(j.get("decisions").and_then(Json::as_i64), Some(7));
         assert_eq!(j.get("queue_len").and_then(Json::as_i64), Some(3));
         let c = j.get("cache").expect("cache member");
         assert_eq!(c.get("hits").and_then(Json::as_i64), Some(5));
         assert_eq!(c.get("enabled").and_then(Json::as_bool), Some(true));
+        // No table loaded → the policy block says so.
+        let p = j.get("policy").expect("policy member");
+        assert_eq!(p.get("loaded").and_then(Json::as_bool), Some(false));
+        let j = m.to_json(
+            &cache,
+            true,
+            3,
+            Some(Json::obj([("loaded", Json::Bool(true))])),
+        );
+        let p = j.get("policy").expect("policy member");
+        assert_eq!(p.get("loaded").and_then(Json::as_bool), Some(true));
         assert!(
             j.get("latency")
                 .and_then(|l| l.get("p99_us"))
@@ -312,5 +417,28 @@ mod tests {
                 .expect("recorded")
                 > 0.0
         );
+    }
+
+    #[test]
+    fn atomic_latency_snapshot_matches_sequential_histogram() {
+        let a = AtomicLatency::new();
+        let mut h = LatencyHistogram::new();
+        let mut rng = DetRng::seed(0x4157_0002);
+        for _ in 0..5_000 {
+            let v = 2f64 * 10f64.powf(rng.uniform() * 4.0);
+            a.record(v);
+            h.record(v);
+        }
+        let snap = a.snapshot();
+        assert_eq!(snap.count(), h.count());
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(snap.quantile_us(q), h.quantile_us(q), "q={q}");
+        }
+        // Mean is exact to the tenth-µs accumulator's resolution.
+        let (am, hm) = (snap.mean_us().expect("n>0"), h.mean_us().expect("n>0"));
+        assert!((am - hm).abs() < 0.05, "mean {am} vs {hm}");
+        a.clear();
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.snapshot().quantile_us(0.5), None);
     }
 }

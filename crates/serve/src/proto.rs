@@ -23,12 +23,13 @@
 //! would be a wrong answer served with confidence.
 //!
 //! A **control request** is an object with a `"cmd"` member: `stats`,
-//! `reset`, `shutdown`, or `cache` (with `"enabled": true|false`).
+//! `reset`, `shutdown`, `cache`, or `policy` (the latter two with
+//! `"enabled": true|false`).
 //!
 //! ## Responses
 //!
 //! ```text
-//! {"d_star":164.4,"utility":0.0123,"cdelay_s":35.1,"transmit_now":false,"cache_hit":true,"us_served":12}
+//! {"d_star":164.4,"utility":0.0123,"cdelay_s":35.1,"transmit_now":false,"cache_hit":true,"policy_hit":false,"us_served":12}
 //! {"error":"bad-request","message":"..."}
 //! ```
 //!
@@ -57,6 +58,11 @@ pub enum Request {
         /// Desired cache state.
         enabled: bool,
     },
+    /// Enable or disable compiled-policy table serving.
+    Policy {
+        /// Desired table-serving state.
+        enabled: bool,
+    },
     /// Gracefully stop the server.
     Shutdown,
 }
@@ -83,6 +89,8 @@ pub enum RequestError {
     UnknownCommand(String),
     /// `cache` control without a boolean `enabled`.
     CacheNeedsEnabled,
+    /// `policy` control without a boolean `enabled`.
+    PolicyNeedsEnabled,
 }
 
 impl std::fmt::Display for RequestError {
@@ -100,10 +108,13 @@ impl std::fmt::Display for RequestError {
             RequestError::UnknownField(k) => write!(f, "unknown member \"{k}\""),
             RequestError::Invalid(e) => write!(f, "invalid parameters: {e}"),
             RequestError::UnknownCommand(c) => {
-                write!(f, "unknown cmd '{c}' (stats|reset|cache|shutdown)")
+                write!(f, "unknown cmd '{c}' (stats|reset|cache|policy|shutdown)")
             }
             RequestError::CacheNeedsEnabled => {
                 write!(f, "cache control needs boolean \"enabled\"")
+            }
+            RequestError::PolicyNeedsEnabled => {
+                write!(f, "policy control needs boolean \"enabled\"")
             }
         }
     }
@@ -132,6 +143,13 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                     .and_then(Json::as_bool)
                     .ok_or(RequestError::CacheNeedsEnabled)?;
                 Ok(Request::Cache { enabled })
+            }
+            "policy" => {
+                let enabled = value
+                    .get("enabled")
+                    .and_then(Json::as_bool)
+                    .ok_or(RequestError::PolicyNeedsEnabled)?;
+                Ok(Request::Policy { enabled })
             }
             other => Err(RequestError::UnknownCommand(other.to_string())),
         };
@@ -179,6 +197,8 @@ pub struct Decision {
     pub transmit_now: bool,
     /// Whether the decision cache supplied the value.
     pub cache_hit: bool,
+    /// Whether a compiled policy table supplied the value.
+    pub policy_hit: bool,
 }
 
 /// Render a decision response line (no trailing newline).
@@ -189,6 +209,7 @@ pub fn decision_response(d: &Decision, us_served: u64) -> String {
         ("cdelay_s", Json::Num(d.transfer.cdelay_s())),
         ("transmit_now", Json::Bool(d.transmit_now)),
         ("cache_hit", Json::Bool(d.cache_hit)),
+        ("policy_hit", Json::Bool(d.policy_hit)),
         ("us_served", Json::Int(us_served as i64)),
     ])
     .render()
@@ -274,6 +295,14 @@ mod tests {
             Err(RequestError::CacheNeedsEnabled)
         );
         assert_eq!(
+            parse_request(r#"{"cmd":"policy","enabled":true}"#),
+            Ok(Request::Policy { enabled: true })
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"policy"}"#),
+            Err(RequestError::PolicyNeedsEnabled)
+        );
+        assert_eq!(
             parse_request(r#"{"cmd":"selfdestruct"}"#),
             Err(RequestError::UnknownCommand("selfdestruct".into()))
         );
@@ -313,6 +342,7 @@ mod tests {
             },
             transmit_now: false,
             cache_hit: true,
+            policy_hit: false,
         };
         let line = decision_response(&d, 42);
         assert!(!line.contains('\n'));
@@ -320,6 +350,7 @@ mod tests {
         assert_eq!(back.get("d_star").and_then(Json::as_f64), Some(164.5));
         assert_eq!(back.get("cdelay_s").and_then(Json::as_f64), Some(34.5));
         assert_eq!(back.get("cache_hit").and_then(Json::as_bool), Some(true));
+        assert_eq!(back.get("policy_hit").and_then(Json::as_bool), Some(false));
         assert_eq!(back.get("us_served").and_then(Json::as_i64), Some(42));
 
         let e = error_response(ErrorKind::Overloaded, "queue full (depth 8)");
@@ -346,6 +377,7 @@ mod tests {
             },
             transmit_now: true,
             cache_hit: false,
+            policy_hit: true,
         };
         assert_eq!(decision_response(&d, 0), decision_response(&d, 0));
     }

@@ -8,9 +8,15 @@
 //!   **writer** thread (owns the write half; a sequence-number reorder
 //!   buffer guarantees responses leave in request order even though
 //!   errors are answered out-of-band by the reader);
-//! * one **dispatcher** thread that owns the [`Engine`] and the
-//!   [`Metrics`], drains the bounded queue in batches, and serves each
-//!   batch through `sim::parallel` workers.
+//! * one **dispatcher** thread that owns the [`Engine`], drains the
+//!   bounded queue in batches, and serves each batch through
+//!   `sim::parallel` workers. The [`Metrics`] are lock-free atomics
+//!   shared by every thread.
+//!
+//! With a compiled policy table (`--policy`), in-range decide requests
+//! never reach the dispatcher: the reader answers them from the table
+//! directly — see [`handle_line`] — and only out-of-range requests fall
+//! back to the exact engine path.
 //!
 //! Backpressure is explicit: a full queue bounces the request with an
 //! `overloaded` error at the reader, before any solving work happens.
@@ -41,6 +47,7 @@ use skyferry_trace::clock::monotonic_ns;
 use crate::bounded::{BoundedQueue, PushError};
 use crate::engine::{Engine, EngineConfig};
 use crate::metrics::Metrics;
+use crate::policy::{PolicyConfig, PolicyState};
 use crate::proto::{
     ack_response, decision_response, error_response, parse_request, ErrorKind, Request,
 };
@@ -57,6 +64,9 @@ pub struct ServerConfig {
     pub max_batch: usize,
     /// Engine (cache) configuration.
     pub engine: EngineConfig,
+    /// Compiled policy table to serve in-range requests from (reader
+    /// threads, lock-free); `None` sends everything through the engine.
+    pub policy: Option<PolicyConfig>,
     /// Deterministic responses: `us_served` is reported as 0 so the
     /// same request stream yields bit-identical response bodies.
     pub deterministic: bool,
@@ -69,6 +79,7 @@ impl Default for ServerConfig {
             queue_depth: 1024,
             max_batch: 64,
             engine: EngineConfig::default(),
+            policy: None,
             deterministic: false,
         }
     }
@@ -104,7 +115,9 @@ enum Job {
 
 struct Shared {
     queue: BoundedQueue<Job>,
-    metrics: Mutex<Metrics>,
+    metrics: Metrics,
+    policy: Option<PolicyState>,
+    deterministic: bool,
     shutdown: AtomicBool,
     addr: Mutex<Option<SocketAddr>>,
 }
@@ -180,7 +193,9 @@ pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
 
     let shared = Arc::new(Shared {
         queue: BoundedQueue::new(cfg.queue_depth),
-        metrics: Mutex::new(Metrics::new()),
+        metrics: Metrics::new(),
+        policy: cfg.policy.clone().map(PolicyState::new),
+        deterministic: cfg.deterministic,
         shutdown: AtomicBool::new(false),
         addr: Mutex::new(Some(addr)),
     });
@@ -203,11 +218,7 @@ pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
-                shared
-                    .metrics
-                    .lock()
-                    .expect("metrics lock poisoned")
-                    .connections += 1;
+                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
                 let shared2 = Arc::clone(&shared);
                 let handle = std::thread::spawn(move || serve_connection(&shared2, stream));
                 conns.lock().expect("conn list poisoned").push(handle);
@@ -280,6 +291,12 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
 /// Parse one request line and route it; every outcome sends exactly one
 /// response carrying `seq` (except `shutdown`, which also stops the
 /// server).
+///
+/// With a compiled policy table loaded and enabled, in-range decide
+/// requests are answered *here*, on the reader thread: one O(1) table
+/// lookup and a handful of relaxed atomic bumps, no queue, no
+/// dispatcher, no lock. The writer's reorder buffer keeps responses in
+/// request order regardless of which thread answered.
 fn handle_line(
     shared: &Arc<Shared>,
     line: &str,
@@ -287,25 +304,21 @@ fn handle_line(
     t_recv_ns: u64,
     tx: &Sender<(u64, String)>,
 ) {
-    {
-        let mut m = shared.metrics.lock().expect("metrics lock poisoned");
-        m.requests += 1;
-    }
+    shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
     let mark_control = || {
         shared
             .metrics
-            .lock()
-            .expect("metrics lock poisoned")
-            .control_requests += 1;
+            .control_requests
+            .fetch_add(1, Ordering::Relaxed);
     };
     let send_err = |kind: ErrorKind, msg: &str| {
         let _ = tx.send((seq, error_response(kind, msg)));
-        let mut m = shared.metrics.lock().expect("metrics lock poisoned");
-        match kind {
-            ErrorKind::BadRequest => m.bad_requests += 1,
-            ErrorKind::Overloaded => m.overloaded += 1,
-            ErrorKind::ShuttingDown => m.shed_on_shutdown += 1,
-        }
+        let counter = match kind {
+            ErrorKind::BadRequest => &shared.metrics.bad_requests,
+            ErrorKind::Overloaded => &shared.metrics.overloaded,
+            ErrorKind::ShuttingDown => &shared.metrics.shed_on_shutdown,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
     };
 
     let request = match parse_request(line) {
@@ -315,17 +328,58 @@ fn handle_line(
     let job = match request {
         Request::Decide(params) => match params.validated() {
             Ok(params) => {
-                let req_id = {
-                    let mut m = shared.metrics.lock().expect("metrics lock poisoned");
-                    m.decide_requests += 1;
-                    m.decide_requests
-                };
+                let req_id = shared
+                    .metrics
+                    .decide_requests
+                    .fetch_add(1, Ordering::Relaxed)
+                    + 1;
+                let t_parsed_ns = monotonic_ns();
+                if let Some(policy) = shared.policy.as_ref().filter(|p| p.enabled()) {
+                    if let Some(decision) = policy.decide(&params) {
+                        let t_done_ns = monotonic_ns();
+                        let dt_us = t_done_ns.saturating_sub(t_parsed_ns) as f64 / 1e3;
+                        let us_served = if shared.deterministic {
+                            0
+                        } else {
+                            dt_us.round() as u64
+                        };
+                        policy.record_served(dt_us);
+                        shared.metrics.decisions.fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.latency.record(dt_us);
+                        let _ = tx.send((seq, decision_response(&decision, us_served)));
+                        if trace::enabled() {
+                            let t_respond_ns = monotonic_ns();
+                            let span = trace::manual_span("request");
+                            if span.live() {
+                                span.finish_tree(
+                                    t_recv_ns,
+                                    t_respond_ns,
+                                    trace::fields!(
+                                        req = req_id,
+                                        cache_hit = decision.cache_hit,
+                                        policy_hit = true,
+                                        endpoint = "decide"
+                                    ),
+                                    &[
+                                        ("parse", t_recv_ns, t_parsed_ns),
+                                        ("policy-lookup", t_parsed_ns, t_done_ns),
+                                        ("respond", t_done_ns, t_respond_ns),
+                                    ],
+                                );
+                            }
+                        }
+                        return;
+                    }
+                    // Out of the table's range: count it, then take the
+                    // exact engine path below.
+                    policy.record_fallback();
+                }
                 Job::Decide {
                     params,
                     seq,
                     reply: tx.clone(),
                     t_recv_ns,
-                    t_parsed_ns: monotonic_ns(),
+                    t_parsed_ns,
                     req_id,
                 }
             }
@@ -352,6 +406,24 @@ fn handle_line(
                 seq,
                 reply: tx.clone(),
             }
+        }
+        Request::Policy { enabled } => {
+            // Handled here, not in the dispatcher: the toggle must be
+            // visible to the *next* request on this connection, and the
+            // reader is the thread that serves table lookups. Response
+            // order is the writer's reorder buffer's problem either way.
+            match shared.policy.as_ref() {
+                Some(policy) => {
+                    mark_control();
+                    policy.set_enabled(enabled);
+                    let _ = tx.send((seq, ack_response("policy")));
+                }
+                None => send_err(
+                    ErrorKind::BadRequest,
+                    "no policy table loaded (start with --policy FILE)",
+                ),
+            }
+            return;
         }
         Request::Shutdown => {
             mark_control();
@@ -446,12 +518,11 @@ fn dispatch_loop(shared: &Arc<Shared>, mut engine: Engine, max_batch: usize, det
                     flush_decides(shared, &mut engine, &mut decides, deterministic);
                     let body = shared
                         .metrics
-                        .lock()
-                        .expect("metrics lock poisoned")
                         .to_json(
                             &engine.cache_stats(),
                             engine.cache_enabled(),
                             shared.queue.len(),
+                            shared.policy.as_ref().map(PolicyState::to_json),
                         )
                         .render();
                     let _ = reply.send((seq, body));
@@ -459,11 +530,10 @@ fn dispatch_loop(shared: &Arc<Shared>, mut engine: Engine, max_batch: usize, det
                 Job::Reset { seq, reply } => {
                     flush_decides(shared, &mut engine, &mut decides, deterministic);
                     engine.reset();
-                    shared
-                        .metrics
-                        .lock()
-                        .expect("metrics lock poisoned")
-                        .clear();
+                    shared.metrics.clear();
+                    if let Some(policy) = shared.policy.as_ref() {
+                        policy.reset();
+                    }
                     let _ = reply.send((seq, ack_response("reset")));
                 }
                 Job::Cache {
@@ -514,12 +584,12 @@ fn flush_decides(
     } else {
         dt_us.round() as u64
     };
-    {
-        let mut m = shared.metrics.lock().expect("metrics lock poisoned");
-        m.decisions += served.len() as u64;
-        for _ in &served {
-            m.latency.record(dt_us);
-        }
+    shared
+        .metrics
+        .decisions
+        .fetch_add(served.len() as u64, Ordering::Relaxed);
+    for _ in &served {
+        shared.metrics.latency.record(dt_us);
     }
     for (d, decision) in decides.iter().zip(&served) {
         let _ = d

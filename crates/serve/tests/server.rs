@@ -3,9 +3,12 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 
+use skyferry_core::policy::{PolicyGrid, PolicyTable};
 use skyferry_core::request::Quantizer;
 use skyferry_serve::engine::EngineConfig;
+use skyferry_serve::policy::PolicyConfig;
 use skyferry_serve::server::{start, ServerConfig, ServerHandle};
 use skyferry_stats::json::{self, Json};
 
@@ -19,9 +22,32 @@ fn test_server(queue_depth: usize) -> ServerHandle {
             quant: Quantizer::exact(),
             cache_enabled: true,
         },
+        policy: None,
         deterministic: true,
     })
     .expect("bind loopback")
+}
+
+fn policy_server() -> (ServerHandle, PolicyGrid) {
+    let grid = PolicyGrid::quick();
+    let table = PolicyTable::build(grid, 0x5AFE);
+    let handle = start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        queue_depth: 64,
+        max_batch: 8,
+        engine: EngineConfig {
+            cache_capacity: 64,
+            quant: Quantizer::exact(),
+            cache_enabled: false,
+        },
+        policy: Some(PolicyConfig {
+            table: Arc::new(table),
+            interpolate: false,
+        }),
+        deterministic: true,
+    })
+    .expect("bind loopback");
+    (handle, grid)
 }
 
 fn connect(handle: &ServerHandle) -> (TcpStream, BufReader<TcpStream>) {
@@ -260,6 +286,119 @@ fn shutdown_request_stops_the_server() {
             "a dead server must not serve decisions, got {line:?}"
         );
     }
+}
+
+#[test]
+fn policy_table_serves_in_range_and_falls_back() {
+    let (handle, grid) = policy_server();
+    // A request at a cell centre, rendered in wire units: shortest
+    // round-trip float formatting re-parses to the identical bits.
+    let cell = grid.cells() / 3;
+    let (platform, [d0, mdata, rho, speed]) = grid.request_of(cell);
+    let in_range = format!(
+        r#"{{"platform":"{}","d0":{d0},"mdata":{mdata},"rho":{rho},"speed":{speed}}}"#,
+        platform.id()
+    );
+    // Far outside the grid: must fall back to the exact engine.
+    let out_of_range = r#"{"platform":"airplane","d0":50000,"mdata":28}"#;
+    let responses = round_trip(
+        &handle,
+        &[in_range.as_str(), out_of_range, r#"{"cmd":"stats"}"#],
+    );
+
+    let table_resp = json::parse(&responses[0]).expect("decision");
+    assert_eq!(
+        table_resp.get("policy_hit").and_then(Json::as_bool),
+        Some(true),
+        "in-range request served from the table: {table_resp:?}"
+    );
+    // The table answer is bit-identical to solving the cell centre.
+    let exact = grid.params_at(cell).solve();
+    assert_eq!(
+        table_resp.get("d_star").and_then(Json::as_f64),
+        Some(exact.d_opt),
+        "d_star must match the exact solve bitwise"
+    );
+    assert_eq!(
+        table_resp.get("utility").and_then(Json::as_f64),
+        Some(exact.utility)
+    );
+
+    let engine_resp = json::parse(&responses[1]).expect("decision");
+    assert_eq!(
+        engine_resp.get("policy_hit").and_then(Json::as_bool),
+        Some(false),
+        "out-of-range request takes the engine path"
+    );
+    assert!(engine_resp.get("d_star").and_then(Json::as_f64).is_some());
+
+    let stats = json::parse(&responses[2]).expect("stats");
+    let policy = stats.get("policy").expect("policy block");
+    assert_eq!(policy.get("loaded").and_then(Json::as_bool), Some(true));
+    assert_eq!(policy.get("enabled").and_then(Json::as_bool), Some(true));
+    assert_eq!(policy.get("served").and_then(Json::as_i64), Some(1));
+    assert_eq!(policy.get("fallbacks").and_then(Json::as_i64), Some(1));
+    drop(handle); // drop = shutdown + join
+}
+
+#[test]
+fn policy_toggle_reroutes_to_engine_and_back() {
+    let (handle, grid) = policy_server();
+    let (platform, [d0, mdata, rho, speed]) = grid.request_of(1);
+    let req = format!(
+        r#"{{"platform":"{}","d0":{d0},"mdata":{mdata},"rho":{rho},"speed":{speed}}}"#,
+        platform.id()
+    );
+    let responses = round_trip(
+        &handle,
+        &[
+            req.as_str(),
+            r#"{"cmd":"policy","enabled":false}"#,
+            req.as_str(),
+            r#"{"cmd":"policy","enabled":true}"#,
+            req.as_str(),
+        ],
+    );
+    let hit = |i: usize| {
+        json::parse(&responses[i])
+            .expect("decision")
+            .get("policy_hit")
+            .and_then(Json::as_bool)
+    };
+    assert_eq!(hit(0), Some(true));
+    assert_eq!(
+        json::parse(&responses[1])
+            .expect("ack")
+            .get("ok")
+            .and_then(Json::as_str),
+        Some("policy")
+    );
+    assert_eq!(hit(2), Some(false), "disabled table routes to the engine");
+    assert_eq!(hit(4), Some(true), "re-enabled");
+    // Table and engine agree bitwise on the grid-aligned request: the
+    // engine solves the same (cell-centre) parameters exactly.
+    let d_star = |i: usize| {
+        json::parse(&responses[i])
+            .expect("decision")
+            .get("d_star")
+            .and_then(Json::as_f64)
+    };
+    assert_eq!(d_star(0), d_star(2), "table == exact engine on centres");
+    drop(handle); // drop = shutdown + join
+}
+
+#[test]
+fn policy_control_without_table_is_bad_request() {
+    let handle = test_server(64);
+    let responses = round_trip(
+        &handle,
+        &[r#"{"cmd":"policy","enabled":true}"#, r#"{"cmd":"stats"}"#],
+    );
+    assert_eq!(error_kind(&responses[0]).as_deref(), Some("bad-request"));
+    let stats = json::parse(&responses[1]).expect("stats");
+    let policy = stats.get("policy").expect("policy block");
+    assert_eq!(policy.get("loaded").and_then(Json::as_bool), Some(false));
+    drop(handle); // drop = shutdown + join
 }
 
 // The ONE test in this binary allowed to touch the global worker-count

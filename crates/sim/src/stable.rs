@@ -9,6 +9,8 @@
 //! uses. The resulting key is a pure function of the field values, so two
 //! configurations collide exactly when they would simulate the same thing.
 
+// lint:allow(raw-endian-bytes): key derivation folds raw field bits, not
+// a serialised artifact — there is no format to fork here.
 use crate::rng::splitmix64;
 
 /// Incremental hasher producing a stable 64-bit key from typed fields.
