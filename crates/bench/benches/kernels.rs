@@ -22,6 +22,7 @@ use skyferry_phy::fading::FadingProcess;
 use skyferry_phy::mcs::Mcs;
 use skyferry_phy::presets::ChannelPreset;
 use skyferry_sim::prelude::*;
+use skyferry_units::{Db, MetersPerSec};
 
 fn bench_optimizer(h: &mut Harness) {
     let air = Scenario::airplane_baseline();
@@ -40,26 +41,26 @@ fn bench_optimizer(h: &mut Harness) {
         ))
     });
     let s = Scenario::quadrocopter_baseline().with_mdata_mb(15.0);
-    let cfg = MixedConfig::for_speed(4.5);
+    let cfg = MixedConfig::for_speed(MetersPerSec::new(4.5));
     h.bench("optimizer/mixed-2d", || black_box(optimize_mixed(&s, &cfg)));
 }
 
 fn bench_phy(h: &mut Harness) {
-    let preset = ChannelPreset::airplane(20.0);
+    let preset = ChannelPreset::airplane(MetersPerSec::new(20.0));
     let mut fading = FadingProcess::new(preset.fading, DetRng::seed(1));
     let snr = db_to_linear(preset.mean_snr(skyferry_units::Meters::new(100.0)).get());
     let mut t = SimTime::ZERO;
     h.bench("phy/per-subframe-error-chain", || {
         t += SimDuration::from_micros(500);
         let state = fading.state_at(t);
-        let eff = effective_snr_linear(Mcs::new(3), true, snr, &state, 12.0);
+        let eff = effective_snr_linear(Mcs::new(3), true, snr, &state, Db::new(12.0));
         black_box(coded_per(Mcs::new(3), eff, 1500))
     });
 }
 
 fn bench_mac(h: &mut Harness) {
     let seeds = SeedStream::new(5);
-    let preset = ChannelPreset::quadrocopter(0.0);
+    let preset = ChannelPreset::quadrocopter(MetersPerSec::new(0.0));
     let mut link = LinkState::new(
         LinkConfig::paper_default(preset),
         Box::new(FixedMcs(Mcs::new(1))),
@@ -92,7 +93,7 @@ fn bench_mac(h: &mut Harness) {
 
 fn bench_campaign_second(h: &mut Harness) {
     let cfg = CampaignConfig {
-        preset: ChannelPreset::airplane(20.0),
+        preset: ChannelPreset::airplane(MetersPerSec::new(20.0)),
         controller: ControllerKind::Arf,
         duration: SimDuration::from_secs(1),
         seed: 3,

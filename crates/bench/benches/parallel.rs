@@ -11,12 +11,13 @@ use skyferry_phy::presets::ChannelPreset;
 use skyferry_sim::parallel::{run_replications, set_max_threads};
 use skyferry_sim::prelude::*;
 use skyferry_trace::clock::monotonic_ns;
+use skyferry_units::MetersPerSec;
 
 const REPS: u64 = 16;
 
 fn campaign() -> CampaignConfig {
     CampaignConfig {
-        preset: ChannelPreset::quadrocopter(0.0),
+        preset: ChannelPreset::quadrocopter(MetersPerSec::new(0.0)),
         controller: ControllerKind::Arf,
         duration: SimDuration::from_secs(2),
         seed: 0x5CA1_AB1E,

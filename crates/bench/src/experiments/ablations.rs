@@ -32,6 +32,7 @@ use skyferry_sim::parallel::run_replications;
 use skyferry_sim::prelude::*;
 use skyferry_stats::quantile::median;
 use skyferry_stats::table::{Column, Table, Value};
+use skyferry_units::{Meters, MetersPerSec};
 
 use super::Experiment;
 use crate::report::{ExperimentReport, ReproConfig};
@@ -95,7 +96,7 @@ pub fn ampdu_table(cfg: &ReproConfig) -> Table {
         Column::text("max A-MPDU subframes"),
         Column::float("goodput @20 m (Mb/s)", 1),
     ]);
-    let preset = ChannelPreset::quadrocopter(0.0);
+    let preset = ChannelPreset::quadrocopter(MetersPerSec::new(0.0));
     for n in [1usize, 2, 4, 8, 14, 32, 64] {
         let link_cfg = LinkConfig {
             max_ampdu_subframes: n,
@@ -123,7 +124,7 @@ pub fn stbc_table(cfg: &ReproConfig) -> Table {
         Column::float("STBC on (Mb/s)", 1),
         Column::float("STBC off (Mb/s)", 1),
     ]);
-    let preset = ChannelPreset::airplane(20.0);
+    let preset = ChannelPreset::airplane(MetersPerSec::new(20.0));
     for d in [60.0, 120.0, 180.0] {
         let mut row = Vec::new();
         for stbc in [true, false] {
@@ -154,7 +155,7 @@ pub fn host_rate_table(cfg: &ReproConfig, store: &mut CampaignStore) -> Table {
         Column::float("goodput @15 m (Mb/s)", 1),
     ]);
     for rate in [8.0, 16.0, 32.0, 48.0, 100.0, 400.0] {
-        let mut preset = ChannelPreset::quadrocopter(0.0);
+        let mut preset = ChannelPreset::quadrocopter(MetersPerSec::new(0.0));
         preset.host_fill_rate_bps = rate * 1e6;
         let c = CampaignConfig {
             preset,
@@ -176,7 +177,7 @@ pub fn controller_table(cfg: &ReproConfig, store: &mut CampaignStore) -> Table {
         Column::float("minstrel", 1),
         Column::float("best fixed", 1),
     ]);
-    let preset = ChannelPreset::airplane(20.0);
+    let preset = ChannelPreset::airplane(MetersPerSec::new(20.0));
     for d in [40.0, 120.0, 220.0] {
         let mut cells = Vec::new();
         for kind in [ControllerKind::Arf, ControllerKind::MinstrelHt] {
@@ -215,7 +216,7 @@ pub fn channel_harshness_table(cfg: &ReproConfig, store: &mut CampaignStore) -> 
         Column::float("calibrated aerial", 1),
         Column::float("calm genie channel", 1),
     ]);
-    let aerial = ChannelPreset::airplane(20.0);
+    let aerial = ChannelPreset::airplane(MetersPerSec::new(20.0));
     let mut genie = aerial;
     genie.fading.k_factor_db = 30.0;
     genie.fading.k_min_db = 30.0;
@@ -292,7 +293,11 @@ pub fn failure_law_table(store: &mut CampaignStore) -> Table {
     let lambda = 1.0 / 2.0e-3 / 0.886;
     for flown in [0.0, lambda / 2.0] {
         let mut s = base.clone();
-        s.failure = FailureSpec::Weibull(WeibullFailure::new(lambda, 2.0, flown));
+        s.failure = FailureSpec::Weibull(WeibullFailure::new(
+            Meters::new(lambda),
+            2.0,
+            Meters::new(flown),
+        ));
         let o = store.optimum(&s);
         t.push(vec![
             format!("weibull k=2, flown {flown:.0} m").into(),
@@ -314,7 +319,7 @@ pub fn mixed_strategy_table(store: &mut CampaignStore) -> Table {
     for mb in [5.0, 15.0, 56.2] {
         let s = Scenario::quadrocopter_baseline().with_mdata_mb(mb);
         let pure = store.optimum(&s);
-        let mixed = optimize_mixed(&s, &MixedConfig::for_speed(4.5));
+        let mixed = optimize_mixed(&s, &MixedConfig::for_speed(MetersPerSec::new(4.5)));
         t.push(vec![
             format!("{mb:.1}").into(),
             pure.utility.into(),

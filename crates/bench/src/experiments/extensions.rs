@@ -30,6 +30,7 @@ use skyferry_net::relay::{run_relayed_transfer, RelayGeometry};
 use skyferry_phy::presets::ChannelPreset;
 use skyferry_sim::time::SimDuration;
 use skyferry_stats::table::{Column, Table, Value};
+use skyferry_units::MetersPerSec;
 
 use super::Experiment;
 use crate::report::{ExperimentReport, ReproConfig};
@@ -38,7 +39,7 @@ use crate::store::CampaignStore;
 /// Relay economics table.
 pub fn relay_table(cfg: &ReproConfig) -> Table {
     let campaign = CampaignConfig {
-        preset: ChannelPreset::quadrocopter(0.0),
+        preset: ChannelPreset::quadrocopter(MetersPerSec::new(0.0)),
         controller: ControllerKind::Arf,
         duration: SimDuration::from_secs(cfg.secs(900)),
         seed: cfg.seed,
@@ -110,7 +111,7 @@ pub fn mixed_table(store: &mut CampaignStore) -> Table {
     let s = Scenario::quadrocopter_baseline().with_mdata_mb(15.0);
     let pure = store.optimum(&s);
     for loss in [0.0, 0.3, 0.7, 2.0] {
-        let mut cfg = MixedConfig::for_speed(4.5);
+        let mut cfg = MixedConfig::for_speed(MetersPerSec::new(4.5));
         cfg.penalty.loss_db_per_mps = loss;
         let m = optimize_mixed(&s, &cfg);
         t.push(vec![
@@ -130,7 +131,7 @@ pub fn mixed_table(store: &mut CampaignStore) -> Table {
 /// calibration holds, the two `dopt` values agree.
 pub fn closed_loop_table(cfg: &ReproConfig, store: &mut CampaignStore) -> Table {
     let campaign = CampaignConfig {
-        preset: ChannelPreset::quadrocopter(0.0),
+        preset: ChannelPreset::quadrocopter(MetersPerSec::new(0.0)),
         controller: ControllerKind::Arf,
         duration: SimDuration::from_secs(cfg.secs(20)),
         seed: cfg.seed + 9,

@@ -23,6 +23,7 @@ use skyferry_stats::table::{Column, Table, Value};
 use super::Experiment;
 use crate::report::{ExperimentReport, ReproConfig};
 use crate::store::CampaignStore;
+use skyferry_units::MetersPerSec;
 
 /// Batch size of the experiment, bytes.
 pub const MDATA_BYTES: u64 = 20_000_000;
@@ -58,7 +59,7 @@ pub struct Fig1Strategy {
 /// channel realisation rather than whatever replication 0 drew.
 pub fn simulate(cfg: &ReproConfig) -> Vec<Fig1Strategy> {
     let campaign = CampaignConfig {
-        preset: ChannelPreset::quadrocopter(0.0),
+        preset: ChannelPreset::quadrocopter(MetersPerSec::new(0.0)),
         controller: ControllerKind::Arf,
         duration: SimDuration::from_secs(cfg.secs(240)),
         seed: cfg.seed,

@@ -25,6 +25,7 @@ use skyferry_uav::wind::{WindConfig, WindField};
 use super::Experiment;
 use crate::report::{ExperimentReport, ReproConfig};
 use crate::store::CampaignStore;
+use skyferry_units::MetersPerSec;
 
 /// Control-loop step, seconds.
 const DT: f64 = 0.1;
@@ -65,7 +66,7 @@ pub fn airplane_trace(cfg: &ReproConfig, duration_s: f64) -> Vec<TraceSample> {
     // the gust correlation length), which is what pushes the *relative*
     // ground speed beyond the calm-air 2×airspeed cap into the paper's
     // 15–26 m/s window: a uniform wind would cancel in the difference.
-    let mut gusty = WindConfig::steady(0.0, 4.0);
+    let mut gusty = WindConfig::steady(0.0, MetersPerSec::new(4.0));
     gusty.gust_sigma_mps = 1.8;
     let mut wind1 = WindField::new(gusty, seeds.rng("wind-1"));
     let mut wind2 = WindField::new(gusty, seeds.rng("wind-2"));

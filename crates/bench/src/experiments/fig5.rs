@@ -14,6 +14,7 @@ use skyferry_stats::table::{Column, Table, Value};
 use super::Experiment;
 use crate::report::{ExperimentReport, ReproConfig};
 use crate::store::CampaignStore;
+use skyferry_units::MetersPerSec;
 
 /// The airplane campaign's relative speed (mid paper window), m/s.
 pub const RELATIVE_SPEED_MPS: f64 = 20.0;
@@ -26,7 +27,7 @@ pub fn distances() -> Vec<f64> {
 /// The airplane iperf campaign shared with `fig6` and `fits`.
 pub fn campaign(cfg: &ReproConfig) -> CampaignConfig {
     CampaignConfig {
-        preset: ChannelPreset::airplane(RELATIVE_SPEED_MPS),
+        preset: ChannelPreset::airplane(MetersPerSec::new(RELATIVE_SPEED_MPS)),
         controller: ControllerKind::Arf,
         duration: SimDuration::from_secs(cfg.secs(20)),
         seed: cfg.seed,

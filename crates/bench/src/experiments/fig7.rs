@@ -15,6 +15,7 @@ use skyferry_stats::table::{Column, Table, Value};
 use super::Experiment;
 use crate::report::{ExperimentReport, ReproConfig};
 use crate::store::CampaignStore;
+use skyferry_units::MetersPerSec;
 
 /// The approach speed of the centre panel, m/s.
 pub const MOVING_SPEED_MPS: f64 = 8.0;
@@ -26,7 +27,7 @@ pub const SPEEDS: [f64; 5] = [0.0, 2.0, 4.5, 8.0, 12.0];
 /// The quadrocopter iperf campaign at a given platform speed.
 pub fn campaign(cfg: &ReproConfig, speed: f64) -> CampaignConfig {
     CampaignConfig {
-        preset: ChannelPreset::quadrocopter(speed),
+        preset: ChannelPreset::quadrocopter(MetersPerSec::new(speed)),
         controller: ControllerKind::Arf,
         duration: SimDuration::from_secs(cfg.secs(20)),
         seed: cfg.seed,

@@ -61,8 +61,8 @@ pub fn run(_cfg: &ReproConfig) -> ExperimentReport {
     ]);
     derived.push(vec![
         "Range on battery (km)".into(),
-        format!("{:.1}", a.range_on_battery_m() / 1000.0).into(),
-        format!("{:.1}", q.range_on_battery_m() / 1000.0).into(),
+        format!("{:.1}", a.range_on_battery().get() / 1000.0).into(),
+        format!("{:.1}", q.range_on_battery().get() / 1000.0).into(),
     ]);
     derived.push(vec![
         "Paper failure rate rho (1/m)".into(),

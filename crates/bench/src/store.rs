@@ -250,10 +250,11 @@ mod tests {
     use skyferry_phy::presets::ChannelPreset;
     use skyferry_sim::parallel::set_max_threads;
     use skyferry_sim::time::SimDuration;
+    use skyferry_units::MetersPerSec;
 
     fn quad(seed: u64) -> CampaignConfig {
         CampaignConfig {
-            preset: ChannelPreset::quadrocopter(0.0),
+            preset: ChannelPreset::quadrocopter(MetersPerSec::new(0.0)),
             controller: ControllerKind::Arf,
             duration: SimDuration::from_secs(3),
             seed,

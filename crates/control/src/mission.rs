@@ -44,6 +44,7 @@ use skyferry_uav::wind::{WindConfig, WindField};
 use crate::channel::ControlChannel;
 use crate::message::{Command, Telemetry, UavId};
 use crate::planner::CentralPlanner;
+use skyferry_units::{Meters, MetersPerSec};
 
 /// Mission parameters.
 #[derive(Debug, Clone)]
@@ -75,7 +76,7 @@ impl MissionConfig {
             area: Sector::new(Vec3::ZERO, area_side_m, area_side_m),
             scan_altitude_m: 10.0,
             relay_position: Vec3::new(area_side_m + 80.0, area_side_m / 2.0, 10.0),
-            preset: ChannelPreset::quadrocopter(0.0),
+            preset: ChannelPreset::quadrocopter(MetersPerSec::new(0.0)),
             wind: WindConfig::calm(),
             seed,
             horizon_s: 3_600.0,
@@ -193,7 +194,7 @@ pub fn run_mission(cfg: &MissionConfig) -> MissionReport {
                 id,
                 kinematics: UavKinematics::at(spec, start),
                 autopilot: Autopilot::with_plan(plan),
-                camera: CameraProcess::new(camera_model, cfg.scan_altitude_m),
+                camera: CameraProcess::new(camera_model, Meters::new(cfg.scan_altitude_m)),
                 battery: Battery::full(&spec),
                 failure: FailureProcess::sample(
                     spec.paper_failure_rate_per_m,
@@ -251,7 +252,7 @@ pub fn run_mission(cfg: &MissionConfig) -> MissionReport {
                     agent
                         .battery
                         .drain(SimDuration::from_secs_f64(CONTROL_DT_S), moved > 0.05);
-                    if !agent.failure.travel(moved) {
+                    if !agent.failure.travel(Meters::new(moved)) {
                         agent.phase = UavPhase::Failed;
                         agent.link = None;
                         continue;
@@ -284,8 +285,8 @@ pub fn run_mission(cfg: &MissionConfig) -> MissionReport {
                         position: fix,
                         speed_mps: agent.kinematics.ground_speed().get(),
                         battery_fraction: agent.battery.remaining_fraction(),
-                        data_ready_bytes: agent.camera.data_bytes() as u64
-                            - agent.delivered_bytes.min(agent.camera.data_bytes() as u64),
+                        data_ready_bytes: agent.camera.data().get() as u64
+                            - agent.delivered_bytes.min(agent.camera.data().get() as u64),
                     };
                     let out = xbee.send(&report.encode(), fix.distance(ground_station));
                     if out.delivered {
@@ -354,7 +355,7 @@ pub fn run_mission(cfg: &MissionConfig) -> MissionReport {
                 let out = link.execute_txop(now, d, v, queue);
                 channel_busy_until = now + out.airtime;
                 agent.delivered_bytes += out.delivered_bytes as u64;
-                let batch = agent.camera.data_bytes() as u64;
+                let batch = agent.camera.data().get() as u64;
                 if agent.delivered_bytes >= batch {
                     agent.phase = UavPhase::Done;
                     agent.completed_at = Some(now + out.airtime);
@@ -372,7 +373,7 @@ pub fn run_mission(cfg: &MissionConfig) -> MissionReport {
             .iter()
             .map(|a| UavReport {
                 id: a.id,
-                collected_bytes: a.camera.data_bytes() as u64,
+                collected_bytes: a.camera.data().get() as u64,
                 delivered_bytes: a.delivered_bytes,
                 completed_s: a.completed_at.map(|t| t.as_secs_f64()),
                 failed: matches!(a.phase, UavPhase::Failed),
@@ -401,7 +402,7 @@ fn apply_order(
             seeds.rng_indexed("mission-fading", agent.id.0 as u64),
             seeds.rng_indexed("mission-link", agent.id.0 as u64),
         );
-        let batch = agent.camera.data_bytes() as u64;
+        let batch = agent.camera.data().get() as u64;
         let queue = TxQueue::finite(batch, preset.host_fill_rate_bps, 1 << 17);
         (link, queue)
     };

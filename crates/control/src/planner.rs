@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 use skyferry_core::decision::{DecisionEngine, TransferDecision};
 use skyferry_sim::time::SimTime;
 use skyferry_uav::platform::PlatformSpec;
+use skyferry_units::{Bytes, Meters};
 
 use crate::message::{Command, Telemetry, UavId};
 
@@ -116,12 +117,14 @@ impl CentralPlanner {
         }
         let d0 = c.telemetry.position.distance(r.telemetry.position);
         let remaining_range =
-            self.platform.range_on_battery_m() * c.telemetry.battery_fraction.clamp(0.01, 1.0);
+            self.platform.range_on_battery().get() * c.telemetry.battery_fraction.clamp(0.01, 1.0);
         let rho = 1.0 / remaining_range;
 
-        let (mut decision, _) = self
-            .engine
-            .decide(d0, c.telemetry.data_ready_bytes as f64, rho);
+        let (mut decision, _) = self.engine.decide(
+            Meters::new(d0),
+            Bytes::new(c.telemetry.data_ready_bytes as f64),
+            rho,
+        );
 
         // Feasibility: never command a reposition the battery cannot
         // cover with a 30 % reserve — deliver from where the carrier is

@@ -10,6 +10,7 @@
 use crate::optimizer::{optimize, OptimalTransfer};
 use crate::scenario::Scenario;
 use crate::throughput::ThroughputSpec;
+use skyferry_units::{Bytes, Meters, Seconds};
 
 /// What the carrier UAV should do right now.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,15 +32,15 @@ pub enum TransferDecision {
 }
 
 impl TransferDecision {
-    /// Total expected communication delay, seconds.
-    pub fn expected_total_s(&self) -> f64 {
+    /// Total expected communication delay.
+    pub fn expected_total(&self) -> Seconds {
         match *self {
-            TransferDecision::TransmitNow { expected_tx_s } => expected_tx_s,
+            TransferDecision::TransmitNow { expected_tx_s } => Seconds::new(expected_tx_s),
             TransferDecision::MoveThenTransmit {
                 expected_ship_s,
                 expected_tx_s,
                 ..
-            } => expected_ship_s + expected_tx_s,
+            } => Seconds::new(expected_ship_s + expected_tx_s),
         }
     }
 }
@@ -68,21 +69,21 @@ impl DecisionEngine {
         }
     }
 
-    /// Decide for the live situation: current separation `d0_m`, batch of
-    /// `mdata_bytes`, failure rate `rho_per_m` (e.g. from remaining
+    /// Decide for the live situation: current separation `d0`, batch of
+    /// `mdata`, failure rate `rho_per_m` (e.g. from remaining
     /// battery range). Returns the decision and the optimum behind it.
     pub fn decide(
         &self,
-        d0_m: f64,
-        mdata_bytes: f64,
+        d0: Meters,
+        mdata: Bytes,
         rho_per_m: f64,
     ) -> (TransferDecision, OptimalTransfer) {
         let scenario = Scenario {
             name: "online".into(),
-            d0_m: d0_m.max(self.d_min_m),
+            d0_m: d0.get().max(self.d_min_m),
             d_min_m: self.d_min_m,
             v_mps: self.v_mps,
-            mdata_bytes,
+            mdata_bytes: mdata.get(),
             throughput: self.throughput.clone(),
             failure: crate::failure::FailureSpec::Exponential(
                 crate::failure::ExponentialFailure::new(rho_per_m),
@@ -109,13 +110,21 @@ mod tests {
     use super::*;
     use crate::scenario::Scenario;
 
+    fn d(m: f64) -> Meters {
+        Meters::new(m)
+    }
+
+    fn b(v: f64) -> Bytes {
+        Bytes::new(v)
+    }
+
     fn engine() -> DecisionEngine {
         DecisionEngine::from_scenario(&Scenario::quadrocopter_baseline())
     }
 
     #[test]
     fn big_batch_far_encounter_moves_first() {
-        let (d, opt) = engine().decide(100.0, 56.2e6, 2.46e-4);
+        let (d, opt) = engine().decide(d(100.0), b(56.2e6), 2.46e-4);
         match d {
             TransferDecision::MoveThenTransmit { target_d_m, .. } => {
                 assert!((target_d_m - opt.d_opt).abs() < 1e-9);
@@ -128,33 +137,33 @@ mod tests {
     #[test]
     fn tiny_batch_transmits_now() {
         // 100 kB: shipping time would dwarf the transmission.
-        let (d, _) = engine().decide(60.0, 100_000.0, 2.46e-4);
+        let (d, _) = engine().decide(d(60.0), b(100_000.0), 2.46e-4);
         assert!(matches!(d, TransferDecision::TransmitNow { .. }), "{d:?}");
     }
 
     #[test]
     fn already_close_transmits_now() {
-        let (d, _) = engine().decide(20.5, 56.2e6, 2.46e-4);
+        let (d, _) = engine().decide(d(20.5), b(56.2e6), 2.46e-4);
         assert!(matches!(d, TransferDecision::TransmitNow { .. }), "{d:?}");
     }
 
     #[test]
     fn high_risk_transmits_now() {
-        let (d, _) = engine().decide(100.0, 56.2e6, 0.5);
+        let (d, _) = engine().decide(d(100.0), b(56.2e6), 0.5);
         assert!(matches!(d, TransferDecision::TransmitNow { .. }), "{d:?}");
     }
 
     #[test]
     fn expected_total_consistent_with_optimum() {
-        let (d, opt) = engine().decide(100.0, 56.2e6, 2.46e-4);
-        assert!((d.expected_total_s() - opt.cdelay_s()).abs() < 1e-9);
+        let (d, opt) = engine().decide(d(100.0), b(56.2e6), 2.46e-4);
+        assert!((d.expected_total().get() - opt.cdelay_s()).abs() < 1e-9);
     }
 
     #[test]
     fn separation_below_dmin_clamped() {
         // A degenerate call (already inside the safety bubble) must not
         // panic; it transmits from where it is.
-        let (d, _) = engine().decide(10.0, 1e6, 2.46e-4);
+        let (d, _) = engine().decide(d(10.0), b(1e6), 2.46e-4);
         assert!(matches!(d, TransferDecision::TransmitNow { .. }));
     }
 }

@@ -66,21 +66,25 @@ impl CommunicationDelay {
     }
 
     /// Candidate distance as a raw `f64` in metres (report layer).
+    // lint:allow-line(unit-safety): report-layer raw accessor; typed twin is the `d` field
     pub fn d_m(&self) -> f64 {
         self.d.get()
     }
 
     /// Shipping time as a raw `f64` in seconds (report layer).
+    // lint:allow-line(unit-safety): report-layer raw accessor; typed twin is the `ship` field
     pub fn ship_s(&self) -> f64 {
         self.ship.get()
     }
 
     /// Transmission time as a raw `f64` in seconds (report layer).
+    // lint:allow-line(unit-safety): report-layer raw accessor; typed twin is the `tx` field
     pub fn tx_s(&self) -> f64 {
         self.tx.get()
     }
 
     /// Total delay as a raw `f64` in seconds (report layer).
+    // lint:allow-line(unit-safety): report-layer raw accessor; typed twin is `total()`
     pub fn total_s(&self) -> f64 {
         self.total().get()
     }

@@ -7,6 +7,8 @@
 //! can be dropped in; [`WeibullFailure`] is one such extension with a
 //! distance-dependent hazard.
 
+use skyferry_units::Meters;
+
 /// A survival model over the repositioning leg.
 pub trait FailureModel {
     /// Probability of still being operational after moving from
@@ -58,12 +60,12 @@ pub struct WeibullFailure {
 
 impl WeibullFailure {
     /// Construct with validation.
-    pub fn new(scale_m: f64, shape: f64, flown_m: f64) -> Self {
-        assert!(scale_m > 0.0 && shape > 0.0 && flown_m >= 0.0);
+    pub fn new(scale: Meters, shape: f64, flown: Meters) -> Self {
+        assert!(scale.get() > 0.0 && shape > 0.0 && flown.get() >= 0.0);
         WeibullFailure {
-            scale_m,
+            scale_m: scale.get(),
             shape,
-            flown_m,
+            flown_m: flown.get(),
         }
     }
 
@@ -138,7 +140,7 @@ mod tests {
 
     #[test]
     fn weibull_k1_matches_exponential() {
-        let w = WeibullFailure::new(1.0 / 1.11e-4, 1.0, 0.0);
+        let w = WeibullFailure::new(Meters::new(1.0 / 1.11e-4), 1.0, Meters::ZERO);
         let e = ExponentialFailure::new(1.11e-4);
         for &(d0, d) in &[(300.0, 100.0), (100.0, 20.0), (50.0, 50.0)] {
             assert!((w.survival(d0, d) - e.survival(d0, d)).abs() < 1e-12);
@@ -148,8 +150,8 @@ mod tests {
     #[test]
     fn weibull_wearout_penalises_late_mission_moves() {
         // k > 1: the same leg is riskier after more mission distance.
-        let fresh = WeibullFailure::new(5_000.0, 2.0, 0.0);
-        let tired = WeibullFailure::new(5_000.0, 2.0, 4_000.0);
+        let fresh = WeibullFailure::new(Meters::new(5_000.0), 2.0, Meters::ZERO);
+        let tired = WeibullFailure::new(Meters::new(5_000.0), 2.0, Meters::new(4_000.0));
         assert!(tired.survival(100.0, 20.0) < fresh.survival(100.0, 20.0));
     }
 

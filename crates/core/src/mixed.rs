@@ -13,7 +13,7 @@
 //! delivery during the approach is the integral of the penalised rate
 //! along the closing path, and the remainder is sent hovering at `d`.
 
-use skyferry_units::Meters;
+use skyferry_units::{Meters, MetersPerSec};
 
 use crate::failure::FailureModel;
 use crate::scenario::{Scenario, ScenarioView};
@@ -37,9 +37,9 @@ impl SpeedPenalty {
     }
 
     /// Linear rate factor at speed `v` (1.0 at hover).
-    pub fn factor(&self, v_mps: f64) -> f64 {
-        assert!(v_mps >= 0.0);
-        10f64.powf(-self.loss_db_per_mps * v_mps / 10.0)
+    pub fn factor(&self, v: MetersPerSec) -> f64 {
+        assert!(v.get() >= 0.0);
+        10f64.powf(-self.loss_db_per_mps * v.get() / 10.0)
     }
 }
 
@@ -60,11 +60,11 @@ pub struct MixedConfig {
 
 impl MixedConfig {
     /// Defaults for a given platform cruise speed.
-    pub fn for_speed(v_max_mps: f64) -> Self {
-        assert!(v_max_mps > 0.0);
+    pub fn for_speed(v_max: MetersPerSec) -> Self {
+        assert!(v_max.get() > 0.0);
         MixedConfig {
             penalty: SpeedPenalty::quadrocopter(),
-            v_max_mps,
+            v_max_mps: v_max.get(),
             speed_grid: 24,
             distance_grid: 96,
             dt_s: 0.1,
@@ -95,11 +95,11 @@ pub struct MixedOutcome {
 pub fn evaluate_mixed(
     scenario: &Scenario,
     cfg: &MixedConfig,
-    d_m: f64,
-    v_mps: f64,
+    d: Meters,
+    v: MetersPerSec,
     transmit_while_moving: bool,
 ) -> MixedOutcome {
-    evaluate_mixed_view(scenario.view(), cfg, d_m, v_mps, transmit_while_moving)
+    evaluate_mixed_view(scenario.view(), cfg, d, v, transmit_while_moving)
 }
 
 /// [`evaluate_mixed`] on a borrowed [`ScenarioView`] — the form the 2-D
@@ -107,10 +107,11 @@ pub fn evaluate_mixed(
 pub fn evaluate_mixed_view(
     scenario: ScenarioView<'_>,
     cfg: &MixedConfig,
-    d_m: f64,
-    v_mps: f64,
+    d: Meters,
+    v: MetersPerSec,
     transmit_while_moving: bool,
 ) -> MixedOutcome {
+    let (d_m, v_mps) = (d.get(), v.get());
     scenario.validate();
     assert!(d_m >= scenario.d_min_m - 1e-9 && d_m <= scenario.d0_m + 1e-9);
     assert!(v_mps > 0.0 && v_mps <= cfg.v_max_mps + 1e-9);
@@ -118,7 +119,7 @@ pub fn evaluate_mixed_view(
     let mut t = 0.0;
     let mut delivered = 0.0;
     if transmit_while_moving {
-        let factor = cfg.penalty.factor(v_mps);
+        let factor = cfg.penalty.factor(v);
         let mut d = scenario.d0_m;
         while d > d_m && delivered < scenario.mdata_bytes {
             let dt = cfg.dt_s.min((d - d_m) / v_mps).max(1e-9);
@@ -184,7 +185,7 @@ pub fn optimize_mixed(scenario: &Scenario, cfg: &MixedConfig) -> MixedOutcome {
             let d = view.d_min_m
                 + (view.d0_m - view.d_min_m) * di as f64 / (cfg.distance_grid - 1) as f64;
             for tx in [false, true] {
-                let o = evaluate_mixed_view(view, cfg, d, v, tx);
+                let o = evaluate_mixed_view(view, cfg, Meters::new(d), MetersPerSec::new(v), tx);
                 if best.is_none_or(|b| o.utility > b.utility) {
                     best = Some(o);
                 }
@@ -208,7 +209,7 @@ mod tests {
     }
 
     fn cfg() -> MixedConfig {
-        MixedConfig::for_speed(4.5)
+        MixedConfig::for_speed(MetersPerSec::new(4.5))
     }
 
     #[test]
@@ -216,9 +217,9 @@ mod tests {
         let p = SpeedPenalty {
             loss_db_per_mps: 1.0,
         };
-        assert_eq!(p.factor(0.0), 1.0);
-        assert!((p.factor(10.0) - 0.1).abs() < 1e-12);
-        assert!(p.factor(5.0) > p.factor(10.0));
+        assert_eq!(p.factor(MetersPerSec::ZERO), 1.0);
+        assert!((p.factor(MetersPerSec::new(10.0)) - 0.1).abs() < 1e-12);
+        assert!(p.factor(MetersPerSec::new(5.0)) > p.factor(MetersPerSec::new(10.0)));
     }
 
     #[test]
@@ -287,13 +288,13 @@ mod tests {
     #[test]
     fn evaluate_conserves_data_and_time() {
         let s = quad_10mb();
-        let o = evaluate_mixed(&s, &cfg(), 40.0, 4.5, true);
+        let o = evaluate_mixed(&s, &cfg(), Meters::new(40.0), MetersPerSec::new(4.5), true);
         assert!(o.completion_s > 0.0);
         assert!(o.in_motion_bytes <= s.mdata_bytes);
         assert!(o.survival > 0.0 && o.survival <= 1.0);
         // In-motion transmission can only speed things up vs silence at
         // the same (d, v).
-        let silent = evaluate_mixed(&s, &cfg(), 40.0, 4.5, false);
+        let silent = evaluate_mixed(&s, &cfg(), Meters::new(40.0), MetersPerSec::new(4.5), false);
         assert!(o.completion_s <= silent.completion_s + 1e-9);
     }
 

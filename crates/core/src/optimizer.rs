@@ -43,6 +43,7 @@ pub struct OptimalTransfer {
 
 impl OptimalTransfer {
     /// Total communication delay at the optimum, seconds.
+    // lint:allow-line(unit-safety): report-layer raw accessor over raw f64 report fields
     pub fn cdelay_s(&self) -> f64 {
         self.ship_s + self.tx_s
     }
@@ -159,10 +160,10 @@ pub fn utility_curve_view(scenario: ScenarioView<'_>, points: usize) -> Vec<(f64
 /// Closed-form optimality check for the ρ = 0 case: the optimum balances
 /// marginal transmit-time increase against marginal shipping-time
 /// decrease, `T'tx(d) = 1/v` (interior optima only). Used by tests.
-pub fn marginal_balance_residual(scenario: &Scenario, d_m: f64) -> f64 {
+pub fn marginal_balance_residual(scenario: &Scenario, d: Meters) -> f64 {
     let eps = 1e-3;
     let t = |d: f64| CommunicationDelay::at(scenario, Meters::new(d)).tx_s();
-    let dtx = (t(d_m + eps) - t(d_m - eps)) / (2.0 * eps);
+    let dtx = (t(d.get() + eps) - t(d.get() - eps)) / (2.0 * eps);
     dtx - 1.0 / scenario.v_mps
 }
 
@@ -221,7 +222,7 @@ mod tests {
             .with_rho(0.0);
         let o = optimize(&s);
         assert!(o.d_opt > s.d_min_m + 2.0 && o.d_opt < s.d0_m - 2.0);
-        let r = marginal_balance_residual(&s, o.d_opt);
+        let r = marginal_balance_residual(&s, Meters::new(o.d_opt));
         assert!(r.abs() < 1e-3, "residual={r}");
     }
 

@@ -73,6 +73,7 @@ impl Scenario {
     }
 
     /// Copy with a different batch size in MB (Figure 9 sweeps this).
+    // lint:allow-line(unit-safety): figure-sweep axis; MB is the paper's native grid unit
     pub fn with_mdata_mb(mut self, mdata_mb: f64) -> Self {
         assert!(mdata_mb > 0.0);
         self.mdata_bytes = mdata_mb * BYTES_PER_MB;
@@ -80,6 +81,7 @@ impl Scenario {
     }
 
     /// Copy with a different cruise speed (Figure 9 sweeps this).
+    // lint:allow-line(unit-safety): figure-sweep axis; raw m/s is the sweep grid's native form
     pub fn with_speed(mut self, v_mps: f64) -> Self {
         assert!(v_mps > 0.0);
         self.v_mps = v_mps;
@@ -87,6 +89,7 @@ impl Scenario {
     }
 
     /// Copy with a different initial separation.
+    // lint:allow-line(unit-safety): figure-sweep axis; raw metres is the sweep grid's native form
     pub fn with_d0(mut self, d0_m: f64) -> Self {
         assert!(d0_m >= self.d_min_m);
         self.d0_m = d0_m;
@@ -219,6 +222,7 @@ impl<'a> ScenarioView<'a> {
     }
 
     /// Override the batch size in MB (Figure 9 sweeps this).
+    // lint:allow-line(unit-safety): figure-sweep axis; MB is the paper's native grid unit
     pub fn with_mdata_mb(mut self, mdata_mb: f64) -> Self {
         assert!(mdata_mb > 0.0);
         self.mdata_bytes = mdata_mb * BYTES_PER_MB;
@@ -226,6 +230,7 @@ impl<'a> ScenarioView<'a> {
     }
 
     /// Override the cruise speed (Figure 9 sweeps this).
+    // lint:allow-line(unit-safety): figure-sweep axis; raw m/s is the sweep grid's native form
     pub fn with_speed(mut self, v_mps: f64) -> Self {
         assert!(v_mps > 0.0);
         self.v_mps = v_mps;
@@ -233,6 +238,7 @@ impl<'a> ScenarioView<'a> {
     }
 
     /// Override the initial separation.
+    // lint:allow-line(unit-safety): figure-sweep axis; raw metres is the sweep grid's native form
     pub fn with_d0(mut self, d0_m: f64) -> Self {
         assert!(d0_m >= self.d_min_m);
         self.d0_m = d0_m;

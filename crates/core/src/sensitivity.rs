@@ -140,8 +140,10 @@ mod tests {
     #[should_panic]
     fn weibull_rejected() {
         use crate::failure::{FailureSpec, WeibullFailure};
+        use skyferry_units::Meters;
         let mut s = interior_scenario();
-        s.failure = FailureSpec::Weibull(WeibullFailure::new(5_000.0, 2.0, 0.0));
+        s.failure =
+            FailureSpec::Weibull(WeibullFailure::new(Meters::new(5_000.0), 2.0, Meters::ZERO));
         let _ = analyze(&s);
     }
 }

@@ -15,7 +15,7 @@
 //! delivered-data-vs-time curves the paper measured, plus the scalar
 //! utility of Eq. (1) extended with an in-motion term.
 
-use skyferry_units::Meters;
+use skyferry_units::{Bytes, Meters, Seconds};
 
 use crate::delay::CommunicationDelay;
 use crate::failure::FailureModel;
@@ -98,8 +98,9 @@ pub struct StrategyEvaluation {
 }
 
 impl StrategyEvaluation {
-    /// Delivered bytes at time `t_s` (piecewise-linear interpolation).
-    pub fn delivered_at(&self, t_s: f64) -> f64 {
+    /// Delivered bytes at time `t` (piecewise-linear interpolation).
+    pub fn delivered_at(&self, t: Seconds) -> f64 {
+        let t_s = t.get();
         if self.curve.is_empty() || t_s <= self.curve[0].0 {
             return 0.0;
         }
@@ -116,8 +117,9 @@ impl StrategyEvaluation {
         self.curve.last().expect("non-empty").1
     }
 
-    /// First time at which `bytes` have been delivered, if ever.
-    pub fn time_to_deliver(&self, bytes: f64) -> Option<f64> {
+    /// First time at which `volume` has been delivered, if ever.
+    pub fn time_to_deliver(&self, volume: Bytes) -> Option<f64> {
+        let bytes = volume.get();
         if bytes <= 0.0 {
             return Some(0.0);
         }
@@ -266,9 +268,12 @@ mod tests {
     #[test]
     fn transmit_now_has_immediate_rampup() {
         let e = evaluate(&quad(), Strategy::TransmitNow, &EvalConfig::default());
-        assert!(e.delivered_at(0.0) == 0.0);
-        assert!(e.delivered_at(1.0) > 0.0, "starts immediately");
-        assert!((e.delivered_at(e.completion_s) - 20e6).abs() < 1.0);
+        assert!(e.delivered_at(Seconds::ZERO) == 0.0);
+        assert!(
+            e.delivered_at(Seconds::new(1.0)) > 0.0,
+            "starts immediately"
+        );
+        assert!((e.delivered_at(Seconds::new(e.completion_s)) - 20e6).abs() < 1.0);
     }
 
     #[test]
@@ -279,8 +284,8 @@ mod tests {
             &EvalConfig::default(),
         );
         let ship = (80.0 - 60.0) / 4.5;
-        assert_eq!(e.delivered_at(ship * 0.9), 0.0);
-        assert!(e.delivered_at(ship + 1.0) > 0.0);
+        assert_eq!(e.delivered_at(Seconds::new(ship * 0.9)), 0.0);
+        assert!(e.delivered_at(Seconds::new(ship + 1.0)) > 0.0);
     }
 
     #[test]
@@ -294,10 +299,16 @@ mod tests {
         let later = evaluate(&s, Strategy::MoveThenTransmit { d_m: 60.0 }, &cfg);
         // Small batches favour transmitting now…
         let small = 5e6;
-        assert!(now.time_to_deliver(small).unwrap() < later.time_to_deliver(small).unwrap());
+        assert!(
+            now.time_to_deliver(Bytes::new(small)).unwrap()
+                < later.time_to_deliver(Bytes::new(small)).unwrap()
+        );
         // …large batches favour moving first.
         let large = 20e6;
-        assert!(later.time_to_deliver(large).unwrap() < now.time_to_deliver(large).unwrap());
+        assert!(
+            later.time_to_deliver(Bytes::new(large)).unwrap()
+                < now.time_to_deliver(Bytes::new(large)).unwrap()
+        );
         // The crossover volume sits in the paper's ballpark (≈15 MB,
         // analytic model: within a few MB).
         let mut crossover = None;
@@ -306,8 +317,8 @@ mod tests {
             if v > 20e6 {
                 break;
             }
-            let t_now = now.time_to_deliver(v).unwrap();
-            let t_later = later.time_to_deliver(v).unwrap();
+            let t_now = now.time_to_deliver(Bytes::new(v)).unwrap();
+            let t_later = later.time_to_deliver(Bytes::new(v)).unwrap();
             if t_later < t_now {
                 crossover = Some(v);
                 break;
@@ -383,8 +394,8 @@ mod tests {
         );
         for frac in [0.1, 0.5, 0.9] {
             let bytes = frac * 20e6;
-            let t = e.time_to_deliver(bytes).unwrap();
-            assert!((e.delivered_at(t) - bytes).abs() < 1e3);
+            let t = e.time_to_deliver(Bytes::new(bytes)).unwrap();
+            assert!((e.delivered_at(Seconds::new(t)) - bytes).abs() < 1e3);
         }
     }
 }

@@ -1,0 +1,153 @@
+//! Checked-in finding baselines: ratchet the lint without a flag day.
+//!
+//! A baseline file records the findings a repository has accepted (for
+//! now). `--baseline PATH` subtracts them from the current run, so
+//! `--check` fails only on *new* findings; `--write-baseline` snapshots
+//! the current findings so the debt can be burned down deliberately.
+//!
+//! Keys deliberately omit the line number — `rule \t file \t message` —
+//! so unrelated edits that shift a known finding up or down a few lines
+//! do not invalidate the baseline. Identical findings are counted:
+//! a file baselined with two `unwrap-in-lib` hits fails again on the
+//! third. The committed `lint-baseline.txt` at the repo root is empty:
+//! the workspace carries no accepted lint debt, and the CI diff keeps
+//! it that way.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Finding;
+
+/// Baseline key for one finding: line-number-free, message-exact.
+fn key(f: &Finding) -> String {
+    format!("{}\t{}\t{}", f.rule, f.file, f.message)
+}
+
+/// A parsed baseline: accepted finding keys with multiplicities.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Parse baseline file contents. Blank lines and `#` comments are
+    /// skipped; every other line is one accepted finding key.
+    pub fn parse(text: &str) -> Baseline {
+        let mut counts = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim_end_matches('\r');
+            if line.trim().is_empty() || line.trim_start().starts_with('#') {
+                continue;
+            }
+            *counts.entry(line.to_string()).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Number of accepted findings (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// `true` when the baseline accepts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Split `findings` into (new, accepted): each finding consumes one
+    /// matching baseline entry; overflow beyond the accepted count is
+    /// new. Returns the surviving (new) findings.
+    pub fn diff(&self, findings: &[Finding]) -> Vec<Finding> {
+        let mut budget = self.counts.clone();
+        let mut fresh = Vec::new();
+        for f in findings {
+            match budget.get_mut(&key(f)) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => fresh.push(f.clone()),
+            }
+        }
+        fresh
+    }
+
+    /// Render `findings` as baseline file contents (sorted, one key per
+    /// line, with a header comment).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut keys: Vec<String> = findings.iter().map(key).collect();
+        keys.sort();
+        let mut out = String::from(
+            "# skyferry-lint baseline: accepted findings, one `rule\\tfile\\tmessage`\n\
+             # key per line. Regenerate with `cargo run -p skyferry-lint -- --write-baseline`.\n",
+        );
+        for k in keys {
+            out.push_str(&k);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    fn f(rule: &'static str, file: &str, line: usize, message: &str) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Deny,
+            file: file.into(),
+            line,
+            message: message.into(),
+        }
+    }
+
+    #[test]
+    fn empty_baseline_accepts_nothing() {
+        let b = Baseline::parse("# header only\n\n");
+        assert!(b.is_empty());
+        let fs = vec![f("wall-clock", "a.rs", 3, "msg")];
+        assert_eq!(b.diff(&fs), fs);
+    }
+
+    #[test]
+    fn line_shifts_do_not_invalidate() {
+        let accepted = vec![f("wall-clock", "a.rs", 3, "msg")];
+        let b = Baseline::parse(&Baseline::render(&accepted));
+        assert_eq!(b.len(), 1);
+        // Same finding, different line: still accepted.
+        let moved = vec![f("wall-clock", "a.rs", 17, "msg")];
+        assert!(b.diff(&moved).is_empty());
+    }
+
+    #[test]
+    fn multiplicity_is_counted() {
+        let accepted = vec![
+            f("unwrap-in-lib", "a.rs", 1, "msg"),
+            f("unwrap-in-lib", "a.rs", 2, "msg"),
+        ];
+        let b = Baseline::parse(&Baseline::render(&accepted));
+        let three = vec![
+            f("unwrap-in-lib", "a.rs", 1, "msg"),
+            f("unwrap-in-lib", "a.rs", 2, "msg"),
+            f("unwrap-in-lib", "a.rs", 3, "msg"),
+        ];
+        let fresh = b.diff(&three);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].line, 3);
+    }
+
+    #[test]
+    fn different_message_is_new() {
+        let b = Baseline::parse(&Baseline::render(&[f("wall-clock", "a.rs", 3, "msg")]));
+        let other = vec![f("wall-clock", "a.rs", 3, "other msg")];
+        assert_eq!(b.diff(&other).len(), 1);
+    }
+
+    #[test]
+    fn render_is_sorted_and_reparsable() {
+        let fs = vec![f("z-rule", "b.rs", 1, "m2"), f("a-rule", "a.rs", 9, "m1")];
+        let text = Baseline::render(&fs);
+        let lines: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert!(lines[0].starts_with("a-rule\t"));
+        assert_eq!(Baseline::parse(&text).len(), 2);
+    }
+}

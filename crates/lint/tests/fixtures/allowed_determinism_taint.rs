@@ -1,0 +1,8 @@
+fn now() -> u64 {
+    monotonic_ns()
+}
+fn decision_response(_t: u64) {}
+pub fn respond() {
+    let t = now(); // lint:allow-line(determinism-taint): replay harness reports wall latency on purpose
+    decision_response(t);
+}

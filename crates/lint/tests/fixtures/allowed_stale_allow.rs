@@ -1,0 +1,2 @@
+// lint:allow(wall-clock): doc example kept on purpose lint:allow-line(stale-allow): fixture pins an intentionally-kept escape
+fn quiet() {}

@@ -1,0 +1,4 @@
+/// FFI boundary: the C planner ABI takes raw metres by contract.
+pub fn ffi_loss(d_m: f64) -> f64 { // lint:allow-line(unit-safety): C ABI boundary takes raw metres
+    d_m
+}

@@ -1,0 +1,8 @@
+pub fn serve_connection(r: &mut Reader, buf: &mut String) {
+    r.read_line(buf);
+    handle(buf);
+}
+fn handle(buf: &str) {
+    thread::sleep(POLL);
+    let _ = fs::read_to_string(buf);
+}

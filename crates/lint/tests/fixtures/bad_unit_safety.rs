@@ -1,0 +1,8 @@
+/// Free-space path loss at the given distance.
+pub fn path_loss(d_m: f64, exponent: f64) -> f64 {
+    d_m.powf(exponent)
+}
+/// Ferry contact delay for the planned trajectory.
+pub fn contact_delay_s(hops: f64) -> f64 {
+    hops * 2.0
+}

@@ -1,0 +1,8 @@
+fn now() -> u64 {
+    monotonic_ns()
+}
+fn decision_response(_t: u64) {}
+pub fn respond(deterministic: bool) {
+    let t = if deterministic { 0 } else { now() };
+    decision_response(t);
+}

@@ -1,0 +1,15 @@
+/// Free-space path loss at the given distance.
+pub fn path_loss(d: Meters, exponent: f64) -> Db {
+    Db::new(d.raw().powf(exponent))
+}
+/// Nakagami shape parameter (single-char name, not a unit).
+pub fn nakagami(m: f64) -> f64 {
+    m
+}
+/// Compound per-unit rate names are not bare-unit suffixes.
+pub fn bits_per_joule(energy_per_bit: f64) -> f64 {
+    1.0 / energy_per_bit
+}
+fn private_helper(d_m: f64) -> f64 {
+    d_m
+}

@@ -1,0 +1,14 @@
+/// Wire error kinds.
+pub enum ErrorKind {
+    BadRequest,
+    Overloaded,
+}
+impl ErrorKind {
+    /// The wire tag for this kind.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad-request",
+            ErrorKind::Overloaded => "overloaded",
+        }
+    }
+}

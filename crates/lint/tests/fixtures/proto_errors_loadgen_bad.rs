@@ -1,0 +1,3 @@
+pub fn classify(tag: &str) -> bool {
+    tag == "bad-request"
+}

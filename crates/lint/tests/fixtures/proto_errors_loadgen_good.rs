@@ -1,0 +1,7 @@
+pub fn classify(tag: &str) -> u32 {
+    match tag {
+        "bad-request" => 1,
+        "overloaded" => 2,
+        _ => 0,
+    }
+}

@@ -1,0 +1,6 @@
+pub fn reject(line: &str) {
+    if line.is_empty() {
+        emit(ErrorKind::BadRequest);
+    }
+}
+fn emit(_k: ErrorKind) {}

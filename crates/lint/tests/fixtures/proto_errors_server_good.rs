@@ -1,0 +1,9 @@
+pub fn reject(line: &str, busy: bool) {
+    if line.is_empty() {
+        emit(ErrorKind::BadRequest);
+    }
+    if busy {
+        emit(ErrorKind::Overloaded);
+    }
+}
+fn emit(_k: ErrorKind) {}

@@ -6,7 +6,7 @@
 use std::fs;
 use std::path::Path;
 
-use skyferry_lint::rules::{lint_source, registry, Finding};
+use skyferry_lint::rules::{lint_files, lint_source, registry, Finding};
 
 fn fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -222,6 +222,119 @@ fn raw_endian_bytes_spares_the_codec_and_the_vendored_bufs() {
     assert!(lint_at(CORE, "allowed_raw_endian.rs").is_empty());
 }
 
+const PHY: &str = "crates/phy/src/fixture.rs";
+const SERVER: &str = "crates/serve/src/server.rs";
+const ENGINE: &str = "crates/serve/src/engine.rs";
+
+#[test]
+fn unit_safety_fires_with_exact_spans() {
+    // Line 2: bare-f64 `d_m` parameter; line 6: `*_s` fn returning f64.
+    assert_eq!(
+        lint_at(PHY, "bad_unit_safety.rs"),
+        all("unit-safety", &[2, 6])
+    );
+    assert!(lint_at(PHY, "good_unit_safety.rs").is_empty());
+    // A justified line escape suppresses it …
+    assert!(lint_at(PHY, "allowed_unit_safety.rs").is_empty());
+    // … and the rule is scoped to the model crates only.
+    assert!(lint_at("crates/serve/src/fixture.rs", "bad_unit_safety.rs").is_empty());
+}
+
+#[test]
+fn determinism_taint_fires_through_the_call_chain() {
+    // `respond` feeds decision_response but reaches monotonic_ns via
+    // `now`; flagged at the first hop inside the emitter.
+    assert_eq!(
+        lint_at(ENGINE, "bad_determinism_taint.rs"),
+        all("determinism-taint", &[6])
+    );
+    // The --deterministic gate absorbs the taint …
+    assert!(lint_at(ENGINE, "good_determinism_taint.rs").is_empty());
+    // … and a justified line escape suppresses the finding.
+    assert!(lint_at(ENGINE, "allowed_determinism_taint.rs").is_empty());
+}
+
+#[test]
+fn blocking_in_reader_fires_on_reachable_fns() {
+    // `handle` is reachable from the read_line root: sleep on line 6,
+    // file I/O on line 7.
+    assert_eq!(
+        lint_at(SERVER, "bad_blocking_in_reader.rs"),
+        all("blocking-in-reader", &[6, 7])
+    );
+    assert!(lint_at(SERVER, "good_blocking_in_reader.rs").is_empty());
+    assert!(lint_at(SERVER, "allowed_blocking_in_reader.rs").is_empty());
+    // Roots live in server.rs only; the same code elsewhere is silent.
+    assert!(lint_at("crates/serve/src/loadgen.rs", "bad_blocking_in_reader.rs").is_empty());
+}
+
+#[test]
+fn stale_allow_fires_and_is_line_escapable() {
+    assert_eq!(
+        lint_at(CORE, "bad_stale_allow.rs"),
+        all("stale-allow", &[1])
+    );
+    // A deliberately-kept escape pins itself with allow-line(stale-allow).
+    assert!(lint_at(CORE, "allowed_stale_allow.rs").is_empty());
+    // A *used* escape is not stale (fixture already exercised above).
+    assert!(lint_at(CORE, "allowed_hash_collection.rs").is_empty());
+}
+
+#[test]
+fn file_level_allow_cannot_blanket_semantic_rules() {
+    let got = lint_at(PHY, "bad_file_allow_semantic.rs");
+    // The blanket escape is itself flagged …
+    assert!(got.contains(&("stale-allow".to_string(), 1)), "{got:?}");
+    // … and the rule it tried to blanket still fires.
+    assert!(got.contains(&("unit-safety".to_string(), 3)), "{got:?}");
+}
+
+#[test]
+fn exhaustive_proto_errors_links_construction_and_checker() {
+    let bad = vec![
+        (
+            "crates/serve/src/proto.rs".to_string(),
+            fixture("proto_errors_kind.rs"),
+        ),
+        (SERVER.to_string(), fixture("proto_errors_server_bad.rs")),
+        (
+            "crates/serve/src/loadgen.rs".to_string(),
+            fixture("proto_errors_loadgen_bad.rs"),
+        ),
+    ];
+    let got: Vec<(String, String, usize)> = lint_files(&bad)
+        .into_iter()
+        .filter(|f| f.rule == "exhaustive-proto-errors")
+        .map(|f| (f.file, f.message, f.line))
+        .collect();
+    // `Overloaded` (declared on line 4) is neither constructed by the
+    // server nor matched by loadgen's checker.
+    assert_eq!(got.len(), 2, "{got:?}");
+    assert!(got
+        .iter()
+        .all(|(p, _, l)| p == "crates/serve/src/proto.rs" && *l == 4));
+    assert!(got.iter().any(|(_, m, _)| m.contains("never constructed")));
+    assert!(got.iter().any(|(_, m, _)| m.contains("never matched")));
+
+    let good = vec![
+        (
+            "crates/serve/src/proto.rs".to_string(),
+            fixture("proto_errors_kind.rs"),
+        ),
+        (SERVER.to_string(), fixture("proto_errors_server_good.rs")),
+        (
+            "crates/serve/src/loadgen.rs".to_string(),
+            fixture("proto_errors_loadgen_good.rs"),
+        ),
+    ];
+    assert!(
+        lint_files(&good)
+            .iter()
+            .all(|f| f.rule != "exhaustive-proto-errors"),
+        "good proto triple should be clean"
+    );
+}
+
 #[test]
 fn every_rule_has_a_firing_bad_fixture() {
     // The pairing that proves each registry entry is live.
@@ -246,6 +359,17 @@ fn every_rule_has_a_firing_bad_fixture() {
             "bad_instant_now.rs",
         ),
         ("raw-endian-bytes", CORE, "bad_raw_endian.rs"),
+        ("unit-safety", PHY, "bad_unit_safety.rs"),
+        ("determinism-taint", ENGINE, "bad_determinism_taint.rs"),
+        ("blocking-in-reader", SERVER, "bad_blocking_in_reader.rs"),
+        // With only proto.rs in the file set, every variant is
+        // unconstructed — the rule fires.
+        (
+            "exhaustive-proto-errors",
+            "crates/serve/src/proto.rs",
+            "proto_errors_kind.rs",
+        ),
+        ("stale-allow", CORE, "bad_stale_allow.rs"),
     ];
     for rule in registry() {
         let (_, path, file) = cases

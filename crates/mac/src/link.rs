@@ -26,6 +26,7 @@ use skyferry_phy::mcs::Mcs;
 use skyferry_phy::presets::ChannelPreset;
 use skyferry_sim::rng::DetRng;
 use skyferry_sim::time::{SimDuration, SimTime};
+use skyferry_units::{Db, MetersPerSec};
 
 use crate::dcf::DcfTiming;
 use crate::frame::{ampdu_length, BLOCK_ACK_BYTES, DATA_OVERHEAD_BYTES};
@@ -168,7 +169,8 @@ impl LinkState {
         relative_speed_mps: f64,
         queue: &mut TxQueue,
     ) -> TxopOutcome {
-        self.fading.set_relative_speed(relative_speed_mps);
+        self.fading
+            .set_relative_speed(MetersPerSec::new(relative_speed_mps));
 
         let payload = self.config.mpdu_payload_bytes;
         let available = queue.available_bytes(now);
@@ -233,7 +235,7 @@ impl LinkState {
                 .budget
                 .mean_snr(skyferry_units::Meters::new(distance_m))
                 .get()
-                - self.fading.config().motion_loss_db(),
+                - self.fading.config().motion_loss_db().get(),
         );
         let tx_start = now + self.config.dcf.difs() + backoff;
         let per_subframe_air = SimDuration::from_secs_f64(data_air.as_secs_f64() / n as f64);
@@ -251,7 +253,7 @@ impl LinkState {
                 self.config.use_stbc,
                 mean_snr,
                 &state,
-                self.config.preset.fading.sdm_sir_db,
+                Db::new(self.config.preset.fading.sdm_sir_db),
             );
             let per = coded_per(mcs, eff, pl + DATA_OVERHEAD_BYTES);
             let ok = !self.rng.chance(per);
@@ -273,7 +275,7 @@ impl LinkState {
             self.config.use_stbc,
             mean_snr,
             &ba_state,
-            self.config.preset.fading.sdm_sir_db,
+            Db::new(self.config.preset.fading.sdm_sir_db),
         );
         let ba_per = coded_per(Mcs::new(0), ba_eff, BLOCK_ACK_BYTES);
         let block_ack_lost = self.rng.chance(ba_per);
@@ -350,7 +352,7 @@ mod tests {
 
     #[test]
     fn close_range_hover_delivers_most_subframes() {
-        let mut l = link(ChannelPreset::quadrocopter(0.0), 2, 1);
+        let mut l = link(ChannelPreset::quadrocopter(MetersPerSec::new(0.0)), 2, 1);
         let mut q = TxQueue::saturated(1e9, 1 << 20);
         let (bytes, secs) = run_for(&mut l, &mut q, 10.0, 0.0, 2.0);
         let mbps = bytes as f64 * 8.0 / secs / 1e6;
@@ -361,7 +363,7 @@ mod tests {
 
     #[test]
     fn far_range_fails_most_subframes() {
-        let mut l = link(ChannelPreset::quadrocopter(0.0), 7, 2);
+        let mut l = link(ChannelPreset::quadrocopter(MetersPerSec::new(0.0)), 7, 2);
         let mut q = TxQueue::saturated(1e9, 1 << 20);
         let (bytes, secs) = run_for(&mut l, &mut q, 60.0, 0.0, 2.0);
         let mbps = bytes as f64 * 8.0 / secs / 1e6;
@@ -372,7 +374,7 @@ mod tests {
     #[test]
     fn goodput_decreases_with_distance() {
         let at = |d: f64, seed: u64| {
-            let mut l = link(ChannelPreset::quadrocopter(0.0), 1, seed);
+            let mut l = link(ChannelPreset::quadrocopter(MetersPerSec::new(0.0)), 1, seed);
             let mut q = TxQueue::saturated(1e9, 1 << 20);
             let (bytes, secs) = run_for(&mut l, &mut q, d, 0.0, 4.0);
             bytes as f64 * 8.0 / secs / 1e6
@@ -384,7 +386,7 @@ mod tests {
     #[test]
     fn host_fill_rate_caps_goodput() {
         // Infinite radio, slow host: goodput pinned at the fill rate.
-        let mut l = link(ChannelPreset::quadrocopter(0.0), 1, 4);
+        let mut l = link(ChannelPreset::quadrocopter(MetersPerSec::new(0.0)), 1, 4);
         let mut q = TxQueue::saturated(10e6, 1 << 16);
         q.take(SimTime::ZERO, 1 << 16); // start from an empty buffer
         let (bytes, secs) = run_for(&mut l, &mut q, 10.0, 0.0, 2.0);
@@ -394,7 +396,7 @@ mod tests {
 
     #[test]
     fn empty_queue_idles() {
-        let mut l = link(ChannelPreset::quadrocopter(0.0), 3, 5);
+        let mut l = link(ChannelPreset::quadrocopter(MetersPerSec::new(0.0)), 3, 5);
         let mut q = TxQueue::finite(0, 1e6, 1024);
         let out = l.execute_txop(SimTime::ZERO, 20.0, 0.0, &mut q);
         assert!(out.idle);
@@ -405,7 +407,7 @@ mod tests {
     #[test]
     fn finite_transfer_conserves_bytes() {
         let total = 200_000u64;
-        let mut l = link(ChannelPreset::quadrocopter(0.0), 1, 6);
+        let mut l = link(ChannelPreset::quadrocopter(MetersPerSec::new(0.0)), 1, 6);
         let mut q = TxQueue::finite(total, 1e9, 1 << 20);
         let mut now = SimTime::ZERO;
         let mut delivered = 0u64;
@@ -423,7 +425,7 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = || {
-            let mut l = link(ChannelPreset::airplane(20.0), 3, 7);
+            let mut l = link(ChannelPreset::airplane(MetersPerSec::new(20.0)), 3, 7);
             let mut q = TxQueue::saturated(32e6, 1 << 18);
             run_for(&mut l, &mut q, 100.0, 20.0, 1.0).0
         };
@@ -433,7 +435,7 @@ mod tests {
     #[test]
     fn moving_link_worse_than_hover_at_same_distance() {
         let gp = |v: f64| {
-            let mut l = link(ChannelPreset::quadrocopter(v), 1, 8);
+            let mut l = link(ChannelPreset::quadrocopter(MetersPerSec::new(v)), 1, 8);
             let mut q = TxQueue::saturated(1e9, 1 << 20);
             let (bytes, secs) = run_for(&mut l, &mut q, 40.0, v, 4.0);
             bytes as f64 * 8.0 / secs / 1e6
@@ -445,7 +447,7 @@ mod tests {
 
     #[test]
     fn retry_streak_grows_backoff_not_unbounded() {
-        let mut l = link(ChannelPreset::quadrocopter(0.0), 7, 9);
+        let mut l = link(ChannelPreset::quadrocopter(MetersPerSec::new(0.0)), 7, 9);
         let mut q = TxQueue::saturated(1e9, 1 << 20);
         let mut now = SimTime::ZERO;
         for _ in 0..200 {

@@ -211,7 +211,7 @@ impl MinstrelHt {
         let s = &self.stats[i];
         // Like Linux minstrel: don't trust success probabilities below 10%.
         let p = if s.ewma_prob < 0.1 { 0.0 } else { s.ewma_prob };
-        p * self.rates[i].data_rate_bps(self.width, self.gi)
+        p * self.rates[i].data_rate_bps(self.width, self.gi).get()
     }
 
     fn best_index(&self) -> usize {

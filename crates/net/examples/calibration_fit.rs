@@ -16,6 +16,7 @@ use skyferry_net::profile::MotionProfile;
 use skyferry_phy::presets::ChannelPreset;
 use skyferry_sim::time::SimDuration;
 use skyferry_stats::quantile::median;
+use skyferry_units::MetersPerSec;
 
 fn tput_curve(preset: ChannelPreset, label: &str) -> Vec<(f64, f64)> {
     let cfg = CampaignConfig {
@@ -61,14 +62,14 @@ fn main() {
     let cases: Vec<(&str, ChannelPreset, f64, f64, Vec<f64>)> = vec![
         (
             "quad",
-            ChannelPreset::quadrocopter(0.0),
+            ChannelPreset::quadrocopter(MetersPerSec::new(0.0)),
             -10.5,
             73.0,
             vec![20.0, 40.0, 60.0, 80.0],
         ),
         (
             "air",
-            ChannelPreset::airplane(20.0),
+            ChannelPreset::airplane(MetersPerSec::new(20.0)),
             -5.56,
             49.0,
             vec![20.0, 40.0, 80.0, 160.0, 240.0, 320.0],

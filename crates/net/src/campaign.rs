@@ -249,10 +249,11 @@ pub fn run_transfer(
 mod tests {
     use super::*;
     use skyferry_stats::quantile::median;
+    use skyferry_units::MetersPerSec;
 
     fn quad_cfg(controller: ControllerKind, secs: i64) -> CampaignConfig {
         CampaignConfig {
-            preset: ChannelPreset::quadrocopter(0.0),
+            preset: ChannelPreset::quadrocopter(MetersPerSec::new(0.0)),
             controller,
             duration: SimDuration::from_secs(secs),
             seed: 0xC0FFEE,
@@ -328,7 +329,7 @@ mod tests {
         other_seed.seed ^= 1;
         assert_ne!(base.stable_key(), other_seed.stable_key());
         let mut other_preset = base;
-        other_preset.preset = ChannelPreset::airplane(20.0);
+        other_preset.preset = ChannelPreset::airplane(MetersPerSec::new(20.0));
         assert_ne!(base.stable_key(), other_preset.stable_key());
     }
 

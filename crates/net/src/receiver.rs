@@ -100,10 +100,11 @@ mod tests {
     use skyferry_phy::mcs::Mcs;
     use skyferry_phy::presets::ChannelPreset;
     use skyferry_sim::prelude::*;
+    use skyferry_units::MetersPerSec;
 
     fn run_link(d_m: f64, mcs: u8, secs: f64, seed: u64) -> ReceiverStats {
         let seeds = SeedStream::new(seed);
-        let preset = ChannelPreset::quadrocopter(0.0);
+        let preset = ChannelPreset::quadrocopter(MetersPerSec::new(0.0));
         let mut link = LinkState::new(
             LinkConfig::paper_default(preset),
             Box::new(FixedMcs(Mcs::new(mcs))),

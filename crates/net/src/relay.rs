@@ -125,10 +125,11 @@ mod tests {
     use crate::campaign::{run_transfer, ControllerKind};
     use crate::profile::MotionProfile;
     use skyferry_phy::presets::ChannelPreset;
+    use skyferry_units::MetersPerSec;
 
     fn cfg(secs: i64) -> CampaignConfig {
         CampaignConfig {
-            preset: ChannelPreset::quadrocopter(0.0),
+            preset: ChannelPreset::quadrocopter(MetersPerSec::new(0.0)),
             controller: ControllerKind::Arf,
             duration: SimDuration::from_secs(secs),
             seed: 0xFE11,

@@ -60,7 +60,7 @@ pub fn ppdu_duration(
 /// `efficiency(…, 14 subframes)` approaches the PHY rate.
 pub fn phy_efficiency(mcs: Mcs, width: ChannelWidth, gi: GuardInterval, psdu_bytes: usize) -> f64 {
     let t = ppdu_duration(mcs, width, gi, psdu_bytes).as_secs_f64();
-    (8.0 * psdu_bytes as f64) / t / mcs.data_rate_bps(width, gi)
+    (8.0 * psdu_bytes as f64) / t / mcs.data_rate_bps(width, gi).get()
 }
 
 #[cfg(test)]

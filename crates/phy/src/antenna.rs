@@ -12,6 +12,8 @@
 //! physical rationale for the `< 2` effective path-loss exponents of the
 //! calibrated presets (`presets` module docs).
 
+use skyferry_units::{Db, Meters};
+
 /// An antenna's elevation response.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AntennaPattern {
@@ -39,27 +41,27 @@ impl AntennaPattern {
     /// `cos(π/2 · sin θ) / cos θ` with `θ` the elevation angle; the power
     /// gain is its square. The overhead null is floored at −30 dB
     /// (real installations scatter enough to fill deep nulls).
-    pub fn gain_db(&self, elevation_deg: f64) -> f64 {
+    pub fn gain_db(&self, elevation_deg: f64) -> Db {
         match *self {
-            AntennaPattern::Isotropic => 0.0,
+            AntennaPattern::Isotropic => Db::ZERO,
             AntennaPattern::VerticalDipole { tilt_deg } => {
                 let theta = (elevation_deg - tilt_deg).to_radians();
                 let c = theta.cos();
                 if c.abs() < 1e-6 {
-                    return -30.0;
+                    return Db::new(-30.0);
                 }
                 let field = ((std::f64::consts::FRAC_PI_2) * theta.sin()).cos() / c;
-                (20.0 * field.abs().max(1e-9).log10()).max(-30.0)
+                Db::new((20.0 * field.abs().max(1e-9).log10()).max(-30.0))
             }
         }
     }
 }
 
 /// Elevation angle (degrees) from one node to a peer at ground distance
-/// `ground_m` and altitude difference `dz_m` (positive = peer higher).
-pub fn elevation_deg(ground_m: f64, dz_m: f64) -> f64 {
-    assert!(ground_m >= 0.0);
-    dz_m.atan2(ground_m).to_degrees()
+/// `ground` and altitude difference `dz` (positive = peer higher).
+pub fn elevation_deg(ground: Meters, dz: Meters) -> f64 {
+    assert!(ground.get() >= 0.0);
+    dz.get().atan2(ground.get()).to_degrees()
 }
 
 /// Combined TX+RX pattern gain between two dipole-equipped nodes
@@ -67,10 +69,10 @@ pub fn elevation_deg(ground_m: f64, dz_m: f64) -> f64 {
 pub fn link_pattern_gain_db(
     tx: &AntennaPattern,
     rx: &AntennaPattern,
-    ground_m: f64,
-    dz_m: f64,
-) -> f64 {
-    let el = elevation_deg(ground_m, dz_m);
+    ground: Meters,
+    dz: Meters,
+) -> Db {
+    let el = elevation_deg(ground, dz);
     // TX looks up at +el; RX looks down at −el.
     tx.gain_db(el) + rx.gain_db(-el)
 }
@@ -83,20 +85,20 @@ mod tests {
     fn isotropic_is_flat() {
         let a = AntennaPattern::Isotropic;
         for el in [-90.0, -30.0, 0.0, 45.0, 90.0] {
-            assert_eq!(a.gain_db(el), 0.0);
+            assert_eq!(a.gain_db(el), Db::ZERO);
         }
     }
 
     #[test]
     fn dipole_maximum_at_horizon_null_overhead() {
         let d = AntennaPattern::upright_dipole();
-        assert!((d.gain_db(0.0) - 0.0).abs() < 1e-9, "horizon is the max");
-        assert_eq!(d.gain_db(90.0), -30.0, "overhead null floored");
-        assert_eq!(d.gain_db(-90.0), -30.0);
+        assert!(d.gain_db(0.0).get().abs() < 1e-9, "horizon is the max");
+        assert_eq!(d.gain_db(90.0), Db::new(-30.0), "overhead null floored");
+        assert_eq!(d.gain_db(-90.0), Db::new(-30.0));
         // Monotone decay from horizon to zenith.
         let mut prev = 0.1;
         for el in [0.0, 15.0, 30.0, 45.0, 60.0, 75.0, 89.0] {
-            let g = d.gain_db(el);
+            let g = d.gain_db(el).get();
             assert!(g <= prev + 1e-9, "el={el}: {g} > {prev}");
             prev = g;
         }
@@ -107,10 +109,10 @@ mod tests {
         // Half-wave dipole at 45°: field = cos(π/2·sin45°)/cos45° ≈ 0.628
         // → −4.0 dB.
         let d = AntennaPattern::upright_dipole();
-        let g45 = d.gain_db(45.0);
+        let g45 = d.gain_db(45.0).get();
         assert!((g45 + 4.05).abs() < 0.15, "g45={g45}");
         // At 60°: field = cos(π/2·sin60°)/cos60° ≈ 0.417 → −7.6 dB.
-        let g60 = d.gain_db(60.0);
+        let g60 = d.gain_db(60.0).get();
         assert!((g60 + 7.6).abs() < 0.2, "g60={g60}");
     }
 
@@ -118,16 +120,20 @@ mod tests {
     fn tilt_shifts_the_null() {
         let banked = AntennaPattern::VerticalDipole { tilt_deg: 30.0 };
         // The null moved to 30°+90°... the *maximum* moved to 30°.
-        assert!((banked.gain_db(30.0) - 0.0).abs() < 1e-9);
-        assert!(banked.gain_db(0.0) < -1.0, "horizon no longer optimal");
+        assert!(banked.gain_db(30.0).get().abs() < 1e-9);
+        assert!(
+            banked.gain_db(0.0).get() < -1.0,
+            "horizon no longer optimal"
+        );
     }
 
     #[test]
     fn elevation_geometry() {
-        assert!((elevation_deg(20.0, 20.0) - 45.0).abs() < 1e-9);
-        assert!((elevation_deg(100.0, 0.0) - 0.0).abs() < 1e-9);
-        assert!((elevation_deg(0.0, 10.0) - 90.0).abs() < 1e-9);
-        assert!(elevation_deg(50.0, -50.0) < 0.0);
+        let m = Meters::new;
+        assert!((elevation_deg(m(20.0), m(20.0)) - 45.0).abs() < 1e-9);
+        assert!((elevation_deg(m(100.0), m(0.0)) - 0.0).abs() < 1e-9);
+        assert!((elevation_deg(m(0.0), m(10.0)) - 90.0).abs() < 1e-9);
+        assert!(elevation_deg(m(50.0), m(-50.0)) < 0.0);
     }
 
     #[test]
@@ -138,7 +144,9 @@ mod tests {
         // spreading loss — the mechanism behind the presets' shallow
         // effective exponents.
         let d = AntennaPattern::upright_dipole();
-        let gain = |ground: f64| link_pattern_gain_db(&d, &d, ground, 20.0);
+        let gain = |ground: f64| {
+            link_pattern_gain_db(&d, &d, Meters::new(ground), Meters::new(20.0)).get()
+        };
         let mut prev = f64::NEG_INFINITY;
         for ground in [5.0, 20.0, 40.0, 80.0, 160.0, 320.0] {
             let g = gain(ground);
@@ -154,8 +162,8 @@ mod tests {
         let d = AntennaPattern::upright_dipole();
         // Swapping who is higher flips the elevation sign but the
         // upright dipole is symmetric about its equator.
-        let a = link_pattern_gain_db(&d, &d, 60.0, 20.0);
-        let b = link_pattern_gain_db(&d, &d, 60.0, -20.0);
+        let a = link_pattern_gain_db(&d, &d, Meters::new(60.0), Meters::new(20.0)).get();
+        let b = link_pattern_gain_db(&d, &d, Meters::new(60.0), Meters::new(-20.0)).get();
         assert!((a - b).abs() < 1e-9);
     }
 }

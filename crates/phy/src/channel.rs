@@ -128,6 +128,7 @@ impl LinkBudget {
 }
 
 /// Convert dB to a linear power ratio.
+// lint:allow-line(unit-safety): dB↔linear conversion primitive; the raw f64 IS the boundary
 pub fn db_to_linear(db: f64) -> f64 {
     10.0_f64.powf(db / 10.0)
 }
@@ -136,6 +137,7 @@ pub fn db_to_linear(db: f64) -> f64 {
 ///
 /// # Panics
 /// Panics if `linear` is not strictly positive.
+// lint:allow-line(unit-safety): dB↔linear conversion primitive; the raw f64 IS the boundary
 pub fn linear_to_db(linear: f64) -> f64 {
     assert!(linear > 0.0, "linear power must be positive");
     10.0 * linear.log10()

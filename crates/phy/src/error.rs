@@ -12,9 +12,9 @@
 //! the strategy model consumes *throughput vs distance medians*, and the
 //! presets are calibrated end-to-end against the paper's fits anyway.
 
-use crate::channel::db_to_linear;
 use crate::fading::ChannelState;
 use crate::mcs::{CodingRate, Mcs, Modulation};
+use skyferry_units::Db;
 
 /// Complementary error function, Abramowitz & Stegun 7.1.26 (|ε| ≤ 1.5e-7).
 pub fn erfc(x: f64) -> f64 {
@@ -58,19 +58,19 @@ pub fn ber(modulation: Modulation, snr_linear: f64) -> f64 {
 /// Effective coding gain (dB) of the 802.11 rate-compatible punctured
 /// K = 7 convolutional code with soft Viterbi decoding, at packet-relevant
 /// error rates.
-pub fn coding_gain_db(rate: CodingRate) -> f64 {
-    match rate {
+pub fn coding_gain_db(rate: CodingRate) -> Db {
+    Db::new(match rate {
         CodingRate::Half => 5.5,
         CodingRate::TwoThirds => 4.6,
         CodingRate::ThreeQuarters => 4.2,
         CodingRate::FiveSixths => 3.4,
-    }
+    })
 }
 
 /// Post-decoding residual bit error rate for an MCS at per-symbol SNR
 /// `snr_linear`: the uncoded BER evaluated at the coding-gain-boosted SNR.
 pub fn coded_ber(mcs: Mcs, snr_linear: f64) -> f64 {
-    let boosted = snr_linear * db_to_linear(coding_gain_db(mcs.coding_rate()));
+    let boosted = snr_linear * coding_gain_db(mcs.coding_rate()).ratio();
     ber(mcs.modulation(), boosted)
 }
 
@@ -99,11 +99,11 @@ pub fn effective_snr_linear(
     use_stbc: bool,
     mean_snr_linear: f64,
     state: &ChannelState,
-    sdm_sir_db: f64,
+    sdm_sir: Db,
 ) -> f64 {
     if mcs.uses_sdm() {
         let per_stream = mean_snr_linear * state.siso_gain();
-        let sir = db_to_linear(sdm_sir_db);
+        let sir = sdm_sir.ratio();
         1.0 / (1.0 / per_stream.max(1e-12) + 1.0 / sir)
     } else if use_stbc {
         mean_snr_linear * state.stbc_gain()
@@ -115,6 +115,7 @@ pub fn effective_snr_linear(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::channel::db_to_linear;
     use skyferry_sim::time::SimTime;
 
     fn flat_state() -> ChannelState {
@@ -216,15 +217,15 @@ mod tests {
             valid_until: SimTime::MAX,
         };
         let mean = db_to_linear(15.0);
-        let siso = effective_snr_linear(Mcs::new(3), false, mean, &faded, 12.0);
-        let stbc = effective_snr_linear(Mcs::new(3), true, mean, &faded, 12.0);
+        let siso = effective_snr_linear(Mcs::new(3), false, mean, &faded, Db::new(12.0));
+        let stbc = effective_snr_linear(Mcs::new(3), true, mean, &faded, Db::new(12.0));
         assert!(stbc > siso);
     }
 
     #[test]
     fn sdm_capped_by_sir_at_high_snr() {
         let mean = db_to_linear(50.0);
-        let eff = effective_snr_linear(Mcs::new(8), false, mean, &flat_state(), 12.0);
+        let eff = effective_snr_linear(Mcs::new(8), false, mean, &flat_state(), Db::new(12.0));
         let cap = db_to_linear(12.0);
         assert!(eff < cap && eff > 0.9 * cap);
     }
@@ -236,7 +237,7 @@ mod tests {
         // far edge. Verify the underlying PER crossover exists.
         let state = flat_state();
         let per = |mcs: Mcs, stbc: bool, snr_db: f64| {
-            let eff = effective_snr_linear(mcs, stbc, db_to_linear(snr_db), &state, 12.0);
+            let eff = effective_snr_linear(mcs, stbc, db_to_linear(snr_db), &state, Db::new(12.0));
             coded_per(mcs, eff, 1500)
         };
         // High SNR (short range): both fine, but push SIR-limited SDM into

@@ -27,6 +27,7 @@ use skyferry_sim::rng::DetRng;
 use skyferry_sim::time::{SimDuration, SimTime};
 
 use crate::channel::{db_to_linear, SPEED_OF_LIGHT_MPS};
+use skyferry_units::{Db, MetersPerSec};
 
 /// Static description of the small-scale channel around its mean.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,20 +91,25 @@ impl FadingConfig {
         db_to_linear(self.k_factor_db)
     }
 
-    /// Effective K-factor at the current relative speed, dB.
-    pub fn effective_k_db(&self) -> f64 {
-        (self.k_factor_db - self.k_speed_slope_db_per_mps * self.relative_speed_mps)
-            .max(self.k_min_db)
+    /// Effective K-factor at the current relative speed.
+    pub fn effective_k_db(&self) -> Db {
+        Db::new(
+            (self.k_factor_db - self.k_speed_slope_db_per_mps * self.relative_speed_mps)
+                .max(self.k_min_db),
+        )
     }
 
-    /// Effective shadowing standard deviation at the current speed, dB.
-    pub fn effective_shadowing_db(&self) -> f64 {
-        self.shadowing_sigma_db + self.shadowing_speed_slope_db_per_mps * self.relative_speed_mps
+    /// Effective shadowing standard deviation at the current speed.
+    pub fn effective_shadowing_db(&self) -> Db {
+        Db::new(
+            self.shadowing_sigma_db
+                + self.shadowing_speed_slope_db_per_mps * self.relative_speed_mps,
+        )
     }
 
-    /// Mean SNR penalty at the current speed, dB.
-    pub fn motion_loss_db(&self) -> f64 {
-        self.motion_loss_db_per_mps * self.relative_speed_mps
+    /// Mean SNR penalty at the current speed.
+    pub fn motion_loss_db(&self) -> Db {
+        Db::new(self.motion_loss_db_per_mps * self.relative_speed_mps)
     }
 }
 
@@ -169,14 +175,14 @@ impl FadingProcess {
 
     /// Update the relative speed (the coherence time adapts from the next
     /// resample on). Used as the UAVs accelerate/decelerate.
-    pub fn set_relative_speed(&mut self, v_mps: f64) {
-        assert!(v_mps >= 0.0 && v_mps.is_finite());
-        self.config.relative_speed_mps = v_mps;
+    pub fn set_relative_speed(&mut self, v: MetersPerSec) {
+        assert!(v.get() >= 0.0 && v.is_finite());
+        self.config.relative_speed_mps = v.get();
     }
 
     /// Sample one Rician branch power (mean 1.0).
     fn sample_branch(&mut self) -> f64 {
-        let k = db_to_linear(self.config.effective_k_db());
+        let k = self.config.effective_k_db().ratio();
         // LOS amplitude nu and diffuse sigma chosen so E[power] = 1:
         // nu^2 = K/(K+1), 2*sigma^2 = 1/(K+1).
         let nu = (k / (k + 1.0)).sqrt();
@@ -194,7 +200,9 @@ impl FadingProcess {
             }
         }
         if self.shadow_expiry.is_none_or(|e| now >= e) {
-            let db = self.rng.normal(0.0, self.config.effective_shadowing_db());
+            let db = self
+                .rng
+                .normal(0.0, self.config.effective_shadowing_db().get());
             self.shadowing = db_to_linear(db);
             self.shadow_expiry =
                 Some(now + SimDuration::from_secs_f64(self.config.shadowing_coherence_s));

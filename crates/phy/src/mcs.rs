@@ -13,7 +13,7 @@
 //! (Ralink RT3572, 2 antennas) supports exactly this range, using STBC for
 //! single-stream MCS and spatial-division multiplexing (SDM) for MCS ≥ 8.
 
-use skyferry_units::Seconds;
+use skyferry_units::{BitsPerSec, Seconds};
 
 use std::fmt;
 
@@ -63,6 +63,7 @@ impl GuardInterval {
     }
 
     /// OFDM symbol duration in seconds (raw `f64` convenience).
+    // lint:allow-line(unit-safety): raw convenience; typed twin is `symbol_duration()`
     pub const fn symbol_duration_s(self) -> f64 {
         self.symbol_duration().get()
     }
@@ -216,14 +217,14 @@ impl Mcs {
     /// use skyferry_phy::mcs::{ChannelWidth, GuardInterval, Mcs};
     /// // The paper's MCS3 at 40 MHz with short GI is 60 Mb/s.
     /// let r = Mcs::new(3).data_rate_bps(ChannelWidth::Mhz40, GuardInterval::Short);
-    /// assert_eq!(r.round() as u64, 60_000_000);
+    /// assert_eq!(r.get().round() as u64, 60_000_000);
     /// ```
-    pub fn data_rate_bps(self, width: ChannelWidth, gi: GuardInterval) -> f64 {
+    pub fn data_rate_bps(self, width: ChannelWidth, gi: GuardInterval) -> BitsPerSec {
         let nss = self.spatial_streams() as f64;
         let nsd = width.data_subcarriers() as f64;
         let nbpsc = self.modulation().bits_per_subcarrier() as f64;
         let r = self.coding_rate().as_f64();
-        nss * nsd * nbpsc * r / gi.symbol_duration_s()
+        BitsPerSec::new(nss * nsd * nbpsc * r / gi.symbol_duration_s())
     }
 
     /// Data bits carried per OFDM symbol (`Ndbps`).
@@ -251,7 +252,7 @@ mod tests {
     const LGI: GuardInterval = GuardInterval::Long;
 
     fn rate_mbps(i: u8, w: ChannelWidth, g: GuardInterval) -> f64 {
-        Mcs::new(i).data_rate_bps(w, g) / 1e6
+        Mcs::new(i).data_rate_bps(w, g).get() / 1e6
     }
 
     #[test]

@@ -36,7 +36,7 @@
 //!   help in the air and throughput looks "802.11g-like" (Section 3.1).
 
 use skyferry_sim::stable::KeyHasher;
-use skyferry_units::{Db, Meters};
+use skyferry_units::{Db, Meters, MetersPerSec};
 
 use crate::channel::{LinkBudget, PathLossModel};
 use crate::fading::FadingConfig;
@@ -72,7 +72,7 @@ impl ChannelPreset {
     ///
     /// `relative_speed_mps` is the closing speed between the two aircraft
     /// (the paper observed 15–26 m/s between shuttling Swinglets).
-    pub fn airplane(relative_speed_mps: f64) -> Self {
+    pub fn airplane(relative_speed: MetersPerSec) -> Self {
         let budget = LinkBudget {
             tx_power_dbm: 16.0,
             antenna_gain_dbi: -2.0,
@@ -97,7 +97,7 @@ impl ChannelPreset {
                 motion_loss_db_per_mps: 0.0,
                 shadowing_coherence_s: 1.5,
                 freq_hz: CHANNEL_40_FREQ_HZ,
-                relative_speed_mps,
+                relative_speed_mps: relative_speed.get(),
                 sdm_sir_db: 12.0,
             },
             width: ChannelWidth::Mhz40,
@@ -110,7 +110,7 @@ impl ChannelPreset {
     ///
     /// `relative_speed_mps = 0` models hover (residual attitude jitter is
     /// applied internally); ≈8 m/s reproduces the paper's approach tests.
-    pub fn quadrocopter(relative_speed_mps: f64) -> Self {
+    pub fn quadrocopter(relative_speed: MetersPerSec) -> Self {
         let budget = LinkBudget {
             tx_power_dbm: 16.0,
             antenna_gain_dbi: -2.0,
@@ -135,7 +135,7 @@ impl ChannelPreset {
                 motion_loss_db_per_mps: 0.7,
                 shadowing_coherence_s: 1.0,
                 freq_hz: CHANNEL_40_FREQ_HZ,
-                relative_speed_mps,
+                relative_speed_mps: relative_speed.get(),
                 sdm_sir_db: 12.0,
             },
             width: ChannelWidth::Mhz40,
@@ -233,7 +233,7 @@ mod tests {
 
     #[test]
     fn airplane_snr_spans_the_measured_range() {
-        let p = ChannelPreset::airplane(20.0);
+        let p = ChannelPreset::airplane(MetersPerSec::new(20.0));
         // Mean SNR is marginal (within one shadowing sigma of decodable)
         // at the 320 m range edge — Figure 5 shows a few Mb/s there,
         // carried by shadowing up-states…
@@ -252,8 +252,8 @@ mod tests {
         // The 10 m-altitude quadrocopter link loses more to ground
         // proximity and airframe effects than the high-altitude airplanes:
         // its fitted curve hits zero around d = 120 m vs ≈ 450 m.
-        let a = ChannelPreset::airplane(20.0);
-        let q = ChannelPreset::quadrocopter(0.0);
+        let a = ChannelPreset::airplane(MetersPerSec::new(20.0));
+        let q = ChannelPreset::quadrocopter(MetersPerSec::new(0.0));
         assert!(q.mean_snr(Meters::new(80.0)) < a.mean_snr(Meters::new(80.0)));
     }
 
@@ -269,25 +269,38 @@ mod tests {
     #[test]
     fn aerial_presets_share_rank_poor_sdm() {
         assert_eq!(
-            ChannelPreset::airplane(15.0).fading.sdm_sir_db,
-            ChannelPreset::quadrocopter(0.0).fading.sdm_sir_db
+            ChannelPreset::airplane(MetersPerSec::new(15.0))
+                .fading
+                .sdm_sir_db,
+            ChannelPreset::quadrocopter(MetersPerSec::new(0.0))
+                .fading
+                .sdm_sir_db
         );
     }
 
     #[test]
     fn stable_key_separates_presets_and_speeds() {
         let k = |p: &ChannelPreset| p.stable_key(KeyHasher::new("preset")).finish();
-        let a20 = ChannelPreset::airplane(20.0);
-        assert_eq!(k(&a20), k(&ChannelPreset::airplane(20.0)));
-        assert_ne!(k(&a20), k(&ChannelPreset::airplane(15.0)));
-        assert_ne!(k(&a20), k(&ChannelPreset::quadrocopter(0.0)));
+        let a20 = ChannelPreset::airplane(MetersPerSec::new(20.0));
+        assert_eq!(
+            k(&a20),
+            k(&ChannelPreset::airplane(MetersPerSec::new(20.0)))
+        );
+        assert_ne!(
+            k(&a20),
+            k(&ChannelPreset::airplane(MetersPerSec::new(15.0)))
+        );
+        assert_ne!(
+            k(&a20),
+            k(&ChannelPreset::quadrocopter(MetersPerSec::new(0.0)))
+        );
         assert_ne!(k(&a20), k(&ChannelPreset::indoor_lab()));
     }
 
     #[test]
     fn hover_vs_moving_coherence() {
-        let hover = ChannelPreset::quadrocopter(0.0);
-        let moving = ChannelPreset::quadrocopter(8.0);
+        let hover = ChannelPreset::quadrocopter(MetersPerSec::new(0.0));
+        let moving = ChannelPreset::quadrocopter(MetersPerSec::new(8.0));
         assert!(hover.fading.coherence_time() > moving.fading.coherence_time());
     }
 }

@@ -253,6 +253,66 @@ fn build_workload_unique(cfg: &LoadgenConfig, unique_frac: f64) -> Vec<Vec<Strin
         .collect()
 }
 
+/// Per-kind tally of `{"error": ...}` responses, keyed by the closed
+/// set of wire tags in [`crate::proto::ErrorKind`]. An undifferentiated
+/// error count hides whether a run tripped over its own request
+/// generator (`bad-request`), queue sizing (`overloaded`) or a race
+/// with a drain (`shutting-down`); the tally keeps the kinds apart.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ErrorTally {
+    /// `"bad-request"`: the request itself was rejected.
+    pub bad_request: u64,
+    /// `"overloaded"`: the server shed load (retryable).
+    pub overloaded: u64,
+    /// `"shutting-down"`: the request raced a drain.
+    pub shutting_down: u64,
+    /// Any tag outside the known set — protocol drift.
+    pub unknown: u64,
+}
+
+impl ErrorTally {
+    /// Classify one wire error tag into the tally.
+    fn record(&mut self, tag: Option<&str>) {
+        match tag {
+            Some("bad-request") => self.bad_request += 1,
+            Some("overloaded") => self.overloaded += 1,
+            Some("shutting-down") => self.shutting_down += 1,
+            _ => self.unknown += 1,
+        }
+    }
+
+    fn merge(&mut self, other: &ErrorTally) {
+        self.bad_request += other.bad_request;
+        self.overloaded += other.overloaded;
+        self.shutting_down += other.shutting_down;
+        self.unknown += other.unknown;
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("bad_request", Json::Int(self.bad_request as i64)),
+            ("overloaded", Json::Int(self.overloaded as i64)),
+            ("shutting_down", Json::Int(self.shutting_down as i64)),
+            ("unknown", Json::Int(self.unknown as i64)),
+        ])
+    }
+
+    /// `kind=count` pairs for the non-zero kinds, for error messages.
+    fn describe(&self) -> String {
+        [
+            ("bad-request", self.bad_request),
+            ("overloaded", self.overloaded),
+            ("shutting-down", self.shutting_down),
+            ("unknown", self.unknown),
+        ]
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(k, n)| format!("{k}={n}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+    }
+}
+
 /// What one connection measured.
 #[derive(Debug, Default, Clone)]
 struct ThreadResult {
@@ -260,6 +320,7 @@ struct ThreadResult {
     d_stars: Vec<f64>,
     cache_hits: u64,
     protocol_errors: u64,
+    error_tally: ErrorTally,
 }
 
 /// Drive one connection through its request lines.
@@ -304,8 +365,9 @@ fn drive_connection(
             .push(monotonic_ns().saturating_sub(t_sent_ns) as f64 / 1e3);
         let value = json::parse(line_buf.trim())
             .map_err(|e| LoadgenError::Protocol(format!("unparsable response: {e}")))?;
-        if value.get("error").is_some() {
+        if let Some(err) = value.get("error") {
             result.protocol_errors += 1;
+            result.error_tally.record(err.as_str());
             result.d_stars.push(f64::NAN);
         } else {
             let d_star = value
@@ -400,6 +462,8 @@ pub struct PhaseReport {
     pub throughput_rps: f64,
     /// Error responses received.
     pub protocol_errors: u64,
+    /// The same errors classified by wire tag.
+    pub errors_by_kind: ErrorTally,
     /// `cache_hit: true` responses.
     pub cache_hits: u64,
     /// Client-side latency percentiles, µs (exact, from raw samples).
@@ -421,6 +485,7 @@ impl PhaseReport {
             ("wall_s", Json::Fixed(self.wall_s, 4)),
             ("throughput_rps", Json::Fixed(self.throughput_rps, 1)),
             ("protocol_errors", Json::Int(self.protocol_errors as i64)),
+            ("errors_by_kind", self.errors_by_kind.to_json()),
             ("cache_hits", Json::Int(self.cache_hits as i64)),
             (
                 "latency_us",
@@ -533,12 +598,14 @@ fn run_phase(
     let mut merged = Vec::new();
     let mut d_stars = Vec::new();
     let mut protocol_errors = 0;
+    let mut errors_by_kind = ErrorTally::default();
     let mut cache_hits = 0;
     for r in results {
         let r = r?;
         merged.extend(r.latencies_us);
         d_stars.push(r.d_stars);
         protocol_errors += r.protocol_errors;
+        errors_by_kind.merge(&r.error_tally);
         cache_hits += r.cache_hits;
     }
     let server_stats = control(&cfg.addr, r#"{"cmd":"stats"}"#)?;
@@ -548,6 +615,7 @@ fn run_phase(
         wall_s,
         throughput_rps: merged.len() as f64 / wall_s.max(1e-9),
         protocol_errors,
+        errors_by_kind,
         cache_hits,
         p50_us: q(0.50),
         p95_us: q(0.95),
@@ -688,8 +756,13 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Report, LoadgenError> {
     if cfg.check {
         let errors: u64 = report.phases.iter().map(|p| p.protocol_errors).sum();
         if errors > 0 {
+            let mut by_kind = ErrorTally::default();
+            for p in &report.phases {
+                by_kind.merge(&p.errors_by_kind);
+            }
             return Err(LoadgenError::CheckFailed(format!(
-                "{errors} protocol error responses"
+                "{errors} protocol error responses ({})",
+                by_kind.describe()
             )));
         }
         if report.phases.iter().any(|p| p.p99_us <= 0.0) {
@@ -775,6 +848,34 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<LoadgenConfi
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn error_tally_covers_every_wire_tag() {
+        use crate::proto::ErrorKind;
+        let mut tally = ErrorTally::default();
+        for kind in [
+            ErrorKind::BadRequest,
+            ErrorKind::Overloaded,
+            ErrorKind::ShuttingDown,
+        ] {
+            tally.record(Some(kind.tag()));
+        }
+        tally.record(Some("not-a-known-tag"));
+        tally.record(None);
+        assert_eq!(
+            tally,
+            ErrorTally {
+                bad_request: 1,
+                overloaded: 1,
+                shutting_down: 1,
+                unknown: 2,
+            }
+        );
+        assert_eq!(
+            tally.describe(),
+            "bad-request=1, overloaded=1, shutting-down=1, unknown=2"
+        );
+    }
 
     #[test]
     fn workload_is_deterministic_and_pool_heavy() {
@@ -961,6 +1062,7 @@ mod tests {
             wall_s: 1.0,
             throughput_rps: 1.0,
             protocol_errors: 0,
+            errors_by_kind: ErrorTally::default(),
             cache_hits: 0,
             p50_us: 1.0,
             p95_us: 1.0,

@@ -58,6 +58,7 @@ impl Battery {
 
     /// Remaining endurance at hover drain, seconds (raw `f64`
     /// convenience for the report layer).
+    // lint:allow-line(unit-safety): report-layer raw convenience; typed twin is `remaining()`
     pub fn remaining_s(&self) -> f64 {
         self.remaining().get()
     }

@@ -8,18 +8,20 @@
 //! that draws a concrete failure distance for a simulated mission.
 
 use skyferry_sim::rng::DetRng;
+use skyferry_units::Meters;
 
-/// Survival probability after travelling `delta_d_m` metres at failure
-/// rate `rho_per_m`.
+/// Survival probability after travelling `delta_d` at failure rate
+/// `rho_per_m`.
 ///
 /// ```
 /// use skyferry_uav::failure::survival_probability;
-/// let p = survival_probability(1.11e-4, 100.0);
+/// use skyferry_units::Meters;
+/// let p = survival_probability(1.11e-4, Meters::new(100.0));
 /// assert!((p - (-1.11e-2f64).exp()).abs() < 1e-12);
 /// ```
-pub fn survival_probability(rho_per_m: f64, delta_d_m: f64) -> f64 {
-    assert!(rho_per_m >= 0.0 && delta_d_m >= 0.0);
-    (-rho_per_m * delta_d_m).exp()
+pub fn survival_probability(rho_per_m: f64, delta_d: Meters) -> f64 {
+    assert!(rho_per_m >= 0.0 && delta_d.get() >= 0.0);
+    (-rho_per_m * delta_d.get()).exp()
 }
 
 /// A sampled failure process for one UAV: the total distance it will
@@ -56,11 +58,11 @@ impl FailureProcess {
         self.rho_per_m
     }
 
-    /// Record `d_m` metres of travel; returns `true` if the UAV is still
+    /// Record `d` of travel; returns `true` if the UAV is still
     /// functional afterwards.
-    pub fn travel(&mut self, d_m: f64) -> bool {
-        assert!(d_m >= 0.0);
-        self.travelled_m += d_m;
+    pub fn travel(&mut self, d: Meters) -> bool {
+        assert!(d.get() >= 0.0);
+        self.travelled_m += d.get();
         self.is_alive()
     }
 
@@ -69,14 +71,14 @@ impl FailureProcess {
         self.travelled_m < self.failure_distance_m
     }
 
-    /// Distance travelled so far, metres.
-    pub fn travelled_m(&self) -> f64 {
-        self.travelled_m
+    /// Distance travelled so far.
+    pub fn travelled(&self) -> Meters {
+        Meters::new(self.travelled_m)
     }
 
-    /// Distance that can still be travelled before failure, metres.
-    pub fn remaining_m(&self) -> f64 {
-        (self.failure_distance_m - self.travelled_m).max(0.0)
+    /// Distance that can still be travelled before failure.
+    pub fn remaining(&self) -> Meters {
+        Meters::new((self.failure_distance_m - self.travelled_m).max(0.0))
     }
 }
 
@@ -86,11 +88,11 @@ mod tests {
 
     #[test]
     fn survival_bounds_and_monotonicity() {
-        assert_eq!(survival_probability(1e-4, 0.0), 1.0);
-        assert_eq!(survival_probability(0.0, 1e9), 1.0);
+        assert_eq!(survival_probability(1e-4, Meters::ZERO), 1.0);
+        assert_eq!(survival_probability(0.0, Meters::new(1e9)), 1.0);
         let mut prev = 1.0;
         for i in 1..20 {
-            let p = survival_probability(2.46e-4, 100.0 * i as f64);
+            let p = survival_probability(2.46e-4, Meters::new(100.0 * i as f64));
             assert!(p < prev && p > 0.0);
             prev = p;
         }
@@ -117,11 +119,11 @@ mod tests {
         let survived = (0..n)
             .filter(|_| {
                 let mut p = FailureProcess::sample(rho, &mut rng);
-                p.travel(d)
+                p.travel(Meters::new(d))
             })
             .count();
         let emp = survived as f64 / n as f64;
-        let ana = survival_probability(rho, d);
+        let ana = survival_probability(rho, Meters::new(d));
         assert!((emp - ana).abs() < 0.01, "emp={emp} ana={ana}");
     }
 
@@ -129,17 +131,17 @@ mod tests {
     fn odometer_accumulates() {
         let mut rng = DetRng::seed(3);
         let mut p = FailureProcess::sample(1e-4, &mut rng);
-        p.travel(100.0);
-        p.travel(250.0);
-        assert_eq!(p.travelled_m(), 350.0);
-        assert!((p.remaining_m() - (p.failure_distance_m - 350.0)).abs() < 1e-9);
+        p.travel(Meters::new(100.0));
+        p.travel(Meters::new(250.0));
+        assert_eq!(p.travelled(), Meters::new(350.0));
+        assert!((p.remaining().get() - (p.failure_distance_m - 350.0)).abs() < 1e-9);
     }
 
     #[test]
     fn zero_rate_is_immortal() {
         let mut rng = DetRng::seed(4);
         let mut p = FailureProcess::sample(0.0, &mut rng);
-        assert!(p.travel(1e12));
+        assert!(p.travel(Meters::new(1e12)));
         assert!(p.is_alive());
     }
 
@@ -147,9 +149,9 @@ mod tests {
     fn dead_stays_dead() {
         let mut rng = DetRng::seed(5);
         let mut p = FailureProcess::sample(1.0, &mut rng); // mean 1 m
-        p.travel(1e6);
+        p.travel(Meters::new(1e6));
         assert!(!p.is_alive());
-        assert_eq!(p.remaining_m(), 0.0);
-        assert!(!p.travel(0.0));
+        assert_eq!(p.remaining(), Meters::ZERO);
+        assert!(!p.travel(Meters::ZERO));
     }
 }

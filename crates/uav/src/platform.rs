@@ -17,6 +17,8 @@
 //! of the delivery leg, i.e. half the full battery); we expose both the
 //! raw derivation and the paper's quoted values.
 
+use skyferry_units::Meters;
+
 /// Which of the two airframes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlatformKind {
@@ -97,9 +99,9 @@ impl PlatformSpec {
         }
     }
 
-    /// Distance flyable on a full battery at cruise speed, metres.
-    pub fn range_on_battery_m(&self) -> f64 {
-        self.cruise_speed_mps * self.battery_autonomy_s
+    /// Distance flyable on a full battery at cruise speed.
+    pub fn range_on_battery(&self) -> Meters {
+        Meters::new(self.cruise_speed_mps * self.battery_autonomy_s)
     }
 
     /// Failure rate derived as 1/range for the *remaining* autonomy
@@ -108,7 +110,7 @@ impl PlatformSpec {
     /// delivery leg starts), to within rounding.
     pub fn derived_failure_rate_per_m(&self, fraction: f64) -> f64 {
         assert!(fraction > 0.0 && fraction <= 1.0);
-        1.0 / (self.range_on_battery_m() * fraction)
+        1.0 / (self.range_on_battery().get() * fraction)
     }
 }
 
@@ -137,8 +139,14 @@ mod tests {
 
     #[test]
     fn range_on_battery() {
-        assert_eq!(PlatformSpec::airplane().range_on_battery_m(), 18_000.0);
-        assert_eq!(PlatformSpec::quadrocopter().range_on_battery_m(), 5_400.0);
+        assert_eq!(
+            PlatformSpec::airplane().range_on_battery(),
+            Meters::new(18_000.0)
+        );
+        assert_eq!(
+            PlatformSpec::quadrocopter().range_on_battery(),
+            Meters::new(5_400.0)
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use skyferry_geo::camera::CameraModel;
 use skyferry_geo::vector::Vec3;
+use skyferry_units::{Bytes, Meters};
 
 /// Accumulates captured image data along a flight path.
 #[derive(Debug, Clone)]
@@ -23,8 +24,8 @@ pub struct CameraProcess {
 impl CameraProcess {
     /// A camera triggered every footprint-width of along-track travel at
     /// the given scan altitude.
-    pub fn new(model: CameraModel, scan_altitude_m: f64) -> Self {
-        let fp = model.footprint(scan_altitude_m);
+    pub fn new(model: CameraModel, scan_altitude: Meters) -> Self {
+        let fp = model.footprint(scan_altitude.get());
         CameraProcess {
             model,
             trigger_distance_m: fp.width_m,
@@ -39,9 +40,9 @@ impl CameraProcess {
         &self.model
     }
 
-    /// Along-track trigger distance, metres.
-    pub fn trigger_distance_m(&self) -> f64 {
-        self.trigger_distance_m
+    /// Along-track trigger distance.
+    pub fn trigger_distance(&self) -> Meters {
+        Meters::new(self.trigger_distance_m)
     }
 
     /// Observe the UAV at a new position; captures any pictures due.
@@ -72,9 +73,9 @@ impl CameraProcess {
         self.images_captured
     }
 
-    /// Bytes of image data accumulated so far.
-    pub fn data_bytes(&self) -> f64 {
-        self.images_captured as f64 * self.model.image_size_bytes
+    /// Image data accumulated so far.
+    pub fn data(&self) -> Bytes {
+        Bytes::new(self.images_captured as f64 * self.model.image_size_bytes)
     }
 }
 
@@ -83,7 +84,7 @@ mod tests {
     use super::*;
 
     fn camera_at_10m() -> CameraProcess {
-        CameraProcess::new(CameraModel::paper_default(), 10.0)
+        CameraProcess::new(CameraModel::paper_default(), Meters::new(10.0))
     }
 
     #[test]
@@ -96,7 +97,7 @@ mod tests {
     #[test]
     fn captures_every_footprint_width() {
         let mut c = camera_at_10m();
-        let w = c.trigger_distance_m(); // ≈ 11.1 m at 10 m altitude
+        let w = c.trigger_distance().get(); // ≈ 11.1 m at 10 m altitude
         assert!((10.0..13.0).contains(&w), "w={w}");
         c.observe(Vec3::new(0.0, 0.0, 10.0));
         // Fly just past 10 widths in small steps: exactly 10 more
@@ -123,10 +124,10 @@ mod tests {
     fn data_volume_scales_with_images() {
         let mut c = camera_at_10m();
         c.observe(Vec3::new(0.0, 0.0, 10.0));
-        let w = c.trigger_distance_m();
+        let w = c.trigger_distance().get();
         c.observe(Vec3::new(3.0 * w, 0.0, 10.0));
         assert_eq!(c.images_captured(), 4);
-        assert!((c.data_bytes() - 4.0 * 0.39e6).abs() < 1.0);
+        assert!((c.data().get() - 4.0 * 0.39e6).abs() < 1.0);
     }
 
     #[test]
@@ -154,7 +155,7 @@ mod tests {
             (got - expect).abs() / expect < 0.25,
             "got {got}, expected ≈{expect}"
         );
-        let mdata_mb = c.data_bytes() / 1e6;
+        let mdata_mb = c.data().get() / 1e6;
         assert!((40.0..75.0).contains(&mdata_mb), "Mdata={mdata_mb} MB");
     }
 }

@@ -13,6 +13,7 @@
 use skyferry_geo::vector::Vec3;
 use skyferry_sim::rng::DetRng;
 use skyferry_sim::time::SimTime;
+use skyferry_units::MetersPerSec;
 
 /// Wind field parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,7 +39,8 @@ impl WindConfig {
     /// A steady wind from the given *source* bearing (degrees clockwise
     /// from north — meteorological convention) at `speed_mps`, with
     /// moderate gusting.
-    pub fn steady(from_bearing_deg: f64, speed_mps: f64) -> Self {
+    pub fn steady(from_bearing_deg: f64, speed: MetersPerSec) -> Self {
+        let speed_mps = speed.get();
         assert!(speed_mps >= 0.0);
         let to_bearing = (from_bearing_deg + 180.0).to_radians();
         WindConfig {
@@ -126,17 +128,20 @@ mod tests {
     #[test]
     fn steady_wind_blows_downwind() {
         // Wind *from* the north (0°) blows *towards* the south (-y).
-        let c = WindConfig::steady(0.0, 5.0);
+        let c = WindConfig::steady(0.0, MetersPerSec::new(5.0));
         assert!(c.mean_mps.y < -4.9, "{:?}", c.mean_mps);
         assert!(c.mean_mps.x.abs() < 1e-9);
         // From the west (270°) blows towards the east (+x).
-        let c = WindConfig::steady(270.0, 3.0);
+        let c = WindConfig::steady(270.0, MetersPerSec::new(3.0));
         assert!(c.mean_mps.x > 2.9, "{:?}", c.mean_mps);
     }
 
     #[test]
     fn gusts_have_configured_statistics() {
-        let mut w = WindField::new(WindConfig::steady(0.0, 6.0), DetRng::seed(2));
+        let mut w = WindField::new(
+            WindConfig::steady(0.0, MetersPerSec::new(6.0)),
+            DetRng::seed(2),
+        );
         // Sample far apart so gusts decorrelate.
         let mut xs = Vec::new();
         let mut now = SimTime::ZERO;
@@ -152,7 +157,10 @@ mod tests {
 
     #[test]
     fn gusts_are_time_correlated() {
-        let mut w = WindField::new(WindConfig::steady(90.0, 8.0), DetRng::seed(3));
+        let mut w = WindField::new(
+            WindConfig::steady(90.0, MetersPerSec::new(8.0)),
+            DetRng::seed(3),
+        );
         let a = w.at(SimTime::ZERO);
         let b = w.at(SimTime::from_millis(100));
         assert!((a - b).norm() < 0.5, "gust jumped: {:?} vs {:?}", a, b);
@@ -160,8 +168,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let mut a = WindField::new(WindConfig::steady(45.0, 4.0), DetRng::seed(7));
-        let mut b = WindField::new(WindConfig::steady(45.0, 4.0), DetRng::seed(7));
+        let mut a = WindField::new(
+            WindConfig::steady(45.0, MetersPerSec::new(4.0)),
+            DetRng::seed(7),
+        );
+        let mut b = WindField::new(
+            WindConfig::steady(45.0, MetersPerSec::new(4.0)),
+            DetRng::seed(7),
+        );
         for i in 0..50 {
             let t = SimTime::from_millis(i * 330);
             assert_eq!(a.at(t), b.at(t));

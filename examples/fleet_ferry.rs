@@ -25,6 +25,7 @@ use skyferry::sim::prelude::*;
 use skyferry::uav::battery::Battery;
 use skyferry::uav::failure::FailureProcess;
 use skyferry::uav::platform::PlatformSpec;
+use skyferry_units::{Meters, MetersPerSec};
 
 fn main() {
     let n: usize = std::env::args()
@@ -124,11 +125,11 @@ fn main() {
                 .get();
         let mut failure = FailureProcess::sample(rho, &mut seeds.rng_indexed("failure", i as u64));
         let leg = (d0 - target_d).max(0.0);
-        if !failure.travel(leg) {
+        if !failure.travel(Meters::new(leg)) {
             println!(
                 "UAV{}: LOST after {:.0} m of the {:.0} m repositioning leg",
                 id.0,
-                failure.travelled_m().min(leg),
+                failure.travelled().get().min(leg),
                 leg
             );
             failures += 1;
@@ -136,7 +137,7 @@ fn main() {
         }
 
         let campaign = CampaignConfig {
-            preset: ChannelPreset::quadrocopter(0.0),
+            preset: ChannelPreset::quadrocopter(MetersPerSec::new(0.0)),
             controller: ControllerKind::Arf,
             duration: SimDuration::from_secs(900),
             seed: seeds.derive_indexed("ferry", i as u64),

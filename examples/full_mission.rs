@@ -13,6 +13,7 @@
 
 use skyferry::control::mission::{run_mission, MissionConfig};
 use skyferry::uav::wind::WindConfig;
+use skyferry_units::MetersPerSec;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -29,7 +30,7 @@ fn main() {
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
 
     let mut cfg = MissionConfig::quadrocopter_fleet(scanners, side, seed);
-    cfg.wind = WindConfig::steady(270.0, 1.5);
+    cfg.wind = WindConfig::steady(270.0, MetersPerSec::new(1.5));
 
     println!(
         "skyferry full mission — {scanners} scanner(s) over {side:.0} m × {side:.0} m (seed {seed})\n"

@@ -50,8 +50,8 @@ fn show(scenario: &Scenario) {
     // What the planner would tell the UAV.
     let engine = DecisionEngine::from_scenario(scenario);
     let (decision, _) = engine.decide(
-        scenario.d0_m,
-        scenario.mdata_bytes,
+        scenario.d0(),
+        scenario.mdata(),
         match scenario.failure {
             skyferry::core::failure::FailureSpec::Exponential(e) => e.rho_per_m,
             _ => 0.0,

@@ -17,6 +17,7 @@ use skyferry::phy::presets::ChannelPreset;
 use skyferry::sim::prelude::*;
 use skyferry::stats::bootstrap::median_ci;
 use skyferry::stats::quantile::median;
+use skyferry_units::MetersPerSec;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -31,7 +32,7 @@ fn main() {
         .unwrap_or(20.0)
         .clamp(0.0, 30.0);
 
-    let preset = ChannelPreset::airplane(speed);
+    let preset = ChannelPreset::airplane(MetersPerSec::new(speed));
     println!(
         "rate-control lab — airplane channel at d = {distance:.0} m, v = {speed:.0} m/s (mean SNR {:.1} dB)\n",
         preset.mean_snr(skyferry_units::Meters::new(distance)).get()

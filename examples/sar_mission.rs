@@ -28,6 +28,7 @@ use skyferry::uav::battery::Battery;
 use skyferry::uav::kinematics::UavKinematics;
 use skyferry::uav::platform::PlatformSpec;
 use skyferry::uav::sensing::CameraProcess;
+use skyferry_units::{Meters, MetersPerSec};
 
 const DT: f64 = 0.1;
 
@@ -48,7 +49,7 @@ fn main() {
 
     let mut scanner = UavKinematics::at(spec, Vec3::new(0.0, 0.0, 10.0));
     let mut autopilot = Autopilot::with_plan(plan);
-    let mut sensor = CameraProcess::new(camera, 10.0);
+    let mut sensor = CameraProcess::new(camera, Meters::new(10.0));
     let mut battery = Battery::full(&spec);
     let mut t = 0.0;
     while !autopilot.is_done() && t < 3600.0 {
@@ -61,7 +62,7 @@ fn main() {
         );
         t += DT;
     }
-    let mdata = sensor.data_bytes();
+    let mdata = sensor.data().get();
     println!(
         "scan done in {:.0} s: {} images, {:.1} MB collected, battery at {:.0} %\n",
         t,
@@ -134,7 +135,7 @@ fn main() {
 
     // --- Phase 4: fly the transfer on the full stack. -------------------
     let campaign = CampaignConfig {
-        preset: ChannelPreset::quadrocopter(0.0),
+        preset: ChannelPreset::quadrocopter(MetersPerSec::new(0.0)),
         controller: ControllerKind::Arf,
         duration: SimDuration::from_secs(600),
         seed: seeds.derive("transfer"),

@@ -10,10 +10,11 @@ use skyferry::phy::mcs::Mcs;
 use skyferry::phy::presets::ChannelPreset;
 use skyferry::sim::prelude::*;
 use skyferry::stats::quantile::median;
+use skyferry_units::MetersPerSec;
 
 fn quad_campaign(seed: u64, secs: i64) -> CampaignConfig {
     CampaignConfig {
-        preset: ChannelPreset::quadrocopter(0.0),
+        preset: ChannelPreset::quadrocopter(MetersPerSec::new(0.0)),
         controller: ControllerKind::Arf,
         duration: SimDuration::from_secs(secs),
         seed,
@@ -96,7 +97,7 @@ fn aerial_is_80211g_like_despite_80211n_hardware() {
     // Section 3.1's headline: the same radio that does ≈176 Mb/s indoors
     // yields ≈20 Mb/s in the air at short range.
     let cfg = CampaignConfig {
-        preset: ChannelPreset::airplane(20.0),
+        preset: ChannelPreset::airplane(MetersPerSec::new(20.0)),
         controller: ControllerKind::Arf,
         duration: SimDuration::from_secs(20),
         seed: 8,
@@ -113,7 +114,7 @@ fn mac_engine_composes_with_manual_event_loop() {
     #[derive(Debug)]
     struct Txop;
     let seeds = SeedStream::new(99);
-    let preset = ChannelPreset::quadrocopter(0.0);
+    let preset = ChannelPreset::quadrocopter(MetersPerSec::new(0.0));
     let mut link = LinkState::new(
         LinkConfig::paper_default(preset),
         Box::new(FixedMcs(Mcs::new(1))),

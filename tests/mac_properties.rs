@@ -14,6 +14,7 @@ use skyferry::phy::mcs::Mcs;
 use skyferry::phy::presets::ChannelPreset;
 use skyferry::sim::prelude::*;
 use skyferry::sim::rng::DetRng;
+use skyferry_units::MetersPerSec;
 
 const CASES: usize = 128;
 
@@ -128,7 +129,7 @@ fn transfer_conserves_bytes_through_txop_engine() {
         let seed = rng.next_u64();
 
         let seeds = SeedStream::new(seed);
-        let preset = ChannelPreset::quadrocopter(0.0);
+        let preset = ChannelPreset::quadrocopter(MetersPerSec::new(0.0));
         let mut link = LinkState::new(
             LinkConfig::paper_default(preset),
             Box::new(FixedMcs(Mcs::new(1))),

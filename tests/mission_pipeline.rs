@@ -16,6 +16,7 @@ use skyferry::uav::battery::Battery;
 use skyferry::uav::kinematics::UavKinematics;
 use skyferry::uav::platform::PlatformSpec;
 use skyferry::uav::sensing::CameraProcess;
+use skyferry_units::{Meters, MetersPerSec};
 
 const DT: f64 = 0.1;
 
@@ -33,7 +34,7 @@ fn fly_scan() -> ScanResult {
     let plan = sector.lawnmower_plan(&camera, 10.0);
     let mut kin = UavKinematics::at(spec, Vec3::new(0.0, 0.0, 10.0));
     let mut ap = Autopilot::with_plan(plan);
-    let mut sensor = CameraProcess::new(camera, 10.0);
+    let mut sensor = CameraProcess::new(camera, Meters::new(10.0));
     let mut battery = Battery::full(&spec);
     let mut t = 0.0;
     while !ap.is_done() && t < 3600.0 {
@@ -49,7 +50,7 @@ fn fly_scan() -> ScanResult {
     assert!(ap.is_done(), "scan did not finish");
     ScanResult {
         end_position: kin.position,
-        mdata_bytes: sensor.data_bytes(),
+        mdata_bytes: sensor.data().get(),
         battery,
         scan_seconds: t,
     }
@@ -124,7 +125,7 @@ fn planner_commands_rendezvous_and_transfer_beats_naive() {
 
     // Fly both the planned and naive transfers on the full stack.
     let campaign = CampaignConfig {
-        preset: ChannelPreset::quadrocopter(0.0),
+        preset: ChannelPreset::quadrocopter(MetersPerSec::new(0.0)),
         controller: ControllerKind::Arf,
         duration: SimDuration::from_secs(900),
         seed: 1234,

@@ -15,12 +15,13 @@ use skyferry::net::campaign::{
 use skyferry::net::profile::MotionProfile;
 use skyferry::phy::presets::ChannelPreset;
 use skyferry::sim::prelude::*;
+use skyferry_units::MetersPerSec;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
 fn campaign(seed: u64) -> CampaignConfig {
     CampaignConfig {
-        preset: ChannelPreset::quadrocopter(0.0),
+        preset: ChannelPreset::quadrocopter(MetersPerSec::new(0.0)),
         controller: ControllerKind::Arf,
         duration: SimDuration::from_secs(3),
         seed,

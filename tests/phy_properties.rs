@@ -10,7 +10,7 @@ use skyferry::phy::fading::{ChannelState, FadingConfig, FadingProcess};
 use skyferry::phy::mcs::{ChannelWidth, GuardInterval, Mcs, Modulation};
 use skyferry::sim::prelude::*;
 use skyferry::sim::rng::DetRng;
-use skyferry_units::Meters;
+use skyferry_units::{Db, Meters};
 
 const CASES: usize = 256;
 
@@ -113,7 +113,7 @@ fn data_rate_consistent_with_bits_per_symbol() {
     for _ in 0..CASES {
         let mcs = arb_mcs(&mut rng);
         let (w, gi) = arb_width_gi(&mut rng);
-        let rate = mcs.data_rate_bps(w, gi);
+        let rate = mcs.data_rate_bps(w, gi).get();
         let per_symbol = mcs.data_bits_per_symbol(w);
         let sym_rate = 1.0 / gi.symbol_duration_s();
         assert!((rate - per_symbol * sym_rate).abs() < 1e-6);
@@ -202,7 +202,7 @@ fn effective_snr_finite_positive() {
             shadowing: shadow,
             valid_until: SimTime::MAX,
         };
-        let eff = effective_snr_linear(mcs, stbc, db_to_linear(snr_db), &state, 12.0);
+        let eff = effective_snr_linear(mcs, stbc, db_to_linear(snr_db), &state, Db::new(12.0));
         assert!(eff.is_finite() && eff > 0.0);
         // SDM never exceeds its SIR cap.
         if mcs.uses_sdm() {
