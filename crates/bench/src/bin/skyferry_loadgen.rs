@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! skyferry-loadgen --addr HOST:PORT [--requests N] [--concurrency N]
-//!                  [--window N] [--rate RPS] [--seed N] [--pool N]
+//!                  [--window N] [--rate RPS] [--conns N]
+//!                  [--saturation R1,R2,...] [--codec ndjson|bin1]
+//!                  [--seed N] [--pool N]
 //!                  [--unique-frac F] [--grid quick|full] [--compare]
 //!                  [--policy-compare] [--miss-heavy] [--min-speedup X]
 //!                  [--min-table-speedup X] [--expect-identical]
@@ -12,13 +14,19 @@
 //! `--policy-compare` needs a server started with `--policy FILE`;
 //! `--grid` aligns the request mix to that table's cell centres so the
 //! `table`, `cache` and `no-cache` phases solve bit-identical
-//! parameters. Exit codes: 0 success, 1 a `--check` gate failed or the
-//! server was unreachable, 2 bad arguments.
+//! parameters. `--conns N --rate R` switches the measured phases to the
+//! reactor-multiplexed many-connection open loop; `--saturation`
+//! appends a latency-under-load sweep over the same engine. Latency is
+//! printed as `rtt` (send-to-response, pipeline queueing included) and
+//! `svc` (the in-order service decomposition, comparable to the
+//! server-side histogram). Exit codes: 0 success, 1 a `--check` gate
+//! failed or the server was unreachable, 2 bad arguments.
 
 use skyferry_serve::loadgen::{parse_args, run, LoadgenError};
 
 const USAGE: &str = "usage: skyferry-loadgen --addr HOST:PORT [--requests N] \
-[--concurrency N] [--window N] [--rate RPS] [--seed N] [--pool N] [--unique-frac F] \
+[--concurrency N] [--window N] [--rate RPS] [--conns N] [--saturation R1,R2,...] \
+[--codec ndjson|bin1] [--seed N] [--pool N] [--unique-frac F] \
 [--grid quick|full] [--compare] [--policy-compare] [--miss-heavy] [--min-speedup X] \
 [--min-table-speedup X] [--expect-identical] [--check] [--out FILE] [--shutdown-after]";
 
@@ -35,15 +43,28 @@ fn main() {
         Ok(report) => {
             for p in &report.phases {
                 println!(
-                    "{:<13} {:>8.0} req/s   p50 {:>8.0} us   p95 {:>8.0} us   p99 {:>8.0} us   \
-                     hits {}   errors {}",
+                    "{:<13} {:>8.0} req/s   rtt p50 {:>8.1} us  p99 {:>8.1} us   \
+                     svc p50 {:>7.1} us  p99 {:>7.1} us   hits {}   errors {}",
                     p.label,
                     p.throughput_rps,
-                    p.p50_us,
-                    p.p95_us,
-                    p.p99_us,
+                    p.rtt.p50_us,
+                    p.rtt.p99_us,
+                    p.service.p50_us,
+                    p.service.p99_us,
                     p.cache_hits,
                     p.protocol_errors,
+                );
+            }
+            for s in &report.saturation {
+                println!(
+                    "saturation {:>9.0} offered req/s -> {:>9.0} achieved   \
+                     rtt p50 {:>8.1} us  p99 {:>8.1} us   conns {}   errors {}",
+                    s.offered_rps,
+                    s.achieved_rps,
+                    s.rtt.p50_us,
+                    s.rtt.p99_us,
+                    s.conns,
+                    s.protocol_errors,
                 );
             }
             if let Some(s) = report.speedup {

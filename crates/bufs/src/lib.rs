@@ -62,6 +62,11 @@ pub trait Buf {
     fn get_f32_le(&mut self) -> f32 {
         f32::from_bits(self.get_u32_le())
     }
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
 }
 
 /// Write-side trait: sequential little-endian appenders.
@@ -92,6 +97,27 @@ pub trait BufMut {
     /// Append a little-endian `f32`.
     fn put_f32_le(&mut self, v: f32) {
         self.put_u32_le(v.to_bits());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+/// Byte slices are readable buffers, as in upstream `bytes`: reads
+/// consume from the front by shrinking the slice. Lets codecs decode
+/// borrowed payloads without copying them into a [`Bytes`] first.
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "copy_to_slice overruns buffer");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
     }
 }
 
@@ -284,6 +310,7 @@ mod tests {
         w.put_u32_le(0xDEAD_BEEF);
         w.put_u64_le(0x0123_4567_89AB_CDEF);
         w.put_f32_le(1.5);
+        w.put_f64_le(-0.1);
         w.put_slice(&[1, 2, 3]);
         let mut r = w.freeze();
         assert_eq!(r.get_u8(), 0xAB);
@@ -291,6 +318,7 @@ mod tests {
         assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
         assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
         assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.get_f64_le().to_bits(), (-0.1f64).to_bits());
         let mut tail = [0u8; 3];
         r.copy_to_slice(&mut tail);
         assert_eq!(tail, [1, 2, 3]);

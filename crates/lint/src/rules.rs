@@ -325,8 +325,10 @@ pub fn registry() -> Vec<Rule> {
             scope: Scope::Only(&["crates/serve/"]),
             severity: Severity::Deny,
             file_allow: false,
-            rationale: "skyferryd's reader-thread path must never sleep, touch \
-                        the filesystem, or take a lock after the cache lock",
+            rationale: "skyferryd's request path (reader threads and shard \
+                        event loops) must never sleep, touch the filesystem, \
+                        lock another shard's state, or take a lock after the \
+                        cache lock",
             check: Check::Workspace(taint::blocking_in_reader),
         },
         Rule {

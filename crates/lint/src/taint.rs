@@ -7,9 +7,13 @@
 //!   served decision response or a golden-CSV renderer, unless the path
 //!   passes through a fn that handles the `--deterministic` gate or the
 //!   sanctioned `trace::clock` reader.
-//! * [`blocking_in_reader`] — no file I/O, `thread::sleep`, or lock
-//!   acquisition ordered after a cache lock in any fn reachable from
-//!   skyferryd's reader-thread request path.
+//! * [`blocking_in_reader`] — no file I/O, `thread::sleep`, lock
+//!   acquisition ordered after a cache lock, or cross-shard lock
+//!   acquisition in any fn reachable from skyferryd's request path:
+//!   the legacy reader-thread roots (`read_line` callers in
+//!   `server.rs`) and the shard event loops (`poller.wait` callers in
+//!   `shard.rs`) — everything a reactor callback runs is held to the
+//!   same never-block standard.
 //! * [`exhaustive_proto_errors`] — every `proto::ErrorKind` variant is
 //!   constructed somewhere outside `proto.rs` and its wire tag is
 //!   matched by loadgen's checker.
@@ -375,25 +379,51 @@ fn render_chain(names: &[String]) -> String {
     }
 }
 
-/// The file hosting skyferryd's reader-thread request path.
+/// The files hosting skyferryd's request path: the legacy blocking
+/// reader and the shard event loops.
 const READER_FILE: &str = "crates/serve/src/server.rs";
+const SHARD_FILE: &str = "crates/serve/src/shard.rs";
+
+/// Does this fn anchor the request path — a socket reader
+/// (`read_line`) or a shard event loop (`poller.wait`)?
+fn request_path_root(f: &FnItem) -> bool {
+    f.callees.iter().any(|c| {
+        c.name() == "read_line"
+            || (c.name() == "wait" && c.recv.iter().any(|s| s.contains("poller")))
+    })
+}
+
+/// Is a `lock` call at `line` a cross-shard acquisition? Receiver
+/// chains truncate at indexing (`shards[i]` is not an ident segment),
+/// so the check reads the source window instead: a lock written on or
+/// just below a `shards[` receiver is grabbing another shard's state.
+fn cross_shard_lock(a: &Analysis, line: usize) -> bool {
+    let lo = line.saturating_sub(3).max(1);
+    a.lines[lo - 1..line.min(a.lines.len())]
+        .iter()
+        .any(|l| l.code.contains("shards["))
+}
 
 /// The blocking-in-reader rule. See the module docs.
 pub fn blocking_in_reader(files: &[Analysis]) -> Vec<WsFinding> {
     let ws = Workspace::build(files);
 
-    // Roots: server.rs fns that read request lines off the socket.
+    // Roots: reader/event-loop fns in the request-path files.
     let mut queue: VecDeque<FnRef> = VecDeque::new();
     let mut reachable: BTreeSet<FnRef> = BTreeSet::new();
     for r in ws.all_fns() {
-        if !ws.path(r).ends_with(READER_FILE) && ws.path(r) != READER_FILE {
+        let path = ws.path(r);
+        if ![READER_FILE, SHARD_FILE]
+            .iter()
+            .any(|f| path == *f || path.ends_with(f))
+        {
             continue;
         }
         let f = ws.fn_item(r);
         if f.test_only {
             continue;
         }
-        if f.callees.iter().any(|c| c.name() == "read_line") && reachable.insert(r) {
+        if request_path_root(f) && reachable.insert(r) {
             queue.push_back(r);
         }
     }
@@ -433,8 +463,8 @@ pub fn blocking_in_reader(files: &[Analysis]) -> Vec<WsFinding> {
                     path.clone(),
                     c.line,
                     format!(
-                        "`thread::sleep` in reader-path fn `{}`: the reader thread \
-                         must never block on time",
+                        "`thread::sleep` in request-path fn `{}`: a reader or \
+                         shard event loop must never block on time",
                         f.qual_name
                     ),
                 ));
@@ -445,9 +475,21 @@ pub fn blocking_in_reader(files: &[Analysis]) -> Vec<WsFinding> {
                     path.clone(),
                     c.line,
                     format!(
-                        "file I/O `{}` in reader-path fn `{}`: disk touches stall \
+                        "file I/O `{}` in request-path fn `{}`: disk touches stall \
                          every connection on this thread",
                         c.path.join("::"),
+                        f.qual_name
+                    ),
+                ));
+            }
+            if n == "lock" && cross_shard_lock(&files[r.file], c.line) {
+                out.push((
+                    path.clone(),
+                    c.line,
+                    format!(
+                        "cross-shard lock in request-path fn `{}`: shards talk \
+                         only through `send` mailboxes; locking another shard's \
+                         state from an event loop invites deadlock",
                         f.qual_name
                     ),
                 ));
@@ -461,7 +503,7 @@ pub fn blocking_in_reader(files: &[Analysis]) -> Vec<WsFinding> {
                         path.clone(),
                         c.line,
                         format!(
-                            "lock acquired after the cache lock in reader-path fn \
+                            "lock acquired after the cache lock in request-path fn \
                              `{}`: lock order must be cache-last to stay \
                              deadlock-free",
                             f.qual_name
@@ -666,6 +708,52 @@ mod tests {
         let msgs: Vec<&str> = f.iter().map(|(_, _, m)| m.as_str()).collect();
         assert!(msgs.iter().any(|m| m.contains("thread::sleep")), "{msgs:?}");
         assert!(msgs.iter().any(|m| m.contains("file I/O")), "{msgs:?}");
+    }
+
+    #[test]
+    fn shard_event_loop_is_a_request_path_root() {
+        let files = ws_files(&[(
+            "crates/serve/src/shard.rs",
+            "pub fn run(mut self) {\n\
+                 let _ = self.poller.wait(&mut events, None);\n\
+                 self.handle_event();\n\
+             }\n\
+             fn handle_event(&mut self) {\n\
+                 thread::sleep(POLL);\n\
+                 let _ = fs::read_to_string(\"stats\");\n\
+                 let _g = self.state.shards[0].inbox.lock();\n\
+             }\n",
+        )]);
+        let f = blocking_in_reader(&files);
+        let msgs: Vec<&str> = f.iter().map(|(_, _, m)| m.as_str()).collect();
+        assert_eq!(f.len(), 3, "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("thread::sleep")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("file I/O")), "{msgs:?}");
+        assert!(
+            msgs.iter().any(|m| m.contains("cross-shard lock")),
+            "{msgs:?}"
+        );
+        assert_eq!(f[2].1, 8, "the cross-shard lock anchors to its line");
+    }
+
+    #[test]
+    fn own_mailbox_lock_in_event_loop_is_allowed() {
+        let files = ws_files(&[(
+            "crates/serve/src/shard.rs",
+            "pub fn run(mut self) {\n\
+                 let _ = self.poller.wait(&mut events, None);\n\
+                 self.drain_inbox();\n\
+             }\n\
+             fn drain_inbox(&mut self) {\n\
+                 let msg = self.inbox.lock().pop_front();\n\
+                 route(msg);\n\
+             }\n\
+             fn route(_m: Msg) {}\n",
+        )]);
+        assert!(
+            blocking_in_reader(&files).is_empty(),
+            "a shard's own mailbox is the sanctioned channel"
+        );
     }
 
     #[test]

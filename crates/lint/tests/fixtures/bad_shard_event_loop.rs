@@ -1,0 +1,9 @@
+pub fn run(mut self) {
+    let _ = self.poller.wait(&mut events, None);
+    self.handle_event();
+}
+fn handle_event(&mut self) {
+    thread::sleep(POLL);
+    let _ = fs::read_to_string("stats");
+    let _g = self.state.shards[0].inbox.lock();
+}

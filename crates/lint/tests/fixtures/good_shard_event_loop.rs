@@ -1,0 +1,8 @@
+pub fn run(mut self) {
+    let _ = self.poller.wait(&mut events, None);
+    self.drain_inbox();
+}
+fn drain_inbox(&mut self) {
+    let msg = self.inbox.lock().pop_front();
+    self.state.shards[1].send(msg);
+}

@@ -264,8 +264,25 @@ fn blocking_in_reader_fires_on_reachable_fns() {
     );
     assert!(lint_at(SERVER, "good_blocking_in_reader.rs").is_empty());
     assert!(lint_at(SERVER, "allowed_blocking_in_reader.rs").is_empty());
-    // Roots live in server.rs only; the same code elsewhere is silent.
+    // Roots live in the request-path files only; the same code
+    // elsewhere is silent.
     assert!(lint_at("crates/serve/src/loadgen.rs", "bad_blocking_in_reader.rs").is_empty());
+}
+
+#[test]
+fn blocking_in_reader_roots_on_shard_event_loops() {
+    // `handle_event` is reachable from the `poller.wait` root: sleep on
+    // line 6, file I/O on line 7, a cross-shard lock on line 8.
+    const SHARD: &str = "crates/serve/src/shard.rs";
+    assert_eq!(
+        lint_at(SHARD, "bad_shard_event_loop.rs"),
+        all("blocking-in-reader", &[6, 7, 8])
+    );
+    // A shard's own mailbox lock and a cross-shard `send` are the
+    // sanctioned channel.
+    assert!(lint_at(SHARD, "good_shard_event_loop.rs").is_empty());
+    // Event-loop roots are recognized only in shard.rs.
+    assert!(lint_at("crates/serve/src/loadgen.rs", "bad_shard_event_loop.rs").is_empty());
 }
 
 #[test]

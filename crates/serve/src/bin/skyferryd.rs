@@ -1,7 +1,7 @@
 //! `skyferryd` — the long-running decision server.
 //!
 //! ```text
-//! skyferryd [--addr HOST:PORT] [--queue-depth N] [--batch N]
+//! skyferryd [--addr HOST:PORT] [--shards N] [--queue-depth N] [--batch N]
 //!           [--cache-capacity N] [--exact | --quant-d0 M --quant-mdata MB
 //!            --quant-rho R --quant-speed V] [--no-cache]
 //!           [--policy FILE] [--policy-interp]
@@ -58,6 +58,7 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
     while let Some(arg) = raw.next() {
         match arg.as_str() {
             "--addr" => server.addr = value(&mut raw, "--addr")?,
+            "--shards" => server.shards = value(&mut raw, "--shards")?,
             "--queue-depth" => server.queue_depth = value(&mut raw, "--queue-depth")?,
             "--batch" => server.max_batch = value(&mut raw, "--batch")?,
             "--cache-capacity" => {
@@ -91,8 +92,8 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
     })
 }
 
-const USAGE: &str = "usage: skyferryd [--addr HOST:PORT] [--queue-depth N] [--batch N] \
-[--cache-capacity N] [--exact] [--quant-d0 M] [--quant-mdata MB] [--quant-rho R] \
+const USAGE: &str = "usage: skyferryd [--addr HOST:PORT] [--shards N] [--queue-depth N] \
+[--batch N] [--cache-capacity N] [--exact] [--quant-d0 M] [--quant-mdata MB] [--quant-rho R] \
 [--quant-speed V] [--no-cache] [--policy FILE] [--policy-interp] [--deterministic] \
 [--threads N] [--trace PATH]";
 
@@ -149,7 +150,13 @@ fn main() {
     println!("listening on {}", handle.addr());
     let e = &args.server.engine;
     eprintln!(
-        "skyferryd: cache {} (capacity {}, {}), queue depth {}, batch {}, {} mode",
+        "skyferryd: {} shard{}, cache {} (capacity {}, {}), queue depth {}, batch {}, {} mode",
+        args.server.shards.max(1),
+        if args.server.shards.max(1) == 1 {
+            ""
+        } else {
+            "s"
+        },
         if e.cache_enabled { "on" } else { "off" },
         e.cache_capacity,
         if e.quant.is_exact() {
@@ -188,12 +195,15 @@ mod tests {
     fn defaults_and_overrides() {
         let a = parse(&[]).expect("defaults");
         assert_eq!(a.server.addr, "127.0.0.1:4517");
+        assert_eq!(a.server.shards, 1);
         assert!(a.server.engine.cache_enabled);
         assert!(!a.server.engine.quant.is_exact());
 
         let a = parse(&[
             "--addr",
             "127.0.0.1:0",
+            "--shards",
+            "4",
             "--queue-depth",
             "8",
             "--batch",
@@ -207,6 +217,7 @@ mod tests {
         ])
         .expect("valid");
         assert_eq!(a.server.addr, "127.0.0.1:0");
+        assert_eq!(a.server.shards, 4);
         assert_eq!(a.server.queue_depth, 8);
         assert_eq!(a.server.max_batch, 16);
         assert_eq!(a.server.engine.cache_capacity, 100);

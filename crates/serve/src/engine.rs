@@ -28,7 +28,7 @@ use std::collections::BTreeMap;
 
 use skyferry_core::optimizer::OptimalTransfer;
 use skyferry_core::request::{DecisionParams, Quantizer};
-use skyferry_sim::parallel::par_map;
+use skyferry_sim::parallel::{max_threads, par_map_indexed_with_threads};
 use skyferry_trace as trace;
 use skyferry_trace::clock::monotonic_ns;
 
@@ -45,6 +45,12 @@ pub struct EngineConfig {
     /// Start with the cache enabled? (Runtime-togglable via the `cache`
     /// control request.)
     pub cache_enabled: bool,
+    /// Worker threads for the solve pass (`0` = the `sim::parallel`
+    /// global pool). Shard event loops pass `1` so solves stay inline on
+    /// the shard thread instead of spawning a nested pool per batch;
+    /// `par_map` is order-preserving at any count, so the answer (and
+    /// every cache counter) is identical either way.
+    pub solve_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -53,6 +59,7 @@ impl Default for EngineConfig {
             cache_capacity: 4096,
             quant: Quantizer::default_buckets(),
             cache_enabled: true,
+            solve_threads: 0,
         }
     }
 }
@@ -63,6 +70,7 @@ pub struct Engine {
     quant: Quantizer,
     cache: DecisionCache,
     cache_enabled: bool,
+    solve_threads: usize,
 }
 
 /// Pass-1 verdict for one request of a batch.
@@ -94,7 +102,17 @@ impl Engine {
             quant: cfg.quant,
             cache: DecisionCache::new(cfg.cache_capacity, cfg.quant),
             cache_enabled: cfg.cache_enabled,
+            solve_threads: cfg.solve_threads,
         }
+    }
+
+    fn solve_all(&self, params: &[DecisionParams]) -> Vec<OptimalTransfer> {
+        let threads = if self.solve_threads == 0 {
+            max_threads()
+        } else {
+            self.solve_threads
+        };
+        par_map_indexed_with_threads(params.len(), threads, |i| params[i].solve())
     }
 
     /// Is the cache currently consulted?
@@ -144,7 +162,7 @@ impl Engine {
         if !self.cache_enabled {
             // No cache: solve raw (un-snapped) parameters — this is the
             // reference path `--no-cache` comparisons measure against.
-            let solved = par_map(batch, DecisionParams::solve);
+            let solved = self.solve_all(batch);
             let decisions: Vec<Decision> = batch
                 .iter()
                 .zip(solved)
@@ -188,7 +206,7 @@ impl Engine {
         let t_cache_ns = monotonic_ns();
 
         // Pass 2: solve unique misses on the worker pool.
-        let solved = par_map(&miss_params, DecisionParams::solve);
+        let solved = self.solve_all(&miss_params);
 
         // Pass 3: publish and assemble. The batch-local map also covers
         // reservations that were evicted before fulfilment.
@@ -269,6 +287,7 @@ mod tests {
             cache_capacity: capacity,
             quant: Quantizer::exact(),
             cache_enabled: true,
+            solve_threads: 0,
         })
     }
 
@@ -313,6 +332,7 @@ mod tests {
                 cache_capacity: 4096,
                 quant,
                 cache_enabled: true,
+                solve_threads: 0,
             });
             let mut worst = 0.0f64;
             for _ in 0..300 {
@@ -428,6 +448,7 @@ mod tests {
             cache_capacity: 64,
             quant: Quantizer::exact(),
             cache_enabled: false,
+            solve_threads: 0,
         });
         let p = DecisionParams::baseline(Platform::Airplane);
         for _ in 0..3 {

@@ -9,32 +9,45 @@
 //! and gets the solved optimum back. The interesting systems work is in
 //! between:
 //!
-//! * [`proto`] — newline-delimited JSON framing (one request per line,
-//!   one response per line, in order), reusing `stats::json` for both
-//!   directions; malformed input becomes a typed `bad-request`
-//!   response, never a panic;
-//! * [`bounded`] — a bounded MPSC job queue with backpressure: when it
-//!   is full the connection thread answers `overloaded` immediately
-//!   (503-style) instead of queueing unboundedly;
-//! * [`engine`] — batch decision evaluation on `sim::parallel` workers
-//!   with *sequential-equivalent* cache semantics: responses, hit flags
+//! * [`proto`] — the request/response vocabulary: decide and control
+//!   requests, typed error kinds, deterministic JSON rendering;
+//!   malformed input becomes a typed `bad-request` response, never a
+//!   panic;
+//! * [`framing`] — incremental frame extraction over both wire codecs:
+//!   newline-delimited JSON and the length-prefixed `bin1` binary
+//!   codec a connection can negotiate mid-stream
+//!   (`{"cmd":"codec","v":"bin1"}`);
+//! * [`engine`] — batch decision evaluation with
+//!   *sequential-equivalent* cache semantics: responses, hit flags
 //!   and eviction order are bit-identical to one-at-a-time serving, at
 //!   any worker count and any batch partitioning;
 //! * [`cache`] — a deterministic LRU keyed on quantized parameter
 //!   buckets ([`skyferry_core::request::Quantizer`]), mirroring the
 //!   repro harness's `CampaignStore` economics at per-request scale;
 //! * [`metrics`] — lock-free atomic counters plus a streaming
-//!   log-bucket latency histogram (p50/p95/p99) served by the `STATS`
-//!   control request;
+//!   log-bucket latency histogram (p50/p95/p99), kept per shard and
+//!   merged (with a per-shard breakdown) by the `stats` control
+//!   request;
 //! * [`policy`] — serving state for a compiled
 //!   [`skyferry_core::policy`] table: O(1) lock-free lookups on the
-//!   reader threads, exact-engine fallback for out-of-range requests;
-//! * [`server`] — the TCP front end: reader/writer threads per
-//!   connection, a single dispatcher owning engine and cache, graceful
-//!   shutdown on a control message;
-//! * [`loadgen`] — open-loop (fixed-rate) and closed-loop
-//!   (fixed-concurrency) workload driver with a seeded `DetRng` request
-//!   mix, cache-vs-no-cache comparison, and `BENCH_serve.json` output.
+//!   shard threads, exact-engine fallback for out-of-range requests;
+//! * [`shard`] — the event loops: each shard owns a `poll(2)` reactor
+//!   ([`skyferry_reactor`]), its connections, a private engine+cache,
+//!   and its metrics slice; decide requests route to the shard owning
+//!   their quantized key via lock-free mailboxes, and pipelined
+//!   frames are answered as engine batches;
+//! * [`server`] — the TCP front end: one accept thread dealing
+//!   connections to the shard loops round-robin, graceful
+//!   ack-then-drain shutdown on a control message;
+//! * [`bounded`] — a bounded MPSC job queue with backpressure,
+//!   retained as a standalone utility (the sharded server's backlog
+//!   control is the per-shard atomic reservation in [`shard`]);
+//! * [`loadgen`] — closed-loop, open-loop (fixed-rate) and
+//!   many-connection open-loop (reactor-multiplexed `--conns`)
+//!   workload driver with a seeded `DetRng` request mix,
+//!   cache/table/no-cache comparison, rtt/service/connect latency
+//!   decomposition, `--saturation` latency-under-load sweeps, and
+//!   `BENCH_serve.json` output.
 //!
 //! Real wall-clock timing is confined to this crate (and `bench`) by
 //! the `wall-clock` lint rule: a latency histogram is the one place the
@@ -45,8 +58,10 @@
 pub mod bounded;
 pub mod cache;
 pub mod engine;
+pub mod framing;
 pub mod loadgen;
 pub mod metrics;
 pub mod policy;
 pub mod proto;
 pub mod server;
+pub mod shard;

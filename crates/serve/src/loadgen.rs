@@ -9,7 +9,28 @@
 //!   round trips;
 //! * **open-loop** (`--rate R`): requests are launched on a fixed
 //!   schedule split across the connections, so latency includes queue
-//!   buildup when the server cannot keep up.
+//!   buildup when the server cannot keep up;
+//! * **many-connection open-loop** (`--conns N --rate R`): one reactor
+//!   ([`skyferry_reactor`]) event loop multiplexes N mostly-idle
+//!   connections — the fleet-of-UAVs shape — and requests fire on a
+//!   single global schedule round-robin across them. The same engine
+//!   drives `--saturation R1,R2,...`, which sweeps offered load and
+//!   records a latency-under-load curve in the report.
+//!
+//! Latency is reported three ways, because a pipelined client's raw
+//! round trip is *not* comparable to the server's per-request service
+//! time (that mismatch — ~4.2 ms client p50 vs ~29 µs server p50 — is
+//! pure client-side pipeline queueing, not server work):
+//!
+//! * **rtt**: send (open loop: *scheduled* send, so coordinated
+//!   omission is not hidden) to response — what a caller experiences,
+//!   including time queued behind the rest of the pipeline window;
+//! * **service**: the in-order decomposition
+//!   `service_i = T_i − max(sent_i, T_{i−1})` (T = response arrival on
+//!   the same connection) — the interval the server alone contributes
+//!   to response `i`, directly comparable to the server-side histogram;
+//! * **connect**: TCP connection setup, separated out instead of
+//!   polluting the first request's latency.
 //!
 //! The mix comes from a `DetRng` stream: a `pool` of distinct parameter
 //! tuples is drawn once, then each request either repeats a pool entry
@@ -20,6 +41,11 @@
 //! same workload, and the report carries the throughput ratio plus a
 //! per-request `d_star` comparison (bit-exact when the server runs in
 //! exactness mode).
+//!
+//! `--codec bin1` negotiates the length-prefixed binary codec on every
+//! measured connection before the clock starts; decide requests then
+//! travel as raw `f64` bits, so `--expect-identical` holds across
+//! codecs too.
 //!
 //! Two extensions exercise the paths a warm 64-key pool never touches:
 //!
@@ -39,17 +65,24 @@
 //! snapshot, and everything lands in `BENCH_serve.json` /
 //! `BENCH_policy.json`.
 
-use std::io::{BufRead, BufReader, Write};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::os::fd::AsRawFd;
 use std::path::PathBuf;
 use std::time::Duration;
 
 use bytes::{BufMut, BytesMut};
 use skyferry_core::policy::PolicyGrid;
+use skyferry_core::request::DecisionParams;
+use skyferry_reactor::{Event, Interest, Poller, Token};
 use skyferry_sim::rng::{DetRng, SeedStream};
 use skyferry_stats::json::{self, Json};
 use skyferry_stats::quantile::quantile;
 use skyferry_trace::clock::monotonic_ns;
+
+use crate::framing::{self, BinResponse, Codec, Frame, FrameDecoder, FrameError};
+use crate::proto::{self, Request};
 
 /// Which compiled-policy grid the workload should align to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,14 +121,24 @@ pub struct LoadgenConfig {
     pub addr: String,
     /// Total requests per phase.
     pub requests: usize,
-    /// Concurrent connections.
+    /// Concurrent connections (closed-loop / split-rate mode).
     pub concurrency: usize,
     /// Pipelining window per connection (closed loop) / outstanding cap
     /// (open loop).
     pub window: usize,
-    /// Open-loop request rate in req/s (split across connections);
-    /// `None` = closed loop.
+    /// Open-loop request rate in req/s; `None` = closed loop. With
+    /// `conns > 0` the rate is a single global schedule over the
+    /// reactor-multiplexed connections, otherwise it is split across
+    /// `concurrency` threads.
     pub rate: Option<f64>,
+    /// Reactor-multiplexed connections for the many-connection open
+    /// loop; `0` keeps the thread-per-connection driver.
+    pub conns: usize,
+    /// Offered-load sweep (req/s points) appended to the report as a
+    /// latency-under-load saturation curve.
+    pub saturation: Vec<f64>,
+    /// Wire codec every measured connection negotiates up front.
+    pub codec: Codec,
     /// Workload seed.
     pub seed: u64,
     /// Distinct parameter tuples in the repeated pool.
@@ -139,6 +182,9 @@ impl Default for LoadgenConfig {
             concurrency: 4,
             window: 32,
             rate: None,
+            conns: 0,
+            saturation: Vec::new(),
+            codec: Codec::Ndjson,
             seed: 0x5AFE_5EED,
             pool: 64,
             unique_frac: 0.0,
@@ -182,6 +228,12 @@ impl std::error::Error for LoadgenError {}
 impl From<std::io::Error> for LoadgenError {
     fn from(e: std::io::Error) -> Self {
         LoadgenError::Io(e)
+    }
+}
+
+impl From<FrameError> for LoadgenError {
+    fn from(e: FrameError) -> Self {
+        LoadgenError::Protocol(format!("framing: {e}"))
     }
 }
 
@@ -313,14 +365,192 @@ impl ErrorTally {
     }
 }
 
+/// Exact p50/p95/p99 over one latency dimension, microseconds.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Median, µs.
+    pub p50_us: f64,
+    /// 95th percentile, µs.
+    pub p95_us: f64,
+    /// 99th percentile, µs.
+    pub p99_us: f64,
+}
+
+impl LatencySummary {
+    fn from_samples(us: &[f64]) -> LatencySummary {
+        let q = |p: f64| quantile(us, p).unwrap_or(0.0);
+        LatencySummary {
+            p50_us: q(0.50),
+            p95_us: q(0.95),
+            p99_us: q(0.99),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("p50", Json::Fixed(self.p50_us, 1)),
+            ("p95", Json::Fixed(self.p95_us, 1)),
+            ("p99", Json::Fixed(self.p99_us, 1)),
+        ])
+    }
+}
+
+/// Decompose one completion at `now_ns` into `(rtt, service)` µs.
+///
+/// `rtt` runs from the request's send stamp. `service` is the in-order
+/// pipeline decomposition: a response cannot arrive before the previous
+/// response on the same connection (`prev_done_ns`), so the server's own
+/// contribution to this request is only the interval since the later of
+/// its send and that previous arrival — the quantity comparable to the
+/// server-side per-request histogram.
+fn split_latency(now_ns: u64, sent_ns: u64, prev_done_ns: u64) -> (f64, f64) {
+    let rtt = now_ns.saturating_sub(sent_ns) as f64 / 1e3;
+    let service = now_ns.saturating_sub(sent_ns.max(prev_done_ns)) as f64 / 1e3;
+    (rtt, service)
+}
+
+/// What a response frame means to the measurement loop.
+enum Reply {
+    /// A solved decision.
+    Decision { d_star: f64, cache_hit: bool },
+    /// A typed `{"error": ...}` response (wire tag attached).
+    ErrorTag(Option<String>),
+}
+
+/// Interpret one response frame from either codec.
+fn classify_frame(frame: Frame) -> Result<Reply, LoadgenError> {
+    let line = match frame {
+        Frame::Bin(payload) => match framing::decode_response_frame(&payload)? {
+            BinResponse::Decision(d) => {
+                return Ok(Reply::Decision {
+                    d_star: d.d_star,
+                    cache_hit: d.cache_hit,
+                })
+            }
+            BinResponse::Json(line) => line,
+        },
+        Frame::Line(line) => line,
+    };
+    let value = json::parse(line.trim())
+        .map_err(|e| LoadgenError::Protocol(format!("unparsable response: {e}")))?;
+    if let Some(err) = value.get("error") {
+        return Ok(Reply::ErrorTag(err.as_str().map(str::to_string)));
+    }
+    let d_star = value
+        .get("d_star")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| LoadgenError::Protocol("response lacks d_star".into()))?;
+    Ok(Reply::Decision {
+        d_star,
+        cache_hit: value.get("cache_hit").and_then(Json::as_bool) == Some(true),
+    })
+}
+
+/// Pull the next frame off a blocking stream, reading as needed.
+fn read_frame_blocking(
+    stream: &mut TcpStream,
+    decoder: &mut FrameDecoder,
+) -> Result<Frame, LoadgenError> {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if let Some(frame) = decoder.next_frame()? {
+            return Ok(frame);
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(LoadgenError::Protocol(
+                "server closed the connection mid-stream".into(),
+            ));
+        }
+        decoder.extend_from_slice(&buf[..n]);
+    }
+}
+
+/// Negotiate `codec` on a fresh connection (no-op for NDJSON). The ack
+/// arrives in the old codec; only after it is checked does the decoder
+/// switch, mirroring the server's parse-time seam.
+fn negotiate_codec(
+    stream: &mut TcpStream,
+    decoder: &mut FrameDecoder,
+    codec: Codec,
+) -> Result<(), LoadgenError> {
+    if codec == Codec::Ndjson {
+        return Ok(());
+    }
+    let line = format!("{{\"cmd\":\"codec\",\"v\":\"{}\"}}\n", codec.wire_name());
+    stream.write_all(line.as_bytes())?;
+    let Frame::Line(ack) = read_frame_blocking(stream, decoder)? else {
+        return Err(LoadgenError::Protocol(
+            "codec ack arrived in the new codec".into(),
+        ));
+    };
+    let value = json::parse(ack.trim())
+        .map_err(|e| LoadgenError::Protocol(format!("unparsable codec ack: {e}")))?;
+    if let Some(err) = value.get("error") {
+        return Err(LoadgenError::Protocol(format!(
+            "codec {} rejected: {}",
+            codec.wire_name(),
+            err.render()
+        )));
+    }
+    decoder.set_codec(codec);
+    Ok(())
+}
+
+/// Encode one workload line in the negotiated codec. NDJSON sends the
+/// line verbatim; `bin1` re-parses it into [`DecisionParams`] and ships
+/// the raw `f64` bits, so both codecs solve bit-identical parameters.
+fn encode_request(line: &str, codec: Codec, out: &mut BytesMut) -> Result<(), LoadgenError> {
+    match codec {
+        Codec::Ndjson => {
+            out.put_slice(line.as_bytes());
+            out.put_u8(b'\n');
+        }
+        Codec::Bin1 => {
+            let params = workload_params(line)?;
+            framing::encode_decide_frame(&params, out);
+        }
+    }
+    Ok(())
+}
+
+fn workload_params(line: &str) -> Result<DecisionParams, LoadgenError> {
+    match proto::parse_request(line) {
+        Ok(Request::Decide(p)) => Ok(p),
+        _ => Err(LoadgenError::Protocol(format!(
+            "workload line is not a decide request: {line}"
+        ))),
+    }
+}
+
 /// What one connection measured.
 #[derive(Debug, Default, Clone)]
 struct ThreadResult {
-    latencies_us: Vec<f64>,
+    rtt_us: Vec<f64>,
+    service_us: Vec<f64>,
+    connect_us: Vec<f64>,
     d_stars: Vec<f64>,
     cache_hits: u64,
     protocol_errors: u64,
     error_tally: ErrorTally,
+}
+
+impl ThreadResult {
+    fn record_reply(&mut self, reply: Reply) {
+        match reply {
+            Reply::Decision { d_star, cache_hit } => {
+                self.d_stars.push(d_star);
+                if cache_hit {
+                    self.cache_hits += 1;
+                }
+            }
+            Reply::ErrorTag(tag) => {
+                self.protocol_errors += 1;
+                self.error_tally.record(tag.as_deref());
+                self.d_stars.push(f64::NAN);
+            }
+        }
+    }
 }
 
 /// Drive one connection through its request lines.
@@ -329,70 +559,39 @@ fn drive_connection(
     lines: &[String],
     window: usize,
     rate_per_conn: Option<f64>,
+    codec: Codec,
 ) -> Result<ThreadResult, LoadgenError> {
     let mut result = ThreadResult::default();
     if lines.is_empty() {
         return Ok(result);
     }
-    let stream = TcpStream::connect(addr)?;
+    let t_conn_ns = monotonic_ns();
+    let mut stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
-    let mut write_half = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
+    result
+        .connect_us
+        .push(monotonic_ns().saturating_sub(t_conn_ns) as f64 / 1e3);
+    let mut decoder = FrameDecoder::new();
+    negotiate_codec(&mut stream, &mut decoder, codec)?;
 
     let window = window.max(1);
-    let mut send_times: std::collections::VecDeque<u64> =
-        std::collections::VecDeque::with_capacity(window);
+    let mut send_times: VecDeque<u64> = VecDeque::with_capacity(window);
     let mut sent = 0usize;
-    let mut line_buf = String::new();
+    let mut done = 0usize;
+    let mut prev_done_ns = 0u64;
     let started_ns = monotonic_ns();
 
-    let mut read_one = |reader: &mut BufReader<TcpStream>,
-                        send_times: &mut std::collections::VecDeque<u64>,
-                        result: &mut ThreadResult|
-     -> Result<(), LoadgenError> {
-        line_buf.clear();
-        let n = reader.read_line(&mut line_buf)?;
-        if n == 0 {
-            return Err(LoadgenError::Protocol(
-                "server closed the connection mid-stream".into(),
-            ));
-        }
-        let t_sent_ns = send_times
-            .pop_front()
-            .ok_or_else(|| LoadgenError::Protocol("response without a request".into()))?;
-        result
-            .latencies_us
-            .push(monotonic_ns().saturating_sub(t_sent_ns) as f64 / 1e3);
-        let value = json::parse(line_buf.trim())
-            .map_err(|e| LoadgenError::Protocol(format!("unparsable response: {e}")))?;
-        if let Some(err) = value.get("error") {
-            result.protocol_errors += 1;
-            result.error_tally.record(err.as_str());
-            result.d_stars.push(f64::NAN);
-        } else {
-            let d_star = value
-                .get("d_star")
-                .and_then(Json::as_f64)
-                .ok_or_else(|| LoadgenError::Protocol("response lacks d_star".into()))?;
-            result.d_stars.push(d_star);
-            if value.get("cache_hit").and_then(Json::as_bool) == Some(true) {
-                result.cache_hits += 1;
-            }
-        }
-        Ok(())
-    };
-
-    while result.latencies_us.len() < lines.len() {
+    while done < lines.len() {
         // Send while the window allows (and, open loop, the schedule
         // says the next request is due).
         let mut burst = BytesMut::new();
         let mut burst_n = 0usize;
-        while sent < lines.len() && sent - result.latencies_us.len() < window {
+        while sent < lines.len() && sent - done < window {
             if let Some(rate) = rate_per_conn {
                 let due_ns = started_ns + (sent as f64 / rate * 1e9) as u64;
                 let now_ns = monotonic_ns();
                 if now_ns < due_ns {
-                    if burst_n == 0 && result.latencies_us.len() == sent {
+                    if burst_n == 0 && done == sent {
                         // Nothing in flight and nothing due: sleep.
                         std::thread::sleep(Duration::from_nanos(due_ns - now_ns));
                     } else {
@@ -400,8 +599,7 @@ fn drive_connection(
                     }
                 }
             }
-            burst.put_slice(lines[sent].as_bytes());
-            burst.put_u8(b'\n');
+            encode_request(&lines[sent], codec, &mut burst)?;
             sent += 1;
             burst_n += 1;
             if rate_per_conn.is_some() {
@@ -409,17 +607,241 @@ fn drive_connection(
             }
         }
         if !burst.is_empty() {
-            write_half.write_all(&burst)?;
+            stream.write_all(&burst)?;
             let now_ns = monotonic_ns();
             for _ in 0..burst_n {
                 send_times.push_back(now_ns);
             }
         }
-        if result.latencies_us.len() < sent {
-            read_one(&mut reader, &mut send_times, &mut result)?;
+        if done < sent {
+            let frame = read_frame_blocking(&mut stream, &mut decoder)?;
+            let t_sent_ns = send_times
+                .pop_front()
+                .ok_or_else(|| LoadgenError::Protocol("response without a request".into()))?;
+            let now_ns = monotonic_ns();
+            let (rtt, service) = split_latency(now_ns, t_sent_ns, prev_done_ns);
+            result.rtt_us.push(rtt);
+            result.service_us.push(service);
+            prev_done_ns = now_ns;
+            result.record_reply(classify_frame(frame)?);
+            done += 1;
         }
     }
     Ok(result)
+}
+
+/// One reactor-multiplexed connection of the many-connection open loop.
+struct OpenConn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    out: Vec<u8>,
+    out_pos: usize,
+    inflight: VecDeque<(usize, u64)>,
+    prev_done_ns: u64,
+    want_write: bool,
+}
+
+impl OpenConn {
+    /// Push buffered bytes until the socket would block.
+    fn flush(&mut self) -> std::io::Result<()> {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "server stopped reading",
+                    ))
+                }
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        Ok(())
+    }
+
+    /// Read until the socket would block; `Ok(true)` means EOF.
+    fn read_ready(&mut self) -> std::io::Result<bool> {
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Ok(true),
+                Ok(n) => self.decoder.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// What the many-connection open loop measured.
+struct OpenLoopOutcome {
+    wall_s: f64,
+    rtt_us: Vec<f64>,
+    service_us: Vec<f64>,
+    connect_us: Vec<f64>,
+    /// Indexed by global schedule order, so `d_star` streams stay
+    /// deterministic regardless of which connection answered first.
+    d_stars: Vec<f64>,
+    cache_hits: u64,
+    protocol_errors: u64,
+    error_tally: ErrorTally,
+}
+
+/// Fire `lines` on a single global open-loop schedule at `rate` req/s,
+/// round-robin across `conns` reactor-multiplexed connections.
+///
+/// Send stamps are the *scheduled* fire times, not the actual write
+/// times, so when the server (or this client) falls behind, the backlog
+/// shows up as latency instead of silently stretching the schedule
+/// (coordinated omission). The fleet-of-UAVs shape falls out of the
+/// numbers: with thousands of connections and a modest rate, almost
+/// every connection is idle at any instant, yet all stay registered
+/// with the poller.
+fn drive_open_loop(
+    addr: &str,
+    lines: &[String],
+    conns: usize,
+    rate: f64,
+    codec: Codec,
+) -> Result<OpenLoopOutcome, LoadgenError> {
+    let total = lines.len();
+    let nconns = conns.max(1);
+    let mut outcome = OpenLoopOutcome {
+        wall_s: 1e-9,
+        rtt_us: Vec::with_capacity(total),
+        service_us: Vec::with_capacity(total),
+        connect_us: Vec::with_capacity(nconns),
+        d_stars: vec![f64::NAN; total],
+        cache_hits: 0,
+        protocol_errors: 0,
+        error_tally: ErrorTally::default(),
+    };
+    if total == 0 {
+        return Ok(outcome);
+    }
+    let encoded: Vec<Vec<u8>> = lines
+        .iter()
+        .map(|l| {
+            let mut b = BytesMut::new();
+            encode_request(l, codec, &mut b)?;
+            Ok(b[..].to_vec())
+        })
+        .collect::<Result<_, LoadgenError>>()?;
+
+    let mut poller = Poller::new();
+    let mut cs: Vec<OpenConn> = Vec::with_capacity(nconns);
+    for i in 0..nconns {
+        let t_conn_ns = monotonic_ns();
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        outcome
+            .connect_us
+            .push(monotonic_ns().saturating_sub(t_conn_ns) as f64 / 1e3);
+        let mut decoder = FrameDecoder::new();
+        negotiate_codec(&mut stream, &mut decoder, codec)?;
+        stream.set_nonblocking(true)?;
+        poller.register(stream.as_raw_fd(), Token(i as u64), Interest::READ);
+        cs.push(OpenConn {
+            stream,
+            decoder,
+            out: Vec::new(),
+            out_pos: 0,
+            inflight: VecDeque::new(),
+            prev_done_ns: 0,
+            want_write: false,
+        });
+    }
+
+    let interval_ns = 1e9 / rate.max(1e-9);
+    let t0_ns = monotonic_ns();
+    let due_of = |i: usize| t0_ns + (i as f64 * interval_ns) as u64;
+    let mut next = 0usize;
+    let mut done = 0usize;
+    let mut last_done_ns = t0_ns;
+    let mut events: Vec<Event> = Vec::new();
+    while done < total {
+        // Launch everything the schedule says is due; a late wakeup
+        // sends the whole backlog as one burst (open loop: the schedule
+        // never stretches).
+        let now_ns = monotonic_ns();
+        while next < total && due_of(next) <= now_ns {
+            let c = &mut cs[next % nconns];
+            c.out.extend_from_slice(&encoded[next]);
+            c.inflight.push_back((next, due_of(next)));
+            next += 1;
+        }
+        for (i, c) in cs.iter_mut().enumerate() {
+            if c.out_pos < c.out.len() {
+                c.flush()?;
+            }
+            let want = c.out_pos < c.out.len();
+            if want != c.want_write {
+                let interest = if want {
+                    Interest::READ_WRITE
+                } else {
+                    Interest::READ
+                };
+                poller.modify(Token(i as u64), interest);
+                c.want_write = want;
+            }
+        }
+        let timeout = if next < total {
+            let gap_ns = due_of(next).saturating_sub(monotonic_ns());
+            Some((gap_ns.div_ceil(1_000_000)).max(1) as i32)
+        } else {
+            None
+        };
+        poller.wait(&mut events, timeout)?;
+        for ev in events.iter() {
+            let c = &mut cs[ev.token.0 as usize];
+            if ev.writable && c.out_pos < c.out.len() {
+                c.flush()?;
+            }
+            if !(ev.readable || ev.hangup) {
+                continue;
+            }
+            let eof = c.read_ready()?;
+            while let Some(frame) = c.decoder.next_frame()? {
+                let (idx, due_ns) = c
+                    .inflight
+                    .pop_front()
+                    .ok_or_else(|| LoadgenError::Protocol("response without a request".into()))?;
+                let now_ns = monotonic_ns();
+                let (rtt, service) = split_latency(now_ns, due_ns, c.prev_done_ns);
+                outcome.rtt_us.push(rtt);
+                outcome.service_us.push(service);
+                c.prev_done_ns = now_ns;
+                last_done_ns = now_ns;
+                match classify_frame(frame)? {
+                    Reply::Decision { d_star, cache_hit } => {
+                        outcome.d_stars[idx] = d_star;
+                        if cache_hit {
+                            outcome.cache_hits += 1;
+                        }
+                    }
+                    Reply::ErrorTag(tag) => {
+                        outcome.protocol_errors += 1;
+                        outcome.error_tally.record(tag.as_deref());
+                    }
+                }
+                done += 1;
+            }
+            if eof && done < total {
+                return Err(LoadgenError::Protocol(
+                    "server closed the connection mid-stream".into(),
+                ));
+            }
+        }
+    }
+    outcome.wall_s = (last_done_ns.saturating_sub(t0_ns) as f64 / 1e9).max(1e-9);
+    Ok(outcome)
 }
 
 /// One control request over its own throwaway connection.
@@ -466,12 +888,13 @@ pub struct PhaseReport {
     pub errors_by_kind: ErrorTally,
     /// `cache_hit: true` responses.
     pub cache_hits: u64,
-    /// Client-side latency percentiles, µs (exact, from raw samples).
-    pub p50_us: f64,
-    /// 95th percentile, µs.
-    pub p95_us: f64,
-    /// 99th percentile, µs.
-    pub p99_us: f64,
+    /// Send-to-response round trip (includes pipeline queueing).
+    pub rtt: LatencySummary,
+    /// In-order service decomposition — comparable to the server-side
+    /// per-request histogram.
+    pub service: LatencySummary,
+    /// TCP connection setup, kept out of the request latencies.
+    pub connect: LatencySummary,
     /// The server's `STATS` snapshot taken right after the phase.
     pub server_stats: Json,
     /// Per-connection `d_star` streams (for cross-phase comparison).
@@ -479,6 +902,14 @@ pub struct PhaseReport {
 }
 
 impl PhaseReport {
+    /// The phase's `d_star` stream as raw bits, per-connection streams
+    /// concatenated in connection order — the unit of the
+    /// `--expect-identical` comparison, exposed so integration tests
+    /// can also compare it *across* runs (shard counts, codecs).
+    pub fn d_star_bits(&self) -> Vec<u64> {
+        self.d_stars.iter().flatten().map(|d| d.to_bits()).collect()
+    }
+
     fn to_json(&self) -> Json {
         Json::obj([
             ("label", Json::str(self.label)),
@@ -490,12 +921,53 @@ impl PhaseReport {
             (
                 "latency_us",
                 Json::obj([
-                    ("p50", Json::Fixed(self.p50_us, 1)),
-                    ("p95", Json::Fixed(self.p95_us, 1)),
-                    ("p99", Json::Fixed(self.p99_us, 1)),
+                    ("rtt", self.rtt.to_json()),
+                    ("service", self.service.to_json()),
+                    ("connect", self.connect.to_json()),
                 ]),
             ),
             ("server", self.server_stats.clone()),
+        ])
+    }
+}
+
+/// One offered-load point of the saturation sweep.
+#[derive(Debug, Clone)]
+pub struct SatPoint {
+    /// Scheduled load, req/s.
+    pub offered_rps: f64,
+    /// Completed load, req/s (diverges below offered past the knee).
+    pub achieved_rps: f64,
+    /// Reactor-multiplexed connections carrying the load.
+    pub conns: usize,
+    /// Requests fired at this point.
+    pub requests: usize,
+    /// Error responses (overload shedding shows up here, by design).
+    pub protocol_errors: u64,
+    /// The same errors classified by wire tag.
+    pub errors_by_kind: ErrorTally,
+    /// Schedule-to-response latency under this load.
+    pub rtt: LatencySummary,
+    /// In-order service decomposition under this load.
+    pub service: LatencySummary,
+}
+
+impl SatPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("offered_rps", Json::Fixed(self.offered_rps, 1)),
+            ("achieved_rps", Json::Fixed(self.achieved_rps, 1)),
+            ("conns", Json::Int(self.conns as i64)),
+            ("requests", Json::Int(self.requests as i64)),
+            ("protocol_errors", Json::Int(self.protocol_errors as i64)),
+            ("errors_by_kind", self.errors_by_kind.to_json()),
+            (
+                "latency_us",
+                Json::obj([
+                    ("rtt", self.rtt.to_json()),
+                    ("service", self.service.to_json()),
+                ]),
+            ),
         ])
     }
 }
@@ -505,6 +977,8 @@ impl PhaseReport {
 pub struct Report {
     /// Phases in execution order.
     pub phases: Vec<PhaseReport>,
+    /// Latency-under-load curve (`--saturation`), in sweep order.
+    pub saturation: Vec<SatPoint>,
     /// Cached/uncached throughput ratio on the warm workload.
     pub speedup: Option<f64>,
     /// Cached/uncached throughput ratio on the miss-heavy workload.
@@ -533,7 +1007,9 @@ impl Report {
                     ("window", Json::Int(self.cfg.window as i64)),
                     (
                         "mode",
-                        Json::str(if self.cfg.rate.is_some() {
+                        Json::str(if self.cfg.conns > 0 && self.cfg.rate.is_some() {
+                            "open-loop-conns"
+                        } else if self.cfg.rate.is_some() {
                             "open-loop"
                         } else {
                             "closed-loop"
@@ -543,6 +1019,8 @@ impl Report {
                         "rate_rps",
                         self.cfg.rate.map(Json::Num).unwrap_or(Json::Null),
                     ),
+                    ("conns", Json::Int(self.cfg.conns as i64)),
+                    ("codec", Json::str(self.cfg.codec.wire_name())),
                     ("seed", Json::Int(self.cfg.seed as i64)),
                     ("pool", Json::Int(self.cfg.pool as i64)),
                     ("unique_frac", Json::Num(self.cfg.unique_frac)),
@@ -562,6 +1040,10 @@ impl Report {
                 "phases",
                 Json::Arr(self.phases.iter().map(PhaseReport::to_json).collect()),
             ),
+            (
+                "saturation",
+                Json::Arr(self.saturation.iter().map(SatPoint::to_json).collect()),
+            ),
             ("speedup", ratio(self.speedup)),
             ("speedup_miss", ratio(self.speedup_miss)),
             ("table_speedup", ratio(self.table_speedup)),
@@ -579,13 +1061,20 @@ fn run_phase(
     label: &'static str,
     workload: &[Vec<String>],
 ) -> Result<PhaseReport, LoadgenError> {
+    if cfg.conns > 0 {
+        if let Some(rate) = cfg.rate {
+            return run_phase_open_loop(cfg, label, &workload[0], rate);
+        }
+    }
     let rate_per_conn = cfg.rate.map(|r| r / workload.len().max(1) as f64);
     let t0_ns = monotonic_ns();
     let results: Vec<Result<ThreadResult, LoadgenError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = workload
             .iter()
             .map(|lines| {
-                scope.spawn(|| drive_connection(&cfg.addr, lines, cfg.window, rate_per_conn))
+                scope.spawn(|| {
+                    drive_connection(&cfg.addr, lines, cfg.window, rate_per_conn, cfg.codec)
+                })
             })
             .collect();
         handles
@@ -595,33 +1084,61 @@ fn run_phase(
     });
     let wall_s = monotonic_ns().saturating_sub(t0_ns) as f64 / 1e9;
 
-    let mut merged = Vec::new();
+    let mut rtt_us = Vec::new();
+    let mut service_us = Vec::new();
+    let mut connect_us = Vec::new();
     let mut d_stars = Vec::new();
     let mut protocol_errors = 0;
     let mut errors_by_kind = ErrorTally::default();
     let mut cache_hits = 0;
     for r in results {
         let r = r?;
-        merged.extend(r.latencies_us);
+        rtt_us.extend(r.rtt_us);
+        service_us.extend(r.service_us);
+        connect_us.extend(r.connect_us);
         d_stars.push(r.d_stars);
         protocol_errors += r.protocol_errors;
         errors_by_kind.merge(&r.error_tally);
         cache_hits += r.cache_hits;
     }
     let server_stats = control(&cfg.addr, r#"{"cmd":"stats"}"#)?;
-    let q = |p: f64| quantile(&merged, p).unwrap_or(0.0);
     Ok(PhaseReport {
         label,
         wall_s,
-        throughput_rps: merged.len() as f64 / wall_s.max(1e-9),
+        throughput_rps: rtt_us.len() as f64 / wall_s.max(1e-9),
         protocol_errors,
         errors_by_kind,
         cache_hits,
-        p50_us: q(0.50),
-        p95_us: q(0.95),
-        p99_us: q(0.99),
+        rtt: LatencySummary::from_samples(&rtt_us),
+        service: LatencySummary::from_samples(&service_us),
+        connect: LatencySummary::from_samples(&connect_us),
         server_stats,
         d_stars,
+    })
+}
+
+/// The many-connection variant of [`run_phase`]: the whole workload is
+/// one global stream fired open-loop across `cfg.conns` connections.
+fn run_phase_open_loop(
+    cfg: &LoadgenConfig,
+    label: &'static str,
+    lines: &[String],
+    rate: f64,
+) -> Result<PhaseReport, LoadgenError> {
+    let o = drive_open_loop(&cfg.addr, lines, cfg.conns, rate, cfg.codec)?;
+    let server_stats = control(&cfg.addr, r#"{"cmd":"stats"}"#)?;
+    Ok(PhaseReport {
+        label,
+        wall_s: o.wall_s,
+        throughput_rps: lines.len() as f64 / o.wall_s,
+        protocol_errors: o.protocol_errors,
+        errors_by_kind: o.error_tally,
+        cache_hits: o.cache_hits,
+        rtt: LatencySummary::from_samples(&o.rtt_us),
+        service: LatencySummary::from_samples(&o.service_us),
+        connect: LatencySummary::from_samples(&o.connect_us),
+        server_stats,
+        d_stars: vec![o.d_stars],
     })
 }
 
@@ -656,11 +1173,51 @@ fn d_stars_identical(group: &[&PhaseReport]) -> Option<bool> {
     }))
 }
 
+/// Sweep the offered-load points of `cfg.saturation` over the
+/// many-connection open loop and return the curve. One `reset` precedes
+/// the sweep, so the first point pays the pool's cache misses and the
+/// rest measure the warm serving path — the curve's knee is the
+/// capacity number BENCH_serve.json is after.
+fn run_saturation(cfg: &LoadgenConfig) -> Result<Vec<SatPoint>, LoadgenError> {
+    if cfg.saturation.is_empty() {
+        return Ok(Vec::new());
+    }
+    let conns = if cfg.conns > 0 { cfg.conns } else { 64 };
+    let flat_cfg = LoadgenConfig {
+        concurrency: 1,
+        ..cfg.clone()
+    };
+    let lines = build_workload(&flat_cfg).pop().unwrap_or_default();
+    control_ok(&cfg.addr, r#"{"cmd":"reset"}"#)?;
+    let mut curve = Vec::with_capacity(cfg.saturation.len());
+    for &rate in &cfg.saturation {
+        let o = drive_open_loop(&cfg.addr, &lines, conns, rate, cfg.codec)?;
+        curve.push(SatPoint {
+            offered_rps: rate,
+            achieved_rps: lines.len() as f64 / o.wall_s,
+            conns,
+            requests: lines.len(),
+            protocol_errors: o.protocol_errors,
+            errors_by_kind: o.error_tally,
+            rtt: LatencySummary::from_samples(&o.rtt_us),
+            service: LatencySummary::from_samples(&o.service_us),
+        });
+    }
+    Ok(curve)
+}
+
 /// Run the configured workload; on success the report is also written
 /// to `cfg.out` (pretty JSON) when set.
 pub fn run(cfg: &LoadgenConfig) -> Result<Report, LoadgenError> {
-    let warm = build_workload(cfg);
-    let miss = cfg.miss_heavy.then(|| build_workload_unique(cfg, 1.0));
+    // The many-connection open loop consumes the workload as one global
+    // stream; build it as a single deterministic sequence there.
+    let open_loop = cfg.conns > 0 && cfg.rate.is_some();
+    let wl_cfg = LoadgenConfig {
+        concurrency: if open_loop { 1 } else { cfg.concurrency },
+        ..cfg.clone()
+    };
+    let warm = build_workload(&wl_cfg);
+    let miss = cfg.miss_heavy.then(|| build_workload_unique(&wl_cfg, 1.0));
 
     // One entry per server configuration: (base label, policy toggle,
     // cache toggle). Each runs the warm workload, then the miss-heavy
@@ -705,6 +1262,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Report, LoadgenError> {
         control_ok(&cfg.addr, r#"{"cmd":"cache","enabled":true}"#)?;
     }
 
+    let saturation = run_saturation(cfg)?;
+
     let rps = |label: &str| {
         phases
             .iter()
@@ -738,6 +1297,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Report, LoadgenError> {
 
     let report = Report {
         phases,
+        saturation,
         speedup,
         speedup_miss,
         table_speedup,
@@ -765,7 +1325,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Report, LoadgenError> {
                 by_kind.describe()
             )));
         }
-        if report.phases.iter().any(|p| p.p99_us <= 0.0) {
+        if report.phases.iter().any(|p| p.rtt.p99_us <= 0.0) {
             return Err(LoadgenError::CheckFailed("p99 latency is zero".into()));
         }
         if let (Some(min), Some(got)) = (cfg.min_speedup, report.speedup) {
@@ -817,6 +1377,23 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<LoadgenConfi
             "--concurrency" => cfg.concurrency = value(&mut args, "--concurrency")?,
             "--window" => cfg.window = value(&mut args, "--window")?,
             "--rate" => cfg.rate = Some(value(&mut args, "--rate")?),
+            "--conns" => cfg.conns = value(&mut args, "--conns")?,
+            "--saturation" => {
+                let raw: String = value(&mut args, "--saturation")?;
+                cfg.saturation = raw
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<f64>()
+                            .map_err(|_| format!("--saturation got unparsable rate '{s}'"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--codec" => {
+                let raw: String = value(&mut args, "--codec")?;
+                cfg.codec = Codec::from_wire(&raw)
+                    .ok_or_else(|| format!("unknown codec '{raw}' (ndjson|bin1)"))?;
+            }
             "--seed" => cfg.seed = value(&mut args, "--seed")?,
             "--pool" => cfg.pool = value(&mut args, "--pool")?,
             "--unique-frac" => cfg.unique_frac = value(&mut args, "--unique-frac")?,
@@ -841,6 +1418,9 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<LoadgenConfi
     }
     if cfg.addr.is_empty() {
         return Err("--addr is required".to_string());
+    }
+    if cfg.conns > 0 && cfg.rate.is_none() && cfg.saturation.is_empty() {
+        return Err("--conns needs --rate or --saturation".to_string());
     }
     Ok(cfg)
 }
@@ -925,6 +1505,54 @@ mod tests {
     }
 
     #[test]
+    fn split_latency_decomposes_pipelined_responses() {
+        // Three requests sent together at t=0; responses arrive at
+        // 10 µs, 20 µs, 30 µs. RTT accumulates the queueing (10/20/30)
+        // while the service decomposition attributes 10 µs of server
+        // work to each — which is what makes the client histogram
+        // comparable to the server's.
+        let mut prev = 0u64;
+        let mut rtts = Vec::new();
+        let mut services = Vec::new();
+        for now in [10_000u64, 20_000, 30_000] {
+            let (rtt, service) = split_latency(now, 0, prev);
+            rtts.push(rtt);
+            services.push(service);
+            prev = now;
+        }
+        assert_eq!(rtts, vec![10.0, 20.0, 30.0]);
+        assert_eq!(services, vec![10.0, 10.0, 10.0]);
+        // An idle gap between responses is charged to neither stream
+        // beyond the true interval: sent at 40 µs, answered at 45 µs.
+        let (rtt, service) = split_latency(45_000, 40_000, prev);
+        assert_eq!((rtt, service), (5.0, 5.0));
+    }
+
+    #[test]
+    fn encode_request_bin1_round_trips_the_line() {
+        let line = r#"{"platform":"quadrocopter","d0":42.5,"mdata":12,"rho":0.0002,"speed":7}"#;
+        let mut out = BytesMut::new();
+        encode_request(line, Codec::Bin1, &mut out).expect("encodable");
+        let mut decoder = FrameDecoder::new();
+        decoder.set_codec(Codec::Bin1);
+        decoder.extend_from_slice(&out);
+        let frame = decoder.next_frame().expect("frame").expect("complete");
+        let Frame::Bin(payload) = frame else {
+            panic!("bin1 encoding must yield a binary frame");
+        };
+        let decoded = match framing::decode_request_frame(&payload) {
+            Ok(Request::Decide(p)) => p,
+            other => panic!("expected decide, got {other:?}"),
+        };
+        let reference = workload_params(line).expect("reference params");
+        assert_eq!(decoded.d0_m.to_bits(), reference.d0_m.to_bits());
+        assert_eq!(decoded.v_mps.to_bits(), reference.v_mps.to_bits());
+        // Control lines are not encodable as binary decides.
+        let mut out = BytesMut::new();
+        assert!(encode_request(r#"{"cmd":"stats"}"#, Codec::Bin1, &mut out).is_err());
+    }
+
+    #[test]
     fn args_parse_round_trip() {
         let cfg = parse_args(
             [
@@ -936,6 +1564,14 @@ mod tests {
                 "2",
                 "--window",
                 "16",
+                "--conns",
+                "128",
+                "--rate",
+                "5000",
+                "--saturation",
+                "1000, 2000,4000",
+                "--codec",
+                "bin1",
                 "--seed",
                 "7",
                 "--pool",
@@ -965,6 +1601,10 @@ mod tests {
         assert_eq!(cfg.requests, 500);
         assert_eq!(cfg.concurrency, 2);
         assert_eq!(cfg.window, 16);
+        assert_eq!(cfg.conns, 128);
+        assert_eq!(cfg.rate, Some(5000.0));
+        assert_eq!(cfg.saturation, vec![1000.0, 2000.0, 4000.0]);
+        assert_eq!(cfg.codec, Codec::Bin1);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.pool, 10);
         assert_eq!(cfg.unique_frac, 0.25);
@@ -988,6 +1628,21 @@ mod tests {
             parse_args(["--addr".into(), "x".into(), "--grid".into(), "vast".into()]).is_err(),
             "grid names are quick|full"
         );
+        assert!(
+            parse_args(["--addr".into(), "x".into(), "--codec".into(), "cbor".into()]).is_err(),
+            "codec names are ndjson|bin1"
+        );
+        assert!(
+            parse_args(["--addr".into(), "x".into(), "--conns".into(), "8".into()]).is_err(),
+            "--conns without --rate or --saturation has no driver"
+        );
+        assert!(parse_args([
+            "--addr".into(),
+            "x".into(),
+            "--saturation".into(),
+            "1000,fast".into()
+        ])
+        .is_err());
     }
 
     #[test]
@@ -1064,9 +1719,9 @@ mod tests {
             protocol_errors: 0,
             errors_by_kind: ErrorTally::default(),
             cache_hits: 0,
-            p50_us: 1.0,
-            p95_us: 1.0,
-            p99_us: 1.0,
+            rtt: LatencySummary::default(),
+            service: LatencySummary::default(),
+            connect: LatencySummary::default(),
             server_stats: Json::Null,
             d_stars: vec![d],
         };
@@ -1079,14 +1734,37 @@ mod tests {
     }
 
     #[test]
-    fn open_loop_flag_switches_mode_in_report_json() {
+    fn report_json_carries_modes_and_saturation() {
         let mut cfg = LoadgenConfig {
             addr: "x".into(),
             ..Default::default()
         };
         cfg.rate = Some(100.0);
+        cfg.conns = 256;
+        cfg.codec = Codec::Bin1;
         let report = Report {
             phases: Vec::new(),
+            saturation: vec![SatPoint {
+                offered_rps: 1000.0,
+                achieved_rps: 950.0,
+                conns: 256,
+                requests: 500,
+                protocol_errors: 3,
+                errors_by_kind: ErrorTally {
+                    overloaded: 3,
+                    ..Default::default()
+                },
+                rtt: LatencySummary {
+                    p50_us: 80.0,
+                    p95_us: 200.0,
+                    p99_us: 400.0,
+                },
+                service: LatencySummary {
+                    p50_us: 30.0,
+                    p95_us: 60.0,
+                    p99_us: 90.0,
+                },
+            }],
             speedup: None,
             speedup_miss: None,
             table_speedup: Some(7.25),
@@ -1096,17 +1774,48 @@ mod tests {
         };
         let j = report.to_json();
         let w = j.get("workload").expect("workload");
-        assert_eq!(w.get("mode").and_then(Json::as_str), Some("open-loop"));
+        assert_eq!(
+            w.get("mode").and_then(Json::as_str),
+            Some("open-loop-conns")
+        );
         assert_eq!(w.get("rate_rps").and_then(Json::as_f64), Some(100.0));
+        assert_eq!(w.get("conns").and_then(Json::as_f64), Some(256.0));
+        assert_eq!(w.get("codec").and_then(Json::as_str), Some("bin1"));
         assert_eq!(w.get("grid"), Some(&Json::Null));
         assert_eq!(w.get("miss_heavy").and_then(Json::as_bool), Some(false));
         assert_eq!(j.get("speedup"), Some(&Json::Null));
-        assert_eq!(j.get("speedup_miss"), Some(&Json::Null));
         assert_eq!(
             j.get("table_speedup").and_then(Json::as_f64),
             Some(7.25),
             "ratio members survive the round trip"
         );
-        assert_eq!(j.get("table_speedup_miss"), Some(&Json::Null));
+        let sat = match j.get("saturation") {
+            Some(Json::Arr(points)) => points,
+            other => panic!("saturation must be an array, got {other:?}"),
+        };
+        assert_eq!(sat.len(), 1);
+        assert_eq!(
+            sat[0].get("offered_rps").and_then(Json::as_f64),
+            Some(1000.0)
+        );
+        assert_eq!(
+            sat[0].get("achieved_rps").and_then(Json::as_f64),
+            Some(950.0)
+        );
+        let lat = sat[0].get("latency_us").expect("latency_us");
+        assert_eq!(
+            lat.get("rtt")
+                .and_then(|r| r.get("p50"))
+                .and_then(Json::as_f64),
+            Some(80.0)
+        );
+        assert_eq!(
+            lat.get("service")
+                .and_then(|r| r.get("p99"))
+                .and_then(Json::as_f64),
+            Some(90.0)
+        );
+        let errs = sat[0].get("errors_by_kind").expect("errors_by_kind");
+        assert_eq!(errs.get("overloaded").and_then(Json::as_f64), Some(3.0));
     }
 }

@@ -117,6 +117,20 @@ impl LatencyHistogram {
         self.max_us = 0.0;
     }
 
+    /// Fold another histogram into this one, bucket by bucket. Because
+    /// the buckets are fixed, merging per-shard histograms then asking
+    /// for a quantile is exactly the histogram the shards would have
+    /// built jointly — the deterministic merge `{"cmd":"stats"}` uses
+    /// for its fleet-wide percentiles.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
     /// The percentile summary embedded in `STATS` responses.
     pub fn to_json(&self) -> Json {
         let q = |p: f64| match self.quantile_us(p) {
@@ -417,6 +431,32 @@ mod tests {
                 .expect("recorded")
                 > 0.0
         );
+    }
+
+    #[test]
+    fn merged_histogram_equals_jointly_built_one() {
+        let mut rng = DetRng::seed(0x4157_0003);
+        let mut joint = LatencyHistogram::new();
+        let mut parts: Vec<LatencyHistogram> = (0..4).map(|_| LatencyHistogram::new()).collect();
+        for i in 0..8_000usize {
+            let v = 2f64 * 10f64.powf(rng.uniform() * 4.0);
+            joint.record(v);
+            parts[i % 4].record(v);
+        }
+        let mut merged = LatencyHistogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged.count(), joint.count());
+        assert_eq!(merged.max_us(), joint.max_us());
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(merged.quantile_us(q), joint.quantile_us(q), "q={q}");
+        }
+        let (a, b) = (
+            merged.mean_us().expect("n>0"),
+            joint.mean_us().expect("n>0"),
+        );
+        assert!((a - b).abs() < 1e-9, "mean {a} vs {b}");
     }
 
     #[test]

@@ -63,6 +63,12 @@ pub enum Request {
         /// Desired table-serving state.
         enabled: bool,
     },
+    /// Negotiate the connection's codec (`{"cmd":"codec","v":"bin1"}`).
+    Codec {
+        /// Requested codec name, validated by the server against
+        /// [`crate::framing::Codec::from_wire`].
+        v: String,
+    },
     /// Gracefully stop the server.
     Shutdown,
 }
@@ -91,6 +97,8 @@ pub enum RequestError {
     CacheNeedsEnabled,
     /// `policy` control without a boolean `enabled`.
     PolicyNeedsEnabled,
+    /// `codec` control without a string `v`.
+    CodecNeedsVersion,
 }
 
 impl std::fmt::Display for RequestError {
@@ -108,13 +116,19 @@ impl std::fmt::Display for RequestError {
             RequestError::UnknownField(k) => write!(f, "unknown member \"{k}\""),
             RequestError::Invalid(e) => write!(f, "invalid parameters: {e}"),
             RequestError::UnknownCommand(c) => {
-                write!(f, "unknown cmd '{c}' (stats|reset|cache|policy|shutdown)")
+                write!(
+                    f,
+                    "unknown cmd '{c}' (stats|reset|cache|policy|codec|shutdown)"
+                )
             }
             RequestError::CacheNeedsEnabled => {
                 write!(f, "cache control needs boolean \"enabled\"")
             }
             RequestError::PolicyNeedsEnabled => {
                 write!(f, "policy control needs boolean \"enabled\"")
+            }
+            RequestError::CodecNeedsVersion => {
+                write!(f, "codec control needs string \"v\"")
             }
         }
     }
@@ -150,6 +164,13 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                     .and_then(Json::as_bool)
                     .ok_or(RequestError::PolicyNeedsEnabled)?;
                 Ok(Request::Policy { enabled })
+            }
+            "codec" => {
+                let v = value
+                    .get("v")
+                    .and_then(Json::as_str)
+                    .ok_or(RequestError::CodecNeedsVersion)?;
+                Ok(Request::Codec { v: v.to_string() })
             }
             other => Err(RequestError::UnknownCommand(other.to_string())),
         };
@@ -301,6 +322,14 @@ mod tests {
         assert_eq!(
             parse_request(r#"{"cmd":"policy"}"#),
             Err(RequestError::PolicyNeedsEnabled)
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"codec","v":"bin1"}"#),
+            Ok(Request::Codec { v: "bin1".into() })
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"codec"}"#),
+            Err(RequestError::CodecNeedsVersion)
         );
         assert_eq!(
             parse_request(r#"{"cmd":"selfdestruct"}"#),

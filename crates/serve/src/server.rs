@@ -1,56 +1,46 @@
 //! The `skyferryd` TCP front end.
 //!
-//! Thread anatomy, per the classic inference-server shape:
+//! Thread anatomy, post-sharding:
 //!
-//! * one **accept** thread;
-//! * per connection, a **reader** thread (parses request lines,
-//!   answers protocol errors itself, enqueues valid jobs) and a
-//!   **writer** thread (owns the write half; a sequence-number reorder
-//!   buffer guarantees responses leave in request order even though
-//!   errors are answered out-of-band by the reader);
-//! * one **dispatcher** thread that owns the [`Engine`], drains the
-//!   bounded queue in batches, and serves each batch through
-//!   `sim::parallel` workers. The [`Metrics`] are lock-free atomics
-//!   shared by every thread.
+//! * one **accept** thread that hands each connection to a shard
+//!   round-robin (it owns nothing else — no per-connection threads);
+//! * N **shard** threads, each an event loop over a `poll(2)` reactor
+//!   ([`crate::shard`]): every shard owns its connections, a private
+//!   [`Engine`] (decision cache included), and its slice of the
+//!   metrics. Decide requests are routed to the shard owning their
+//!   quantized key; everything else happens where the connection lives.
+//!
+//! Requests are **pipelined**: a shard parses as many complete frames
+//! per readable event as the socket delivered and answers them as one
+//! engine batch, so a client streaming requests without waiting gets
+//! batched service automatically. Responses still leave each
+//! connection in request order (per-connection reorder buffer).
 //!
 //! With a compiled policy table (`--policy`), in-range decide requests
-//! never reach the dispatcher: the reader answers them from the table
-//! directly — see [`handle_line`] — and only out-of-range requests fall
-//! back to the exact engine path.
+//! never touch a cache shard: the parsing shard answers them from the
+//! shared lock-free table directly.
 //!
-//! Backpressure is explicit: a full queue bounces the request with an
-//! `overloaded` error at the reader, before any solving work happens.
-//! Graceful shutdown (the `shutdown` control request, or
-//! [`ServerHandle::shutdown`]) closes the queue — already-accepted jobs
-//! drain and get responses, later arrivals get `shutting-down` — and
-//! every thread exits; readers poll a 100 ms read timeout so idle
-//! connections notice.
+//! Backpressure is explicit: each shard's decide backlog is bounded by
+//! `queue_depth`, and the *parsing* shard sheds `overloaded` before any
+//! cross-shard traffic happens. Graceful shutdown (the `shutdown`
+//! control request, or [`ServerHandle::shutdown`]) acks, then drains:
+//! accepted decides get responses, later arrivals get `shutting-down`,
+//! write buffers flush, and every thread exits.
 //!
 //! Nothing in the request path unwraps untrusted data: malformed JSON,
-//! invalid parameters, queue overflow and mid-stream disconnects all
-//! produce typed error responses or clean thread exits (the
-//! `server_survives` integration tests drive each case).
+//! bad binary frames, invalid parameters, backlog overflow and
+//! mid-frame disconnects all produce typed error responses or clean
+//! connection teardown (the `server_survives` integration tests drive
+//! each case).
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Arc, Mutex};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
 
-use bytes::{BufMut, BytesMut};
-use skyferry_core::request::DecisionParams;
-use skyferry_trace as trace;
-use skyferry_trace::clock::monotonic_ns;
-
-use crate::bounded::{BoundedQueue, PushError};
-use crate::engine::{Engine, EngineConfig};
-use crate::metrics::Metrics;
+use crate::engine::EngineConfig;
 use crate::policy::{PolicyConfig, PolicyState};
-use crate::proto::{
-    ack_response, decision_response, error_response, parse_request, ErrorKind, Request,
-};
+use crate::shard::{Msg, ServerState, ShardLoop, ShardShared};
 
 /// How the server is wired together.
 #[derive(Debug, Clone)]
@@ -58,14 +48,18 @@ pub struct ServerConfig {
     /// Bind address; port 0 picks a free port (the bound address is on
     /// the [`ServerHandle`]).
     pub addr: String,
-    /// Bounded queue depth (0 = shed every decision, for tests).
+    /// Bounded per-shard decide backlog (0 = shed every decision, for
+    /// tests).
     pub queue_depth: usize,
-    /// Most jobs the dispatcher drains per batch.
+    /// Most decides a shard serves per engine batch.
     pub max_batch: usize,
-    /// Engine (cache) configuration.
+    /// Engine (cache) configuration; every shard gets its own engine
+    /// built from this (each with the full configured cache capacity).
     pub engine: EngineConfig,
-    /// Compiled policy table to serve in-range requests from (reader
-    /// threads, lock-free); `None` sends everything through the engine.
+    /// Number of shard event loops (clamped to at least 1).
+    pub shards: usize,
+    /// Compiled policy table to serve in-range requests from (shared,
+    /// lock-free); `None` sends everything through the engines.
     pub policy: Option<PolicyConfig>,
     /// Deterministic responses: `us_served` is reported as 0 so the
     /// same request stream yields bit-identical response bodies.
@@ -79,57 +73,9 @@ impl Default for ServerConfig {
             queue_depth: 1024,
             max_batch: 64,
             engine: EngineConfig::default(),
+            shards: 1,
             policy: None,
             deterministic: false,
-        }
-    }
-}
-
-/// One queued unit of work.
-enum Job {
-    Decide {
-        params: DecisionParams,
-        seq: u64,
-        reply: Sender<(u64, String)>,
-        /// When the reader saw the complete request line (mono ns).
-        t_recv_ns: u64,
-        /// When parse + validation finished (mono ns).
-        t_parsed_ns: u64,
-        /// Server-wide decide counter value, the trace span's `req` id.
-        req_id: u64,
-    },
-    Stats {
-        seq: u64,
-        reply: Sender<(u64, String)>,
-    },
-    Reset {
-        seq: u64,
-        reply: Sender<(u64, String)>,
-    },
-    Cache {
-        enabled: bool,
-        seq: u64,
-        reply: Sender<(u64, String)>,
-    },
-}
-
-struct Shared {
-    queue: BoundedQueue<Job>,
-    metrics: Metrics,
-    policy: Option<PolicyState>,
-    deterministic: bool,
-    shutdown: AtomicBool,
-    addr: Mutex<Option<SocketAddr>>,
-}
-
-impl Shared {
-    fn trigger_shutdown(&self) {
-        if !self.shutdown.swap(true, Ordering::SeqCst) {
-            self.queue.close();
-            // Unblock the accept loop with a throwaway connection.
-            if let Some(addr) = *self.addr.lock().expect("addr lock poisoned") {
-                let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
-            }
         }
     }
 }
@@ -137,10 +83,9 @@ impl Shared {
 /// A running server: its bound address and the means to stop it.
 pub struct ServerHandle {
     addr: SocketAddr,
-    shared: Arc<Shared>,
+    state: Arc<ServerState>,
     accept: Option<JoinHandle<()>>,
-    dispatcher: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shards: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -151,7 +96,7 @@ impl ServerHandle {
 
     /// Begin a graceful shutdown without waiting for it.
     pub fn shutdown(&self) {
-        self.shared.trigger_shutdown();
+        self.state.trigger_shutdown();
     }
 
     /// Wait until the server stops (a `shutdown` control request, or
@@ -166,14 +111,7 @@ impl ServerHandle {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        if let Some(h) = self.dispatcher.take() {
-            let _ = h.join();
-        }
-        let handles: Vec<_> = {
-            let mut conns = self.conns.lock().expect("conn list poisoned");
-            conns.drain(..).collect()
-        };
-        for h in handles {
+        for h in self.shards.drain(..) {
             let _ = h.join();
         }
     }
@@ -181,450 +119,77 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.shared.trigger_shutdown();
+        self.state.trigger_shutdown();
         self.join_inner();
     }
 }
 
-/// Bind, spawn the thread set, return immediately.
+/// Bind, spawn the acceptor and the shard loops, return immediately.
 pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
+    let nshards = cfg.shards.max(1);
 
-    let shared = Arc::new(Shared {
-        queue: BoundedQueue::new(cfg.queue_depth),
-        metrics: Metrics::new(),
+    let mut shards = Vec::with_capacity(nshards);
+    let mut receivers = Vec::with_capacity(nshards);
+    for id in 0..nshards {
+        let (shard, receiver) = ShardShared::new(id)?;
+        shards.push(shard);
+        receivers.push(receiver);
+    }
+    let state = Arc::new(ServerState {
+        shards,
         policy: cfg.policy.clone().map(PolicyState::new),
         deterministic: cfg.deterministic,
+        queue_depth: cfg.queue_depth,
+        max_batch: cfg.max_batch.max(1),
         shutdown: AtomicBool::new(false),
+        remote_inflight: AtomicUsize::new(0),
         addr: Mutex::new(Some(addr)),
     });
-    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
-    let dispatcher = {
-        let shared = Arc::clone(&shared);
-        let engine = Engine::new(cfg.engine);
-        let max_batch = cfg.max_batch.max(1);
-        let deterministic = cfg.deterministic;
-        std::thread::spawn(move || dispatch_loop(&shared, engine, max_batch, deterministic))
+    // With more than one shard, solves run inline on the shard thread —
+    // each shard *is* a worker, nesting a pool per batch would only add
+    // spawn overhead. A single shard keeps the configured pool.
+    let shard_engine = EngineConfig {
+        solve_threads: if nshards > 1 {
+            1
+        } else {
+            cfg.engine.solve_threads
+        },
+        ..cfg.engine
     };
+    let shard_handles: Vec<JoinHandle<()>> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(id, receiver)| {
+            let state = Arc::clone(&state);
+            let engine_cfg = shard_engine;
+            std::thread::spawn(move || ShardLoop::new(state, id, receiver, engine_cfg).run())
+        })
+        .collect();
 
     let accept = {
-        let shared = Arc::clone(&shared);
-        let conns = Arc::clone(&conns);
+        let state = Arc::clone(&state);
         std::thread::spawn(move || {
+            let mut next = 0usize;
             for stream in listener.incoming() {
-                if shared.shutdown.load(Ordering::SeqCst) {
+                if state.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
-                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
-                let shared2 = Arc::clone(&shared);
-                let handle = std::thread::spawn(move || serve_connection(&shared2, stream));
-                conns.lock().expect("conn list poisoned").push(handle);
+                let shard = &state.shards[next];
+                next = (next + 1) % state.shards.len();
+                shard.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                shard.send(Msg::NewConn(stream));
             }
         })
     };
 
     Ok(ServerHandle {
         addr,
-        shared,
+        state,
         accept: Some(accept),
-        dispatcher: Some(dispatcher),
-        conns,
+        shards: shard_handles,
     })
-}
-
-/// Reader side of one connection; spawns its paired writer.
-fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
-    // A read timeout lets the reader notice shutdown on idle
-    // connections; partial lines accumulate across timeouts because the
-    // buffer is only cleared after a complete line is processed.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let _ = stream.set_nodelay(true);
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let (tx, rx) = mpsc::channel::<(u64, String)>();
-    let writer = std::thread::spawn(move || write_loop(write_half, rx));
-
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    let mut seq: u64 = 0;
-    loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => break, // EOF: client closed mid-stream or cleanly.
-            Ok(_) => {
-                let t_recv_ns = monotonic_ns();
-                let trimmed = line.trim();
-                if !trimmed.is_empty() {
-                    let this_seq = seq;
-                    seq += 1;
-                    handle_line(shared, trimmed, this_seq, t_recv_ns, &tx);
-                }
-                line.clear();
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
-                // Non-UTF-8 bytes: answer once, then drop the
-                // connection (framing is unrecoverable).
-                let _ = tx.send((
-                    seq,
-                    error_response(ErrorKind::BadRequest, "request is not UTF-8 text"),
-                ));
-                break;
-            }
-            Err(_) => break, // reset / broken pipe: nothing to answer.
-        }
-    }
-    drop(tx); // writer drains outstanding replies, then exits
-    let _ = writer.join();
-}
-
-/// Parse one request line and route it; every outcome sends exactly one
-/// response carrying `seq` (except `shutdown`, which also stops the
-/// server).
-///
-/// With a compiled policy table loaded and enabled, in-range decide
-/// requests are answered *here*, on the reader thread: one O(1) table
-/// lookup and a handful of relaxed atomic bumps, no queue, no
-/// dispatcher, no lock. The writer's reorder buffer keeps responses in
-/// request order regardless of which thread answered.
-fn handle_line(
-    shared: &Arc<Shared>,
-    line: &str,
-    seq: u64,
-    t_recv_ns: u64,
-    tx: &Sender<(u64, String)>,
-) {
-    shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
-    let mark_control = || {
-        shared
-            .metrics
-            .control_requests
-            .fetch_add(1, Ordering::Relaxed);
-    };
-    let send_err = |kind: ErrorKind, msg: &str| {
-        let _ = tx.send((seq, error_response(kind, msg)));
-        let counter = match kind {
-            ErrorKind::BadRequest => &shared.metrics.bad_requests,
-            ErrorKind::Overloaded => &shared.metrics.overloaded,
-            ErrorKind::ShuttingDown => &shared.metrics.shed_on_shutdown,
-        };
-        counter.fetch_add(1, Ordering::Relaxed);
-    };
-
-    let request = match parse_request(line) {
-        Ok(r) => r,
-        Err(e) => return send_err(ErrorKind::BadRequest, &e.to_string()),
-    };
-    let job = match request {
-        Request::Decide(params) => match params.validated() {
-            Ok(params) => {
-                let req_id = shared
-                    .metrics
-                    .decide_requests
-                    .fetch_add(1, Ordering::Relaxed)
-                    + 1;
-                let t_parsed_ns = monotonic_ns();
-                if let Some(policy) = shared.policy.as_ref().filter(|p| p.enabled()) {
-                    if let Some(decision) = policy.decide(&params) {
-                        let t_done_ns = monotonic_ns();
-                        let dt_us = t_done_ns.saturating_sub(t_parsed_ns) as f64 / 1e3;
-                        let us_served = if shared.deterministic {
-                            0
-                        } else {
-                            dt_us.round() as u64
-                        };
-                        policy.record_served(dt_us);
-                        shared.metrics.decisions.fetch_add(1, Ordering::Relaxed);
-                        shared.metrics.latency.record(dt_us);
-                        let _ = tx.send((seq, decision_response(&decision, us_served)));
-                        if trace::enabled() {
-                            let t_respond_ns = monotonic_ns();
-                            let span = trace::manual_span("request");
-                            if span.live() {
-                                span.finish_tree(
-                                    t_recv_ns,
-                                    t_respond_ns,
-                                    trace::fields!(
-                                        req = req_id,
-                                        cache_hit = decision.cache_hit,
-                                        policy_hit = true,
-                                        endpoint = "decide"
-                                    ),
-                                    &[
-                                        ("parse", t_recv_ns, t_parsed_ns),
-                                        ("policy-lookup", t_parsed_ns, t_done_ns),
-                                        ("respond", t_done_ns, t_respond_ns),
-                                    ],
-                                );
-                            }
-                        }
-                        return;
-                    }
-                    // Out of the table's range: count it, then take the
-                    // exact engine path below.
-                    policy.record_fallback();
-                }
-                Job::Decide {
-                    params,
-                    seq,
-                    reply: tx.clone(),
-                    t_recv_ns,
-                    t_parsed_ns,
-                    req_id,
-                }
-            }
-            Err(e) => return send_err(ErrorKind::BadRequest, &format!("invalid parameters: {e}")),
-        },
-        Request::Stats => {
-            mark_control();
-            Job::Stats {
-                seq,
-                reply: tx.clone(),
-            }
-        }
-        Request::Reset => {
-            mark_control();
-            Job::Reset {
-                seq,
-                reply: tx.clone(),
-            }
-        }
-        Request::Cache { enabled } => {
-            mark_control();
-            Job::Cache {
-                enabled,
-                seq,
-                reply: tx.clone(),
-            }
-        }
-        Request::Policy { enabled } => {
-            // Handled here, not in the dispatcher: the toggle must be
-            // visible to the *next* request on this connection, and the
-            // reader is the thread that serves table lookups. Response
-            // order is the writer's reorder buffer's problem either way.
-            match shared.policy.as_ref() {
-                Some(policy) => {
-                    mark_control();
-                    policy.set_enabled(enabled);
-                    let _ = tx.send((seq, ack_response("policy")));
-                }
-                None => send_err(
-                    ErrorKind::BadRequest,
-                    "no policy table loaded (start with --policy FILE)",
-                ),
-            }
-            return;
-        }
-        Request::Shutdown => {
-            mark_control();
-            let _ = tx.send((seq, ack_response("shutdown")));
-            shared.trigger_shutdown();
-            return;
-        }
-    };
-    match shared.queue.try_push(job) {
-        Ok(()) => {}
-        Err(PushError::Full(_)) => send_err(
-            ErrorKind::Overloaded,
-            &format!("queue full (depth {})", shared.queue.capacity()),
-        ),
-        Err(PushError::Closed(_)) => send_err(
-            ErrorKind::ShuttingDown,
-            "server is draining; reconnect later",
-        ),
-    }
-}
-
-/// Writer side of one connection: a reorder buffer keyed on sequence
-/// number, flushed whenever the channel runs momentarily dry.
-fn write_loop(mut stream: TcpStream, rx: Receiver<(u64, String)>) {
-    let mut pending: std::collections::BTreeMap<u64, String> = std::collections::BTreeMap::new();
-    let mut next_seq: u64 = 0;
-    let mut buf = BytesMut::with_capacity(4096);
-    // The `recv` loop ends when all senders are gone: connection done.
-    while let Ok((seq, body)) = rx.recv() {
-        pending.insert(seq, body);
-        // Opportunistically drain whatever else is already queued so
-        // one syscall carries many responses.
-        while let Ok((seq, body)) = rx.try_recv() {
-            pending.insert(seq, body);
-        }
-        while let Some(body) = pending.remove(&next_seq) {
-            buf.put_slice(body.as_bytes());
-            buf.put_u8(b'\n');
-            next_seq += 1;
-        }
-        if !buf.is_empty() {
-            if stream.write_all(&buf).is_err() {
-                break;
-            }
-            buf = BytesMut::with_capacity(4096);
-        }
-    }
-    // Final in-order flush (stops at the first gap, which can only mean
-    // the request never got a response because we are tearing down).
-    let mut tail = BytesMut::new();
-    while let Some(body) = pending.remove(&next_seq) {
-        tail.put_slice(body.as_bytes());
-        tail.put_u8(b'\n');
-        next_seq += 1;
-    }
-    if !tail.is_empty() {
-        let _ = stream.write_all(&tail);
-    }
-    let _ = stream.flush();
-}
-
-/// The dispatcher: drains the queue, forms decision batches (control
-/// jobs act as barriers so stream semantics hold), serves them on the
-/// worker pool, stamps and ships responses.
-fn dispatch_loop(shared: &Arc<Shared>, mut engine: Engine, max_batch: usize, deterministic: bool) {
-    let mut decides: Vec<PendingDecide> = Vec::new();
-    loop {
-        let batch = shared.queue.pop_batch(max_batch);
-        if batch.is_empty() {
-            // Closed and drained.
-            flush_decides(shared, &mut engine, &mut decides, deterministic);
-            return;
-        }
-        for job in batch {
-            match job {
-                Job::Decide {
-                    params,
-                    seq,
-                    reply,
-                    t_recv_ns,
-                    t_parsed_ns,
-                    req_id,
-                } => decides.push(PendingDecide {
-                    params,
-                    seq,
-                    reply,
-                    t_recv_ns,
-                    t_parsed_ns,
-                    req_id,
-                }),
-                Job::Stats { seq, reply } => {
-                    flush_decides(shared, &mut engine, &mut decides, deterministic);
-                    let body = shared
-                        .metrics
-                        .to_json(
-                            &engine.cache_stats(),
-                            engine.cache_enabled(),
-                            shared.queue.len(),
-                            shared.policy.as_ref().map(PolicyState::to_json),
-                        )
-                        .render();
-                    let _ = reply.send((seq, body));
-                }
-                Job::Reset { seq, reply } => {
-                    flush_decides(shared, &mut engine, &mut decides, deterministic);
-                    engine.reset();
-                    shared.metrics.clear();
-                    if let Some(policy) = shared.policy.as_ref() {
-                        policy.reset();
-                    }
-                    let _ = reply.send((seq, ack_response("reset")));
-                }
-                Job::Cache {
-                    enabled,
-                    seq,
-                    reply,
-                } => {
-                    flush_decides(shared, &mut engine, &mut decides, deterministic);
-                    engine.set_cache_enabled(enabled);
-                    let _ = reply.send((seq, ack_response("cache")));
-                }
-            }
-        }
-        flush_decides(shared, &mut engine, &mut decides, deterministic);
-    }
-}
-
-/// A decision waiting in the dispatcher's batch: parameters, sequence
-/// slot, the connection's reply channel, and the trace timestamps the
-/// reader stamped on the way in.
-struct PendingDecide {
-    params: DecisionParams,
-    seq: u64,
-    reply: Sender<(u64, String)>,
-    t_recv_ns: u64,
-    t_parsed_ns: u64,
-    req_id: u64,
-}
-
-/// Serve the buffered decisions as one engine batch. The whole batch's
-/// service time is attributed to each request in it (`us_served`, and
-/// the latency histogram) — a per-request split would be fiction, the
-/// batch is solved jointly.
-fn flush_decides(
-    shared: &Arc<Shared>,
-    engine: &mut Engine,
-    decides: &mut Vec<PendingDecide>,
-    deterministic: bool,
-) {
-    if decides.is_empty() {
-        return;
-    }
-    let params: Vec<DecisionParams> = decides.iter().map(|d| d.params).collect();
-    let (served, timing) = engine.serve_batch_timed(&params);
-    let dt_us = timing.t_done_ns.saturating_sub(timing.t_start_ns) as f64 / 1e3;
-    let us_served = if deterministic {
-        0
-    } else {
-        dt_us.round() as u64
-    };
-    shared
-        .metrics
-        .decisions
-        .fetch_add(served.len() as u64, Ordering::Relaxed);
-    for _ in &served {
-        shared.metrics.latency.record(dt_us);
-    }
-    for (d, decision) in decides.iter().zip(&served) {
-        let _ = d
-            .reply
-            .send((d.seq, decision_response(decision, us_served)));
-    }
-    if trace::enabled() {
-        // One span tree per request, built from measured timestamps
-        // (manual spans: the dispatcher already has the real phase
-        // boundaries, re-timing with guards would double-measure). The
-        // queue/cache/compute phases are batch-wide; parse is the one
-        // genuinely per-request leg.
-        let t_respond_ns = monotonic_ns();
-        for (d, decision) in decides.iter().zip(&served) {
-            let span = trace::manual_span("request");
-            if !span.live() {
-                continue;
-            }
-            span.finish_tree(
-                d.t_recv_ns,
-                t_respond_ns,
-                trace::fields!(
-                    req = d.req_id,
-                    cache_hit = decision.cache_hit,
-                    endpoint = "decide"
-                ),
-                &[
-                    ("parse", d.t_recv_ns, d.t_parsed_ns),
-                    ("queue", d.t_parsed_ns, timing.t_start_ns),
-                    ("cache", timing.t_start_ns, timing.t_cache_ns),
-                    ("compute", timing.t_cache_ns, timing.t_done_ns),
-                    ("respond", timing.t_done_ns, t_respond_ns),
-                ],
-            );
-        }
-    }
-    decides.clear();
 }

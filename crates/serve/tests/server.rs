@@ -13,6 +13,10 @@ use skyferry_serve::server::{start, ServerConfig, ServerHandle};
 use skyferry_stats::json::{self, Json};
 
 fn test_server(queue_depth: usize) -> ServerHandle {
+    sharded_server(queue_depth, 1)
+}
+
+fn sharded_server(queue_depth: usize, shards: usize) -> ServerHandle {
     start(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         queue_depth,
@@ -21,7 +25,9 @@ fn test_server(queue_depth: usize) -> ServerHandle {
             cache_capacity: 64,
             quant: Quantizer::exact(),
             cache_enabled: true,
+            solve_threads: 0,
         },
+        shards,
         policy: None,
         deterministic: true,
     })
@@ -39,7 +45,9 @@ fn policy_server() -> (ServerHandle, PolicyGrid) {
             cache_capacity: 64,
             quant: Quantizer::exact(),
             cache_enabled: false,
+            solve_threads: 0,
         },
+        shards: 1,
         policy: Some(PolicyConfig {
             table: Arc::new(table),
             interpolate: false,
@@ -166,7 +174,11 @@ fn zero_depth_queue_sheds_with_overloaded() {
         &[r#"{"platform":"airplane"}"#, r#"{"cmd":"stats"}"#],
     );
     assert_eq!(error_kind(&responses[0]).as_deref(), Some("overloaded"));
-    assert_eq!(error_kind(&responses[1]).as_deref(), Some("overloaded"));
+    // Stats are served by the shard directly (no queue between them and
+    // the counters), so they still work under full shed — and report it.
+    let stats = json::parse(&responses[1]).expect("stats json");
+    assert_eq!(stats.get("overloaded").and_then(Json::as_i64), Some(1));
+    assert_eq!(stats.get("decisions").and_then(Json::as_i64), Some(0));
     drop(handle); // drop = shutdown + join
 }
 
@@ -446,4 +458,497 @@ fn response_bytes_identical_across_worker_counts() {
             assert_eq!(us.as_i64(), Some(0));
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Sharded serving: equivalence, control barriers, and the bin1 codec.
+// ---------------------------------------------------------------------
+
+/// The core tentpole guarantee: the same pipelined request stream,
+/// served at 1, 2 and 8 shards in deterministic mode, must produce
+/// bit-identical response bodies — and identical merged cache totals,
+/// because every quantized key lives in exactly one shard.
+#[test]
+fn response_bytes_identical_across_shard_counts() {
+    let requests: Vec<String> = {
+        let mut lines = Vec::new();
+        for i in 0..80u64 {
+            match i % 5 {
+                0 => lines.push(r#"{"platform":"quadrocopter"}"#.to_string()),
+                1 => lines.push(format!(
+                    r#"{{"platform":"airplane","d0":{},"mdata":14}}"#,
+                    120 + (i % 4) * 40
+                )),
+                2 => lines.push(r#"{"platform":"airplane","mdata":28}"#.to_string()),
+                3 => lines.push("{oops".to_string()),
+                _ => lines.push(format!(
+                    r#"{{"platform":"quadrocopter","d0":{}}}"#,
+                    60 + i % 7
+                )),
+            }
+        }
+        lines
+    };
+    let line_refs: Vec<&str> = requests.iter().map(String::as_str).collect();
+
+    let mut streams: Vec<Vec<String>> = Vec::new();
+    let mut cache_totals: Vec<(i64, i64)> = Vec::new();
+    for shards in [1usize, 2, 8] {
+        let handle = sharded_server(256, shards);
+        let responses = round_trip(&handle, &line_refs);
+        let stats_line = round_trip(&handle, &[r#"{"cmd":"stats"}"#]);
+        let stats = json::parse(&stats_line[0]).expect("stats json");
+        let cache = stats.get("cache").expect("cache block");
+        cache_totals.push((
+            cache.get("hits").and_then(Json::as_i64).expect("hits"),
+            cache.get("misses").and_then(Json::as_i64).expect("misses"),
+        ));
+        assert_eq!(
+            stats.get("shard_count").and_then(Json::as_i64),
+            Some(shards as i64)
+        );
+        drop(handle); // drop = shutdown + join
+        streams.push(responses);
+    }
+    assert_eq!(streams[0], streams[1], "1 vs 2 shards");
+    assert_eq!(streams[0], streams[2], "1 vs 8 shards");
+    assert_eq!(
+        cache_totals[0], cache_totals[1],
+        "merged hit/miss, 2 shards"
+    );
+    assert_eq!(
+        cache_totals[0], cache_totals[2],
+        "merged hit/miss, 8 shards"
+    );
+}
+
+/// Control barriers across shards: a cache toggle / reset issued on one
+/// connection applies to every shard's engine before the ack, and
+/// requests sent after the ack observe the new state.
+#[test]
+fn control_barriers_apply_to_every_shard() {
+    let handle = sharded_server(256, 4);
+    // Distinct keys, so they spread over several shards.
+    let decides: Vec<String> = (0..12u64)
+        .map(|i| format!(r#"{{"platform":"quadrocopter","d0":{}}}"#, 40 + i * 9))
+        .collect();
+    let mut lines: Vec<&str> = decides.iter().map(String::as_str).collect();
+    lines.push(r#"{"cmd":"cache","enabled":false}"#);
+    let responses = round_trip(&handle, &lines);
+    assert_eq!(
+        json::parse(responses.last().expect("ack"))
+            .expect("ack json")
+            .get("ok")
+            .and_then(Json::as_str),
+        Some("cache")
+    );
+    // Repeats of the same keys after the disable are all misses.
+    let again = round_trip(&handle, &lines[..12.min(lines.len() - 1)]);
+    for r in &again {
+        let d = json::parse(r).expect("decision");
+        assert_eq!(
+            d.get("cache_hit").and_then(Json::as_bool),
+            Some(false),
+            "cache disabled on every shard: {r}"
+        );
+    }
+    // Reset wipes the counters on every shard; the merged stats agree.
+    let responses = round_trip(&handle, &[r#"{"cmd":"reset"}"#, r#"{"cmd":"stats"}"#]);
+    assert_eq!(
+        json::parse(&responses[0])
+            .expect("ack")
+            .get("ok")
+            .and_then(Json::as_str),
+        Some("reset")
+    );
+    let stats = json::parse(&responses[1]).expect("stats");
+    assert_eq!(stats.get("decisions").and_then(Json::as_i64), Some(0));
+    let cache = stats.get("cache").expect("cache block");
+    assert_eq!(cache.get("hits").and_then(Json::as_i64), Some(0));
+    assert_eq!(cache.get("misses").and_then(Json::as_i64), Some(0));
+    assert_eq!(cache.get("len").and_then(Json::as_i64), Some(0));
+    drop(handle); // drop = shutdown + join
+}
+
+/// Per-shard stats: the breakdown array is present, one entry per
+/// shard, and its per-shard numbers sum to the merged totals.
+#[test]
+fn stats_per_shard_breakdown_sums_to_totals() {
+    let handle = sharded_server(256, 3);
+    let decides: Vec<String> = (0..18u64)
+        .map(|i| format!(r#"{{"platform":"airplane","d0":{}}}"#, 100 + i * 13))
+        .collect();
+    let lines: Vec<&str> = decides.iter().map(String::as_str).collect();
+    let _ = round_trip(&handle, &lines);
+    let responses = round_trip(&handle, &[r#"{"cmd":"stats"}"#]);
+    let stats = json::parse(&responses[0]).expect("stats");
+    let shards = match stats.get("shards") {
+        Some(Json::Arr(a)) => a,
+        other => panic!("per-shard breakdown missing: {other:?}"),
+    };
+    assert_eq!(shards.len(), 3);
+    for key in ["decisions", "requests", "connections"] {
+        let total = stats.get(key).and_then(Json::as_i64).expect(key);
+        let sum: i64 = shards
+            .iter()
+            .map(|s| s.get(key).and_then(Json::as_i64).expect(key))
+            .sum();
+        assert_eq!(sum, total, "per-shard {key} must sum to the merged total");
+    }
+    let cache_sum: i64 = shards
+        .iter()
+        .map(|s| {
+            s.get("cache")
+                .and_then(|c| c.get("misses"))
+                .and_then(Json::as_i64)
+                .expect("shard cache misses")
+        })
+        .sum();
+    assert_eq!(
+        stats
+            .get("cache")
+            .and_then(|c| c.get("misses"))
+            .and_then(Json::as_i64),
+        Some(cache_sum)
+    );
+    drop(handle); // drop = shutdown + join
+}
+
+/// End-to-end bin1: negotiate the codec mid-connection, stream binary
+/// decide frames, and check the decoded decisions match the NDJSON
+/// answers for the same parameters bit-for-bit.
+#[test]
+fn bin1_codec_round_trips_end_to_end() {
+    use bytes::BytesMut;
+    use skyferry_core::request::{DecisionParams, Platform};
+    use skyferry_serve::framing::{
+        decode_response_frame, encode_decide_frame, encode_json_request_frame, BinResponse, Codec,
+        Frame, FrameDecoder,
+    };
+
+    let handle = sharded_server(256, 2);
+    let params: Vec<DecisionParams> = (0..6)
+        .map(|i| {
+            let mut p = DecisionParams::baseline(if i % 2 == 0 {
+                Platform::Airplane
+            } else {
+                Platform::Quadrocopter
+            });
+            p.d0_m += f64::from(i) * 35.0;
+            p
+        })
+        .collect();
+
+    // Reference run over NDJSON on a separate connection.
+    let ndjson: Vec<String> = {
+        let lines: Vec<String> = params
+            .iter()
+            .map(|p| {
+                format!(
+                    r#"{{"platform":"{}","d0":{},"mdata":{},"rho":{},"speed":{}}}"#,
+                    p.platform.id(),
+                    p.d0_m,
+                    p.mdata_bytes / 1e6,
+                    p.rho_per_m,
+                    p.v_mps
+                )
+            })
+            .collect();
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        round_trip(&handle, &refs)
+    };
+
+    // Binary run: negotiate, then stream every decide in one write.
+    let (mut stream, mut reader) = connect(&handle);
+    stream
+        .write_all(b"{\"cmd\":\"codec\",\"v\":\"bin1\"}\n")
+        .expect("send codec request");
+    let mut ack = String::new();
+    reader.read_line(&mut ack).expect("codec ack");
+    assert_eq!(
+        json::parse(ack.trim())
+            .expect("ack json")
+            .get("ok")
+            .and_then(Json::as_str),
+        Some("codec"),
+        "ack arrives in the old codec"
+    );
+    let mut wire = BytesMut::new();
+    for p in &params {
+        encode_decide_frame(p, &mut wire);
+    }
+    // And one JSON-over-bin1 control frame at the tail.
+    encode_json_request_frame(r#"{"cmd":"stats"}"#, &mut wire);
+    stream.write_all(&wire[..]).expect("send binary frames");
+
+    // Read responses through the same frame decoder the server uses.
+    let mut dec = FrameDecoder::new();
+    dec.set_codec(Codec::Bin1);
+    let mut frames = Vec::new();
+    let mut byte = [0u8; 1024];
+    use std::io::Read;
+    let inner = reader.get_mut();
+    while frames.len() < params.len() + 1 {
+        let n = inner.read(&mut byte).expect("read responses");
+        assert!(n > 0, "server closed early");
+        dec.extend_from_slice(&byte[..n]);
+        while let Some(f) = dec.next_frame().expect("well-framed response") {
+            frames.push(f);
+        }
+    }
+
+    for (i, (frame, nd)) in frames.iter().zip(&ndjson).enumerate() {
+        let Frame::Bin(payload) = frame else {
+            panic!("expected binary frame, got {frame:?}")
+        };
+        let BinResponse::Decision(bin) = decode_response_frame(payload).expect("decision frame")
+        else {
+            panic!("expected decision, got json escape")
+        };
+        let nd = json::parse(nd).expect("ndjson decision");
+        assert_eq!(
+            Some(bin.d_star),
+            nd.get("d_star").and_then(Json::as_f64),
+            "request {i}: binary and NDJSON answers must agree bitwise"
+        );
+        assert_eq!(Some(bin.utility), nd.get("utility").and_then(Json::as_f64));
+        assert!(
+            bin.cache_hit,
+            "request {i}: the NDJSON run warmed this key, the binary run must hit"
+        );
+    }
+    // The tail frame is the JSON stats escape.
+    let Frame::Bin(payload) = &frames[params.len()] else {
+        panic!("expected binary frame")
+    };
+    let BinResponse::Json(stats_line) = decode_response_frame(payload).expect("stats frame") else {
+        panic!("expected json escape for stats")
+    };
+    let stats = json::parse(&stats_line).expect("stats json");
+    assert!(
+        stats
+            .get("decisions")
+            .and_then(Json::as_i64)
+            .expect("count")
+            >= 12
+    );
+    drop(handle); // drop = shutdown + join
+}
+
+/// An unknown codec name is a typed error and the connection keeps
+/// speaking NDJSON.
+#[test]
+fn unknown_codec_is_rejected_gracefully() {
+    let handle = test_server(64);
+    let responses = round_trip(
+        &handle,
+        &[
+            r#"{"cmd":"codec","v":"protobuf"}"#,
+            r#"{"platform":"airplane"}"#,
+        ],
+    );
+    assert_eq!(error_kind(&responses[0]).as_deref(), Some("bad-request"));
+    assert!(error_kind(&responses[1]).is_none(), "still NDJSON after");
+    drop(handle); // drop = shutdown + join
+}
+
+/// Graceful shutdown on a sharded server: the ack arrives, in-flight
+/// decides drain with real responses, and the port goes dead.
+#[test]
+fn sharded_shutdown_drains_inflight_decides() {
+    let handle = sharded_server(256, 4);
+    let addr = handle.addr();
+    let decides: Vec<String> = (0..10u64)
+        .map(|i| format!(r#"{{"platform":"quadrocopter","d0":{}}}"#, 45 + i * 11))
+        .collect();
+    let mut lines: Vec<&str> = decides.iter().map(String::as_str).collect();
+    lines.push(r#"{"cmd":"shutdown"}"#);
+    let responses = round_trip(&handle, &lines);
+    for r in &responses[..10] {
+        assert!(
+            error_kind(r).is_none(),
+            "decides sent before shutdown must drain with answers: {r}"
+        );
+    }
+    assert_eq!(
+        json::parse(&responses[10])
+            .expect("ack")
+            .get("ok")
+            .and_then(Json::as_str),
+        Some("shutdown")
+    );
+    drop(handle); // drop = shutdown + join
+    let refused = TcpStream::connect_timeout(&addr, std::time::Duration::from_millis(200));
+    if let Ok(mut s) = refused {
+        let _ = s.write_all(b"{\"platform\":\"airplane\"}\n");
+        let _ = s.set_read_timeout(Some(std::time::Duration::from_millis(300)));
+        let mut r = BufReader::new(s);
+        let mut line = String::new();
+        let got = r.read_line(&mut line);
+        assert!(
+            matches!(got, Err(_) | Ok(0)),
+            "dead server answered {line:?}"
+        );
+    }
+}
+
+/// A policy server with N shards sharing one compiled table.
+fn policy_server_sharded(shards: usize, table: Arc<PolicyTable>) -> ServerHandle {
+    start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        queue_depth: 1024,
+        max_batch: 8,
+        engine: EngineConfig {
+            cache_capacity: 4096,
+            quant: Quantizer::exact(),
+            cache_enabled: true,
+            solve_threads: 0,
+        },
+        shards,
+        policy: Some(PolicyConfig {
+            table,
+            interpolate: false,
+        }),
+        deterministic: true,
+    })
+    .expect("bind loopback")
+}
+
+/// The acceptance run of the sharding work: the full loadgen
+/// `--policy-compare --miss-heavy --expect-identical --check` sweep
+/// (table, cache and no-cache phases, warm and miss-heavy workloads)
+/// must pass against 1, 2 and 8 shards, and the `d_star` bit streams
+/// must match across the shard counts — sharding is a pure
+/// partitioning of the same sequential computation.
+#[test]
+fn loadgen_identical_across_shard_counts() {
+    use skyferry_serve::loadgen::{run, GridMode, LoadgenConfig};
+
+    let table = Arc::new(PolicyTable::build(PolicyGrid::quick(), 0x5AFE));
+    let mut baseline: Option<Vec<(&'static str, Vec<u64>)>> = None;
+    for shards in [1usize, 2, 8] {
+        let handle = policy_server_sharded(shards, Arc::clone(&table));
+        let cfg = LoadgenConfig {
+            addr: handle.addr().to_string(),
+            requests: 600,
+            concurrency: 3,
+            window: 32,
+            grid: Some(GridMode::Quick),
+            policy_compare: true,
+            miss_heavy: true,
+            expect_identical: true,
+            check: true,
+            ..Default::default()
+        };
+        let report = run(&cfg).unwrap_or_else(|e| panic!("loadgen vs {shards} shards: {e}"));
+        assert_eq!(
+            report.d_star_identical,
+            Some(true),
+            "{shards} shards: phases of the same workload must agree bitwise"
+        );
+        assert!(report.table_speedup.is_some());
+        let bits: Vec<(&'static str, Vec<u64>)> = report
+            .phases
+            .iter()
+            .map(|p| (p.label, p.d_star_bits()))
+            .collect();
+        match &baseline {
+            None => baseline = Some(bits),
+            Some(reference) => assert_eq!(
+                reference, &bits,
+                "{shards} shards must reproduce the 1-shard d_star streams bitwise"
+            ),
+        }
+        drop(handle); // drop = shutdown + join
+    }
+}
+
+/// The many-connection open loop: one reactor multiplexing dozens of
+/// mostly-idle connections, plus a latency-under-load saturation sweep.
+#[test]
+fn open_loop_saturation_curve_under_many_connections() {
+    use skyferry_serve::loadgen::{run, LoadgenConfig};
+
+    let handle = sharded_server(4096, 2);
+    let cfg = LoadgenConfig {
+        addr: handle.addr().to_string(),
+        requests: 800,
+        conns: 32,
+        rate: Some(20_000.0),
+        saturation: vec![2_000.0, 8_000.0, 20_000.0, 50_000.0],
+        check: true,
+        ..Default::default()
+    };
+    let report = run(&cfg).expect("open-loop run");
+
+    assert_eq!(report.phases.len(), 1);
+    let p = &report.phases[0];
+    assert_eq!(p.label, "single");
+    assert_eq!(p.protocol_errors, 0);
+    assert!(p.throughput_rps > 0.0);
+    // RTT includes schedule/queueing time the service decomposition
+    // strips, so each percentile dominates its service counterpart.
+    assert!(p.rtt.p50_us >= p.service.p50_us);
+    assert!(p.rtt.p99_us >= p.service.p99_us);
+    assert!(p.connect.p50_us > 0.0, "connection setup is measured apart");
+
+    let mode = report
+        .to_json()
+        .get("workload")
+        .and_then(|w| w.get("mode").and_then(Json::as_str).map(str::to_string));
+    assert_eq!(mode.as_deref(), Some("open-loop-conns"));
+
+    assert_eq!(report.saturation.len(), 4, "one point per offered rate");
+    for s in &report.saturation {
+        assert_eq!(s.conns, 32);
+        assert_eq!(s.requests, 800);
+        assert!(s.achieved_rps > 0.0);
+        assert!(s.rtt.p50_us >= s.service.p50_us);
+    }
+    drop(handle); // drop = shutdown + join
+}
+
+/// The loadgen's bin1 path: a full `--compare --miss-heavy` sweep over
+/// the binary codec must reproduce the NDJSON sweep's `d_star` streams
+/// bit for bit — the codec changes the wire bytes, never the answers.
+#[test]
+fn loadgen_bin1_sweep_matches_ndjson_bitwise() {
+    use skyferry_serve::framing::Codec;
+    use skyferry_serve::loadgen::{run, LoadgenConfig};
+
+    let handle = sharded_server(1024, 2);
+    let base = LoadgenConfig {
+        addr: handle.addr().to_string(),
+        requests: 400,
+        concurrency: 2,
+        window: 16,
+        compare: true,
+        miss_heavy: true,
+        expect_identical: true,
+        check: true,
+        ..Default::default()
+    };
+    let ndjson = run(&base).expect("ndjson sweep");
+    let bin1 = run(&LoadgenConfig {
+        codec: Codec::Bin1,
+        ..base.clone()
+    })
+    .expect("bin1 sweep");
+
+    assert_eq!(ndjson.phases.len(), 4); // cache/no-cache × warm/miss
+    assert_eq!(ndjson.phases.len(), bin1.phases.len());
+    for (a, b) in ndjson.phases.iter().zip(&bin1.phases) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(
+            a.d_star_bits(),
+            b.d_star_bits(),
+            "phase {}: bin1 must answer bit-identically to NDJSON",
+            a.label
+        );
+        assert_eq!(a.protocol_errors, 0);
+        assert_eq!(b.protocol_errors, 0);
+    }
+    assert_eq!(ndjson.d_star_identical, Some(true));
+    assert_eq!(bin1.d_star_identical, Some(true));
+    drop(handle); // drop = shutdown + join
 }
