@@ -8,6 +8,7 @@
 //! repro --bench-parallel FILE [--quick] [--seed N] [--threads N]
 //! repro --compile-policy FILE [--quick] [--seed N] [--threads N]
 //! repro --verify-policy FILE
+//! repro --export-fleet-trace FILE [--quick] [--seed N]
 //! ```
 //!
 //! With no experiment arguments, runs everything in the registry's paper
@@ -50,6 +51,7 @@ fn usage() {
          \x20      repro --bench-parallel FILE [--quick] [--seed N] [--threads N]\n\
          \x20      repro --compile-policy FILE [--quick] [--seed N] [--threads N]\n\
          \x20      repro --verify-policy FILE\n\
+         \x20      repro --export-fleet-trace FILE [--quick] [--seed N]\n\
          experiments: {} (default: all)",
         experiments::ids().join(" ")
     );
@@ -186,6 +188,17 @@ fn run(args: CliArgs) -> ExitCode {
                 ExitCode::FAILURE
             }
         };
+    }
+
+    if let Some(path) = &args.export_fleet_trace {
+        let jsonl = experiments::fleet::export_trace(&cfg);
+        let events = jsonl.lines().count();
+        if let Err(e) = std::fs::write(path, &jsonl) {
+            eprintln!("error: could not write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {events} fleet request events to {}", path.display());
+        return ExitCode::SUCCESS;
     }
 
     if let Some(path) = &args.verify_policy {

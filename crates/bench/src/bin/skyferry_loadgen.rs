@@ -5,7 +5,8 @@
 //!                  [--window N] [--rate RPS] [--conns N]
 //!                  [--saturation R1,R2,...] [--codec ndjson|bin1]
 //!                  [--seed N] [--pool N]
-//!                  [--unique-frac F] [--grid quick|full] [--compare]
+//!                  [--unique-frac F] [--grid quick|full]
+//!                  [--fleet-trace FILE] [--compare]
 //!                  [--policy-compare] [--miss-heavy] [--min-speedup X]
 //!                  [--min-table-speedup X] [--expect-identical]
 //!                  [--check] [--out FILE] [--shutdown-after]
@@ -19,16 +20,21 @@
 //! appends a latency-under-load sweep over the same engine. Latency is
 //! printed as `rtt` (send-to-response, pipeline queueing included) and
 //! `svc` (the in-order service decomposition, comparable to the
-//! server-side histogram). Exit codes: 0 success, 1 a `--check` gate
-//! failed or the server was unreachable, 2 bad arguments.
+//! server-side histogram). `--fleet-trace FILE` replays a recorded
+//! fleet request stream (`repro --export-fleet-trace` JSONL) instead of
+//! the random mix and prints its inter-arrival statistics; with
+//! `--compare --expect-identical` the replayed `d_star` streams are
+//! gated bitwise across phases. Exit codes: 0 success, 1 a `--check`
+//! gate failed or the server was unreachable, 2 bad arguments.
 
 use skyferry_serve::loadgen::{parse_args, run, LoadgenError};
 
 const USAGE: &str = "usage: skyferry-loadgen --addr HOST:PORT [--requests N] \
 [--concurrency N] [--window N] [--rate RPS] [--conns N] [--saturation R1,R2,...] \
 [--codec ndjson|bin1] [--seed N] [--pool N] [--unique-frac F] \
-[--grid quick|full] [--compare] [--policy-compare] [--miss-heavy] [--min-speedup X] \
-[--min-table-speedup X] [--expect-identical] [--check] [--out FILE] [--shutdown-after]";
+[--grid quick|full] [--fleet-trace FILE] [--compare] [--policy-compare] \
+[--miss-heavy] [--min-speedup X] [--min-table-speedup X] [--expect-identical] \
+[--check] [--out FILE] [--shutdown-after]";
 
 fn main() {
     let cfg = match parse_args(std::env::args().skip(1)) {
@@ -83,6 +89,13 @@ fn main() {
                 println!(
                     "d_star streams: {}",
                     if identical { "bit-identical" } else { "DIFFER" }
+                );
+            }
+            if let Some(t) = &report.fleet_trace {
+                println!(
+                    "fleet trace: {} events over {:.1} s   gap p50 {:.3} s  p95 {:.3} s   \
+                     burstiness {:.2}",
+                    t.events, t.span_s, t.p50_gap_s, t.p95_gap_s, t.burstiness,
                 );
             }
             if let Some(out) = &cfg.out {

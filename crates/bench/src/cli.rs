@@ -11,6 +11,7 @@
 //! repro --bench-parallel FILE [--quick] [--seed N] [--threads N]
 //! repro --compile-policy FILE [--quick] [--seed N] [--threads N]
 //! repro --verify-policy FILE
+//! repro --export-fleet-trace FILE [--quick] [--seed N]
 //! ```
 
 use std::path::PathBuf;
@@ -36,6 +37,10 @@ pub struct CliArgs {
     /// Policy artifact to audit against the exact optimizer
     /// (`--verify-policy FILE`).
     pub verify_policy: Option<PathBuf>,
+    /// Fleet request-stream JSONL output path
+    /// (`--export-fleet-trace FILE`), replayable with
+    /// `skyferry-loadgen --fleet-trace`.
+    pub export_fleet_trace: Option<PathBuf>,
     /// Execution trace output path (`--trace FILE`; `.jsonl` = compact,
     /// anything else = Chrome `trace_event` JSON for Perfetto).
     pub trace: Option<PathBuf>,
@@ -66,6 +71,7 @@ impl Default for CliArgs {
             bench_parallel: None,
             compile_policy: None,
             verify_policy: None,
+            export_fleet_trace: None,
             trace: None,
             deterministic: false,
             verify: false,
@@ -157,6 +163,12 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<CliArgs, CliError
                     .next()
                     .ok_or(CliError::MissingValue("--verify-policy"))?;
                 out.verify_policy = Some(path.into());
+            }
+            "--export-fleet-trace" => {
+                let path = args
+                    .next()
+                    .ok_or(CliError::MissingValue("--export-fleet-trace"))?;
+                out.export_fleet_trace = Some(path.into());
             }
             "--trace" => {
                 let path = args.next().ok_or(CliError::MissingValue("--trace"))?;
@@ -261,6 +273,21 @@ mod tests {
             parse_strs(&["--verify-policy"]),
             Err(CliError::MissingValue("--verify-policy"))
         );
+    }
+
+    #[test]
+    fn export_fleet_trace_takes_a_path() {
+        let a = parse_strs(&["--export-fleet-trace", "fleet.jsonl", "--quick"]).unwrap();
+        assert_eq!(
+            a.export_fleet_trace.as_deref(),
+            Some(std::path::Path::new("fleet.jsonl"))
+        );
+        assert!(a.quick);
+        assert_eq!(
+            parse_strs(&["--export-fleet-trace"]),
+            Err(CliError::MissingValue("--export-fleet-trace"))
+        );
+        assert_eq!(parse_strs(&[]).unwrap().export_fleet_trace, None);
     }
 
     #[test]

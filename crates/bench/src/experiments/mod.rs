@@ -15,6 +15,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod fits;
+pub mod fleet;
 pub mod mdata;
 pub mod table1;
 
@@ -41,7 +42,7 @@ pub trait Experiment: Sync {
 
 /// Every experiment, in paper order. The registry is the single source of
 /// truth: the run loop, `--list` and the usage text all iterate it.
-pub static REGISTRY: [&dyn Experiment; 12] = [
+pub static REGISTRY: [&dyn Experiment; 13] = [
     &table1::Table1,
     &fig1::Fig1,
     &fig4::Fig4,
@@ -54,6 +55,7 @@ pub static REGISTRY: [&dyn Experiment; 12] = [
     &mdata::Mdata,
     &ablations::Ablations,
     &extensions::Extensions,
+    &fleet::Fleet,
 ];
 
 /// Typed lookup/run failure.

@@ -13,6 +13,7 @@ use skyferry_units::Meters;
 pub trait FailureModel {
     /// Probability of still being operational after moving from
     /// separation `d0_m` to `d_m ≤ d0_m`.
+    // lint:allow-line(unit-safety): optimizer hot path, called per candidate distance; raw metres by design
     fn survival(&self, d0_m: f64, d_m: f64) -> f64;
 }
 

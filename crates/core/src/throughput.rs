@@ -62,6 +62,21 @@ impl LogFitThroughput {
         assert!(self.a_mbps < 0.0, "fit must be decreasing");
         Meters::new(2.0_f64.powf(-self.b_mbps / self.a_mbps))
     }
+
+    /// The fit with every rate scaled by `share ∈ (0, 1]` — the
+    /// throughput one contender sees on a shared medium. Scaling is
+    /// linear in the fit coefficients, so the result is still a log fit
+    /// (and `zero_crossing` is unchanged).
+    pub fn scaled(&self, share: f64) -> Self {
+        assert!(
+            share > 0.0 && share <= 1.0 && share.is_finite(),
+            "share must be in (0, 1], got {share}"
+        );
+        LogFitThroughput {
+            a_mbps: self.a_mbps * share,
+            b_mbps: self.b_mbps * share,
+        }
+    }
 }
 
 impl ThroughputModel for LogFitThroughput {
@@ -109,6 +124,16 @@ impl EmpiricalThroughput {
     /// The interpolation table, `(distance_m, rate_bps)`.
     pub fn points(&self) -> &[(f64, f64)] {
         &self.points
+    }
+
+    /// The table with every rate scaled by `share ∈ (0, 1]` (rates are
+    /// re-floored at [`MIN_RATE_BPS`] by the constructor).
+    pub fn scaled(&self, share: f64) -> Self {
+        assert!(
+            share > 0.0 && share <= 1.0 && share.is_finite(),
+            "share must be in (0, 1], got {share}"
+        );
+        Self::new(self.points.iter().map(|&(d, r)| (d, r * share)).collect())
     }
 
     /// Build a model from a measurement campaign: one `(distance,
@@ -159,6 +184,18 @@ pub enum ThroughputSpec {
     LogFit(LogFitThroughput),
     /// Empirical interpolation table.
     Empirical(EmpiricalThroughput),
+}
+
+impl ThroughputSpec {
+    /// The model with every rate scaled by `share ∈ (0, 1]` — how a
+    /// shared-medium contention model (`skyferry-fleet`) discounts the
+    /// link before the optimizer sees it.
+    pub fn scaled(&self, share: f64) -> Self {
+        match self {
+            ThroughputSpec::LogFit(m) => ThroughputSpec::LogFit(m.scaled(share)),
+            ThroughputSpec::Empirical(m) => ThroughputSpec::Empirical(m.scaled(share)),
+        }
+    }
 }
 
 impl ThroughputModel for ThroughputSpec {
@@ -253,6 +290,33 @@ mod tests {
     #[should_panic]
     fn empirical_rejects_duplicates() {
         let _ = EmpiricalThroughput::new(vec![(20.0, 1e6), (20.0, 2e6)]);
+    }
+
+    #[test]
+    fn scaled_halves_every_rate() {
+        let full = LogFitThroughput::QUADROCOPTER;
+        let half = full.scaled(0.5);
+        for d in [20.0, 40.0, 80.0] {
+            assert!(
+                (half.rate_bps(m(d)).get() - full.rate_bps(m(d)).get() * 0.5).abs() < 1e-9,
+                "share must scale the rate linearly at d={d}"
+            );
+        }
+        // Scaling preserves the validity horizon of the fit.
+        assert_eq!(half.zero_crossing(), full.zero_crossing());
+
+        let emp = EmpiricalThroughput::new(vec![(20.0, 30e6), (80.0, 8e6)]);
+        let emp_half = emp.scaled(0.5);
+        assert_eq!(emp_half.rate_bps(m(20.0)), BitsPerSec::new(15e6));
+
+        let spec = ThroughputSpec::LogFit(full).scaled(1.0);
+        assert_eq!(spec.rate_bps(m(40.0)), full.rate_bps(m(40.0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn scaled_rejects_zero_share() {
+        let _ = LogFitThroughput::AIRPLANE.scaled(0.0);
     }
 
     #[test]

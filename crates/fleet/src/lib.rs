@@ -1,0 +1,42 @@
+//! # skyferry-fleet
+//!
+//! Fleet-scale scenario engine: the paper optimizes one sender and one
+//! receiver, but its system-level story is fleets — K UAVs contending
+//! for G ground stations over a shared medium. Waiting to fly closer
+//! then costs twice: the battery-range risk of Eq. (1) *and* the risk of
+//! losing your access slot to a contending UAV.
+//!
+//! * [`spatial`] — a uniform-grid spatial index with R-tree-style
+//!   nearest-neighbor / range / conflict-pair queries, property-tested
+//!   against a brute-force oracle;
+//! * [`medium`] — two shared-medium contention models behind the
+//!   [`medium::MediumAccess`] trait: cyclical TDMA slots (Lyu et al.)
+//!   and a UD-MAC-style delay-tolerant priority scheme. Both discount
+//!   the throughput model `s(d)` by slot share and add a slot-retention
+//!   hazard to the failure law, so the *existing* Eq. (2) optimizer sees
+//!   contention without modification;
+//! * [`planner`] — a centralized rendezvous planner assigning K UAVs to
+//!   G stations: a greedy utility-maximizing baseline and a
+//!   Hungarian-style optimal assignment, both scoring candidate pairs
+//!   with the contended utility model so each UAV's d\* decision
+//!   composes with the assignment;
+//! * [`campaign`] — deterministic fleet campaigns (seeded placement,
+//!   plan, decide, replicate on `sim::parallel`) feeding the `fleet`
+//!   experiment family in `skyferry-bench`;
+//! * [`trace`] — JSONL export of fleet-generated request streams
+//!   (per-UAV arrival times + scenario parameters) replayed by
+//!   `skyferry-loadgen --fleet-trace`.
+
+#![forbid(unsafe_code)]
+
+pub mod campaign;
+pub mod medium;
+pub mod planner;
+pub mod spatial;
+pub mod trace;
+
+pub use campaign::{FleetCampaign, FleetConfig, FleetOutcome, UavDecision};
+pub use medium::{contended, CyclicalTdma, MediumAccess, UdMac};
+pub use planner::{Assignment, PlannerKind};
+pub use spatial::GridIndex;
+pub use trace::{FleetTrace, TraceEvent};

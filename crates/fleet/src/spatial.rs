@@ -1,0 +1,274 @@
+//! A uniform-grid spatial index over UAV positions.
+//!
+//! Fleet planning asks three queries thousands of times per campaign
+//! cell: "who is nearest to this point", "who is within r of this
+//! point", and "which pairs violate the safety separation". A uniform
+//! grid answers all three in near-constant time for the fleet densities
+//! we simulate, with none of an R-tree's rebalancing: positions are
+//! bucketed into fixed square cells keyed by `(⌊x/c⌋, ⌊y/c⌋)`, and a
+//! query scans the ring of cells that could possibly contain a better
+//! answer than the best found so far.
+//!
+//! Distances are full 3-D (UAVs stack vertically); the grid is 2-D over
+//! the ground plane. That is sound because the 3-D distance dominates
+//! the ground-plane distance, so a cell ring whose minimum ground
+//! distance exceeds the current best 3-D distance cannot improve it.
+//!
+//! Everything is deterministic: buckets live in a `BTreeMap`, ties break
+//! toward the lowest index, and results come back sorted — the same
+//! fleet always produces the same answer bit for bit, which the
+//! replay/determinism suite relies on.
+
+use std::collections::BTreeMap;
+
+use skyferry_geo::vector::Vec3;
+use skyferry_units::Meters;
+
+/// A uniform-grid index over a fixed set of points.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    points: Vec<Vec3>,
+    cell_m: f64,
+    buckets: BTreeMap<(i64, i64), Vec<usize>>,
+}
+
+impl GridIndex {
+    /// Build an index over `points` with square cells of side `cell`.
+    ///
+    /// # Panics
+    /// Panics on a non-positive or non-finite cell size.
+    pub fn build(points: &[Vec3], cell: Meters) -> Self {
+        let cell_m = cell.get();
+        assert!(
+            cell_m > 0.0 && cell_m.is_finite(),
+            "cell size must be positive, got {cell_m}"
+        );
+        let mut buckets: BTreeMap<(i64, i64), Vec<usize>> = BTreeMap::new();
+        for (i, p) in points.iter().enumerate() {
+            buckets.entry(Self::key_at(cell_m, *p)).or_default().push(i);
+        }
+        GridIndex {
+            points: points.to_vec(),
+            cell_m,
+            buckets,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indexed points, in insertion order.
+    pub fn points(&self) -> &[Vec3] {
+        &self.points
+    }
+
+    fn key_at(cell_m: f64, p: Vec3) -> (i64, i64) {
+        ((p.x / cell_m).floor() as i64, (p.y / cell_m).floor() as i64)
+    }
+
+    /// Index of the point nearest to `query`, excluding `exclude` (pass
+    /// the query point's own index for a nearest-*neighbor* query, or
+    /// `usize::MAX` for a nearest-*point* query). Ties break toward the
+    /// lowest index. `None` when no eligible point exists.
+    pub fn nearest(&self, query: Vec3, exclude: usize) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let (qx, qy) = Self::key_at(self.cell_m, query);
+        let mut best: Option<(f64, usize)> = None;
+        // Expand square rings outward. A ring at Chebyshev cell radius r
+        // is at least (r-1)·cell ground metres away, and 3-D distance
+        // dominates ground distance, so once that bound exceeds the best
+        // 3-D distance no farther ring can win.
+        let max_ring = self.rings_from(qx, qy);
+        for r in 0..=max_ring {
+            if let Some((d, _)) = best {
+                if (r as f64 - 1.0) * self.cell_m > d {
+                    break;
+                }
+            }
+            self.for_ring(qx, qy, r, |idx| {
+                for &i in idx {
+                    if i == exclude {
+                        continue;
+                    }
+                    let d = query.distance(self.points[i]);
+                    let better = match best {
+                        None => true,
+                        Some((bd, bi)) => d < bd || (d == bd && i < bi),
+                    };
+                    if better {
+                        best = Some((d, i));
+                    }
+                }
+            });
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// All indices within `radius` of `query` (3-D distance, inclusive
+    /// bound), sorted ascending.
+    pub fn within(&self, query: Vec3, radius: Meters) -> Vec<usize> {
+        let r_m = radius.get();
+        assert!(r_m >= 0.0 && r_m.is_finite(), "bad radius {r_m}");
+        let reach = (r_m / self.cell_m).ceil() as i64 + 1;
+        let (qx, qy) = Self::key_at(self.cell_m, query);
+        let mut out = Vec::new();
+        for (&(bx, by), idx) in &self.buckets {
+            if (bx - qx).abs() > reach || (by - qy).abs() > reach {
+                continue;
+            }
+            for &i in idx {
+                if query.distance(self.points[i]) <= r_m {
+                    out.push(i);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// All pairs `(i, j)` with `i < j` whose 3-D separation is at most
+    /// `radius` (a conflict under the paper's collision-safety margin),
+    /// sorted lexicographically.
+    pub fn conflict_pairs(&self, radius: Meters) -> Vec<(usize, usize)> {
+        let r_m = radius.get();
+        assert!(r_m >= 0.0 && r_m.is_finite(), "bad radius {r_m}");
+        let reach = (r_m / self.cell_m).ceil() as i64 + 1;
+        let mut out = Vec::new();
+        for (i, p) in self.points.iter().enumerate() {
+            let (qx, qy) = Self::key_at(self.cell_m, *p);
+            for (&(bx, by), idx) in &self.buckets {
+                if (bx - qx).abs() > reach || (by - qy).abs() > reach {
+                    continue;
+                }
+                for &j in idx {
+                    if j > i && p.distance(self.points[j]) <= r_m {
+                        out.push((i, j));
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Chebyshev cell radius from `(cx, cy)` that covers every occupied
+    /// bucket (ring expansion never needs to go farther than this).
+    fn rings_from(&self, cx: i64, cy: i64) -> i64 {
+        self.buckets
+            .keys()
+            .map(|&(x, y)| (x - cx).abs().max((y - cy).abs()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Visit every bucket on the square ring at Chebyshev radius `r`
+    /// around `(cx, cy)`, in deterministic scan order.
+    fn for_ring(&self, cx: i64, cy: i64, r: i64, mut f: impl FnMut(&[usize])) {
+        if r == 0 {
+            if let Some(idx) = self.buckets.get(&(cx, cy)) {
+                f(idx);
+            }
+            return;
+        }
+        for dx in -r..=r {
+            for dy in -r..=r {
+                if dx.abs() != r && dy.abs() != r {
+                    continue;
+                }
+                if let Some(idx) = self.buckets.get(&(cx + dx, cy + dy)) {
+                    f(idx);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(v: f64) -> Meters {
+        Meters::new(v)
+    }
+
+    fn fleet() -> Vec<Vec3> {
+        vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(10.0, 0.0, 0.0),
+            Vec3::new(0.0, 25.0, 0.0),
+            Vec3::new(100.0, 100.0, 50.0),
+            Vec3::new(-40.0, 7.0, 10.0),
+        ]
+    }
+
+    #[test]
+    fn nearest_neighbor_excludes_self() {
+        let idx = GridIndex::build(&fleet(), m(16.0));
+        assert_eq!(idx.nearest(fleet()[0], 0), Some(1));
+        assert_eq!(idx.nearest(fleet()[3], 3), Some(2));
+    }
+
+    #[test]
+    fn nearest_point_includes_self_when_not_excluded() {
+        let idx = GridIndex::build(&fleet(), m(16.0));
+        assert_eq!(idx.nearest(fleet()[2], usize::MAX), Some(2));
+    }
+
+    #[test]
+    fn nearest_on_empty_is_none() {
+        let idx = GridIndex::build(&[], m(16.0));
+        assert_eq!(idx.nearest(Vec3::ZERO, usize::MAX), None);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn nearest_tie_breaks_to_lowest_index() {
+        let pts = vec![Vec3::new(-5.0, 0.0, 0.0), Vec3::new(5.0, 0.0, 0.0)];
+        let idx = GridIndex::build(&pts, m(4.0));
+        assert_eq!(idx.nearest(Vec3::ZERO, usize::MAX), Some(0));
+    }
+
+    #[test]
+    fn within_is_inclusive_and_sorted() {
+        let idx = GridIndex::build(&fleet(), m(16.0));
+        assert_eq!(idx.within(Vec3::ZERO, m(10.0)), vec![0, 1]);
+        assert_eq!(idx.within(Vec3::ZERO, m(25.0)), vec![0, 1, 2]);
+        assert_eq!(idx.within(Vec3::ZERO, m(0.0)), vec![0]);
+    }
+
+    #[test]
+    fn conflicts_at_safety_radius() {
+        let idx = GridIndex::build(&fleet(), m(16.0));
+        // The paper's 20 m margin: (0,1) at 10 m is a conflict.
+        assert_eq!(idx.conflict_pairs(m(20.0)), vec![(0, 1)]);
+        // Radius 25 picks up (0,2) exactly on the boundary.
+        assert_eq!(idx.conflict_pairs(m(25.0)), vec![(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn distance_is_three_dimensional() {
+        let pts = vec![Vec3::ZERO, Vec3::new(0.0, 0.0, 30.0)];
+        let idx = GridIndex::build(&pts, m(16.0));
+        // Vertically stacked UAVs share a ground cell but are 30 m apart.
+        assert!(idx.conflict_pairs(m(20.0)).is_empty());
+        assert_eq!(idx.conflict_pairs(m(30.0)), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn negative_coordinates_bucket_correctly() {
+        let pts = vec![Vec3::new(-0.5, -0.5, 0.0), Vec3::new(0.5, 0.5, 0.0)];
+        let idx = GridIndex::build(&pts, m(100.0));
+        // Both sit near the origin in different cells; still neighbors.
+        assert_eq!(idx.nearest(pts[0], 0), Some(1));
+        assert_eq!(idx.conflict_pairs(m(2.0)), vec![(0, 1)]);
+    }
+}

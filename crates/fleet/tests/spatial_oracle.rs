@@ -1,0 +1,182 @@
+//! Property tests: the uniform-grid spatial index must agree with a
+//! brute-force O(K²) oracle on every query, across seeded random
+//! fleets, degenerate layouts, and boundary radii.
+
+use skyferry_fleet::spatial::GridIndex;
+use skyferry_geo::vector::Vec3;
+use skyferry_sim::rng::{DetRng, SeedStream};
+use skyferry_units::Meters;
+
+/// Brute-force nearest: linear scan, ties to the lowest index.
+fn oracle_nearest(points: &[Vec3], query: Vec3, exclude: usize) -> Option<usize> {
+    let mut best: Option<(f64, usize)> = None;
+    for (i, p) in points.iter().enumerate() {
+        if i == exclude {
+            continue;
+        }
+        let d = query.distance(*p);
+        let better = match best {
+            None => true,
+            Some((bd, _)) => d < bd,
+        };
+        if better {
+            best = Some((d, i));
+        }
+    }
+    best.map(|(_, i)| i)
+}
+
+/// Brute-force range query, sorted.
+fn oracle_within(points: &[Vec3], query: Vec3, radius: f64) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| query.distance(points[i]) <= radius)
+        .collect()
+}
+
+/// Brute-force conflict pairs, lexicographic.
+fn oracle_conflicts(points: &[Vec3], radius: f64) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..points.len() {
+        for j in i + 1..points.len() {
+            if points[i].distance(points[j]) <= radius {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+fn random_fleet(rng: &mut DetRng, n: usize, span: f64) -> Vec<Vec3> {
+    (0..n)
+        .map(|_| {
+            Vec3::new(
+                rng.uniform_range(-span, span),
+                rng.uniform_range(-span, span),
+                rng.uniform_range(0.0, span / 3.0),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn grid_matches_oracle_on_random_fleets() {
+    let seeds = SeedStream::new(0xF1EE7);
+    for trial in 0..40u64 {
+        let mut rng = seeds.rng_indexed("spatial-oracle", trial);
+        let n = 1 + rng.index(60);
+        let span = rng.uniform_range(20.0, 500.0);
+        let points = random_fleet(&mut rng, n, span);
+        // Cell sizes from degenerate-small to bigger-than-the-world.
+        let cell = rng.uniform_range(1.0, 2.0 * span);
+        let index = GridIndex::build(&points, Meters::new(cell));
+
+        // Nearest-neighbor for every point, and nearest from fresh
+        // off-grid query positions.
+        for i in 0..n {
+            assert_eq!(
+                index.nearest(points[i], i),
+                oracle_nearest(&points, points[i], i),
+                "trial {trial}: nearest-neighbor of point {i}"
+            );
+        }
+        for _ in 0..5 {
+            let q = Vec3::new(
+                rng.uniform_range(-2.0 * span, 2.0 * span),
+                rng.uniform_range(-2.0 * span, 2.0 * span),
+                rng.uniform_range(0.0, span),
+            );
+            assert_eq!(
+                index.nearest(q, usize::MAX),
+                oracle_nearest(&points, q, usize::MAX),
+                "trial {trial}: nearest to off-grid query"
+            );
+        }
+
+        // Range queries at random radii, radius 0, and a radius that
+        // swallows the whole fleet.
+        for _ in 0..5 {
+            let r = rng.uniform_range(0.0, span);
+            let q = points[rng.index(n)];
+            assert_eq!(
+                index.within(q, Meters::new(r)),
+                oracle_within(&points, q, r),
+                "trial {trial}: range query r={r}"
+            );
+        }
+        assert_eq!(
+            index.within(points[0], Meters::new(0.0)),
+            oracle_within(&points, points[0], 0.0)
+        );
+        assert_eq!(
+            index.within(Vec3::ZERO, Meters::new(10.0 * span)),
+            (0..n).collect::<Vec<_>>()
+        );
+
+        // Conflict pairs at a density-matched radius.
+        let r = rng.uniform_range(1.0, span / 2.0);
+        assert_eq!(
+            index.conflict_pairs(Meters::new(r)),
+            oracle_conflicts(&points, r),
+            "trial {trial}: conflicts r={r}"
+        );
+    }
+}
+
+#[test]
+fn boundary_radii_are_inclusive_in_both_implementations() {
+    // Pairs at exactly the query radius: the index must agree with the
+    // oracle on the ≤ boundary, including across cell borders.
+    let points = vec![
+        Vec3::new(0.0, 0.0, 0.0),
+        Vec3::new(20.0, 0.0, 0.0),
+        Vec3::new(0.0, 20.0, 0.0),
+        Vec3::new(20.0, 20.0, 0.0),
+    ];
+    for cell in [1.0, 7.0, 20.0, 100.0] {
+        let index = GridIndex::build(&points, Meters::new(cell));
+        for r in [19.999, 20.0, 20.001, 28.284, 28.285] {
+            assert_eq!(
+                index.conflict_pairs(Meters::new(r)),
+                oracle_conflicts(&points, r),
+                "cell={cell} r={r}"
+            );
+            assert_eq!(
+                index.within(points[0], Meters::new(r)),
+                oracle_within(&points, points[0], r),
+                "cell={cell} r={r}"
+            );
+        }
+    }
+}
+
+#[test]
+fn coincident_points_and_single_point_fleets() {
+    // All points identical: every pair conflicts, nearest is the lowest
+    // other index.
+    let points = vec![Vec3::new(5.0, 5.0, 5.0); 4];
+    let index = GridIndex::build(&points, Meters::new(10.0));
+    assert_eq!(
+        index.conflict_pairs(Meters::new(0.0)),
+        oracle_conflicts(&points, 0.0)
+    );
+    assert_eq!(index.nearest(points[2], 2), Some(0));
+
+    let one = vec![Vec3::ZERO];
+    let index = GridIndex::build(&one, Meters::new(10.0));
+    assert_eq!(index.nearest(Vec3::ZERO, 0), None);
+    assert_eq!(index.within(Vec3::ZERO, Meters::new(1.0)), vec![0]);
+    assert!(index.conflict_pairs(Meters::new(1.0)).is_empty());
+}
+
+#[test]
+fn far_query_still_finds_the_fleet() {
+    // Queries far outside the occupied grid must still expand their
+    // ring search out to the fleet rather than give up early.
+    let points = random_fleet(&mut SeedStream::new(9).rng("far"), 12, 50.0);
+    let index = GridIndex::build(&points, Meters::new(8.0));
+    let q = Vec3::new(5_000.0, -4_000.0, 100.0);
+    assert_eq!(
+        index.nearest(q, usize::MAX),
+        oracle_nearest(&points, q, usize::MAX)
+    );
+}

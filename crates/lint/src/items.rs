@@ -274,8 +274,11 @@ pub fn extract(path: &str, src: &str, tokens: &[Token]) -> FileModel {
     let cfg_test = find_cfg_test(&sig);
     model.cfg_test_line = cfg_test.map(|i| sig.line(i));
 
-    // (brace depth at which the impl was seen, self-type name)
-    let mut impl_stack: Vec<(usize, String)> = Vec::new();
+    // (brace depth at which the impl was seen, self-type name, and —
+    // for trait bodies — the trait's own visibility, which its methods
+    // inherit: a `pub trait`'s methods are part of the public API even
+    // though the method syntax itself carries no `pub`)
+    let mut impl_stack: Vec<(usize, String, Option<Vis>)> = Vec::new();
     let mut depth = 0usize;
     let mut i = 0usize;
     while i < sig.toks.len() {
@@ -284,7 +287,7 @@ pub fn extract(path: &str, src: &str, tokens: &[Token]) -> FileModel {
             "{" => depth += 1,
             "}" => {
                 depth = depth.saturating_sub(1);
-                while impl_stack.last().is_some_and(|&(d, _)| d >= depth) {
+                while impl_stack.last().is_some_and(|&(d, _, _)| d >= depth) {
                     impl_stack.pop();
                 }
             }
@@ -296,7 +299,7 @@ pub fn extract(path: &str, src: &str, tokens: &[Token]) -> FileModel {
             }
             "impl" if sig.kind(i) == Some(TokenKind::Ident) && item_position(&sig, i) => {
                 if let Some((name, body_open)) = parse_impl_head(&sig, i) {
-                    impl_stack.push((depth, name));
+                    impl_stack.push((depth, name, None));
                     i = body_open; // land on `{`; the loop tracks depth
                     continue;
                 }
@@ -307,10 +310,17 @@ pub fn extract(path: &str, src: &str, tokens: &[Token]) -> FileModel {
                 if let Some((mut item, next)) = parse_fn(
                     &sig,
                     i,
-                    impl_stack.last().map(|(_, n)| n.as_str()),
+                    impl_stack.last().map(|(_, n, _)| n.as_str()),
                     doc,
                     test_only,
                 ) {
+                    // Trait methods carry no `pub` of their own: they
+                    // inherit the trait's visibility.
+                    if let Some(&(_, _, Some(tvis))) = impl_stack.last() {
+                        if item.vis == Vis::Private {
+                            item.vis = tvis;
+                        }
+                    }
                     if sig.text(next) == "{" {
                         let body_end = sig.skip_group(next, "{", "}");
                         collect_body(&sig, next + 1, body_end.saturating_sub(1), &mut item);
@@ -335,7 +345,7 @@ pub fn extract(path: &str, src: &str, tokens: &[Token]) -> FileModel {
                         j += 1;
                     }
                     if sig.text(j) == "{" {
-                        impl_stack.push((depth, name));
+                        impl_stack.push((depth, name, Some(vis_before(&sig, i))));
                         i = j; // land on `{`; the loop tracks depth
                         continue;
                     }

@@ -302,7 +302,12 @@ pub fn registry() -> Vec<Rule> {
             id: "unit-safety",
             // The model crates carry dimensioned quantities; a bare f64
             // with a unit-suffixed name is a newtype that never happened.
-            scope: Scope::Only(&["crates/core/src/", "crates/phy/src/", "crates/uav/src/"]),
+            scope: Scope::Only(&[
+                "crates/core/src/",
+                "crates/phy/src/",
+                "crates/uav/src/",
+                "crates/fleet/src/",
+            ]),
             severity: Severity::Deny,
             file_allow: false,
             rationale: "pub model-crate fns must not pass bare f64 where a \

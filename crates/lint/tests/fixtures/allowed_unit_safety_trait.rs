@@ -1,0 +1,5 @@
+/// Wire-contract surface: slot timings cross the radio ABI raw.
+pub trait RawSchedule {
+    /// Raw cycle length, by contract with the firmware scheduler.
+    fn cycle_s(&self) -> f64; // lint:allow-line(unit-safety): firmware ABI reports raw seconds
+}

@@ -1,0 +1,11 @@
+/// Shared-medium access discipline for contending ferries.
+pub trait MediumAccess {
+    /// Guard interval between reserved slots.
+    fn guard_s(&self, gap_s: f64) -> f64;
+    /// Slot-retention hazard while rivals hold reservations.
+    fn retention_hazard_per_s(&self, rivals: f64) -> f64;
+}
+/// Default schedule period for `n` contenders.
+pub fn period_s(n: usize) -> f64 {
+    n as f64
+}

@@ -1,0 +1,10 @@
+/// Shared-medium access discipline for contending ferries.
+pub trait MediumAccess {
+    /// Guard interval between reserved slots.
+    fn guard(&self, gap: Seconds) -> Seconds;
+    /// Slot-retention hazard while rivals hold reservations.
+    fn retention_hazard_per_s(&self, rivals: f64) -> f64;
+}
+trait Internal {
+    fn raw_gap_s(&self) -> f64;
+}

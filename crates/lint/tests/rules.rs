@@ -240,6 +240,30 @@ fn unit_safety_fires_with_exact_spans() {
     assert!(lint_at("crates/serve/src/fixture.rs", "bad_unit_safety.rs").is_empty());
 }
 
+const FLEET: &str = "crates/fleet/src/fixture.rs";
+
+#[test]
+fn unit_safety_covers_fleet_trait_surfaces() {
+    // Trait methods inherit the trait's visibility: a `pub trait`'s
+    // bare-f64 unit-suffixed signatures are public API even though the
+    // method syntax carries no `pub` of its own. Line 4 fires twice
+    // (`gap_s` param and `guard_s` return); line 9 is a free fn.
+    assert_eq!(
+        lint_at(FLEET, "bad_unit_safety_trait.rs"),
+        all("unit-safety", &[4, 4, 9])
+    );
+    // Newtyped signatures, compound `_per_` rates, and private traits
+    // stay silent …
+    assert!(lint_at(FLEET, "good_unit_safety_trait.rs").is_empty());
+    // … and a justified line escape covers a sanctioned raw boundary.
+    assert!(lint_at(FLEET, "allowed_unit_safety_trait.rs").is_empty());
+    // The fleet crate sits in the rule's scope like the model crates.
+    assert_eq!(
+        lint_at(FLEET, "bad_unit_safety.rs"),
+        all("unit-safety", &[2, 6])
+    );
+}
+
 #[test]
 fn determinism_taint_fires_through_the_call_chain() {
     // `respond` feeds decision_response but reaches monotonic_ns via

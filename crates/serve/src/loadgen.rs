@@ -60,6 +60,17 @@
 //!   bit-identical parameters and the `d_star` streams can be compared
 //!   bitwise across all three.
 //!
+//! `--fleet-trace FILE` replaces the random mix with a recorded fleet
+//! request stream (`repro --export-fleet-trace` JSONL): each line's
+//! contended-equivalent `(platform, d0, mdata, rho, speed)` tuple is
+//! replayed in arrival order, so a generic `skyferryd` solves exactly
+//! the d\* the fleet campaign computed. The report gains the stream's
+//! inter-arrival statistics (p50/p95 gap, burstiness = the gaps'
+//! coefficient of variation — ~0 for a uniform schedule, >1 for the
+//! fleet's bursty waves), and `--compare --expect-identical` gates the
+//! replayed d\* streams bitwise across phases exactly as for the
+//! uniform-pool workload.
+//!
 //! Client-side percentiles use the exact `stats::quantile` over the raw
 //! latency samples; the report also embeds the server's own `STATS`
 //! snapshot, and everything lands in `BENCH_serve.json` /
@@ -148,6 +159,9 @@ pub struct LoadgenConfig {
     pub unique_frac: f64,
     /// Align the request mix to a compiled policy grid's cell centres.
     pub grid: Option<GridMode>,
+    /// Replay a recorded fleet request stream (`repro
+    /// --export-fleet-trace` JSONL) instead of the random mix.
+    pub fleet_trace: Option<PathBuf>,
     /// Run a second phase with the cache disabled and report speedup.
     pub compare: bool,
     /// Run `table` / `cache` / `no-cache` phases against a server with a
@@ -189,6 +203,7 @@ impl Default for LoadgenConfig {
             pool: 64,
             unique_frac: 0.0,
             grid: None,
+            fleet_trace: None,
             compare: false,
             policy_compare: false,
             miss_heavy: false,
@@ -301,6 +316,129 @@ fn build_workload_unique(cfg: &LoadgenConfig, unique_frac: f64) -> Vec<Vec<Strin
                     }
                 })
                 .collect()
+        })
+        .collect()
+}
+
+/// A parsed fleet trace: decide-request lines in arrival order plus the
+/// arrival times that produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetTraceWorkload {
+    /// Request lines, sorted by arrival time.
+    pub lines: Vec<String>,
+    /// Arrival offsets, seconds (parallel to `lines`, non-decreasing).
+    pub arrivals_s: Vec<f64>,
+}
+
+/// Parse a `repro --export-fleet-trace` JSONL stream into replayable
+/// request lines. Each event's `(platform, d0, mdata, rho, speed)`
+/// tuple is re-rendered as a plain decide request — provenance keys
+/// (`uav`, `station`, `contenders`) are dropped so the server sees the
+/// ordinary wire grammar. Events are sorted by `t` defensively.
+pub fn parse_fleet_trace(text: &str) -> Result<FleetTraceWorkload, String> {
+    let mut events: Vec<(f64, String)> = Vec::new();
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("fleet trace line {}: {e}", n + 1))?;
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .filter(|x| x.is_finite())
+                .ok_or_else(|| format!("fleet trace line {}: missing numeric '{key}'", n + 1))
+        };
+        let platform = v
+            .get("platform")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("fleet trace line {}: missing 'platform'", n + 1))?
+            .to_string();
+        let t = num("t")?;
+        let request = Json::obj([
+            ("platform", Json::str(&platform)),
+            ("d0", Json::Num(num("d0")?)),
+            ("mdata", Json::Num(num("mdata")?)),
+            ("rho", Json::Num(num("rho")?)),
+            ("speed", Json::Num(num("speed")?)),
+        ])
+        .render();
+        events.push((t, request));
+    }
+    if events.is_empty() {
+        return Err("fleet trace has no events".to_string());
+    }
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite arrival times"));
+    let (arrivals_s, lines) = events.into_iter().unzip();
+    Ok(FleetTraceWorkload { lines, arrivals_s })
+}
+
+/// Inter-arrival statistics of a replayed request stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStats {
+    /// Events in the stream.
+    pub events: usize,
+    /// First-to-last arrival span, seconds.
+    pub span_s: f64,
+    /// Median inter-arrival gap, seconds.
+    pub p50_gap_s: f64,
+    /// 95th-percentile inter-arrival gap, seconds.
+    pub p95_gap_s: f64,
+    /// Coefficient of variation of the gaps (`std/mean`): ~0 for a
+    /// uniform schedule, ~1 for Poisson, >1 for bursty waves.
+    pub burstiness: f64,
+}
+
+/// Compute [`TraceStats`] over sorted arrival offsets.
+pub fn trace_stats(arrivals_s: &[f64]) -> TraceStats {
+    let gaps: Vec<f64> = arrivals_s.windows(2).map(|w| w[1] - w[0]).collect();
+    let span_s = match (arrivals_s.first(), arrivals_s.last()) {
+        (Some(a), Some(b)) => b - a,
+        _ => 0.0,
+    };
+    let mean = if gaps.is_empty() {
+        0.0
+    } else {
+        gaps.iter().sum::<f64>() / gaps.len() as f64
+    };
+    let var = if gaps.len() < 2 {
+        0.0
+    } else {
+        gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64
+    };
+    TraceStats {
+        events: arrivals_s.len(),
+        span_s,
+        p50_gap_s: quantile(&gaps, 0.50).unwrap_or(0.0),
+        p95_gap_s: quantile(&gaps, 0.95).unwrap_or(0.0),
+        burstiness: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
+    }
+}
+
+impl TraceStats {
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("events", Json::Int(self.events as i64)),
+            ("span_s", Json::Fixed(self.span_s, 3)),
+            ("p50_gap_s", Json::Fixed(self.p50_gap_s, 4)),
+            ("p95_gap_s", Json::Fixed(self.p95_gap_s, 4)),
+            ("burstiness", Json::Fixed(self.burstiness, 3)),
+        ])
+    }
+}
+
+/// Split a global request stream into per-connection slices, preserving
+/// order within each slice (the same contiguous split
+/// [`build_workload`] uses for its per-thread shares).
+fn split_stream(lines: &[String], threads: usize) -> Vec<Vec<String>> {
+    let threads = threads.max(1);
+    let mut rest = lines;
+    (0..threads)
+        .map(|t| {
+            let share = lines.len() / threads + usize::from(t < lines.len() % threads);
+            let (head, tail) = rest.split_at(share);
+            rest = tail;
+            head.to_vec()
         })
         .collect()
 }
@@ -991,6 +1129,13 @@ pub struct Report {
     /// Were the `d_star` streams bit-identical across the phases of
     /// each workload (warm phases vs warm, miss vs miss)?
     pub d_star_identical: Option<bool>,
+    /// Inter-arrival statistics of the replayed stream (`--fleet-trace`
+    /// only).
+    pub fleet_trace: Option<TraceStats>,
+    /// FNV-1a digest of the replayed `d_star` bit stream (`--fleet-trace`
+    /// only): equal digests across separate runs — e.g. against servers
+    /// with different shard counts — prove bit-identical responses.
+    pub d_star_digest: Option<String>,
     cfg: LoadgenConfig,
 }
 
@@ -1034,7 +1179,21 @@ impl Report {
                     ),
                     ("miss_heavy", Json::Bool(self.cfg.miss_heavy)),
                     ("policy_compare", Json::Bool(self.cfg.policy_compare)),
+                    (
+                        "fleet_trace",
+                        self.cfg
+                            .fleet_trace
+                            .as_ref()
+                            .map(|p| Json::str(p.display().to_string()))
+                            .unwrap_or(Json::Null),
+                    ),
                 ]),
+            ),
+            (
+                "fleet_trace_stats",
+                self.fleet_trace
+                    .map(TraceStats::to_json)
+                    .unwrap_or(Json::Null),
             ),
             (
                 "phases",
@@ -1052,8 +1211,27 @@ impl Report {
                 "d_star_identical",
                 self.d_star_identical.map(Json::Bool).unwrap_or(Json::Null),
             ),
+            (
+                "d_star_digest",
+                self.d_star_digest
+                    .as_ref()
+                    .map(Json::str)
+                    .unwrap_or(Json::Null),
+            ),
         ])
     }
+}
+
+/// FNV-1a (word-wise) over a phase's `d_star` bit stream. Reported in
+/// `--fleet-trace` mode: equal digests from separate loadgen runs prove
+/// the servers produced bit-identical decision streams.
+fn d_star_stream_digest(phase: &PhaseReport) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in phase.d_star_bits() {
+        h ^= b;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
 }
 
 fn run_phase(
@@ -1216,7 +1394,17 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Report, LoadgenError> {
         concurrency: if open_loop { 1 } else { cfg.concurrency },
         ..cfg.clone()
     };
-    let warm = build_workload(&wl_cfg);
+    let fleet = match &cfg.fleet_trace {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            Some(parse_fleet_trace(&text).map_err(LoadgenError::Protocol)?)
+        }
+        None => None,
+    };
+    let warm = match &fleet {
+        Some(f) => split_stream(&f.lines, wl_cfg.concurrency),
+        None => build_workload(&wl_cfg),
+    };
     let miss = cfg.miss_heavy.then(|| build_workload_unique(&wl_cfg, 1.0));
 
     // One entry per server configuration: (base label, policy toggle,
@@ -1295,6 +1483,9 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Report, LoadgenError> {
         (a, b) => Some(a.unwrap_or(true) && b.unwrap_or(true)),
     };
 
+    let d_star_digest = fleet
+        .as_ref()
+        .and_then(|_| phases.first().map(d_star_stream_digest));
     let report = Report {
         phases,
         saturation,
@@ -1303,6 +1494,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Report, LoadgenError> {
         table_speedup,
         table_speedup_miss,
         d_star_identical,
+        fleet_trace: fleet.as_ref().map(|f| trace_stats(&f.arrivals_s)),
+        d_star_digest,
         cfg: cfg.clone(),
     };
 
@@ -1398,6 +1591,12 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<LoadgenConfi
             "--pool" => cfg.pool = value(&mut args, "--pool")?,
             "--unique-frac" => cfg.unique_frac = value(&mut args, "--unique-frac")?,
             "--grid" => cfg.grid = Some(value(&mut args, "--grid")?),
+            "--fleet-trace" => {
+                cfg.fleet_trace = Some(PathBuf::from(
+                    args.next()
+                        .ok_or("--fleet-trace needs a value".to_string())?,
+                ))
+            }
             "--min-speedup" => cfg.min_speedup = Some(value(&mut args, "--min-speedup")?),
             "--min-table-speedup" => {
                 cfg.min_table_speedup = Some(value(&mut args, "--min-table-speedup")?)
@@ -1421,6 +1620,9 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<LoadgenConfi
     }
     if cfg.conns > 0 && cfg.rate.is_none() && cfg.saturation.is_empty() {
         return Err("--conns needs --rate or --saturation".to_string());
+    }
+    if cfg.fleet_trace.is_some() && (cfg.miss_heavy || cfg.grid.is_some()) {
+        return Err("--fleet-trace replays a fixed stream; drop --miss-heavy/--grid".to_string());
     }
     Ok(cfg)
 }
@@ -1646,6 +1848,113 @@ mod tests {
     }
 
     #[test]
+    fn fleet_trace_parses_to_decide_requests_in_arrival_order() {
+        let jsonl = "\
+{\"t\":14.1,\"uav\":1,\"station\":0,\"contenders\":2,\"platform\":\"quadrocopter\",\
+\"d0\":114.5,\"mdata\":20,\"rho\":0.0076,\"speed\":4.5}\n\
+{\"t\":9.9,\"uav\":3,\"station\":2,\"contenders\":3,\"platform\":\"quadrocopter\",\
+\"d0\":109.2,\"mdata\":30,\"rho\":0.015,\"speed\":4.5}\n\
+\n\
+{\"t\":63.0,\"uav\":0,\"station\":1,\"contenders\":1,\"platform\":\"airplane\",\
+\"d0\":210.0,\"mdata\":10,\"rho\":0.0005,\"speed\":30}\n";
+        let wl = parse_fleet_trace(jsonl).expect("valid trace");
+        assert_eq!(wl.arrivals_s, vec![9.9, 14.1, 63.0], "sorted by t");
+        assert_eq!(wl.lines.len(), 3);
+        for line in &wl.lines {
+            let params = match crate::proto::parse_request(line) {
+                Ok(crate::proto::Request::Decide(p)) => p,
+                other => panic!("trace line must replay as a decide request, got {other:?}"),
+            };
+            assert!(params.d0_m > 0.0);
+        }
+        // The contended-equivalent parameters survive the re-render.
+        assert!(wl.lines[0].contains("\"mdata\":30"));
+        assert!(wl.lines[0].contains("\"rho\":0.015"));
+
+        assert!(parse_fleet_trace("").is_err(), "empty trace is an error");
+        assert!(
+            parse_fleet_trace("{\"t\":1.0,\"platform\":\"quadrocopter\"}").is_err(),
+            "missing request fields are an error"
+        );
+        assert!(parse_fleet_trace("not json").is_err());
+    }
+
+    #[test]
+    fn trace_stats_separate_uniform_from_bursty() {
+        // Uniform schedule: every gap identical, burstiness ~0.
+        let uniform: Vec<f64> = (0..40).map(|i| i as f64 * 0.5).collect();
+        let u = trace_stats(&uniform);
+        assert_eq!(u.events, 40);
+        assert!((u.span_s - 19.5).abs() < 1e-9);
+        assert!((u.p50_gap_s - 0.5).abs() < 1e-9);
+        assert!((u.p95_gap_s - 0.5).abs() < 1e-9);
+        assert!(u.burstiness < 1e-9);
+
+        // Bursty waves: tight clusters separated by long silences, the
+        // fleet shape. p50 sees the in-wave gap, p95 the wave gap, and
+        // the coefficient of variation is far above uniform.
+        let mut bursty = Vec::new();
+        for wave in 0..5 {
+            for j in 0..8 {
+                bursty.push(wave as f64 * 60.0 + j as f64 * 0.2);
+            }
+        }
+        let b = trace_stats(&bursty);
+        assert!((b.p50_gap_s - 0.2).abs() < 1e-9);
+        assert!(b.p95_gap_s > 50.0);
+        assert!(b.burstiness > 2.0, "waves must read as bursty");
+
+        let empty = trace_stats(&[]);
+        assert_eq!(empty.events, 0);
+        assert_eq!(empty.burstiness, 0.0);
+    }
+
+    #[test]
+    fn split_stream_preserves_order_and_balances_shares() {
+        let lines: Vec<String> = (0..10).map(|i| format!("line-{i}")).collect();
+        let split = split_stream(&lines, 3);
+        assert_eq!(
+            split.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![4, 3, 3]
+        );
+        let rejoined: Vec<String> = split.into_iter().flatten().collect();
+        assert_eq!(rejoined, lines, "contiguous split preserves order");
+        assert_eq!(split_stream(&lines, 1).len(), 1);
+        assert_eq!(split_stream(&[], 4).iter().map(Vec::len).sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn fleet_trace_args() {
+        let cfg = parse_args(
+            ["--addr", "x", "--fleet-trace", "fleet.jsonl", "--compare"]
+                .into_iter()
+                .map(String::from),
+        )
+        .expect("valid args");
+        assert_eq!(
+            cfg.fleet_trace.as_deref(),
+            Some(std::path::Path::new("fleet.jsonl"))
+        );
+        assert!(cfg.compare);
+        assert!(
+            parse_args(
+                ["--addr", "x", "--fleet-trace", "f", "--miss-heavy"]
+                    .into_iter()
+                    .map(String::from)
+            )
+            .is_err(),
+            "fleet trace replays a fixed stream"
+        );
+        assert!(parse_args(
+            ["--addr", "x", "--fleet-trace", "f", "--grid", "quick"]
+                .into_iter()
+                .map(String::from)
+        )
+        .is_err());
+        assert!(parse_args(["--addr".into(), "x".into(), "--fleet-trace".into()]).is_err());
+    }
+
+    #[test]
     fn grid_aligned_workload_lands_on_cell_centres() {
         let cfg = LoadgenConfig {
             addr: "x".into(),
@@ -1770,6 +2079,8 @@ mod tests {
             table_speedup: Some(7.25),
             table_speedup_miss: None,
             d_star_identical: None,
+            fleet_trace: None,
+            d_star_digest: None,
             cfg,
         };
         let j = report.to_json();

@@ -863,6 +863,89 @@ fn loadgen_identical_across_shard_counts() {
     }
 }
 
+/// Fleet-trace replay: a recorded fleet request stream (the
+/// `repro --export-fleet-trace` JSONL shape) must solve to bit-identical
+/// `d_star` streams across phases *and* across shard counts — the
+/// contended-equivalent parameters are ordinary decide requests, so a
+/// generic server replays fleet traffic without knowing about fleets.
+/// The report must also carry the stream's inter-arrival statistics.
+#[test]
+fn fleet_trace_replay_identical_across_shard_counts() {
+    use skyferry_serve::loadgen::{run, LoadgenConfig};
+
+    // Waves of four UAVs every 60 s, in the exported shape: `mdata`
+    // inflated by the slot share, `rho` carrying the retention hazard.
+    let mut jsonl = String::new();
+    for wave in 0..3u64 {
+        for u in 0..4u64 {
+            let t = wave as f64 * 60.0 + u as f64 * 0.7;
+            let d0 = 80.0 + (wave * 4 + u) as f64 * 9.0;
+            let mdata = 10.0 * (1 + u % 3) as f64;
+            let rho = 2e-3 + u as f64 * 3e-3;
+            jsonl.push_str(&format!(
+                "{{\"t\":{t},\"uav\":{u},\"station\":{},\"contenders\":{},\
+                 \"platform\":\"quadrocopter\",\"d0\":{d0},\"mdata\":{mdata},\
+                 \"rho\":{rho},\"speed\":4.5}}\n",
+                u % 2,
+                1 + u % 3,
+            ));
+        }
+    }
+    let path = std::env::temp_dir().join(format!(
+        "skyferry-fleet-trace-test-{}.jsonl",
+        std::process::id()
+    ));
+    std::fs::write(&path, &jsonl).expect("write trace");
+
+    let mut baseline: Option<Vec<(&'static str, Vec<u64>)>> = None;
+    let mut digest: Option<String> = None;
+    for shards in [1usize, 2, 8] {
+        let handle = sharded_server(1024, shards);
+        let cfg = LoadgenConfig {
+            addr: handle.addr().to_string(),
+            concurrency: 3,
+            window: 8,
+            fleet_trace: Some(path.clone()),
+            compare: true,
+            expect_identical: true,
+            check: true,
+            ..Default::default()
+        };
+        let report = run(&cfg).unwrap_or_else(|e| panic!("fleet replay vs {shards} shards: {e}"));
+        assert_eq!(
+            report.d_star_identical,
+            Some(true),
+            "{shards} shards: cached and uncached replays must agree bitwise"
+        );
+        let stats = report.fleet_trace.expect("fleet-trace stats in the report");
+        assert_eq!(stats.events, 12);
+        assert!((stats.p50_gap_s - 0.7).abs() < 1e-9, "in-wave gap at p50");
+        assert!(stats.p95_gap_s > 50.0, "wave gap at p95");
+        assert!(stats.burstiness > 1.0, "waves must read as bursty");
+        let bits: Vec<(&'static str, Vec<u64>)> = report
+            .phases
+            .iter()
+            .map(|p| (p.label, p.d_star_bits()))
+            .collect();
+        assert_eq!(bits[0].1.len(), 12, "every event answered");
+        match &baseline {
+            None => baseline = Some(bits),
+            Some(reference) => assert_eq!(
+                reference, &bits,
+                "{shards} shards must reproduce the 1-shard d_star streams bitwise"
+            ),
+        }
+        // The report's digest is the cross-run form of the same claim.
+        let d = report.d_star_digest.expect("digest in fleet-trace mode");
+        match &digest {
+            None => digest = Some(d),
+            Some(reference) => assert_eq!(reference, &d, "{shards} shards: digest drift"),
+        }
+        drop(handle); // drop = shutdown + join
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
 /// The many-connection open loop: one reactor multiplexing dozens of
 /// mostly-idle connections, plus a latency-under-load saturation sweep.
 #[test]

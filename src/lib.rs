@@ -58,6 +58,7 @@
 
 pub use skyferry_control as control;
 pub use skyferry_core as core;
+pub use skyferry_fleet as fleet;
 pub use skyferry_geo as geo;
 pub use skyferry_mac as mac;
 pub use skyferry_net as net;

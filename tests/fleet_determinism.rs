@@ -1,0 +1,110 @@
+//! The fleet campaign's determinism guarantee, checked end to end:
+//! seeded campaigns (placement → planner → contended decisions →
+//! conflict scan → trace export) produce *bit-identical* output at any
+//! thread count, and repeated runs with the same seed reproduce the
+//! same bits.
+//!
+//! Everything lives in ONE test function: the worker cap
+//! (`set_max_threads`) is process-global state, so concurrent test
+//! functions would race on it (the same shape as
+//! `parallel_determinism.rs`).
+
+use skyferry::fleet::campaign::{FleetCampaign, FleetConfig, FleetOutcome, MediumSpec};
+use skyferry::fleet::medium::{CyclicalTdma, UdMac};
+use skyferry::fleet::planner::PlannerKind;
+use skyferry::fleet::trace::FleetTrace;
+use skyferry::sim::parallel::set_max_threads;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const SEED: u64 = 0xF1EE_7D37;
+const REPS: u64 = 5;
+
+fn campaigns() -> Vec<FleetCampaign> {
+    let mut out = Vec::new();
+    for medium in [
+        MediumSpec::Tdma(CyclicalTdma::BASELINE),
+        MediumSpec::UdMac(UdMac::BASELINE),
+    ] {
+        for planner in [PlannerKind::Greedy, PlannerKind::Hungarian] {
+            let mut config = FleetConfig::baseline(7, 3, medium);
+            config.planner = planner;
+            config.name = format!("det-{}-{}", medium.name(), planner.name());
+            out.push(FleetCampaign::new(config));
+        }
+    }
+    out
+}
+
+/// Every float in an outcome as raw bits, so "equal" means bit-equal
+/// rather than approximately equal.
+fn outcome_bits(out: &FleetOutcome) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for d in &out.decisions {
+        bits.push(d.uav as u64);
+        bits.push(d.station as u64);
+        bits.push(d.contenders as u64);
+        bits.push(d.d0_m.to_bits());
+        bits.push(d.rho_eff_per_m.to_bits());
+        bits.push(d.transfer.d_opt.to_bits());
+        bits.push(d.transfer.utility.to_bits());
+        bits.push(d.ready_s.to_bits());
+        bits.push(d.arrival_s.to_bits());
+    }
+    for &(a, b) in &out.conflicts {
+        bits.push(a as u64);
+        bits.push(b as u64);
+    }
+    bits.extend(out.load.iter().map(|&l| l as u64));
+    bits.push(out.total_utility.to_bits());
+    bits.push(out.planned_utility.to_bits());
+    bits
+}
+
+#[test]
+fn fleet_campaigns_bit_identical_across_thread_counts_and_runs() {
+    let cs = campaigns();
+
+    // Reference bits (and trace bytes), computed serially.
+    set_max_threads(1);
+    let reference: Vec<(Vec<Vec<u64>>, String)> = cs
+        .iter()
+        .map(|c| {
+            let outs = c.replicate(SEED, REPS);
+            let jsonl = FleetTrace::from_replications(&c.config, &outs).to_jsonl();
+            (outs.iter().map(outcome_bits).collect(), jsonl)
+        })
+        .collect();
+
+    for threads in THREAD_COUNTS {
+        set_max_threads(threads);
+        // Twice per thread count: same-seed reruns must also agree.
+        for run in 0..2 {
+            let label = format!("threads={threads} run={run}");
+            for (c, (ref_bits, ref_jsonl)) in cs.iter().zip(&reference) {
+                let outs = c.replicate(SEED, REPS);
+                let bits: Vec<Vec<u64>> = outs.iter().map(outcome_bits).collect();
+                assert_eq!(
+                    &bits, ref_bits,
+                    "campaign {} diverged at {label}",
+                    c.config.name
+                );
+                let jsonl = FleetTrace::from_replications(&c.config, &outs).to_jsonl();
+                assert_eq!(
+                    &jsonl, ref_jsonl,
+                    "trace export for {} diverged at {label}",
+                    c.config.name
+                );
+            }
+        }
+    }
+
+    // Different seeds must still produce different worlds (the engine
+    // must not be deterministic by virtue of ignoring the seed).
+    set_max_threads(0);
+    let other: Vec<Vec<u64>> = cs[0]
+        .replicate(SEED ^ 1, REPS)
+        .iter()
+        .map(outcome_bits)
+        .collect();
+    assert_ne!(other, reference[0].0, "seed is being ignored");
+}
